@@ -1,0 +1,51 @@
+//! One- and two-level FMM against blocked GEMM at a fixed, bench-friendly
+//! size: the headline comparison in miniature.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fmm_core::{fmm_execute, registry, FmmContext, FmmPlan, Variant};
+use fmm_dense::fill;
+use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+use std::time::Duration;
+
+fn bench_levels(c: &mut Criterion) {
+    let n = 480usize; // divisible by 4 (two-level <2,2,2>)
+    let a = fill::bench_workload(n, n, 1);
+    let b = fill::bench_workload(n, n, 2);
+    let mut cm = fmm_dense::Matrix::zeros(n, n);
+    let params = BlockingParams::default();
+
+    let mut g = c.benchmark_group(format!("fmm_{n}cubed"));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+
+    let mut ws = GemmWorkspace::for_params(&params);
+    g.bench_function("gemm", |bench| {
+        bench.iter(|| {
+            fmm_gemm::driver::gemm_sums(
+                &mut [DestTile::new(cm.as_mut(), 1.0)],
+                &[(1.0, a.as_ref())],
+                &[(1.0, b.as_ref())],
+                &params,
+                &mut ws,
+            );
+        })
+    });
+
+    let one = FmmPlan::new(vec![registry::strassen()]);
+    let two = FmmPlan::uniform(registry::strassen(), 2);
+    for (label, plan) in [("strassen_1l", &one), ("strassen_2l", &two)] {
+        for variant in Variant::ALL {
+            let mut ctx = FmmContext::new(params);
+            g.bench_function(format!("{label}_{}", variant.name()), |bench| {
+                bench.iter(|| {
+                    fmm_execute(cm.as_mut(), a.as_ref(), b.as_ref(), plan, variant, &mut ctx);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the GEMM substrate: micro-kernel,
+//! and small blocked GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmm_dense::fill;
+use fmm_gemm::kernel::{self, Acc, MR, NR};
+use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+use std::time::Duration;
+
+fn bench_microkernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("microkernel");
+    g.measurement_time(Duration::from_millis(800));
+    g.sample_size(20);
+    for kc in [64usize, 256] {
+        let a: Vec<f64> = (0..kc * MR).map(|x| x as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|x| x as f64 * 0.5).collect();
+        let ukr = kernel::select();
+        g.throughput(Throughput::Elements((2 * MR * NR * kc) as u64));
+        g.bench_with_input(BenchmarkId::new(kernel::selected_name(), kc), &kc, |bench, &kc| {
+            bench.iter(|| {
+                let mut acc: Acc = [0.0; MR * NR];
+                // SAFETY: panels sized kc*MR / kc*NR above.
+                unsafe { ukr(kc, a.as_ptr(), b.as_ptr(), &mut acc) };
+                criterion::black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_small_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let params = BlockingParams::default();
+    for n in [256usize, 512] {
+        let a = fill::bench_workload(n, n, 1);
+        let b = fill::bench_workload(n, n, 2);
+        let mut cm = fmm_dense::Matrix::zeros(n, n);
+        let mut ws = GemmWorkspace::for_params(&params);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                fmm_gemm::driver::gemm_sums(
+                    &mut [DestTile::new(cm.as_mut(), 1.0)],
+                    &[(1.0, a.as_ref())],
+                    &[(1.0, b.as_ref())],
+                    &params,
+                    &mut ws,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_microkernel, bench_small_gemm);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 10: parallel performance of the best generated implementation
+//! ("Ours": model-selected, measured top-2) versus the reference-style
+//! implementation (the Naive variant, which mirrors Benson–Ballard's
+//! explicit-`M_r` code) on three shape sweeps. Run with `--threads N`;
+//! on a single-core host this still exercises the full parallel code path.
+
+use fmm_bench::figure::Table;
+use fmm_bench::{measure_fmm, measure_gemm, FigureParams};
+use fmm_core::{registry::Registry, FmmPlan, Variant};
+use fmm_gemm::BlockingParams;
+use fmm_model::{rank_candidates, Impl};
+use std::sync::Arc;
+
+fn main() {
+    let p = FigureParams::from_args();
+    let params = BlockingParams::default();
+    let arch = fmm_bench::runner::calibrated_arch(&params, p.scale);
+    let reg = Registry::shared();
+
+    let mut rows = reg.paper_rows();
+    if p.limit_algos > 0 {
+        rows.truncate(p.limit_algos);
+    }
+    let mut plans: Vec<Arc<FmmPlan>> = Vec::new();
+    for (_, algo) in &rows {
+        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone()])));
+        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone(), algo.clone()])));
+    }
+
+    type Sweep = (&'static str, Vec<(usize, usize, usize)>);
+    let sweeps: [Sweep; 3] = [
+        ("m=k=n", p
+            .k_sweep(&[2000, 6000, 12000])
+            .iter()
+            .map(|&x| (rt(x), rt(x), rt(x)))
+            .collect()),
+        ("m=n=14400s, k varies", {
+            let mn = p.dim(14400, 144);
+            p.k_sweep(&[1000, 4000, 12000]).iter().map(|&k| (mn, rt(k), mn)).collect()
+        }),
+        ("k=1024, m=n vary", p
+            .k_sweep(&[2000, 6000, 12000])
+            .iter()
+            .map(|&mn| (rt(mn), 1024, rt(mn)))
+            .collect()),
+    ];
+
+    for (sweep_name, points) in sweeps {
+        let mut table = Table::new(
+            format!("Figure 10: {} thread(s), {sweep_name}", p.threads),
+            &["GEMM", "Ours(best)", "Reference(Naive)"],
+        );
+        for (m, k, n) in points {
+            let gemm = measure_gemm(m, k, n, &params, &arch, p.reps, p.parallel());
+            let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &arch, false);
+            let ours = ranked
+                .iter()
+                .take(2)
+                .map(|c| {
+                    let plan = c.plan.as_ref().expect("plan");
+                    let v = c.impl_.to_variant().expect("variant");
+                    measure_fmm(plan, v, m, k, n, &params, &arch, p.reps, p.parallel()).actual
+                })
+                .fold(0.0, f64::max);
+            // Reference role: Naive variant of the best-ranked plan.
+            let ref_plan = ranked[0].plan.as_ref().expect("plan");
+            let reference =
+                measure_fmm(ref_plan, Variant::Naive, m, k, n, &params, &arch, p.reps, p.parallel())
+                    .actual;
+            table.push(format!("{m}x{k}x{n}"), vec![gemm.actual, ours, reference]);
+        }
+        table.print(p.csv);
+        println!();
+    }
+}
+
+fn rt(x: usize) -> usize {
+    (x.max(144) / 144) * 144
+}

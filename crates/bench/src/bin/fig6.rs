@@ -1,0 +1,67 @@
+//! Figure 6: one-level ABC / AB / Naive performance, actual vs modeled,
+//! for `m = n = 14400·scale` with `k` varying — six panels (three variants
+//! x {actual, modeled}), each a table with one row per algorithm and one
+//! column per `k`.
+
+use fmm_bench::figure::Table;
+use fmm_bench::{measure_fmm, measure_gemm, FigureParams};
+use fmm_core::{registry::Registry, FmmPlan, Variant};
+use fmm_gemm::BlockingParams;
+
+fn main() {
+    let p = FigureParams::from_args();
+    let params = BlockingParams::default();
+    let arch = fmm_bench::runner::calibrated_arch(&params, p.scale);
+    let reg = Registry::shared();
+
+    let mn = p.dim(14400, 120);
+    let ks = p.k_sweep(&[1000, 2000, 4000, 6000, 8000, 10000, 12000]);
+    eprintln!("fig6: m=n={mn}, k in {ks:?}, reps={}", p.reps);
+
+    let headers: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rows = reg.paper_rows();
+    if p.limit_algos > 0 {
+        rows.truncate(p.limit_algos);
+    }
+
+    for variant in Variant::ALL {
+        let mut actual = Table::new(
+            format!("Figure 6: 1-level {} actual (m=n={mn})", variant.name()),
+            &headers_ref,
+        );
+        let mut modeled = Table::new(
+            format!("Figure 6: 1-level {} modeled (m=n={mn})", variant.name()),
+            &headers_ref,
+        );
+        // The GEMM baseline row (same in every panel, as in the paper).
+        let mut gemm_act = Vec::new();
+        let mut gemm_mod = Vec::new();
+        for &k in &ks {
+            let g = measure_gemm(mn, k, mn, &params, &arch, p.reps, p.parallel());
+            gemm_act.push(g.actual);
+            gemm_mod.push(g.modeled);
+        }
+        actual.push("GEMM", gemm_act);
+        modeled.push("GEMM", gemm_mod);
+
+        for (entry, algo) in &rows {
+            let plan = FmmPlan::from_arcs(vec![algo.clone()]);
+            let mut act = Vec::new();
+            let mut mdl = Vec::new();
+            for &k in &ks {
+                let m =
+                    measure_fmm(&plan, variant, mn, k, mn, &params, &arch, p.reps, p.parallel());
+                act.push(m.actual);
+                mdl.push(m.modeled);
+            }
+            let (mt, kt, nt) = entry.dims;
+            actual.push(format!("<{mt},{kt},{nt}>"), act);
+            modeled.push(format!("<{mt},{kt},{nt}>"), mdl);
+        }
+        actual.print(p.csv);
+        modeled.print(p.csv);
+        println!();
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 7: two-level ABC performance, actual vs modeled, on three shape
+//! regimes: square (`m = k = n`), rank-k (`m = n = 14400·scale`, `k`
+//! varies), and fixed-depth (`k = 1024`, `m = n` vary) — six panels.
+
+use fmm_bench::figure::Table;
+use fmm_bench::{measure_fmm, measure_gemm, FigureParams};
+use fmm_core::{registry::Registry, FmmPlan, Variant};
+use fmm_gemm::BlockingParams;
+use std::sync::Arc;
+
+fn main() {
+    let p = FigureParams::from_args();
+    let params = BlockingParams::default();
+    let arch = fmm_bench::runner::calibrated_arch(&params, p.scale);
+    let reg = Registry::shared();
+
+    let mut rows = reg.paper_rows();
+    if p.limit_algos > 0 {
+        rows.truncate(p.limit_algos);
+    }
+
+    // Two-level plans: the same algorithm at both levels (the hybrid case
+    // is Figure 9's subject).
+    let plans: Vec<(String, Arc<FmmPlan>)> = rows
+        .iter()
+        .map(|(e, a)| {
+            let (mt, kt, nt) = e.dims;
+            (format!("<{mt},{kt},{nt}>"), Arc::new(FmmPlan::from_arcs(vec![a.clone(), a.clone()])))
+        })
+        .collect();
+
+    type Sweep = (&'static str, Vec<(usize, usize, usize)>);
+    let sweeps: [Sweep; 3] = [
+        ("m=k=n", {
+            let pts = p.k_sweep(&[2000, 4000, 6000, 8000, 10000, 12000]);
+            pts.iter().map(|&x| (round_to(x, 144), round_to(x, 144), round_to(x, 144))).collect()
+        }),
+        ("m=n=14400s, k varies", {
+            let mn = p.dim(14400, 144);
+            p.k_sweep(&[1000, 2000, 4000, 8000, 12000])
+                .iter()
+                .map(|&k| (mn, round_to(k, 36), mn))
+                .collect()
+        }),
+        ("k=1024, m=n vary", {
+            p.k_sweep(&[2000, 4000, 8000, 12000])
+                .iter()
+                .map(|&mn| (round_to(mn, 144), 1024, round_to(mn, 144)))
+                .collect()
+        }),
+    ];
+
+    for (sweep_name, points) in sweeps {
+        let headers: Vec<String> =
+            points.iter().map(|&(m, k, n)| format!("{m}x{k}x{n}")).collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut actual =
+            Table::new(format!("Figure 7: 2-level ABC actual ({sweep_name})"), &headers_ref);
+        let mut modeled =
+            Table::new(format!("Figure 7: 2-level ABC modeled ({sweep_name})"), &headers_ref);
+
+        let mut gemm_act = Vec::new();
+        let mut gemm_mod = Vec::new();
+        for &(m, k, n) in &points {
+            let g = measure_gemm(m, k, n, &params, &arch, p.reps, p.parallel());
+            gemm_act.push(g.actual);
+            gemm_mod.push(g.modeled);
+        }
+        actual.push("GEMM", gemm_act);
+        modeled.push("GEMM", gemm_mod);
+
+        for (label, plan) in &plans {
+            let mut act = Vec::new();
+            let mut mdl = Vec::new();
+            for &(m, k, n) in &points {
+                let meas =
+                    measure_fmm(plan, Variant::Abc, m, k, n, &params, &arch, p.reps, p.parallel());
+                act.push(meas.actual);
+                mdl.push(meas.modeled);
+            }
+            actual.push(label.clone(), act);
+            modeled.push(label.clone(), mdl);
+        }
+        actual.print(p.csv);
+        modeled.print(p.csv);
+        println!();
+    }
+}
+
+fn round_to(x: usize, multiple: usize) -> usize {
+    (x.max(multiple) / multiple) * multiple
+}

@@ -1,0 +1,77 @@
+//! Figure 8: model-guided selection. For each problem size, the model
+//! ranks all (plan, variant) candidates; the paper's §4.4 protocol measures
+//! the top two and keeps the winner ("Selected FMM"). "Best FMM" is the
+//! best measured among the model's top five (a bounded stand-in for the
+//! paper's exhaustively-measured best). GEMM is the baseline.
+
+use fmm_bench::figure::Table;
+use fmm_bench::{measure_fmm, measure_gemm, FigureParams};
+use fmm_core::{registry::Registry, FmmPlan};
+use fmm_gemm::BlockingParams;
+use fmm_model::{rank_candidates, Impl};
+use std::sync::Arc;
+
+fn main() {
+    let p = FigureParams::from_args();
+    let params = BlockingParams::default();
+    let arch = fmm_bench::runner::calibrated_arch(&params, p.scale);
+    let reg = Registry::shared();
+
+    // Candidate plans: one- and two-level of every paper algorithm.
+    let mut rows = reg.paper_rows();
+    if p.limit_algos > 0 {
+        rows.truncate(p.limit_algos);
+    }
+    let mut plans: Vec<Arc<FmmPlan>> = Vec::new();
+    for (_, algo) in &rows {
+        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone()])));
+        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone(), algo.clone()])));
+    }
+
+    type Sweep = (&'static str, Vec<(usize, usize, usize)>);
+    let sweeps: [Sweep; 3] = [
+        ("m=k=n", p
+            .k_sweep(&[2000, 4000, 8000, 12000])
+            .iter()
+            .map(|&x| (rt(x), rt(x), rt(x)))
+            .collect()),
+        ("m=n=14400s, k varies", {
+            let mn = p.dim(14400, 144);
+            p.k_sweep(&[1000, 2000, 6000, 12000]).iter().map(|&k| (mn, rt(k), mn)).collect()
+        }),
+        ("k=1024, m=n vary", p
+            .k_sweep(&[2000, 6000, 12000])
+            .iter()
+            .map(|&mn| (rt(mn), 1024, rt(mn)))
+            .collect()),
+    ];
+
+    for (sweep_name, points) in sweeps {
+        let mut table = Table::new(
+            format!("Figure 8: model-guided selection ({sweep_name})"),
+            &["GEMM", "SelectedFMM", "BestFMM(top5)"],
+        );
+        for (m, k, n) in points {
+            let gemm = measure_gemm(m, k, n, &params, &arch, p.reps, p.parallel());
+            let ranked =
+                rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &arch, false);
+            let measure_candidate = |c: &fmm_model::Candidate| -> f64 {
+                let plan = c.plan.as_ref().expect("FMM candidates carry plans");
+                let variant = c.impl_.to_variant().expect("FMM variant");
+                measure_fmm(plan, variant, m, k, n, &params, &arch, p.reps, p.parallel()).actual
+            };
+            // §4.4 protocol: measure the top two, keep the better.
+            let selected = ranked.iter().take(2).map(&measure_candidate).fold(0.0, f64::max);
+            let best5 = ranked.iter().take(5).map(&measure_candidate).fold(0.0, f64::max);
+            let chosen = &ranked[0];
+            eprintln!("  {m}x{k}x{n}: model prefers {}", chosen.describe());
+            table.push(format!("{m}x{k}x{n}"), vec![gemm.actual, selected, best5]);
+        }
+        table.print(p.csv);
+        println!();
+    }
+}
+
+fn rt(x: usize) -> usize {
+    (x.max(144) / 144) * 144
+}

@@ -1,0 +1,65 @@
+//! Figure 9: the benefit of hybrid two-level partitions. Fixed `k = 1200`
+//! (close to 2·3·k_c / 1.28, the regime where mixing partition factors 2
+//! and 3 along `k` pays off), `m = n` varying, ABC variant. Run with
+//! `--threads N` for the 10-core panel's analogue.
+
+use fmm_bench::figure::Table;
+use fmm_bench::{measure_fmm, measure_gemm, FigureParams};
+use fmm_core::{registry::Registry, FmmPlan, Variant};
+use fmm_gemm::BlockingParams;
+use std::sync::Arc;
+
+fn main() {
+    let p = FigureParams::from_args();
+    let params = BlockingParams::default();
+    let arch = fmm_bench::runner::calibrated_arch(&params, p.scale);
+    let reg = Registry::shared();
+
+    let a222 = reg.get((2, 2, 2)).expect("registry covers <2,2,2>");
+    let a232 = reg.get((2, 3, 2)).expect("registry covers <2,3,2>");
+    let a333 = reg.get((3, 3, 3)).expect("registry covers <3,3,3>");
+
+    let plans: Vec<(&str, Arc<FmmPlan>)> = vec![
+        ("<2,2,2> 1L", Arc::new(FmmPlan::from_arcs(vec![a222.clone()]))),
+        ("<2,3,2> 1L", Arc::new(FmmPlan::from_arcs(vec![a232.clone()]))),
+        ("<3,3,3> 1L", Arc::new(FmmPlan::from_arcs(vec![a333.clone()]))),
+        ("<2,2,2> 2L", Arc::new(FmmPlan::from_arcs(vec![a222.clone(), a222.clone()]))),
+        ("<2,3,2> 2L", Arc::new(FmmPlan::from_arcs(vec![a232.clone(), a232.clone()]))),
+        ("<3,3,3> 2L", Arc::new(FmmPlan::from_arcs(vec![a333.clone(), a333.clone()]))),
+        ("<2,2,2>+<2,3,2>", Arc::new(FmmPlan::from_arcs(vec![a222.clone(), a232.clone()]))),
+        ("<2,2,2>+<3,3,3>", Arc::new(FmmPlan::from_arcs(vec![a222.clone(), a333.clone()]))),
+    ];
+
+    let k = 1200; // absolute: the paper's point is k ≈ 2·3·kc-adjacent
+    let mns: Vec<usize> = p
+        .k_sweep(&[2000, 4000, 6000, 9000, 12000, 15000])
+        .iter()
+        .map(|&x| (x.max(180) / 180) * 180) // divisible by 2·2·3·3·... pairs
+        .collect();
+    eprintln!("fig9: k={k}, m=n in {mns:?}, threads={}", p.threads);
+
+    let headers: Vec<String> = mns.iter().map(|mn| format!("mn={mn}")).collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!("Figure 9: hybrid partitions, ABC, k={k}, {} thread(s)", p.threads),
+        &headers_ref,
+    );
+
+    let mut gemm_row = Vec::new();
+    for &mn in &mns {
+        gemm_row.push(measure_gemm(mn, k, mn, &params, &arch, p.reps, p.parallel()).actual);
+    }
+    table.push("GEMM", gemm_row);
+
+    for (label, plan) in &plans {
+        let mut row = Vec::new();
+        for &mn in &mns {
+            row.push(
+                measure_fmm(plan, Variant::Abc, mn, k, mn, &params, &arch, p.reps, p.parallel())
+                    .actual,
+            );
+        }
+        table.push(*label, row);
+    }
+    table.print(p.csv);
+}

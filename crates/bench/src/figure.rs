@@ -1,0 +1,123 @@
+//! Table assembly and printing for the figure binaries.
+
+/// A rectangular results table: one label column plus numeric columns.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New table with the given title and numeric column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. `values.len()` must match the header count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.headers.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!("{:label_w$}", ""));
+        for h in &self.headers {
+            out.push_str(&format!(" {h:>10}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:label_w$}"));
+            for v in values {
+                out.push_str(&format!(" {v:>10.2}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (`label,col1,col2,...`).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for h in &self.headers {
+            out.push(',');
+            out.push_str(h);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print in the format selected by the harness parameters.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_includes_all_rows() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push("row-one", vec![1.0, 2.5]);
+        t.push("r2", vec![-3.0, 4.25]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("row-one"));
+        assert!(s.contains("4.25"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("demo", &["gflops"]);
+        t.push("strassen", vec![31.4159]);
+        let csv = t.render_csv();
+        assert!(csv.starts_with("label,gflops\n"));
+        assert!(csv.contains("strassen,31.4159"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push("x", vec![1.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Measurement drivers: run a `(plan, variant)` or plain GEMM on a
+//! workload and report effective GFLOPS, with the model prediction
+//! alongside (the paper's actual-vs-modeled pairs).
+
+use crate::timing;
+use crate::workload::Workload;
+use fmm_core::counts::PlanCounts;
+use fmm_core::{fmm_execute, fmm_execute_parallel, FmmContext, FmmPlan, Variant};
+use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+use fmm_model::{predict_fmm, predict_gemm, ArchParams, Impl};
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Effective GFLOPS measured.
+    pub actual: f64,
+    /// Effective GFLOPS the model predicts.
+    pub modeled: f64,
+}
+
+/// Measure plain blocked GEMM on `(m, k, n)`.
+pub fn measure_gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    params: &BlockingParams,
+    arch: &ArchParams,
+    reps: usize,
+    parallel: bool,
+) -> Measured {
+    let mut w = Workload::new(m, k, n);
+    let mut ws = GemmWorkspace::for_params(params);
+    let secs = timing::time_min(reps, || {
+        if parallel {
+            fmm_gemm::parallel::gemm_sums_parallel(
+                &mut [DestTile::new(w.c.as_mut(), 1.0)],
+                &[(1.0, w.a.as_ref())],
+                &[(1.0, w.b.as_ref())],
+                params,
+            );
+        } else {
+            fmm_gemm::driver::gemm_sums(
+                &mut [DestTile::new(w.c.as_mut(), 1.0)],
+                &[(1.0, w.a.as_ref())],
+                &[(1.0, w.b.as_ref())],
+                params,
+                &mut ws,
+            );
+        }
+    });
+    Measured {
+        actual: timing::gflops(m, k, n, secs),
+        modeled: predict_gemm(m, k, n, arch).effective_gflops,
+    }
+}
+
+/// Measure an FMM `(plan, variant)` on `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_fmm(
+    plan: &FmmPlan,
+    variant: Variant,
+    m: usize,
+    k: usize,
+    n: usize,
+    params: &BlockingParams,
+    arch: &ArchParams,
+    reps: usize,
+    parallel: bool,
+) -> Measured {
+    let mut w = Workload::new(m, k, n);
+    let mut ctx = FmmContext::new(*params);
+    let secs = timing::time_min(reps, || {
+        if parallel {
+            fmm_execute_parallel(w.c.as_mut(), w.a.as_ref(), w.b.as_ref(), plan, variant, &mut ctx);
+        } else {
+            fmm_execute(w.c.as_mut(), w.a.as_ref(), w.b.as_ref(), plan, variant, &mut ctx);
+        }
+    });
+    let counts = PlanCounts::of(plan);
+    Measured {
+        actual: timing::gflops(m, k, n, secs),
+        modeled: predict_fmm(Impl::from_variant(variant), &counts, m, k, n, arch)
+            .effective_gflops,
+    }
+}
+
+/// Calibrate architecture parameters once for a harness run (quick probe).
+pub fn calibrated_arch(params: &BlockingParams, scale: f64) -> ArchParams {
+    fmm_model::calibrate::calibrate(params, scale.clamp(0.05, 0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_core::registry;
+
+    #[test]
+    fn measure_gemm_produces_positive_rates() {
+        let params = BlockingParams::default();
+        let arch = ArchParams::paper_machine();
+        let m = measure_gemm(128, 96, 128, &params, &arch, 1, false);
+        assert!(m.actual > 0.0);
+        assert!(m.modeled > 0.0);
+    }
+
+    #[test]
+    fn measure_fmm_produces_positive_rates() {
+        let params = BlockingParams::default();
+        let arch = ArchParams::paper_machine();
+        let plan = FmmPlan::new(vec![registry::strassen()]);
+        let m = measure_fmm(&plan, Variant::Abc, 128, 96, 128, &params, &arch, 1, false);
+        assert!(m.actual > 0.0);
+        assert!(m.modeled > 0.0);
+    }
+}

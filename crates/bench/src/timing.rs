@@ -1,0 +1,40 @@
+//! Steady-state timing helpers.
+
+use std::time::Instant;
+
+/// Time `f` with one untimed warm-up call, then `reps` timed calls;
+/// returns the *minimum* per-call seconds (the conventional low-noise
+/// estimator for compute kernels).
+pub fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page-in buffers, fill caches, JIT the kernel choice
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Format seconds as effective GFLOPS for an `(m, k, n)` product.
+pub fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    fmm_core::counts::effective_gflops(m, k, n, secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_min_runs_warmup_plus_reps() {
+        let mut calls = 0;
+        let t = time_min(3, || calls += 1);
+        assert_eq!(calls, 4);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn gflops_matches_counts() {
+        assert!((gflops(1000, 1000, 1000, 2.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Seeded benchmark workloads.
+
+use fmm_dense::{fill, Matrix};
+
+/// The operand triple for one `C += A·B` measurement.
+pub struct Workload {
+    /// `m x k` operand.
+    pub a: Matrix,
+    /// `k x n` operand.
+    pub b: Matrix,
+    /// `m x n` accumulator, reset between timed runs by the harness.
+    pub c: Matrix,
+}
+
+impl Workload {
+    /// Build a workload with entries in `[-1, 1)` (the distribution the
+    /// correctness tolerances assume).
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            a: fill::bench_workload(m, k, 0xA),
+            b: fill::bench_workload(k, n, 0xB),
+            c: Matrix::zeros(m, n),
+        }
+    }
+
+    /// Problem dims `(m, k, n)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.a.rows(), self.a.cols(), self.b.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes_agree() {
+        let w = Workload::new(12, 8, 10);
+        assert_eq!(w.dims(), (12, 8, 10));
+        assert_eq!(w.c.rows(), 12);
+        assert_eq!(w.c.cols(), 10);
+    }
+}

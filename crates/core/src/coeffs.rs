@@ -1,0 +1,321 @@
+//! Coefficient matrices for `[[U, V, W]]` triples.
+//!
+//! Coefficients of practical FMM algorithms are *dyadic rationals* (integers
+//! divided by powers of two: every published algorithm the paper's Figure 2
+//! cites uses values like ±1, ±1/2, ±1/4). Dyadic rationals of modest size
+//! are exactly representable in `f64`, and — crucially — sums and products
+//! of a bounded number of them are computed *exactly* in `f64` arithmetic.
+//! This lets [`crate::brent`] verify algorithms with exact `==` comparisons
+//! instead of tolerances.
+
+use serde::{Deserialize, Serialize};
+
+/// Largest denominator (as a power of two) accepted for a coefficient.
+pub const MAX_DEN_POW2: u32 = 20;
+
+/// True if `x` is a dyadic rational `n / 2^e` with `e <= MAX_DEN_POW2` and
+/// `|n|` small enough that triple products and R-fold sums stay exact.
+pub fn is_dyadic(x: f64) -> bool {
+    if !x.is_finite() {
+        return false;
+    }
+    let scaled = x * f64::from(1u32 << MAX_DEN_POW2);
+    scaled == scaled.trunc() && scaled.abs() < 2.0_f64.powi(40)
+}
+
+/// A dense row-major coefficient matrix.
+///
+/// For a `<m̃, k̃, ñ>` algorithm of rank `R`: `U` is `(m̃·k̃) x R`, `V` is
+/// `(k̃·ñ) x R`, `W` is `(m̃·ñ) x R`; column `r` holds the coefficients of
+/// the `r`-th sub-multiplication (paper eq. (3)).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoeffMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CoeffMatrix {
+    /// Build from row-major data. Panics unless every entry is dyadic.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "CoeffMatrix: wrong data length");
+        for (idx, &x) in data.iter().enumerate() {
+            assert!(is_dyadic(x), "CoeffMatrix: non-dyadic coefficient {x} at index {idx}");
+        }
+        Self { rows, cols, data }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the rank `R` for U/V/W matrices).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "CoeffMatrix index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Set entry `(i, j)`; the value must be dyadic.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "CoeffMatrix index out of bounds");
+        assert!(is_dyadic(v), "CoeffMatrix: non-dyadic coefficient {v}");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row-major backing data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of non-zero entries (`nnz` in the paper's performance model).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Number of non-zero entries in column `j`.
+    pub fn nnz_col(&self, j: usize) -> usize {
+        (0..self.rows).filter(|&i| self.at(i, j) != 0.0).count()
+    }
+
+    /// Iterate the non-zero `(row, value)` pairs of column `j`.
+    pub fn col_nonzeros(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(j < self.cols, "column out of bounds");
+        (0..self.rows).filter_map(move |i| {
+            let v = self.data[i * self.cols + j];
+            (v != 0.0).then_some((i, v))
+        })
+    }
+
+    /// Kronecker product `self ⊗ other`:
+    /// `(X ⊗ Y)[p*r2 + v, q*c2 + w] = X[p, q] * Y[v, w]`.
+    ///
+    /// This is the paper's multi-level composition operator (§3.4): the
+    /// coefficients of a two-level algorithm are `U ⊗ U'`, `V ⊗ V'`,
+    /// `W ⊗ W'`.
+    pub fn kron(&self, other: &CoeffMatrix) -> CoeffMatrix {
+        let rows = self.rows * other.rows;
+        let cols = self.cols * other.cols;
+        let mut out = CoeffMatrix::zeros(rows, cols);
+        for p in 0..self.rows {
+            for q in 0..self.cols {
+                let x = self.at(p, q);
+                if x == 0.0 {
+                    continue;
+                }
+                for v in 0..other.rows {
+                    for w in 0..other.cols {
+                        let y = other.at(v, w);
+                        if y != 0.0 {
+                            out.data[(p * other.rows + v) * cols + (q * other.cols + w)] = x * y;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `1 x 1` identity for Kronecker folding.
+    pub fn kron_identity() -> CoeffMatrix {
+        CoeffMatrix::from_rows(1, 1, vec![1.0])
+    }
+
+    /// Horizontal concatenation `[self | other]` (same row count).
+    pub fn hcat(&self, other: &CoeffMatrix) -> CoeffMatrix {
+        assert_eq!(self.rows, other.rows, "hcat: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = CoeffMatrix::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[i * cols + j] = self.at(i, j);
+            }
+            for j in 0..other.cols {
+                out.data[i * cols + self.cols + j] = other.at(i, j);
+            }
+        }
+        out
+    }
+
+    /// Apply a row permutation/re-map: `out[i, :] = self[map(i), :]` where
+    /// `out` has `new_rows` rows. Used by the symmetry transforms, which
+    /// re-flatten grid indices.
+    pub fn remap_rows(&self, new_rows: usize, map: impl Fn(usize) -> usize) -> CoeffMatrix {
+        let mut out = CoeffMatrix::zeros(new_rows, self.cols);
+        for i in 0..new_rows {
+            let src = map(i);
+            assert!(src < self.rows, "remap_rows: source row {src} out of bounds");
+            for j in 0..self.cols {
+                out.data[i * self.cols + j] = self.at(src, j);
+            }
+        }
+        out
+    }
+
+    /// Embed into a taller matrix: `out[row_map(i), col0 + j] = self[i, j]`,
+    /// other entries zero. Used by direct-sum composition.
+    pub fn embed(&self, new_rows: usize, new_cols: usize, col0: usize, row_map: impl Fn(usize) -> usize) -> CoeffMatrix {
+        assert!(col0 + self.cols <= new_cols, "embed: columns out of range");
+        let mut out = CoeffMatrix::zeros(new_rows, new_cols);
+        for i in 0..self.rows {
+            let dst = row_map(i);
+            assert!(dst < new_rows, "embed: destination row out of bounds");
+            for j in 0..self.cols {
+                out.data[dst * new_cols + col0 + j] = self.at(i, j);
+            }
+        }
+        out
+    }
+
+    /// Entrywise sum of two embedded matrices (entries must not overlap
+    /// unless one side is zero — checked).
+    pub fn merge_disjoint(&self, other: &CoeffMatrix) -> CoeffMatrix {
+        assert_eq!(self.rows, other.rows, "merge: rows differ");
+        assert_eq!(self.cols, other.cols, "merge: cols differ");
+        let mut out = self.clone();
+        for idx in 0..self.data.len() {
+            let (a, b) = (self.data[idx], other.data[idx]);
+            assert!(a == 0.0 || b == 0.0, "merge_disjoint: overlapping non-zeros at {idx}");
+            out.data[idx] = a + b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyadic_accepts_common_coefficients() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 2.0, 0.0625, -1.5] {
+            assert!(is_dyadic(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn dyadic_rejects_irrationals_and_thirds() {
+        assert!(!is_dyadic(1.0 / 3.0));
+        assert!(!is_dyadic(std::f64::consts::PI));
+        assert!(!is_dyadic(f64::NAN));
+        assert!(!is_dyadic(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-dyadic")]
+    fn from_rows_rejects_nondyadic() {
+        CoeffMatrix::from_rows(1, 1, vec![0.3]);
+    }
+
+    #[test]
+    fn nnz_counts() {
+        let m = CoeffMatrix::from_rows(2, 3, vec![1.0, 0.0, -1.0, 0.0, 0.5, 0.0]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.nnz_col(0), 1);
+        assert_eq!(m.nnz_col(1), 1);
+        assert_eq!(m.nnz_col(2), 1);
+        let nz: Vec<_> = m.col_nonzeros(0).collect();
+        assert_eq!(nz, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn kron_small_example() {
+        let x = CoeffMatrix::from_rows(2, 1, vec![1.0, -1.0]);
+        let y = CoeffMatrix::from_rows(1, 2, vec![2.0, 0.5]);
+        let k = x.kron(&y);
+        assert_eq!(k.rows(), 2);
+        assert_eq!(k.cols(), 2);
+        assert_eq!(k.at(0, 0), 2.0);
+        assert_eq!(k.at(0, 1), 0.5);
+        assert_eq!(k.at(1, 0), -2.0);
+        assert_eq!(k.at(1, 1), -0.5);
+    }
+
+    #[test]
+    fn kron_index_identity_matches_definition() {
+        // (X ⊗ Y)[p*r2+v, q*c2+w] == X[p,q] * Y[v,w] for a random-ish pair.
+        let x = CoeffMatrix::from_rows(2, 3, vec![1.0, 0.0, -0.5, 2.0, 1.0, 0.0]);
+        let y = CoeffMatrix::from_rows(3, 2, vec![1.0, -1.0, 0.0, 0.5, 2.0, 1.0]);
+        let k = x.kron(&y);
+        for p in 0..2 {
+            for q in 0..3 {
+                for v in 0..3 {
+                    for w in 0..2 {
+                        assert_eq!(k.at(p * 3 + v, q * 2 + w), x.at(p, q) * y.at(v, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kron_with_identity_is_noop() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let id = CoeffMatrix::kron_identity();
+        assert_eq!(x.kron(&id), x);
+        assert_eq!(id.kron(&x), x);
+    }
+
+    #[test]
+    fn kron_nnz_is_product_of_nnz() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, 0.0, -1.0, 1.0]);
+        let y = CoeffMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(x.kron(&y).nnz(), x.nnz() * y.nnz());
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let x = CoeffMatrix::from_rows(2, 1, vec![1.0, 2.0]);
+        let y = CoeffMatrix::from_rows(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let h = x.hcat(&y);
+        assert_eq!(h.cols(), 3);
+        assert_eq!(h.at(0, 0), 1.0);
+        assert_eq!(h.at(0, 1), 3.0);
+        assert_eq!(h.at(1, 2), 6.0);
+    }
+
+    #[test]
+    fn remap_rows_permutes() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = x.remap_rows(2, |i| 1 - i);
+        assert_eq!(y.at(0, 0), 3.0);
+        assert_eq!(y.at(1, 1), 2.0);
+    }
+
+    #[test]
+    fn embed_places_block() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let e = x.embed(4, 5, 3, |i| i + 2);
+        assert_eq!(e.at(2, 3), 1.0);
+        assert_eq!(e.at(3, 4), 4.0);
+        assert_eq!(e.nnz(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn merge_disjoint_detects_overlap() {
+        let x = CoeffMatrix::from_rows(1, 1, vec![1.0]);
+        let _ = x.merge_disjoint(&x);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, -0.5, 0.0, 1.0]);
+        let json = serde_json::to_string(&x).unwrap();
+        let back: CoeffMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, x);
+    }
+}

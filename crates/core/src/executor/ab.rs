@@ -1,0 +1,85 @@
+//! The AB variant: operand sums folded into packing, `M_r` materialized.
+//!
+//! Compared with ABC, the product is written once into a `M_r` temporary and
+//! then distributed to the `C_p` destinations with explicit axpy updates —
+//! this trades extra `C`-side memory traffic (`3·nnz(⊗W)` buffer touches in
+//! the paper's model) for touching each `C_p` exactly once per non-zero.
+//! The paper shows this wins for large `k` where the rank-k accumulation
+//! through the micro-kernel would re-read `C` many times.
+
+use super::common::{ensure_shape, gather_terms, DestBlocks, OperandBlocks};
+use super::{block_product, FmmContext};
+use crate::plan::FmmPlan;
+use fmm_dense::ops;
+use fmm_gemm::DestTile;
+
+pub(super) fn run(
+    plan: &FmmPlan,
+    a_blocks: &OperandBlocks<'_>,
+    b_blocks: &OperandBlocks<'_>,
+    c_blocks: &DestBlocks<'_>,
+    ctx: &mut FmmContext,
+) {
+    let (bm, bn) = c_blocks.block_shape();
+    for r in 0..plan.rank() {
+        let a_terms = gather_terms(plan.u(), r, a_blocks);
+        let b_terms = gather_terms(plan.v(), r, b_blocks);
+        // M_r = (sum u A)(sum v B), overwriting the reused temporary.
+        let mut mr = ctx.mr.take();
+        let mr_mat = ensure_shape(&mut mr, bm, bn);
+        block_product(
+            ctx,
+            &mut [DestTile::new(mr_mat.as_mut(), 1.0)],
+            &a_terms,
+            &b_terms,
+            true,
+        );
+        for (p, w) in plan.w().col_nonzeros(r) {
+            // SAFETY: one destination view alive at a time.
+            let dest = unsafe { c_blocks.get(p) };
+            ops::axpy(dest, w, mr_mat.as_ref()).expect("block shapes agree");
+        }
+        ctx.mr = mr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::executor::{fmm_execute, FmmContext, Variant};
+    use crate::plan::FmmPlan;
+    use crate::registry::strassen;
+    use fmm_dense::{fill, norms, Matrix};
+    use fmm_gemm::BlockingParams;
+
+    #[test]
+    fn ab_matches_reference_and_reuses_mr_buffer() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let a = fill::bench_workload(16, 16, 1);
+        let b = fill::bench_workload(16, 16, 2);
+        let mut c = Matrix::zeros(16, 16);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Ab, &mut ctx);
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-11);
+        // The M_r temporary exists (unlike ABC) and has block shape.
+        let mr = ctx.mr.as_ref().expect("AB allocates M_r");
+        assert_eq!((mr.rows(), mr.cols()), (8, 8));
+        // A-side temporaries do not exist (unlike Naive).
+        assert!(ctx.ta.is_none());
+        assert!(ctx.tb.is_none());
+    }
+
+    #[test]
+    fn ab_two_level_hybrid() {
+        let c223 = crate::compose::stack_n(&strassen(), &crate::compose::classical(2, 2, 1));
+        let plan = FmmPlan::new(vec![strassen(), c223]);
+        let (m, k, n) = (16, 16, 24);
+        let a = fill::bench_workload(m, k, 3);
+        let b = fill::bench_workload(k, n, 4);
+        let mut c = Matrix::zeros(m, n);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Ab, &mut ctx);
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-10);
+    }
+}

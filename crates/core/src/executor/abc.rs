@@ -1,0 +1,68 @@
+//! The ABC variant: zero-workspace FMM (paper Fig. 1, right).
+//!
+//! For each product `r`, the operand linear combinations ride the packing
+//! routines and the micro-kernel epilogue adds the register tile of `M_r`
+//! into every destination `C_p` with coefficient `W[p, r]` — `M_r` never
+//! exists in memory.
+
+use super::common::{gather_terms, DestBlocks, OperandBlocks};
+use super::{block_product, FmmContext};
+use crate::plan::FmmPlan;
+use fmm_gemm::DestTile;
+
+pub(super) fn run(
+    plan: &FmmPlan,
+    a_blocks: &OperandBlocks<'_>,
+    b_blocks: &OperandBlocks<'_>,
+    c_blocks: &DestBlocks<'_>,
+    ctx: &mut FmmContext,
+) {
+    for r in 0..plan.rank() {
+        let a_terms = gather_terms(plan.u(), r, a_blocks);
+        let b_terms = gather_terms(plan.v(), r, b_blocks);
+        let mut dests: Vec<DestTile<'_>> = plan
+            .w()
+            .col_nonzeros(r)
+            // SAFETY: `col_nonzeros` yields strictly increasing distinct
+            // block indices, and distinct blocks are disjoint regions of C.
+            .map(|(p, w)| DestTile::new(unsafe { c_blocks.get(p) }, w))
+            .collect();
+        block_product(ctx, &mut dests, &a_terms, &b_terms, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::executor::{fmm_execute, FmmContext, Variant};
+    use crate::plan::FmmPlan;
+    use crate::registry::{strassen, winograd};
+    use fmm_dense::{fill, norms, Matrix};
+    use fmm_gemm::BlockingParams;
+
+    #[test]
+    fn abc_accumulates_into_nonzero_c() {
+        let plan = FmmPlan::new(vec![winograd()]);
+        let a = fill::bench_workload(12, 12, 1);
+        let b = fill::bench_workload(12, 12, 2);
+        let mut c = Matrix::filled(12, 12, 3.0);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Abc, &mut ctx);
+        let mut c_ref = Matrix::filled(12, 12, 3.0);
+        fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn abc_needs_no_temporaries() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let a = fill::bench_workload(8, 8, 1);
+        let b = fill::bench_workload(8, 8, 2);
+        let mut c = Matrix::zeros(8, 8);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Abc, &mut ctx);
+        // The Naive/AB temporaries were never allocated.
+        assert!(ctx.ta.is_none());
+        assert!(ctx.tb.is_none());
+        assert!(ctx.mr.is_none());
+    }
+}

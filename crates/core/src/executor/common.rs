@@ -1,0 +1,220 @@
+//! Shared executor machinery: operand block grids, destination grids, and
+//! reusable temporaries.
+
+use crate::indexing::BlockGrid;
+use fmm_dense::{MatMut, MatRef, Matrix};
+
+/// The immutable operand blocks of one FMM core execution, indexed by the
+/// recursive-block flat index the composed coefficients use.
+pub struct OperandBlocks<'a> {
+    blocks: Vec<MatRef<'a>>,
+}
+
+impl<'a> OperandBlocks<'a> {
+    /// Slice `op` into its `grid` of `(block_rows x block_cols)` views.
+    pub fn new(op: MatRef<'a>, grid: &BlockGrid) -> Self {
+        assert_eq!(op.rows() % grid.rows(), 0, "operand rows not divisible by grid");
+        assert_eq!(op.cols() % grid.cols(), 0, "operand cols not divisible by grid");
+        let bm = op.rows() / grid.rows();
+        let bn = op.cols() / grid.cols();
+        let blocks = (0..grid.len())
+            .map(|flat| {
+                let (r, c) = grid.coords(flat);
+                op.submatrix(r * bm, c * bn, bm, bn)
+            })
+            .collect();
+        Self { blocks }
+    }
+
+    /// Block view for flat index `i`.
+    pub fn get(&self, i: usize) -> MatRef<'a> {
+        self.blocks[i]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if there are no blocks (never for a valid plan).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The mutable destination grid over `C`.
+///
+/// Holds raw parts of the parent view so that several disjoint block views
+/// can be alive at once (one FMM product updates multiple `C_p`).
+pub struct DestBlocks<'a> {
+    ptr: *mut f64,
+    rs: isize,
+    cs: isize,
+    bm: usize,
+    bn: usize,
+    coords: Vec<(usize, usize)>,
+    _marker: std::marker::PhantomData<&'a mut f64>,
+}
+
+impl<'a> DestBlocks<'a> {
+    /// Slice `c` into its `grid` of blocks.
+    pub fn new(mut c: MatMut<'a>, grid: &BlockGrid) -> Self {
+        assert_eq!(c.rows() % grid.rows(), 0, "C rows not divisible by grid");
+        assert_eq!(c.cols() % grid.cols(), 0, "C cols not divisible by grid");
+        let bm = c.rows() / grid.rows();
+        let bn = c.cols() / grid.cols();
+        let coords = (0..grid.len()).map(|flat| grid.coords(flat)).collect();
+        Self {
+            ptr: c.as_mut_ptr(),
+            rs: c.row_stride(),
+            cs: c.col_stride(),
+            bm,
+            bn,
+            coords,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Block shape `(rows, cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.bm, self.bn)
+    }
+
+    /// Mutable view of block `p`.
+    ///
+    /// # Safety
+    /// Views for *distinct* `p` address disjoint elements, so several may be
+    /// alive simultaneously; the caller must not obtain two views of the
+    /// same `p` at once, nor use a view beyond the parent borrow.
+    pub unsafe fn get(&self, p: usize) -> MatMut<'a> {
+        let (r, c) = self.coords[p];
+        let ptr = self
+            .ptr
+            .offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
+        MatMut::from_raw_parts(ptr, self.bm, self.bn, self.rs, self.cs)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True if there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Gather the non-zero operand terms of product `r` from a coefficient
+/// matrix column: `[(coeff, block view), ...]`.
+pub fn gather_terms<'a>(
+    coeffs: &crate::coeffs::CoeffMatrix,
+    r: usize,
+    blocks: &OperandBlocks<'a>,
+) -> Vec<(f64, MatRef<'a>)> {
+    coeffs.col_nonzeros(r).map(|(i, g)| (g, blocks.get(i))).collect()
+}
+
+/// Ensure `slot` holds a matrix of exactly `(rows, cols)`, reusing the
+/// allocation when the shape already matches.
+pub fn ensure_shape(slot: &mut Option<Matrix>, rows: usize, cols: usize) -> &mut Matrix {
+    let needs_alloc =
+        !matches!(slot, Some(m) if m.rows() == rows && m.cols() == cols);
+    if needs_alloc {
+        *slot = Some(Matrix::zeros(rows, cols));
+    }
+    slot.as_mut().expect("just ensured")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FmmPlan;
+    use crate::registry::strassen;
+    use fmm_dense::fill;
+
+    #[test]
+    fn operand_blocks_match_manual_submatrices() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let a = fill::counter(6, 8);
+        let blocks = OperandBlocks::new(a.as_ref(), plan.a_grid());
+        assert_eq!(blocks.len(), 4);
+        // Flat order row-major: A0 = top-left 3x4.
+        assert_eq!(blocks.get(0).at(0, 0), a.get(0, 0));
+        assert_eq!(blocks.get(1).at(0, 0), a.get(0, 4));
+        assert_eq!(blocks.get(2).at(0, 0), a.get(3, 0));
+        assert_eq!(blocks.get(3).at(2, 3), a.get(5, 7));
+    }
+
+    #[test]
+    fn two_level_blocks_follow_morton_order() {
+        let plan = FmmPlan::uniform(strassen(), 2);
+        let a = fill::counter(8, 8);
+        let blocks = OperandBlocks::new(a.as_ref(), plan.a_grid());
+        assert_eq!(blocks.len(), 16);
+        // Flat index 1 = outer block (0,0), inner block (0,1):
+        // rows 0..2, cols 2..4.
+        assert_eq!(blocks.get(1).at(0, 0), a.get(0, 2));
+        // Flat index 4 = outer block (0,1), inner (0,0): rows 0..2, cols 4..6.
+        assert_eq!(blocks.get(4).at(0, 0), a.get(0, 4));
+    }
+
+    #[test]
+    fn dest_blocks_write_disjoint_regions() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let mut c = fmm_dense::Matrix::zeros(4, 4);
+        {
+            let dests = DestBlocks::new(c.as_mut(), plan.c_grid());
+            assert_eq!(dests.block_shape(), (2, 2));
+            // SAFETY: distinct indices -> disjoint views.
+            let mut b0 = unsafe { dests.get(0) };
+            let mut b3 = unsafe { dests.get(3) };
+            b0.fill(1.0);
+            b3.fill(2.0);
+        }
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 1), 1.0);
+        assert_eq!(c.get(2, 2), 2.0);
+        assert_eq!(c.get(0, 2), 0.0);
+        assert_eq!(c.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn gather_terms_reads_u_column() {
+        let s = strassen();
+        let plan = FmmPlan::new(vec![s.clone()]);
+        let a = fill::counter(4, 4);
+        let blocks = OperandBlocks::new(a.as_ref(), plan.a_grid());
+        // Product 1 of Strassen: A2 + A3.
+        let terms = gather_terms(plan.u(), 1, &blocks);
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[0].0, 1.0);
+        assert_eq!(terms[0].1.at(0, 0), a.get(2, 0)); // A2 top-left
+        assert_eq!(terms[1].1.at(0, 0), a.get(2, 2)); // A3 top-left
+    }
+
+    #[test]
+    fn ensure_shape_reuses_allocation() {
+        let mut slot = None;
+        {
+            let m = ensure_shape(&mut slot, 3, 4);
+            m.set(0, 0, 5.0);
+        }
+        let p1 = slot.as_ref().unwrap().raw().as_ptr();
+        {
+            let m = ensure_shape(&mut slot, 3, 4);
+            assert_eq!(m.get(0, 0), 5.0); // reused, not cleared
+        }
+        assert_eq!(slot.as_ref().unwrap().raw().as_ptr(), p1);
+        ensure_shape(&mut slot, 2, 2);
+        assert_eq!(slot.as_ref().unwrap().rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_operand_panics() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let a = fill::counter(5, 4);
+        let _ = OperandBlocks::new(a.as_ref(), plan.a_grid());
+    }
+}

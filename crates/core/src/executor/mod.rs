@@ -1,0 +1,318 @@
+//! FMM executors: the Naive, AB, and ABC implementations (paper §4.1).
+//!
+//! All three variants iterate the `R_L` products of the composed plan
+//! (paper eq. (5)); they differ in *where* the linear combinations happen:
+//!
+//! | variant | `ΣuᵢAᵢ`, `ΣvⱼBⱼ`        | `C_p += w·M_r`                   |
+//! |---------|--------------------------|----------------------------------|
+//! | Naive   | explicit temporaries     | explicit `M_r` buffer, then axpy |
+//! | AB      | folded into packing      | explicit `M_r` buffer, then axpy |
+//! | ABC     | folded into packing      | multi-destination micro-kernel   |
+//!
+//! Problem sizes that are not multiples of the aggregate partition dims are
+//! handled by dynamic peeling ([`crate::peeling`]): an FMM core plus rim
+//! GEMM calls.
+
+mod ab;
+mod abc;
+mod common;
+mod naive;
+
+pub use common::{DestBlocks, OperandBlocks};
+
+use crate::peeling;
+use crate::plan::FmmPlan;
+use fmm_dense::{MatMut, MatRef, Matrix};
+use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+
+/// Which FMM implementation strategy to run (paper §4.1 "Further
+/// variations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Temporaries for operand sums and for `M_r`.
+    Naive,
+    /// Operand sums folded into packing; `M_r` still materialized.
+    Ab,
+    /// Operand sums in packing and `M_r` scattered straight into `C`.
+    Abc,
+}
+
+impl Variant {
+    /// All variants, in the paper's order.
+    pub const ALL: [Variant; 3] = [Variant::Naive, Variant::Ab, Variant::Abc];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Naive => "Naive",
+            Variant::Ab => "AB",
+            Variant::Abc => "ABC",
+        }
+    }
+
+    /// Extra workspace (in `f64` elements, beyond the GEMM packing buffers
+    /// that plain GEMM needs too) this variant requires for an `(m, k, n)`
+    /// core problem under `plan` — the paper's headline resource claim:
+    ///
+    /// * ABC: **zero** (linear combinations live in packing and the
+    ///   micro-kernel epilogue);
+    /// * AB: one `M_r` block (`m/M̃ · n/Ñ`);
+    /// * Naive: `M_r` plus the two operand-sum blocks.
+    pub fn workspace_elements(self, plan: &crate::plan::FmmPlan, m: usize, k: usize, n: usize) -> usize {
+        let (mt, kt, nt) = plan.partition_dims();
+        let (bm, bk, bn) = (m / mt, k / kt, n / nt);
+        match self {
+            Variant::Abc => 0,
+            Variant::Ab => bm * bn,
+            Variant::Naive => bm * bn + bm * bk + bk * bn,
+        }
+    }
+}
+
+/// Reusable state across FMM invocations: blocking parameters, packing
+/// workspace, and the temporaries the Naive/AB variants need.
+pub struct FmmContext {
+    /// Blocking parameters passed to the underlying GEMM driver.
+    pub params: BlockingParams,
+    pub(crate) ws: GemmWorkspace,
+    pub(crate) ta: Option<Matrix>,
+    pub(crate) tb: Option<Matrix>,
+    pub(crate) mr: Option<Matrix>,
+    /// Execute block products with the rayon-parallel driver.
+    pub(crate) parallel: bool,
+}
+
+impl FmmContext {
+    /// Context with the default (paper §5.1) blocking parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(BlockingParams::default())
+    }
+
+    /// Context with explicit blocking parameters.
+    pub fn new(params: BlockingParams) -> Self {
+        let ws = GemmWorkspace::for_params(&params);
+        Self { params, ws, ta: None, tb: None, mr: None, parallel: false }
+    }
+}
+
+/// Execute `C += A · B` with the given plan and variant, sequentially.
+///
+/// Dimensions are arbitrary; fringes are handled by dynamic peeling.
+pub fn fmm_execute(
+    c: MatMut<'_>,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    plan: &FmmPlan,
+    variant: Variant,
+    ctx: &mut FmmContext,
+) {
+    ctx.parallel = false;
+    execute_impl(c, a, b, plan, variant, ctx)
+}
+
+/// As [`fmm_execute`], but each block product uses the rayon-parallel GEMM
+/// driver (the paper's loop-3 data parallelism); the `R_L` products remain
+/// sequential, exactly as in the paper's implementation.
+pub fn fmm_execute_parallel(
+    c: MatMut<'_>,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    plan: &FmmPlan,
+    variant: Variant,
+    ctx: &mut FmmContext,
+) {
+    ctx.parallel = true;
+    execute_impl(c, a, b, plan, variant, ctx)
+}
+
+fn execute_impl(
+    mut c: MatMut<'_>,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    plan: &FmmPlan,
+    variant: Variant,
+    ctx: &mut FmmContext,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "A/B inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "C shape mismatch");
+
+    let peel_plan = peeling::peel(m, k, n, plan.partition_dims());
+    let (mc, kc, nc) = peel_plan.core;
+
+    if mc > 0 && kc > 0 && nc > 0 {
+        let a_core = a.submatrix(0, 0, mc, kc);
+        let b_core = b.submatrix(0, 0, kc, nc);
+        let c_core = c.reborrow().submatrix(0, 0, mc, nc);
+        run_core(c_core, a_core, b_core, plan, variant, ctx);
+    }
+
+    for rim in &peel_plan.rims {
+        let a_rim = a.submatrix(rim.rows.start, rim.inner.start, rim.rows.len(), rim.inner.len());
+        let b_rim = b.submatrix(rim.inner.start, rim.cols.start, rim.inner.len(), rim.cols.len());
+        let c_rim =
+            c.reborrow().submatrix(rim.rows.start, rim.cols.start, rim.rows.len(), rim.cols.len());
+        block_product(
+            ctx,
+            &mut [DestTile::new(c_rim, 1.0)],
+            &[(1.0, a_rim)],
+            &[(1.0, b_rim)],
+            false,
+        );
+    }
+}
+
+fn run_core(
+    c: MatMut<'_>,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    plan: &FmmPlan,
+    variant: Variant,
+    ctx: &mut FmmContext,
+) {
+    let a_blocks = OperandBlocks::new(a, plan.a_grid());
+    let b_blocks = OperandBlocks::new(b, plan.b_grid());
+    let c_blocks = DestBlocks::new(c, plan.c_grid());
+    match variant {
+        Variant::Naive => naive::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
+        Variant::Ab => ab::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
+        Variant::Abc => abc::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
+    }
+}
+
+/// Dispatch one block product to the sequential or parallel GEMM driver.
+pub(crate) fn block_product(
+    ctx: &mut FmmContext,
+    dests: &mut [DestTile<'_>],
+    a_terms: &[(f64, MatRef<'_>)],
+    b_terms: &[(f64, MatRef<'_>)],
+    overwrite: bool,
+) {
+    if ctx.parallel {
+        if overwrite {
+            fmm_gemm::parallel::gemm_sums_parallel_overwrite(dests, a_terms, b_terms, &ctx.params);
+        } else {
+            fmm_gemm::parallel::gemm_sums_parallel(dests, a_terms, b_terms, &ctx.params);
+        }
+    } else if overwrite {
+        fmm_gemm::driver::gemm_sums_overwrite(dests, a_terms, b_terms, &ctx.params, &mut ctx.ws);
+    } else {
+        fmm_gemm::driver::gemm_sums(dests, a_terms, b_terms, &ctx.params, &mut ctx.ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::strassen;
+    use fmm_dense::{fill, norms};
+
+    fn check(m: usize, k: usize, n: usize, plan: &FmmPlan, variant: Variant, parallel: bool) {
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = fill::bench_workload(m, n, 3);
+        let c_orig = c.clone();
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        if parallel {
+            fmm_execute_parallel(c.as_mut(), a.as_ref(), b.as_ref(), plan, variant, &mut ctx);
+        } else {
+            fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), plan, variant, &mut ctx);
+        }
+        let mut c_ref = c_orig;
+        fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
+        let err = norms::max_abs_diff(c.as_ref(), c_ref.as_ref());
+        let tol = norms::fmm_tolerance(k, plan.num_levels());
+        assert!(
+            err < tol,
+            "{} {} m={m} k={k} n={n} parallel={parallel}: err={err} tol={tol}",
+            plan.describe(),
+            variant.name()
+        );
+    }
+
+    #[test]
+    fn one_level_strassen_all_variants_divisible() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        for v in Variant::ALL {
+            check(16, 16, 16, &plan, v, false);
+        }
+    }
+
+    #[test]
+    fn one_level_strassen_with_fringes() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        for v in Variant::ALL {
+            check(17, 19, 21, &plan, v, false);
+        }
+    }
+
+    #[test]
+    fn two_level_strassen_all_variants() {
+        let plan = FmmPlan::uniform(strassen(), 2);
+        for v in Variant::ALL {
+            check(36, 36, 36, &plan, v, false);
+            check(37, 35, 33, &plan, v, false);
+        }
+    }
+
+    #[test]
+    fn problem_smaller_than_partition_falls_back_to_gemm() {
+        let plan = FmmPlan::uniform(strassen(), 2); // needs multiples of 4
+        for v in Variant::ALL {
+            check(3, 3, 3, &plan, v, false);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        for v in Variant::ALL {
+            check(32, 24, 40, &plan, v, true);
+        }
+    }
+
+    #[test]
+    fn rank_k_update_shape() {
+        // The paper's motivating shape: large m=n, small k.
+        let plan = FmmPlan::new(vec![strassen()]);
+        check(48, 8, 48, &plan, Variant::Abc, false);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(Variant::Naive.name(), "Naive");
+        assert_eq!(Variant::Ab.name(), "AB");
+        assert_eq!(Variant::Abc.name(), "ABC");
+    }
+
+    #[test]
+    fn workspace_requirements_match_allocations() {
+        // The declared workspace sizes must equal what execution actually
+        // allocates (ABC: nothing; AB: M_r; Naive: M_r + T_A + T_B).
+        let plan = FmmPlan::new(vec![strassen()]);
+        let (m, k, n) = (16, 12, 20);
+        assert_eq!(Variant::Abc.workspace_elements(&plan, m, k, n), 0);
+        assert_eq!(Variant::Ab.workspace_elements(&plan, m, k, n), 8 * 10);
+        assert_eq!(
+            Variant::Naive.workspace_elements(&plan, m, k, n),
+            8 * 10 + 8 * 6 + 6 * 10
+        );
+        for variant in Variant::ALL {
+            let a = fill::bench_workload(m, k, 1);
+            let b = fill::bench_workload(k, n, 2);
+            let mut c = fill::bench_workload(m, n, 3);
+            let mut ctx = FmmContext::new(BlockingParams::tiny());
+            fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant, &mut ctx);
+            let allocated = ctx.mr.as_ref().map_or(0, |x| x.rows() * x.cols())
+                + ctx.ta.as_ref().map_or(0, |x| x.rows() * x.cols())
+                + ctx.tb.as_ref().map_or(0, |x| x.rows() * x.cols());
+            assert_eq!(
+                allocated,
+                variant.workspace_elements(&plan, m, k, n),
+                "variant {}",
+                variant.name()
+            );
+        }
+    }
+}

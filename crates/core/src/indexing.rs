@@ -1,0 +1,166 @@
+//! Recursive block storage indexing (Morton-like ordering, paper §3.3).
+//!
+//! An L-level algorithm partitions each operand into a
+//! `∏m̃_l x ∏k̃_l` grid whose submatrices carry a *single* flat index: at
+//! each level the sub-blocks are numbered row-major, and levels compose by
+//! digit nesting (Figure 3 of the paper shows the `<2,2>`, three-level
+//! case). The flat index is what the Kronecker-product coefficient rows
+//! refer to, so this mapping is load-bearing for multi-level correctness.
+//!
+//! Because every level splits its parent evenly, a flat index corresponds to
+//! a contiguous `(rows/∏m̃) x (cols/∏k̃)` submatrix; this module computes
+//! the `(block_row, block_col)` coordinates of that submatrix.
+
+/// Per-level grid shapes, outermost level first, e.g. `[(2,2), (3,2)]` for
+/// a two-level `<2,·,2>` then `<3,·,2>` partition of one operand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockGrid {
+    levels: Vec<(usize, usize)>,
+    total_rows: usize,
+    total_cols: usize,
+}
+
+impl BlockGrid {
+    /// Build from per-level `(rows, cols)` grid shapes.
+    pub fn new(levels: Vec<(usize, usize)>) -> Self {
+        assert!(levels.iter().all(|&(r, c)| r >= 1 && c >= 1), "grid dims must be positive");
+        let total_rows = levels.iter().map(|l| l.0).product();
+        let total_cols = levels.iter().map(|l| l.1).product();
+        Self { levels, total_rows, total_cols }
+    }
+
+    /// Total block rows `∏ rows_l`.
+    pub fn rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Total block columns `∏ cols_l`.
+    pub fn cols(&self) -> usize {
+        self.total_cols
+    }
+
+    /// Number of blocks (`rows() * cols()`), the range of flat indices.
+    pub fn len(&self) -> usize {
+        self.total_rows * self.total_cols
+    }
+
+    /// True when the grid has a single block.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a recursive-block flat index to `(block_row, block_col)`.
+    ///
+    /// The flat index is read as nested digits: the most significant digit
+    /// is the row-major position within the outermost grid, and so on
+    /// inward. Row/column coordinates accumulate per level.
+    pub fn coords(&self, flat: usize) -> (usize, usize) {
+        assert!(flat < self.len().max(1), "flat index {flat} out of range");
+        let mut row = 0;
+        let mut col = 0;
+        let mut rem = flat;
+        // Compute the digit at each level, outermost first.
+        let mut radix: usize = self.levels.iter().map(|&(r, c)| r * c).product();
+        for &(r, c) in &self.levels {
+            radix /= r * c;
+            let digit = rem / radix;
+            rem %= radix;
+            row = row * r + digit / c;
+            col = col * c + digit % c;
+        }
+        (row, col)
+    }
+
+    /// Inverse of [`BlockGrid::coords`].
+    pub fn flat(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.total_rows && col < self.total_cols, "block coords out of range");
+        let mut flat = 0;
+        let mut rr = row;
+        let mut cc = col;
+        // Extract digits innermost-first, then weight them outermost-first.
+        let mut digits = Vec::with_capacity(self.levels.len());
+        for &(r, c) in self.levels.iter().rev() {
+            digits.push((rr % r) * c + (cc % c));
+            rr /= r;
+            cc /= c;
+        }
+        for (&(r, c), &digit) in self.levels.iter().zip(digits.iter().rev()) {
+            flat = flat * (r * c) + digit;
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_is_row_major()
+    {
+        let g = BlockGrid::new(vec![(2, 3)]);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.cols(), 3);
+        let expect = [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)];
+        for (flat, &coords) in expect.iter().enumerate() {
+            assert_eq!(g.coords(flat), coords, "flat={flat}");
+            assert_eq!(g.flat(coords.0, coords.1), flat);
+        }
+    }
+
+    #[test]
+    fn paper_figure_3_three_level_2x2() {
+        // Figure 3: m̃ = k̃ = 2, three levels; an 8x8 block grid where e.g.
+        // the first block row reads 0 1 4 5 16 17 20 21.
+        let g = BlockGrid::new(vec![(2, 2), (2, 2), (2, 2)]);
+        assert_eq!(g.rows(), 8);
+        assert_eq!(g.cols(), 8);
+        let first_row: Vec<usize> = (0..8).map(|c| g.flat(0, c)).collect();
+        assert_eq!(first_row, vec![0, 1, 4, 5, 16, 17, 20, 21]);
+        let second_row: Vec<usize> = (0..8).map(|c| g.flat(1, c)).collect();
+        assert_eq!(second_row, vec![2, 3, 6, 7, 18, 19, 22, 23]);
+        // Bottom-right block of the figure is 63.
+        assert_eq!(g.flat(7, 7), 63);
+        assert_eq!(g.coords(63), (7, 7));
+    }
+
+    #[test]
+    fn mixed_radix_two_level() {
+        // Level 0: 2x3 grid; level 1: 3x2 grid -> 6x6 blocks.
+        let g = BlockGrid::new(vec![(2, 3), (3, 2)]);
+        assert_eq!(g.rows(), 6);
+        assert_eq!(g.cols(), 6);
+        // Flat 0..6 walk the first outer block's inner grid row-major.
+        assert_eq!(g.coords(0), (0, 0));
+        assert_eq!(g.coords(1), (0, 1));
+        assert_eq!(g.coords(2), (1, 0));
+        assert_eq!(g.coords(5), (2, 1));
+        // Flat 6 starts outer block (0, 1): columns shift by inner cols = 2.
+        assert_eq!(g.coords(6), (0, 2));
+    }
+
+    #[test]
+    fn coords_flat_roundtrip_exhaustive() {
+        for levels in [
+            vec![(2, 2)],
+            vec![(3, 2), (2, 4)],
+            vec![(2, 3), (3, 3), (2, 2)],
+            vec![(1, 5)],
+            vec![(4, 1), (1, 3)],
+        ] {
+            let g = BlockGrid::new(levels.clone());
+            for flat in 0..g.len() {
+                let (r, c) = g.coords(flat);
+                assert!(r < g.rows() && c < g.cols());
+                assert_eq!(g.flat(r, c), flat, "levels={levels:?} flat={flat}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_out_of_range_panics() {
+        let g = BlockGrid::new(vec![(2, 2)]);
+        g.coords(4);
+    }
+}

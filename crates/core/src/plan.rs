@@ -1,0 +1,211 @@
+//! Multi-level execution plans.
+//!
+//! An [`FmmPlan`] is an ordered list of one-level algorithms — possibly a
+//! *different* algorithm per level (the "hybrid partitions" of paper §5.2) —
+//! together with the composed Kronecker coefficients
+//! `[[⊗U_l, ⊗V_l, ⊗W_l]]` (paper eq. (5)) and the block grids for each
+//! operand. Composition happens once at plan construction; executors then
+//! iterate the `R_L = ∏R_l` products of the flattened representation.
+
+use crate::algorithm::FmmAlgorithm;
+use crate::coeffs::CoeffMatrix;
+use crate::indexing::BlockGrid;
+use std::sync::Arc;
+
+/// An L-level FMM plan with composed coefficients.
+#[derive(Clone, Debug)]
+pub struct FmmPlan {
+    levels: Vec<Arc<FmmAlgorithm>>,
+    u: CoeffMatrix,
+    v: CoeffMatrix,
+    w: CoeffMatrix,
+    mt: usize,
+    kt: usize,
+    nt: usize,
+    a_grid: BlockGrid,
+    b_grid: BlockGrid,
+    c_grid: BlockGrid,
+}
+
+impl FmmPlan {
+    /// Compose a plan from per-level algorithms (outermost first).
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<FmmAlgorithm>) -> Self {
+        Self::from_arcs(levels.into_iter().map(Arc::new).collect())
+    }
+
+    /// As [`FmmPlan::new`] from shared handles.
+    pub fn from_arcs(levels: Vec<Arc<FmmAlgorithm>>) -> Self {
+        assert!(!levels.is_empty(), "a plan needs at least one level");
+        let mut u = CoeffMatrix::kron_identity();
+        let mut v = CoeffMatrix::kron_identity();
+        let mut w = CoeffMatrix::kron_identity();
+        let mut mt = 1;
+        let mut kt = 1;
+        let mut nt = 1;
+        let mut a_levels = Vec::with_capacity(levels.len());
+        let mut b_levels = Vec::with_capacity(levels.len());
+        let mut c_levels = Vec::with_capacity(levels.len());
+        for algo in &levels {
+            let (m, k, n) = algo.dims();
+            u = u.kron(algo.u());
+            v = v.kron(algo.v());
+            w = w.kron(algo.w());
+            mt *= m;
+            kt *= k;
+            nt *= n;
+            a_levels.push((m, k));
+            b_levels.push((k, n));
+            c_levels.push((m, n));
+        }
+        Self {
+            levels,
+            u,
+            v,
+            w,
+            mt,
+            kt,
+            nt,
+            a_grid: BlockGrid::new(a_levels),
+            b_grid: BlockGrid::new(b_levels),
+            c_grid: BlockGrid::new(c_levels),
+        }
+    }
+
+    /// Convenience: `level` applied `l` times (homogeneous multi-level).
+    pub fn uniform(level: FmmAlgorithm, l: usize) -> Self {
+        assert!(l >= 1, "at least one level");
+        let arc = Arc::new(level);
+        Self::from_arcs(vec![arc; l])
+    }
+
+    /// The per-level algorithms, outermost first.
+    pub fn levels(&self) -> &[Arc<FmmAlgorithm>] {
+        &self.levels
+    }
+
+    /// Number of levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Aggregate partition dims `(∏m̃_l, ∏k̃_l, ∏ñ_l)` — the divisibility
+    /// the core problem must satisfy (paper: `M̃_L, K̃_L, Ñ_L`).
+    pub fn partition_dims(&self) -> (usize, usize, usize) {
+        (self.mt, self.kt, self.nt)
+    }
+
+    /// Total number of sub-multiplications `R_L = ∏R_l`.
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Composed `⊗U` (rows: flat A-block indices; cols: products).
+    pub fn u(&self) -> &CoeffMatrix {
+        &self.u
+    }
+
+    /// Composed `⊗V`.
+    pub fn v(&self) -> &CoeffMatrix {
+        &self.v
+    }
+
+    /// Composed `⊗W`.
+    pub fn w(&self) -> &CoeffMatrix {
+        &self.w
+    }
+
+    /// Recursive block grid of `A` (`∏m̃_l x ∏k̃_l`).
+    pub fn a_grid(&self) -> &BlockGrid {
+        &self.a_grid
+    }
+
+    /// Recursive block grid of `B`.
+    pub fn b_grid(&self) -> &BlockGrid {
+        &self.b_grid
+    }
+
+    /// Recursive block grid of `C`.
+    pub fn c_grid(&self) -> &BlockGrid {
+        &self.c_grid
+    }
+
+    /// Human-readable partition description, e.g. `"<2,2,2>+<3,3,3>"`.
+    pub fn describe(&self) -> String {
+        self.levels
+            .iter()
+            .map(|a| {
+                let (m, k, n) = a.dims();
+                format!("<{m},{k},{n}>")
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Multiplication count ratio vs. classical at the block level:
+    /// `∏(m̃k̃ñ) / R_L` (the L-level theoretical speedup).
+    pub fn speedup(&self) -> f64 {
+        let classical: usize = self.levels.iter().map(|a| a.classical_rank()).product();
+        classical as f64 / self.rank() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{strassen, winograd};
+
+    #[test]
+    fn one_level_plan_passes_through() {
+        let p = FmmPlan::new(vec![strassen()]);
+        assert_eq!(p.partition_dims(), (2, 2, 2));
+        assert_eq!(p.rank(), 7);
+        assert_eq!(p.u(), strassen().u());
+        assert_eq!(p.describe(), "<2,2,2>");
+    }
+
+    #[test]
+    fn two_level_strassen_is_kron_squared() {
+        let s = strassen();
+        let p = FmmPlan::uniform(s.clone(), 2);
+        assert_eq!(p.partition_dims(), (4, 4, 4));
+        assert_eq!(p.rank(), 49);
+        assert_eq!(p.u(), &s.u().kron(s.u()));
+        assert_eq!(p.w(), &s.w().kron(s.w()));
+        assert!((p.speedup() - 64.0 / 49.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hybrid_levels_compose_dims() {
+        let s = strassen();
+        let w = winograd();
+        let c223 = crate::compose::stack_n(&s, &crate::compose::classical(2, 2, 1));
+        let p = FmmPlan::new(vec![s, c223, w]);
+        assert_eq!(p.partition_dims(), (2 * 2 * 2, 2 * 2 * 2, 2 * 3 * 2));
+        assert_eq!(p.rank(), 7 * 11 * 7);
+        assert_eq!(p.num_levels(), 3);
+        assert_eq!(p.describe(), "<2,2,2>+<2,2,3>+<2,2,2>");
+    }
+
+    #[test]
+    fn grids_match_partition_dims() {
+        let s = strassen();
+        let c223 = crate::compose::stack_n(&s, &crate::compose::classical(2, 2, 1));
+        let p = FmmPlan::new(vec![c223, s]);
+        assert_eq!(p.a_grid().rows(), 4);
+        assert_eq!(p.a_grid().cols(), 4);
+        assert_eq!(p.b_grid().rows(), 4);
+        assert_eq!(p.b_grid().cols(), 6);
+        assert_eq!(p.c_grid().rows(), 4);
+        assert_eq!(p.c_grid().cols(), 6);
+        assert_eq!(p.a_grid().len(), p.u().rows());
+        assert_eq!(p.b_grid().len(), p.v().rows());
+        assert_eq!(p.c_grid().len(), p.w().rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_plan_panics() {
+        let _ = FmmPlan::new(vec![]);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `<2,2,2>` rank-7 algorithms: Strassen (exactly as printed in the
+//! paper's eq. (4)) and Winograd's 15-addition variant.
+
+use crate::algorithm::FmmAlgorithm;
+use crate::coeffs::CoeffMatrix;
+
+/// One-level Strassen, with `[[U, V, W]]` transcribed verbatim from the
+/// paper's equation (4) (which itself encodes the computations (2)).
+pub fn strassen() -> FmmAlgorithm {
+    #[rustfmt::skip]
+    let u = CoeffMatrix::from_rows(4, 7, vec![
+        1.0, 0.0, 1.0, 0.0, 1.0, -1.0, 0.0,
+        0.0, 0.0, 0.0, 0.0, 1.0,  0.0, 1.0,
+        0.0, 1.0, 0.0, 0.0, 0.0,  1.0, 0.0,
+        1.0, 1.0, 0.0, 1.0, 0.0,  0.0, -1.0,
+    ]);
+    #[rustfmt::skip]
+    let v = CoeffMatrix::from_rows(4, 7, vec![
+        1.0, 1.0,  0.0, -1.0, 0.0, 1.0, 0.0,
+        0.0, 0.0,  1.0,  0.0, 0.0, 1.0, 0.0,
+        0.0, 0.0,  0.0,  1.0, 0.0, 0.0, 1.0,
+        1.0, 0.0, -1.0,  0.0, 1.0, 0.0, 1.0,
+    ]);
+    #[rustfmt::skip]
+    let w = CoeffMatrix::from_rows(4, 7, vec![
+        1.0,  0.0, 0.0, 1.0, -1.0, 0.0, 1.0,
+        0.0,  0.0, 1.0, 0.0,  1.0, 0.0, 0.0,
+        0.0,  1.0, 0.0, 1.0,  0.0, 0.0, 0.0,
+        1.0, -1.0, 1.0, 0.0,  0.0, 1.0, 0.0,
+    ]);
+    FmmAlgorithm::new("strassen", (2, 2, 2), u, v, w)
+        .expect("Strassen's algorithm (paper eq. (4)) is valid")
+}
+
+/// Winograd's variant of Strassen: rank 7 with only 15 additions
+/// (vs. Strassen's 18). Same `<2,2,2>` partition; different `[[U, V, W]]`.
+///
+/// Products (0-indexed quadrants `A0..A3`, `B0..B3`):
+/// `M0 = A0·B0`, `M1 = A1·B2`, `M2 = (A0+A1-A2-A3)·B3`,
+/// `M3 = A3·(B0-B1+B3-B2)`, `M4 = (A2+A3)·(B1-B0)`,
+/// `M5 = (A2+A3-A0)·(B0-B1+B3)`, `M6 = (A0-A2)·(B3-B1)`.
+pub fn winograd() -> FmmAlgorithm {
+    #[rustfmt::skip]
+    let u = CoeffMatrix::from_rows(4, 7, vec![
+        1.0, 0.0,  1.0, 0.0,  0.0, -1.0,  1.0,
+        0.0, 1.0,  1.0, 0.0,  0.0,  0.0,  0.0,
+        0.0, 0.0, -1.0, 0.0,  1.0,  1.0, -1.0,
+        0.0, 0.0, -1.0, 1.0,  1.0,  1.0,  0.0,
+    ]);
+    #[rustfmt::skip]
+    let v = CoeffMatrix::from_rows(4, 7, vec![
+        1.0, 0.0, 0.0,  1.0, -1.0,  1.0,  0.0,
+        0.0, 0.0, 0.0, -1.0,  1.0, -1.0, -1.0,
+        0.0, 1.0, 0.0, -1.0,  0.0,  0.0,  0.0,
+        0.0, 0.0, 1.0,  1.0,  0.0,  1.0,  1.0,
+    ]);
+    #[rustfmt::skip]
+    let w = CoeffMatrix::from_rows(4, 7, vec![
+        1.0, 1.0, 0.0,  0.0, 0.0, 0.0, 0.0,
+        1.0, 0.0, 1.0,  0.0, 1.0, 1.0, 0.0,
+        1.0, 0.0, 0.0, -1.0, 0.0, 1.0, 1.0,
+        1.0, 0.0, 0.0,  0.0, 1.0, 1.0, 1.0,
+    ]);
+    FmmAlgorithm::new("winograd", (2, 2, 2), u, v, w)
+        .expect("Winograd's Strassen variant is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strassen_is_valid_rank_7() {
+        let s = strassen();
+        assert_eq!(s.dims(), (2, 2, 2));
+        assert_eq!(s.rank(), 7);
+        assert!((s.speedup_per_level() - 8.0 / 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strassen_matches_paper_computations_eq2() {
+        let s = strassen();
+        // M1 = (A2 + A3)·B0; C2 += M1; C3 -= M1 (second row of eq. (2)).
+        let u_col1: Vec<f64> = (0..4).map(|i| s.u().at(i, 1)).collect();
+        assert_eq!(u_col1, vec![0.0, 0.0, 1.0, 1.0]);
+        let v_col1: Vec<f64> = (0..4).map(|i| s.v().at(i, 1)).collect();
+        assert_eq!(v_col1, vec![1.0, 0.0, 0.0, 0.0]);
+        let w_col1: Vec<f64> = (0..4).map(|i| s.w().at(i, 1)).collect();
+        assert_eq!(w_col1, vec![0.0, 0.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn winograd_is_valid_rank_7() {
+        let wg = winograd();
+        assert_eq!(wg.dims(), (2, 2, 2));
+        assert_eq!(wg.rank(), 7);
+    }
+
+    #[test]
+    fn winograd_differs_from_strassen_but_same_rank() {
+        // Winograd's famous "15 additions" requires reusing common
+        // subexpressions (S1..S4, T1..T4 are shared across products). In the
+        // [[U,V,W]] representation — where each product packs its own
+        // operand sums — Winograd actually has *more* non-zeros than
+        // Strassen (42 vs 36), which is why the paper benchmarks Strassen's
+        // coefficients. Both are rank 7.
+        let s = strassen();
+        let wg = winograd();
+        assert_eq!(wg.rank(), s.rank());
+        let nnz = |a: &FmmAlgorithm| a.u().nnz() + a.v().nnz() + a.w().nnz();
+        assert_eq!(nnz(&s), 36);
+        assert_eq!(nnz(&wg), 42);
+    }
+}

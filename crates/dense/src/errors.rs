@@ -1,0 +1,46 @@
+//! Error types for dimension mismatches.
+
+use std::fmt;
+
+/// Error returned when matrix operand dimensions are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimError {
+    /// Human-readable description of the operation that failed.
+    pub op: &'static str,
+    /// Dimensions observed, in the order the operation documents them.
+    pub dims: Vec<usize>,
+}
+
+impl DimError {
+    /// Create a new dimension error for operation `op` with observed `dims`.
+    pub fn new(op: &'static str, dims: &[usize]) -> Self {
+        Self { op, dims: dims.to_vec() }
+    }
+}
+
+impl fmt::Display for DimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimension mismatch in {}: {:?}", self.op, self.dims)
+    }
+}
+
+impl std::error::Error for DimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_dims() {
+        let e = DimError::new("gemm", &[3, 4, 5]);
+        let s = e.to_string();
+        assert!(s.contains("gemm"));
+        assert!(s.contains('3') && s.contains('4') && s.contains('5'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DimError::new("add", &[1, 2]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic and random matrix fills for tests and benchmarks.
+
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniformly random entries in `[lo, hi)`, reproducible from `seed`.
+pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new(lo, hi);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(&mut rng))
+}
+
+/// The benchmark workload fill used throughout the harness: entries in
+/// `[-1, 1)`. Keeping magnitudes near one keeps FMM rounding error visible
+/// but bounded in correctness comparisons.
+pub fn bench_workload(rows: usize, cols: usize, seed: u64) -> Matrix {
+    random_uniform(rows, cols, -1.0, 1.0, seed)
+}
+
+/// Entries `i + j * rows` (column-major counter) — handy for debugging
+/// packing and indexing because every element is unique and predictable.
+pub fn counter(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| (i + j * rows) as f64)
+}
+
+/// Random matrix with entries drawn from the small integer set
+/// `{-2, -1, 0, 1, 2}` — products stay exactly representable, so
+/// correctness tests can require exact equality with the reference product.
+pub fn random_small_int(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new_inclusive(-2i32, 2i32);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(&mut rng) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_uniform_is_seed_deterministic() {
+        let a = random_uniform(4, 4, -1.0, 1.0, 42);
+        let b = random_uniform(4, 4, -1.0, 1.0, 42);
+        let c = random_uniform(4, 4, -1.0, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_uniform_respects_range() {
+        let m = random_uniform(10, 10, 2.0, 3.0, 7);
+        m.as_ref().fold((), |(), v| {
+            assert!((2.0..3.0).contains(&v), "value {v} out of range");
+        });
+    }
+
+    #[test]
+    fn counter_matches_column_major_linear_index() {
+        let m = counter(3, 2);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(2, 1), 5.0);
+    }
+
+    #[test]
+    fn small_int_entries_are_integers_in_range() {
+        let m = random_small_int(8, 8, 3);
+        m.as_ref().fold((), |(), v| {
+            assert_eq!(v, v.trunc());
+            assert!((-2.0..=2.0).contains(&v));
+        });
+    }
+}

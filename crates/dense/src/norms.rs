@@ -1,0 +1,86 @@
+//! Norms and error measures used to validate FMM results against reference
+//! products.
+
+use crate::view::MatRef;
+
+/// Maximum absolute entry.
+pub fn max_abs(a: MatRef<'_>) -> f64 {
+    a.fold(0.0_f64, |acc, v| acc.max(v.abs()))
+}
+
+/// Frobenius norm.
+pub fn frobenius(a: MatRef<'_>) -> f64 {
+    a.fold(0.0, |acc, v| acc + v * v).sqrt()
+}
+
+/// Maximum absolute elementwise difference. Panics on shape mismatch.
+pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "max_abs_diff: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "max_abs_diff: col mismatch");
+    let mut worst = 0.0_f64;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            // SAFETY: loop bounds are the (checked-equal) shape.
+            let d = unsafe { (a.at_unchecked(i, j) - b.at_unchecked(i, j)).abs() };
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+/// Relative error `||a - b||_max / max(1, ||b||_max)` — the acceptance
+/// metric for FMM-vs-reference comparisons.
+pub fn rel_error(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+    max_abs_diff(a, b) / max_abs(b).max(1.0)
+}
+
+/// Tolerance for accepting an L-level FMM product of matrices with entries
+/// in [-1, 1]. Strassen-like algorithms lose roughly a constant number of
+/// bits per level; this bound is loose enough for every algorithm in the
+/// registry at `k` up to ~10^4 yet tight enough to catch genuine bugs
+/// (wrong coefficients produce O(1) errors).
+pub fn fmm_tolerance(k: usize, levels: usize) -> f64 {
+    let growth = 40.0_f64.powi(levels as i32).max(1.0);
+    1e-12 * growth * (k.max(2) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn frobenius_of_identity() {
+        let id = Matrix::identity(9);
+        assert!((frobenius(id.as_ref()) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_single_entry() {
+        let a = Matrix::zeros(3, 3);
+        let mut b = Matrix::zeros(3, 3);
+        b.set(2, 1, 1e-3);
+        assert_eq!(max_abs_diff(a.as_ref(), b.as_ref()), 1e-3);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = crate::fill::bench_workload(5, 7, 1);
+        assert_eq!(rel_error(a.as_ref(), a.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn tolerance_grows_with_levels_and_k() {
+        assert!(fmm_tolerance(1000, 2) > fmm_tolerance(1000, 1));
+        assert!(fmm_tolerance(2000, 1) > fmm_tolerance(1000, 1));
+        assert!(fmm_tolerance(1000, 2) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn diff_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        max_abs_diff(a.as_ref(), b.as_ref());
+    }
+}

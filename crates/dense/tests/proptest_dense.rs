@@ -1,0 +1,106 @@
+//! Property-based tests for the dense storage substrate.
+
+use fmm_dense::{fill, norms, ops, MatRef, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row-major construction and element access agree.
+    #[test]
+    fn from_rows_roundtrip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let m = fill::random_uniform(rows, cols, -5.0, 5.0, seed);
+        let row_major: Vec<f64> = (0..rows)
+            .flat_map(|i| (0..cols).map(move |j| (i, j)))
+            .map(|(i, j)| m.get(i, j))
+            .collect();
+        let back = Matrix::from_rows(rows, cols, &row_major);
+        prop_assert_eq!(back, m);
+    }
+
+    /// Transposing twice is the identity, on views and owned copies.
+    #[test]
+    fn double_transpose_identity(rows in 1usize..10, cols in 1usize..10) {
+        let m = fill::counter(rows, cols);
+        prop_assert_eq!(m.as_ref().t().t().to_owned(), m.clone());
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    /// Any submatrix of a submatrix equals the directly-indexed region.
+    #[test]
+    fn nested_submatrix_composition(
+        rows in 4usize..16,
+        cols in 4usize..16,
+        r0 in 0usize..3,
+        c0 in 0usize..3,
+        r1 in 0usize..2,
+        c1 in 0usize..2,
+    ) {
+        let m = fill::counter(rows, cols);
+        let h0 = rows - r0 - 1;
+        let w0 = cols - c0 - 1;
+        let outer = m.as_ref().submatrix(r0, c0, h0, w0);
+        let h1 = h0 - r1;
+        let w1 = w0 - c1;
+        let inner = outer.submatrix(r1, c1, h1, w1);
+        for i in 0..h1 {
+            for j in 0..w1 {
+                prop_assert_eq!(inner.at(i, j), m.get(r0 + r1 + i, c0 + c1 + j));
+            }
+        }
+    }
+
+    /// axpy is linear: axpy(c, a, X) twice equals axpy(c, 2a, X).
+    #[test]
+    fn axpy_linearity(rows in 1usize..10, cols in 1usize..10, alpha in -3.0f64..3.0) {
+        let x = fill::bench_workload(rows, cols, 1);
+        let mut c1 = Matrix::zeros(rows, cols);
+        ops::axpy(c1.as_mut(), alpha, x.as_ref()).unwrap();
+        ops::axpy(c1.as_mut(), alpha, x.as_ref()).unwrap();
+        let mut c2 = Matrix::zeros(rows, cols);
+        ops::axpy(c2.as_mut(), 2.0 * alpha, x.as_ref()).unwrap();
+        prop_assert!(norms::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    /// linear_combination distributes over term concatenation.
+    #[test]
+    fn linear_combination_associativity(rows in 1usize..8, cols in 1usize..8) {
+        let x = fill::bench_workload(rows, cols, 3);
+        let y = fill::bench_workload(rows, cols, 4);
+        let z = fill::bench_workload(rows, cols, 5);
+        let mut all = Matrix::zeros(rows, cols);
+        ops::linear_combination(
+            all.as_mut(),
+            &[(1.0, x.as_ref()), (-2.0, y.as_ref()), (0.5, z.as_ref())],
+        )
+        .unwrap();
+        let mut staged = Matrix::zeros(rows, cols);
+        ops::linear_combination(staged.as_mut(), &[(1.0, x.as_ref())]).unwrap();
+        ops::axpy(staged.as_mut(), -2.0, y.as_ref()).unwrap();
+        ops::axpy(staged.as_mut(), 0.5, z.as_ref()).unwrap();
+        prop_assert!(norms::max_abs_diff(all.as_ref(), staged.as_ref()) < 1e-12);
+    }
+
+    /// Frobenius norm is monotone under zeroing entries and respects scaling.
+    #[test]
+    fn frobenius_scaling(rows in 1usize..8, cols in 1usize..8, s in 0.0f64..4.0) {
+        let x = fill::bench_workload(rows, cols, 6);
+        let mut scaled = x.clone();
+        ops::scale(scaled.as_mut(), s);
+        let lhs = norms::frobenius(scaled.as_ref());
+        let rhs = s * norms::frobenius(x.as_ref());
+        prop_assert!((lhs - rhs).abs() < 1e-10 * rhs.max(1.0));
+    }
+
+    /// from_col_major with ld == rows sees exactly the slice contents.
+    #[test]
+    fn col_major_view_matches_slice(rows in 1usize..8, cols in 1usize..8) {
+        let data: Vec<f64> = (0..rows * cols).map(|x| x as f64).collect();
+        let v = MatRef::from_col_major(&data, rows, cols, rows);
+        for j in 0..cols {
+            for i in 0..rows {
+                prop_assert_eq!(v.at(i, j), data[i + j * rows]);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! AVX-512 micro-kernel for x86-64.
+//!
+//! Same 8x4 tile and packed-panel format as the AVX2 kernel, but each
+//! 8-row column of the accumulator is a single `zmm` register: four
+//! accumulators, one full-column load of Ã and four broadcasts of B̃ per
+//! depth step — half the FMA instructions of the AVX2 version.
+//!
+//! Selected only when `avx512f` is detected; set `FMM_NO_AVX512=1` to fall
+//! back (older Xeons downclock under heavy 512-bit use, so measuring both
+//! is worthwhile — see the `microkernel` criterion group).
+
+#![cfg(target_arch = "x86_64")]
+
+use super::{Acc, MR, NR};
+use std::arch::x86_64::*;
+
+/// Safe-ABI entry point dispatching into the `target_feature` kernel.
+///
+/// # Safety
+/// `a` points to `kc * MR` readable elements, `b` to `kc * NR`. Caller must
+/// have confirmed AVX-512F support.
+pub unsafe fn kernel_8x4_avx512_entry(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
+    kernel_8x4_avx512(kc, a, b, acc)
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_8x4_avx512(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
+    debug_assert_eq!(MR, 8);
+    debug_assert_eq!(NR, 4);
+    let mut c0 = _mm512_setzero_pd(); // rows 0..8 of column 0
+    let mut c1 = _mm512_setzero_pd();
+    let mut c2 = _mm512_setzero_pd();
+    let mut c3 = _mm512_setzero_pd();
+
+    let mut ap = a;
+    let mut bp = b;
+    // Two-way unroll over the depth loop: cheap and hides broadcast latency.
+    let pairs = kc / 2;
+    for _ in 0..pairs {
+        let a0 = _mm512_loadu_pd(ap);
+        c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
+        c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
+        c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
+        c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
+        let a1 = _mm512_loadu_pd(ap.add(MR));
+        c0 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR)), c0);
+        c1 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 1)), c1);
+        c2 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 2)), c2);
+        c3 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 3)), c3);
+        ap = ap.add(2 * MR);
+        bp = bp.add(2 * NR);
+    }
+    if kc % 2 == 1 {
+        let a0 = _mm512_loadu_pd(ap);
+        c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
+        c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
+        c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
+        c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
+    }
+
+    let p = acc.as_mut_ptr();
+    add_store(p, c0);
+    add_store(p.add(8), c1);
+    add_store(p.add(16), c2);
+    add_store(p.add(24), c3);
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn add_store(dst: *mut f64, v: __m512d) {
+    let cur = _mm512_loadu_pd(dst);
+    _mm512_storeu_pd(dst, _mm512_add_pd(cur, v));
+}

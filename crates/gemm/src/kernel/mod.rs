@@ -1,0 +1,170 @@
+//! Register-blocked micro-kernels.
+//!
+//! A micro-kernel computes the full `MR x NR` rank-`kc` update
+//! `acc += Ã_panel * B̃_panel` from two packed micro-panels, entirely in
+//! registers/local storage. Destination handling (adding the accumulator
+//! into one or many submatrices of `C`) lives in the driver so that the same
+//! kernel serves plain GEMM and every FMM variant.
+//!
+//! Two implementations are provided: a portable Rust kernel that LLVM
+//! auto-vectorizes, and an AVX2+FMA kernel using `std::arch` intrinsics,
+//! selected once at startup by runtime feature detection.
+
+pub mod portable;
+#[cfg(target_arch = "x86_64")]
+pub mod avx;
+#[cfg(target_arch = "x86_64")]
+pub mod avx512;
+
+/// Micro-tile rows. Matches the paper's `mR = 8` for double precision.
+pub const MR: usize = 8;
+/// Micro-tile columns. Matches the paper's `nR = 4`.
+pub const NR: usize = 4;
+
+/// The micro-kernel accumulator: an `MR x NR` tile in column-major order
+/// (`acc[i + j * MR]`).
+pub type Acc = [f64; MR * NR];
+
+/// Function signature shared by all micro-kernels.
+///
+/// # Safety
+/// `a` must point to `kc * MR` readable elements (a packed A micro-panel)
+/// and `b` to `kc * NR` readable elements (a packed B micro-panel).
+pub type MicroKernel = unsafe fn(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc);
+
+/// Select the best micro-kernel for the running CPU (detected once).
+///
+/// Preference order on x86-64: AVX-512F, then AVX2+FMA, then portable.
+/// Set `FMM_NO_AVX512=1` to skip the 512-bit kernel (beneficial on parts
+/// that downclock under 512-bit load).
+pub fn select() -> MicroKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static CHOICE: OnceLock<MicroKernel> = OnceLock::new();
+        *CHOICE.get_or_init(|| match selected_name() {
+            "avx512f_8x4" => avx512::kernel_8x4_avx512_entry,
+            "avx2_fma_8x4" => avx::kernel_8x4_avx2_entry,
+            _ => portable::kernel_8x4_portable,
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        portable::kernel_8x4_portable
+    }
+}
+
+/// Name of the kernel [`select`] returns, for benchmark reports.
+pub fn selected_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let no512 = std::env::var_os("FMM_NO_AVX512").is_some_and(|v| v != "0");
+        if !no512 && std::arch::is_x86_feature_detected!("avx512f") {
+            return "avx512f_8x4";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+            return "avx2_fma_8x4";
+        }
+    }
+    "portable_8x4"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pack simple deterministic panels and check the kernel against a
+    /// scalar triple loop.
+    fn check_kernel(kernel: MicroKernel, kc: usize) {
+        let a: Vec<f64> = (0..kc * MR).map(|x| (x % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|x| (x % 7) as f64 * 0.5 - 1.5).collect();
+        let mut acc: Acc = [0.1; MR * NR]; // non-zero start: kernel must accumulate
+        // SAFETY: panels allocated with exactly the required lengths.
+        unsafe { kernel(kc, a.as_ptr(), b.as_ptr(), &mut acc) };
+        for j in 0..NR {
+            for i in 0..MR {
+                let mut expect = 0.1;
+                for p in 0..kc {
+                    expect += a[p * MR + i] * b[p * NR + j];
+                }
+                let got = acc[i + j * MR];
+                assert!(
+                    (got - expect).abs() < 1e-10 * expect.abs().max(1.0),
+                    "kc={kc} i={i} j={j}: got {got}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portable_kernel_matches_scalar() {
+        for kc in [0, 1, 2, 5, 64, 257] {
+            check_kernel(portable::kernel_8x4_portable, kc);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernel_matches_scalar_when_supported() {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+            for kc in [0, 1, 2, 5, 64, 257] {
+                check_kernel(avx::kernel_8x4_avx2_entry, kc);
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_kernel_matches_scalar_when_supported() {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // Odd and even kc both exercise the 2-way unroll remainder.
+            for kc in [0, 1, 2, 3, 5, 64, 255, 256] {
+                check_kernel(avx512::kernel_8x4_avx512_entry, kc);
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn all_available_kernels_agree_exactly() {
+        // Identical packed inputs, identical FMA order within a column:
+        // every kernel must produce the same accumulator bit for bit is too
+        // strong across ISAs (different fma contraction), so compare to
+        // 1 ulp-scale tolerance.
+        let kc = 173;
+        let a: Vec<f64> = (0..kc * MR).map(|x| ((x * 37) % 11) as f64 - 5.0).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|x| ((x * 17) % 7) as f64 * 0.25).collect();
+        let mut kernels: Vec<(&str, MicroKernel)> =
+            vec![("portable", portable::kernel_8x4_portable)];
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+            kernels.push(("avx2", avx::kernel_8x4_avx2_entry));
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            kernels.push(("avx512", avx512::kernel_8x4_avx512_entry));
+        }
+        let mut results = Vec::new();
+        for (name, k) in &kernels {
+            let mut acc: Acc = [0.0; MR * NR];
+            // SAFETY: panels sized above.
+            unsafe { k(kc, a.as_ptr(), b.as_ptr(), &mut acc) };
+            results.push((*name, acc));
+        }
+        for pair in results.windows(2) {
+            for i in 0..MR * NR {
+                let (x, y) = (pair[0].1[i], pair[1].1[i]);
+                assert!(
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "{} vs {} at {i}: {x} vs {y}",
+                    pair[0].0,
+                    pair[1].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selected_kernel_matches_scalar() {
+        check_kernel(select(), 128);
+        assert!(!selected_name().is_empty());
+    }
+}

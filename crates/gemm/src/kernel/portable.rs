@@ -1,0 +1,33 @@
+//! Portable micro-kernel: plain Rust over fixed-size arrays, written so that
+//! LLVM auto-vectorizes the inner update (verified by inspection of the
+//! generated code on x86-64 with default codegen flags).
+
+use super::{Acc, MR, NR};
+
+/// `acc += Ã_panel * B̃_panel` over depth `kc`.
+///
+/// # Safety
+/// `a` points to `kc * MR` readable elements, `b` to `kc * NR`.
+pub unsafe fn kernel_8x4_portable(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
+    // Local accumulator keeps the hot state in registers; written back once.
+    let mut local = [0.0f64; MR * NR];
+    for p in 0..kc {
+        let ap = a.add(p * MR);
+        let bp = b.add(p * NR);
+        // Read the A column once.
+        let mut av = [0.0f64; MR];
+        for (i, slot) in av.iter_mut().enumerate() {
+            *slot = *ap.add(i);
+        }
+        for j in 0..NR {
+            let bj = *bp.add(j);
+            let col = &mut local[j * MR..(j + 1) * MR];
+            for i in 0..MR {
+                col[i] += av[i] * bj;
+            }
+        }
+    }
+    for (dst, src) in acc.iter_mut().zip(local.iter()) {
+        *dst += *src;
+    }
+}

@@ -1,0 +1,71 @@
+//! BLIS / GotoBLAS-style blocked matrix multiplication substrate.
+//!
+//! This crate reimplements the GEMM structure of Figure 1 (left) of the
+//! reproduced paper — the five loops around a register-blocked micro-kernel,
+//! with `A` packed into `mC x kC` blocks of `mR`-row micro-panels and `B`
+//! packed into `kC x nC` row panels of `nR`-column micro-panels — plus the
+//! two generalizations of Figure 1 (right) that make Strassen-like fast
+//! matrix multiplication practical:
+//!
+//! * **packing with linear combinations** ([`pack::pack_a_sum`],
+//!   [`pack::pack_b_sum`]): the packed buffer receives `sum_i gamma_i * X_i`
+//!   of several same-shape submatrices, at no extra memory traffic;
+//! * **multi-destination micro-kernel epilogue** ([`driver::gemm_sums`]):
+//!   the register tile is scattered with per-destination coefficients into
+//!   several submatrices of `C`, avoiding temporaries for the intermediate
+//!   products `M_r`.
+//!
+//! Plain GEMM ([`gemm`], [`gemm_parallel`]) is the special case with one term
+//! per operand and one destination; the FMM executors in `fmm-core` invoke
+//! the general driver directly.
+//!
+//! Parallelism mirrors the paper's OpenMP scheme: the third loop around the
+//! micro-kernel (the `ic` loop) is data-parallel over rayon worker threads.
+//!
+//! # Example
+//!
+//! ```
+//! use fmm_dense::{fill, Matrix, norms};
+//!
+//! let a = fill::bench_workload(64, 48, 1);
+//! let b = fill::bench_workload(48, 80, 2);
+//! let mut c = Matrix::zeros(64, 80);
+//! fmm_gemm::gemm(c.as_mut(), a.as_ref(), b.as_ref());
+//!
+//! let mut c_ref = Matrix::zeros(64, 80);
+//! fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
+//! assert!(fmm_dense::norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-12);
+//! ```
+
+pub mod driver;
+pub mod kernel;
+pub mod pack;
+pub mod parallel;
+pub mod params;
+pub mod reference;
+pub mod workspace;
+
+pub use driver::{gemm_sums, DestTile};
+pub use params::BlockingParams;
+pub use workspace::GemmWorkspace;
+
+use fmm_dense::{MatMut, MatRef};
+
+/// `C += A * B`, sequential, with default blocking parameters.
+pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    let params = BlockingParams::default();
+    let mut ws = GemmWorkspace::for_params(&params);
+    driver::gemm_sums(
+        &mut [DestTile::new(c, 1.0)],
+        &[(1.0, a)],
+        &[(1.0, b)],
+        &params,
+        &mut ws,
+    );
+}
+
+/// `C += A * B`, parallel over the `ic` loop using the global rayon pool.
+pub fn gemm_parallel(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    let params = BlockingParams::default();
+    parallel::gemm_sums_parallel(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], &params);
+}

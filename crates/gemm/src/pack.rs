@@ -1,0 +1,285 @@
+//! Packing routines, including packing of *linear combinations* of
+//! submatrices — the key primitive that lets FMM ride on GEMM (paper Fig. 1,
+//! right: "Pack X + Y -> Ã", "Pack V + W -> B̃").
+//!
+//! # Packed layouts
+//!
+//! **A block** (`mb x kb`, register rows `mr`): stored as `ceil(mb/mr)`
+//! micro-panels. Panel `q` holds rows `[q*mr, q*mr + mr)`; within a panel the
+//! storage is `p`-major: for each depth index `p` in `[0, kb)` the `mr` row
+//! values are contiguous. Rows beyond `mb` are zero-padded so the
+//! micro-kernel never needs a row bound.
+//!
+//! **B panel** (`kb x nb`, register columns `nr`): `ceil(nb/nr)` micro-panels;
+//! panel `q` holds columns `[q*nr, q*nr + nr)`, `p`-major with `nr`
+//! contiguous column values per depth index, zero-padded past `nb`.
+
+use fmm_dense::MatRef;
+
+/// Pack `sum_t terms[t].0 * terms[t].1` (all of shape `mb x kb`) into `dst`
+/// using the packed-A micro-panel layout with register blocking `mr`.
+///
+/// With a single term of coefficient 1.0 this is exactly the BLIS `packm`
+/// operation; with several terms it implements the AB/ABC-variant
+/// pack-and-add at the same memory traffic as a plain pack.
+pub fn pack_a_sum(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
+    let (mb, kb) = shape_of(terms);
+    let panels = mb.div_ceil(mr);
+    assert!(dst.len() >= panels * mr * kb, "pack_a_sum: dst too small");
+    match terms {
+        [] => dst[..panels * mr * kb].fill(0.0),
+        [(g, a)] if *g == 1.0 => pack_a_one(dst, *a, mr),
+        _ => pack_a_many(dst, terms, mr),
+    }
+}
+
+fn pack_a_one(dst: &mut [f64], a: MatRef<'_>, mr: usize) {
+    let (mb, kb) = (a.rows(), a.cols());
+    let panels = mb.div_ceil(mr);
+    for q in 0..panels {
+        let i0 = q * mr;
+        let rows = mr.min(mb - i0);
+        let base = q * mr * kb;
+        if a.row_stride() == 1 && rows == mr {
+            // Full panel over contiguous columns: copy mr-length column
+            // segments directly.
+            for p in 0..kb {
+                // SAFETY: (i0 + i, p) in bounds for i < mr = rows.
+                unsafe {
+                    let src = a.as_ptr().offset(i0 as isize + p as isize * a.col_stride());
+                    let d = dst.as_mut_ptr().add(base + p * mr);
+                    std::ptr::copy_nonoverlapping(src, d, mr);
+                }
+            }
+        } else {
+            for p in 0..kb {
+                for i in 0..rows {
+                    // SAFETY: i0 + i < mb, p < kb.
+                    dst[base + p * mr + i] = unsafe { a.at_unchecked(i0 + i, p) };
+                }
+                for i in rows..mr {
+                    dst[base + p * mr + i] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+fn pack_a_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
+    let (mb, kb) = shape_of(terms);
+    let panels = mb.div_ceil(mr);
+    for q in 0..panels {
+        let i0 = q * mr;
+        let rows = mr.min(mb - i0);
+        let base = q * mr * kb;
+        for p in 0..kb {
+            for i in 0..rows {
+                let mut acc = 0.0;
+                for (g, a) in terms {
+                    // SAFETY: i0 + i < mb, p < kb, all terms share the shape.
+                    acc += g * unsafe { a.at_unchecked(i0 + i, p) };
+                }
+                dst[base + p * mr + i] = acc;
+            }
+            for i in rows..mr {
+                dst[base + p * mr + i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack `sum_t terms[t].0 * terms[t].1` (all of shape `kb x nb`) into `dst`
+/// using the packed-B micro-panel layout with register blocking `nr`.
+pub fn pack_b_sum(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], nr: usize) {
+    let (kb, nb) = shape_of(terms);
+    let panels = nb.div_ceil(nr);
+    assert!(dst.len() >= panels * nr * kb, "pack_b_sum: dst too small");
+    match terms {
+        [] => dst[..panels * nr * kb].fill(0.0),
+        [(g, b)] if *g == 1.0 => pack_b_one(dst, *b, nr),
+        _ => pack_b_many(dst, terms, nr),
+    }
+}
+
+fn pack_b_one(dst: &mut [f64], b: MatRef<'_>, nr: usize) {
+    let (kb, nb) = (b.rows(), b.cols());
+    let panels = nb.div_ceil(nr);
+    for q in 0..panels {
+        let j0 = q * nr;
+        let cols = nr.min(nb - j0);
+        let base = q * nr * kb;
+        for p in 0..kb {
+            for j in 0..cols {
+                // SAFETY: p < kb, j0 + j < nb.
+                dst[base + p * nr + j] = unsafe { b.at_unchecked(p, j0 + j) };
+            }
+            for j in cols..nr {
+                dst[base + p * nr + j] = 0.0;
+            }
+        }
+    }
+}
+
+fn pack_b_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], nr: usize) {
+    let (kb, nb) = shape_of(terms);
+    let panels = nb.div_ceil(nr);
+    for q in 0..panels {
+        let j0 = q * nr;
+        let cols = nr.min(nb - j0);
+        let base = q * nr * kb;
+        for p in 0..kb {
+            for j in 0..cols {
+                let mut acc = 0.0;
+                for (g, b) in terms {
+                    // SAFETY: p < kb, j0 + j < nb, shared shape.
+                    acc += g * unsafe { b.at_unchecked(p, j0 + j) };
+                }
+                dst[base + p * nr + j] = acc;
+            }
+            for j in cols..nr {
+                dst[base + p * nr + j] = 0.0;
+            }
+        }
+    }
+}
+
+fn shape_of(terms: &[(f64, MatRef<'_>)]) -> (usize, usize) {
+    let first = terms.first().expect("pack: at least one term required for shape");
+    let shape = (first.1.rows(), first.1.cols());
+    for (_, t) in terms {
+        assert_eq!((t.rows(), t.cols()), shape, "pack: operand term shapes differ");
+    }
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_dense::{fill, Matrix};
+
+    fn unpack_a(packed: &[f64], mb: usize, kb: usize, mr: usize) -> Matrix {
+        let mut m = Matrix::zeros(mb, kb);
+        for q in 0..mb.div_ceil(mr) {
+            for p in 0..kb {
+                for i in 0..mr {
+                    let gi = q * mr + i;
+                    if gi < mb {
+                        m.set(gi, p, packed[q * mr * kb + p * mr + i]);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    fn unpack_b(packed: &[f64], kb: usize, nb: usize, nr: usize) -> Matrix {
+        let mut m = Matrix::zeros(kb, nb);
+        for q in 0..nb.div_ceil(nr) {
+            for p in 0..kb {
+                for j in 0..nr {
+                    let gj = q * nr + j;
+                    if gj < nb {
+                        m.set(p, gj, packed[q * nr * kb + p * nr + j]);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn pack_a_single_term_roundtrips() {
+        let a = fill::counter(13, 7); // 13 rows: one full + one partial panel at mr=8
+        let mut dst = vec![f64::NAN; 16 * 7];
+        pack_a_sum(&mut dst, &[(1.0, a.as_ref())], 8);
+        assert_eq!(unpack_a(&dst, 13, 7, 8), a);
+        // Zero padding of the partial panel.
+        for p in 0..7 {
+            for i in 5..8 {
+                assert_eq!(dst[8 * 7 + p * 8 + i], 0.0, "pad at p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_sum_of_three_matches_linear_combination() {
+        let x = fill::bench_workload(10, 6, 1);
+        let y = fill::bench_workload(10, 6, 2);
+        let z = fill::bench_workload(10, 6, 3);
+        let mut dst = vec![0.0; 16 * 6];
+        pack_a_sum(
+            &mut dst,
+            &[(1.0, x.as_ref()), (-1.0, y.as_ref()), (0.5, z.as_ref())],
+            8,
+        );
+        let got = unpack_a(&dst, 10, 6, 8);
+        for j in 0..6 {
+            for i in 0..10 {
+                let expect = x.get(i, j) - y.get(i, j) + 0.5 * z.get(i, j);
+                assert!((got.get(i, j) - expect).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_strided_view_matches_dense() {
+        let big = fill::counter(20, 20);
+        let sub = big.as_ref().submatrix(3, 5, 9, 6);
+        let mut dst = vec![0.0; 16 * 6];
+        pack_a_sum(&mut dst, &[(1.0, sub)], 8);
+        assert_eq!(unpack_a(&dst, 9, 6, 8), sub.to_owned());
+    }
+
+    #[test]
+    fn pack_a_transposed_view_packs_transpose() {
+        let a = fill::counter(6, 9);
+        let mut dst = vec![0.0; 16 * 6];
+        pack_a_sum(&mut dst, &[(1.0, a.as_ref().t())], 8);
+        assert_eq!(unpack_a(&dst, 9, 6, 8), a.transposed());
+    }
+
+    #[test]
+    fn pack_b_single_term_roundtrips() {
+        let b = fill::counter(5, 11); // 11 cols at nr=4: 2 full + 1 partial panel
+        let mut dst = vec![f64::NAN; 12 * 5];
+        pack_b_sum(&mut dst, &[(1.0, b.as_ref())], 4);
+        assert_eq!(unpack_b(&dst, 5, 11, 4), b);
+        // Padding columns of the last panel are zero.
+        for p in 0..5 {
+            assert_eq!(dst[2 * 4 * 5 + p * 4 + 3], 0.0);
+        }
+    }
+
+    #[test]
+    fn pack_b_sum_matches_linear_combination() {
+        let v = fill::bench_workload(7, 9, 4);
+        let w = fill::bench_workload(7, 9, 5);
+        let mut dst = vec![0.0; 12 * 7];
+        pack_b_sum(&mut dst, &[(2.0, v.as_ref()), (-1.0, w.as_ref())], 4);
+        let got = unpack_b(&dst, 7, 9, 4);
+        for j in 0..9 {
+            for i in 0..7 {
+                let expect = 2.0 * v.get(i, j) - w.get(i, j);
+                assert!((got.get(i, j) - expect).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_exact_multiple_has_no_padding_rows() {
+        let a = fill::counter(16, 4);
+        let mut dst = vec![f64::NAN; 16 * 4];
+        pack_a_sum(&mut dst, &[(1.0, a.as_ref())], 8);
+        assert!(dst.iter().all(|v| !v.is_nan()));
+        assert_eq!(unpack_a(&dst, 16, 4, 8), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn mismatched_term_shapes_panic() {
+        let x = Matrix::zeros(4, 4);
+        let y = Matrix::zeros(4, 5);
+        let mut dst = vec![0.0; 64];
+        pack_a_sum(&mut dst, &[(1.0, x.as_ref()), (1.0, y.as_ref())], 8);
+    }
+}

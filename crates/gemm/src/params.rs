@@ -1,0 +1,160 @@
+//! Cache blocking parameters for the five-loop GEMM algorithm.
+
+/// Register and cache blocking parameters `{mR, nR, kC, mC, nC}`.
+///
+/// The roles follow the GotoBLAS analysis reproduced in the paper (§2.1):
+///
+/// * `mr x nr` — the register tile of `C` the micro-kernel accumulates;
+/// * `kc` — depth of a packed micro-panel: an `mr x kc` sliver of `A` and a
+///   `kc x nr` sliver of `B` stay in L1;
+/// * `mc x kc` — the packed block of `A` held in L2;
+/// * `kc x nc` — the packed row panel of `B` held in L3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockingParams {
+    /// Micro-tile rows (register blocking).
+    pub mr: usize,
+    /// Micro-tile columns (register blocking).
+    pub nr: usize,
+    /// L1/packing depth.
+    pub kc: usize,
+    /// Rows of the packed `A` block (L2).
+    pub mc: usize,
+    /// Columns of the packed `B` panel (L3).
+    pub nc: usize,
+}
+
+/// Cache sizes in bytes, used by the analytic parameter derivation.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheInfo {
+    /// L1 data cache per core.
+    pub l1d: usize,
+    /// L2 cache per core.
+    pub l2: usize,
+    /// L3 cache (shared).
+    pub l3: usize,
+}
+
+impl Default for BlockingParams {
+    /// The parameters used throughout the paper's experiments
+    /// (§5.1: `nR = 4, mR = 8, kC = 256, nC = 4096, mC = 96`).
+    ///
+    /// These were derived for a 32 KB L1 / 256 KB L2 / 25.6 MB L3 Ivy
+    /// Bridge; they remain valid (conservative) on larger caches. Use
+    /// [`BlockingParams::analytic`] to resize for a specific machine.
+    fn default() -> Self {
+        Self { mr: 8, nr: 4, kc: 256, mc: 96, nc: 4096 }
+    }
+}
+
+impl BlockingParams {
+    /// Derive parameters analytically from cache sizes, following
+    /// Low et al., "Analytical modeling is enough for high performance BLIS"
+    /// (paper ref. [7]), with the paper's `mr = 8, nr = 4` register tile.
+    ///
+    /// * `kc`: an `mr x kc` panel of `A` plus a `kc x nr` panel of `B`
+    ///   occupy at most half of L1;
+    /// * `mc`: the packed `mc x kc` block of `A` occupies at most half of L2;
+    /// * `nc`: the packed `kc x nc` panel of `B` occupies at most half of L3.
+    ///
+    /// Each value is rounded down to a multiple of the register tile and
+    /// floored at one tile.
+    pub fn analytic(cache: CacheInfo) -> Self {
+        const W: usize = std::mem::size_of::<f64>();
+        let mr = 8;
+        let nr = 4;
+        let kc = (cache.l1d / 2 / W / (mr + nr)).max(8);
+        let mc_raw = (cache.l2 / 2 / W / kc).max(mr);
+        let mc = (mc_raw / mr).max(1) * mr;
+        let nc_raw = (cache.l3 / 2 / W / kc).max(nr);
+        let nc = (nc_raw / nr).max(1) * nr;
+        Self { mr, nr, kc, mc, nc }
+    }
+
+    /// Size in elements of the packed `A` block buffer (`mc x kc`, with the
+    /// row count rounded up to whole micro-panels).
+    pub fn packed_a_len(&self) -> usize {
+        self.mc.div_ceil(self.mr) * self.mr * self.kc
+    }
+
+    /// Size in elements of the packed `B` panel buffer (`kc x nc`, with the
+    /// column count rounded up to whole micro-panels).
+    pub fn packed_b_len(&self) -> usize {
+        self.nc.div_ceil(self.nr) * self.nr * self.kc
+    }
+
+    /// Validate internal consistency (non-zero tiles, `mc` a multiple of
+    /// `mr` is *not* required, but everything must be positive).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("mr", self.mr),
+            ("nr", self.nr),
+            ("kc", self.kc),
+            ("mc", self.mc),
+            ("nc", self.nc),
+        ] {
+            if v == 0 {
+                return Err(format!("blocking parameter {name} must be positive"));
+            }
+        }
+        if self.mc < self.mr {
+            return Err("mc must be at least mr".into());
+        }
+        if self.nc < self.nr {
+            return Err("nc must be at least nr".into());
+        }
+        Ok(())
+    }
+
+    /// A small-parameter set for tests: exercises every edge case (partial
+    /// panels, multiple jc/pc/ic iterations) on matrices of modest size.
+    pub fn tiny() -> Self {
+        Self { mr: 8, nr: 4, kc: 8, mc: 16, nc: 12 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section_5_1() {
+        let p = BlockingParams::default();
+        assert_eq!((p.mr, p.nr, p.kc, p.mc, p.nc), (8, 4, 256, 96, 4096));
+    }
+
+    #[test]
+    fn analytic_for_paper_machine_is_close_to_paper_values() {
+        // Ivy Bridge: 32 KB L1d, 256 KB L2, 25.6 MB L3.
+        let p = BlockingParams::analytic(CacheInfo {
+            l1d: 32 * 1024,
+            l2: 256 * 1024,
+            l3: 25 * 1024 * 1024 + 614 * 1024,
+        });
+        assert_eq!(p.mr, 8);
+        assert_eq!(p.nr, 4);
+        // kc: 16KB / 8B / 12 = 170; same order as the paper's 256.
+        assert!(p.kc >= 128 && p.kc <= 256, "kc = {}", p.kc);
+        // mc: 128KB / 8B / kc, multiple of mr; paper uses 96.
+        assert!(p.mc >= 64 && p.mc <= 128, "mc = {}", p.mc);
+        assert!(p.nc >= 2048, "nc = {}", p.nc);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn packed_lengths_cover_partial_panels() {
+        let p = BlockingParams { mr: 8, nr: 4, kc: 10, mc: 12, nc: 6 };
+        // 12 rows -> 2 panels of 8 rows.
+        assert_eq!(p.packed_a_len(), 2 * 8 * 10);
+        // 6 cols -> 2 panels of 4 cols.
+        assert_eq!(p.packed_b_len(), 2 * 4 * 10);
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_undersized() {
+        assert!(BlockingParams { mr: 0, nr: 4, kc: 1, mc: 1, nc: 4 }.validate().is_err());
+        assert!(BlockingParams { mr: 8, nr: 4, kc: 16, mc: 4, nc: 16 }.validate().is_err());
+        assert!(BlockingParams { mr: 8, nr: 4, kc: 16, mc: 8, nc: 2 }.validate().is_err());
+        BlockingParams::tiny().validate().unwrap();
+        BlockingParams::default().validate().unwrap();
+    }
+}

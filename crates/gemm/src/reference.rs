@@ -1,0 +1,90 @@
+//! Reference (unblocked) matrix multiplication, used as the correctness
+//! oracle for the blocked GEMM and for every FMM variant.
+
+use fmm_dense::{MatMut, MatRef};
+
+/// `C += A * B` with a cache-oblivious `j-p-i` loop nest (column-major
+/// friendly: the inner loop walks a column of `A` and of `C`).
+pub fn matmul_into(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
+    assert_eq!(c.rows(), a.rows(), "matmul: C rows");
+    assert_eq!(c.cols(), b.cols(), "matmul: C cols");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for j in 0..n {
+        for p in 0..k {
+            // SAFETY: p < k, j < n.
+            let bpj = unsafe { b.at_unchecked(p, j) };
+            if bpj == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                // SAFETY: i < m, p < k.
+                let aip = unsafe { a.at_unchecked(i, p) };
+                c.add_at(i, j, aip * bpj);
+            }
+        }
+    }
+}
+
+/// Convenience: allocate and return `A * B`.
+pub fn matmul(a: MatRef<'_>, b: MatRef<'_>) -> fmm_dense::Matrix {
+    let mut c = fmm_dense::Matrix::zeros(a.rows(), b.cols());
+    matmul_into(c.as_mut(), a, b);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_dense::{fill, Matrix};
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = fill::bench_workload(5, 5, 9);
+        let id = Matrix::identity(5);
+        let c = matmul(a.as_ref(), id.as_ref());
+        assert_eq!(c, a);
+        let c2 = matmul(id.as_ref(), a.as_ref());
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(a.as_ref(), b.as_ref());
+        assert_eq!(c, Matrix::from_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = Matrix::identity(3);
+        let b = Matrix::filled(3, 3, 2.0);
+        let mut c = Matrix::filled(3, 3, 1.0);
+        matmul_into(c.as_mut(), a.as_ref(), b.as_ref());
+        assert_eq!(c, Matrix::filled(3, 3, 3.0));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = fill::counter(3, 4);
+        let b = fill::counter(4, 2);
+        let c = matmul(a.as_ref(), b.as_ref());
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 2);
+        // Spot check one entry by hand.
+        let mut e = 0.0;
+        for p in 0..4 {
+            e += a.get(1, p) * b.get(p, 1);
+        }
+        assert_eq!(c.get(1, 1), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_inner_dim_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        matmul(a.as_ref(), b.as_ref());
+    }
+}

@@ -1,0 +1,60 @@
+//! Reusable packing workspace.
+
+use crate::params::BlockingParams;
+use fmm_dense::AlignedBuf;
+
+/// The pair of packing buffers (`Ã`, `B̃`) a GEMM invocation needs.
+///
+/// Allocated once and reused across calls (and across the `R_L` products of
+/// an FMM execution) so that buffer allocation never appears in the timed
+/// region — mirroring BLIS, where the packing buffers are long-lived.
+pub struct GemmWorkspace {
+    /// Packed `mc x kc` block of (a linear combination of) `A`.
+    pub abuf: AlignedBuf,
+    /// Packed `kc x nc` panel of (a linear combination of) `B`.
+    pub bbuf: AlignedBuf,
+}
+
+impl GemmWorkspace {
+    /// Allocate buffers sized for `params`.
+    pub fn for_params(params: &BlockingParams) -> Self {
+        Self {
+            abuf: AlignedBuf::zeroed(params.packed_a_len()),
+            bbuf: AlignedBuf::zeroed(params.packed_b_len()),
+        }
+    }
+
+    /// Grow the buffers if `params` needs more space (never shrinks).
+    pub fn ensure(&mut self, params: &BlockingParams) {
+        self.abuf.ensure_capacity(params.packed_a_len());
+        self.bbuf.ensure_capacity(params.packed_b_len());
+    }
+}
+
+impl std::fmt::Debug for GemmWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GemmWorkspace(a={}, b={})", self.abuf.len(), self.bbuf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_from_params() {
+        let p = BlockingParams::tiny();
+        let ws = GemmWorkspace::for_params(&p);
+        assert_eq!(ws.abuf.len(), p.packed_a_len());
+        assert_eq!(ws.bbuf.len(), p.packed_b_len());
+    }
+
+    #[test]
+    fn ensure_grows_for_larger_params() {
+        let mut ws = GemmWorkspace::for_params(&BlockingParams::tiny());
+        let big = BlockingParams::default();
+        ws.ensure(&big);
+        assert!(ws.abuf.len() >= big.packed_a_len());
+        assert!(ws.bbuf.len() >= big.packed_b_len());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the checked-in modules under `src/generated/`.
+//! Run from the workspace root: `cargo run -p fmm-gen --bin regen`.
+
+use fmm_core::{registry, FmmPlan};
+use fmm_gen::emit::{generate_module, GenSpec};
+
+fn main() {
+    let targets = [
+        ("strassen_1l_abc", FmmPlan::new(vec![registry::strassen()]), "strassen_1l.rs"),
+        ("strassen_2l_abc", FmmPlan::uniform(registry::strassen(), 2), "strassen_2l.rs"),
+    ];
+    for (fn_name, plan, file) in targets {
+        let src = generate_module(&GenSpec::new(fn_name, plan));
+        let path = std::path::Path::new("crates/gen/src/generated").join(file);
+        std::fs::write(&path, src).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

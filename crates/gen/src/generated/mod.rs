@@ -1,0 +1,5 @@
+//! Pre-generated modules, checked in both as golden files for the emitter
+//! and as compiled, testable artifacts of the code-generation path.
+
+pub mod strassen_1l;
+pub mod strassen_2l;

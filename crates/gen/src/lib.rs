@@ -1,0 +1,22 @@
+//! Source-code generator for specialized FMM implementations (paper §4.1).
+//!
+//! The runtime executors in `fmm-core` interpret `[[U,V,W]]` coefficients.
+//! This crate emits the artifact the paper's code generator produces: a
+//! standalone, human-readable Rust module for a *fixed* plan and variant,
+//! with the coefficient loops fully unrolled —
+//!
+//! * one packing routine per product `r` that packs
+//!   `Σ U[i,r]·A_i` / `Σ V[j,r]·B_j` with the term list baked in;
+//! * one epilogue per product listing its `C_p += W[p,r]·M_r` updates;
+//! * a driver that sequences the `R_L` products.
+//!
+//! Generated modules depend only on `fmm-dense` and `fmm-gemm` and are
+//! verified two ways: a golden-file test pins the generated Strassen module
+//! byte-for-byte, and an integration test compiles-and-runs a generated
+//! module against the interpreted executor (see `tests/` at the workspace
+//! root and the pre-generated copy under `src/generated/`).
+
+pub mod emit;
+pub mod generated;
+
+pub use emit::{generate_module, GenSpec};

@@ -1,0 +1,107 @@
+//! Architecture parameters for the performance model (paper Fig. 4).
+
+use fmm_gemm::BlockingParams;
+use serde::{Deserialize, Serialize};
+
+/// The machine description the model needs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// `τ_a`: seconds per floating-point operation (reciprocal of peak
+    /// flops/s on the cores in use).
+    pub tau_a: f64,
+    /// `τ_b`: amortized seconds to move one 8-byte double from DRAM to
+    /// cache (8 bytes / sustained bandwidth).
+    pub tau_b: f64,
+    /// `λ ∈ [0.5, 1]`: software-prefetch efficiency applied to the
+    /// micro-kernel's C traffic; "adapted to match gemm performance"
+    /// (paper §4.2).
+    pub lambda: f64,
+    /// GEMM blocking parameters, which set the packing-reuse ceilings
+    /// (`⌈n/n_c⌉`, `⌈k/k_c⌉` factors in Fig. 5).
+    pub mc: usize,
+    /// `k_c` blocking parameter.
+    pub kc: usize,
+    /// `n_c` blocking parameter.
+    pub nc: usize,
+}
+
+impl ArchParams {
+    /// The paper's experiment machine (§5.1): one core of a Xeon E5-2680 v2
+    /// at 3.54 GHz with AVX (8 flops/cycle -> 28.32 GFLOPS peak) and
+    /// 59.7 GB/s peak bandwidth; blocking parameters
+    /// `m_c, k_c, n_c = 96, 256, 4096`.
+    pub fn paper_machine() -> Self {
+        Self {
+            tau_a: 1.0 / 28.32e9,
+            tau_b: 8.0 / 59.7e9,
+            lambda: 0.7,
+            mc: 96,
+            kc: 256,
+            nc: 4096,
+        }
+    }
+
+    /// Parameters from an observed GEMM rate (GFLOPS) and memory bandwidth
+    /// (GB/s), with blocking from `params`.
+    pub fn from_measurements(gemm_gflops: f64, bandwidth_gbs: f64, lambda: f64, params: &BlockingParams) -> Self {
+        assert!(gemm_gflops > 0.0 && bandwidth_gbs > 0.0);
+        Self {
+            tau_a: 1.0 / (gemm_gflops * 1e9),
+            tau_b: 8.0 / (bandwidth_gbs * 1e9),
+            lambda,
+            mc: params.mc,
+            kc: params.kc,
+            nc: params.nc,
+        }
+    }
+
+    /// Peak rate implied by `τ_a`, in GFLOPS.
+    pub fn peak_gflops(&self) -> f64 {
+        1.0 / self.tau_a / 1e9
+    }
+
+    /// Validate ranges (`λ` within the paper's `[0.5, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.tau_a > 0.0 && self.tau_b > 0.0) {
+            return Err("tau_a and tau_b must be positive".into());
+        }
+        if !(0.5..=1.0).contains(&self.lambda) {
+            return Err(format!("lambda {} outside [0.5, 1]", self.lambda));
+        }
+        if self.mc == 0 || self.kc == 0 || self.nc == 0 {
+            return Err("blocking parameters must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_section_5_1() {
+        let a = ArchParams::paper_machine();
+        assert!((a.peak_gflops() - 28.32).abs() < 1e-9);
+        assert_eq!((a.mc, a.kc, a.nc), (96, 256, 4096));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn from_measurements_inverts_rates() {
+        let p = BlockingParams::default();
+        let a = ArchParams::from_measurements(10.0, 20.0, 0.6, &p);
+        assert!((a.peak_gflops() - 10.0).abs() < 1e-12);
+        assert!((a.tau_b - 8.0 / 20.0e9).abs() < 1e-20);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_lambda() {
+        let mut a = ArchParams::paper_machine();
+        a.lambda = 0.2;
+        assert!(a.validate().is_err());
+        a.lambda = 1.5;
+        assert!(a.validate().is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Verbatim transcription of the paper's Figure 5 tables.
+//!
+//! The middle table gives, for BLAS GEMM and for L-level FMM, the cost of
+//! each arithmetic / memory term (a function of problem size, aggregate
+//! partition dims, and blocking parameters). The bottom table gives the
+//! per-implementation coefficient `N^X_a` / `N^X_m` each term is multiplied
+//! by. [`crate::predict`] combines the two.
+
+use crate::arch::ArchParams;
+use crate::Impl;
+use fmm_core::counts::PlanCounts;
+
+/// The unit times of Figure 5's middle table for one problem instance.
+///
+/// All values are in seconds for a *single* occurrence of the term; the
+/// coefficients in [`Coeffs`] say how many occurrences each implementation
+/// pays. For GEMM use [`Terms::gemm`]; for L-level FMM use [`Terms::fmm`]
+/// (where the sub-problem dims `m/M̃_L` etc. replace `m, k, n`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Terms {
+    /// `T_a^×`: one (block) multiplication.
+    pub tx_a: f64,
+    /// `T_a^{A+}`: one A-side block addition (as FMA, factor 2).
+    pub ta_plus_a: f64,
+    /// `T_a^{B+}`.
+    pub tb_plus_a: f64,
+    /// `T_a^{C+}`.
+    pub tc_plus_a: f64,
+    /// `T_m^{A×}`: reading an A block in the packing routine (amortized
+    /// over `⌈n/n_c⌉` repetitions of loop 4).
+    pub ta_x_m: f64,
+    /// `T_m^{B×}`: reading a B block in the packing routine.
+    pub tb_x_m: f64,
+    /// `T_m^{C×}`: reading+writing a C block in the micro-kernel
+    /// (`2λ·…·⌈k/k_c⌉`).
+    pub tc_x_m: f64,
+    /// `T_m^{A+}`: temporary-buffer traffic for A sums (Naive only).
+    pub ta_plus_m: f64,
+    /// `T_m^{B+}`.
+    pub tb_plus_m: f64,
+    /// `T_m^{C+}`: temporary-buffer traffic for `M_r` (Naive and AB).
+    pub tc_plus_m: f64,
+}
+
+impl Terms {
+    /// Middle-table column "gemm": unit terms for plain blocked GEMM on an
+    /// `(m, k, n)` problem.
+    pub fn gemm(m: usize, k: usize, n: usize, arch: &ArchParams) -> Self {
+        Self::build(m as f64, k as f64, n as f64, arch)
+    }
+
+    /// Middle-table column "L-level": unit terms for the block sub-problems
+    /// of an FMM plan, i.e. GEMM terms at dims `(m/M̃_L, k/K̃_L, n/Ñ_L)`.
+    pub fn fmm(counts: &PlanCounts, m: usize, k: usize, n: usize, arch: &ArchParams) -> Self {
+        let sm = m as f64 / counts.mt as f64;
+        let sk = k as f64 / counts.kt as f64;
+        let sn = n as f64 / counts.nt as f64;
+        Self::build(sm, sk, sn, arch)
+    }
+
+    fn build(m: f64, k: f64, n: f64, arch: &ArchParams) -> Self {
+        let ta = arch.tau_a;
+        let tb = arch.tau_b;
+        let ceil = |x: f64, b: usize| (x / b as f64).ceil().max(1.0);
+        Self {
+            tx_a: 2.0 * m * n * k * ta,
+            ta_plus_a: 2.0 * m * k * ta,
+            tb_plus_a: 2.0 * k * n * ta,
+            tc_plus_a: 2.0 * m * n * ta,
+            ta_x_m: m * k * ceil(n, arch.nc) * tb,
+            tb_x_m: n * k * tb,
+            tc_x_m: 2.0 * arch.lambda * m * n * ceil(k, arch.kc) * tb,
+            ta_plus_m: m * k * tb,
+            tb_plus_m: k * n * tb,
+            tc_plus_m: m * n * tb,
+        }
+    }
+}
+
+/// The coefficient row of Figure 5's bottom table for one implementation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coeffs {
+    /// `N_a^×`: number of (block) multiplications.
+    pub nx_a: usize,
+    /// `N_a^{A+}`.
+    pub na_plus_a: usize,
+    /// `N_a^{B+}`.
+    pub nb_plus_a: usize,
+    /// `N_a^{C+}`.
+    pub nc_plus_a: usize,
+    /// `N_m^{A×}`.
+    pub na_x_m: usize,
+    /// `N_m^{B×}`.
+    pub nb_x_m: usize,
+    /// `N_m^{C×}`.
+    pub nc_x_m: usize,
+    /// `N_m^{A+}`.
+    pub na_plus_m: usize,
+    /// `N_m^{B+}`.
+    pub nb_plus_m: usize,
+    /// `N_m^{C+}`.
+    pub nc_plus_m: usize,
+}
+
+/// Figure 5 bottom table: coefficients for `impl_` given the plan counts
+/// (for [`Impl::Gemm`], `counts` is ignored).
+pub fn coeffs(impl_: Impl, counts: &PlanCounts) -> Coeffs {
+    let r = counts.r;
+    let (u, v, w) = (counts.nnz_u, counts.nnz_v, counts.nnz_w);
+    match impl_ {
+        Impl::Gemm => Coeffs {
+            nx_a: 1,
+            na_plus_a: 0,
+            nb_plus_a: 0,
+            nc_plus_a: 0,
+            na_x_m: 1,
+            nb_x_m: 1,
+            nc_x_m: 1,
+            na_plus_m: 0,
+            nb_plus_m: 0,
+            nc_plus_m: 0,
+        },
+        Impl::Abc => Coeffs {
+            nx_a: r,
+            na_plus_a: u - r,
+            nb_plus_a: v - r,
+            nc_plus_a: w,
+            na_x_m: u,
+            nb_x_m: v,
+            nc_x_m: w,
+            na_plus_m: 0,
+            nb_plus_m: 0,
+            nc_plus_m: 0,
+        },
+        Impl::Ab => Coeffs {
+            nx_a: r,
+            na_plus_a: u - r,
+            nb_plus_a: v - r,
+            nc_plus_a: w,
+            na_x_m: u,
+            nb_x_m: v,
+            nc_x_m: r,
+            na_plus_m: 0,
+            nb_plus_m: 0,
+            nc_plus_m: 3 * w,
+        },
+        Impl::Naive => Coeffs {
+            nx_a: r,
+            na_plus_a: u - r,
+            nb_plus_a: v - r,
+            nc_plus_a: w,
+            na_x_m: r,
+            nb_x_m: r,
+            nc_x_m: r,
+            na_plus_m: u + r,
+            nb_plus_m: v + r,
+            nc_plus_m: 3 * w,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_core::{registry, FmmPlan};
+
+    fn strassen_counts() -> PlanCounts {
+        PlanCounts::of(&FmmPlan::new(vec![registry::strassen()]))
+    }
+
+    #[test]
+    fn figure5_bottom_table_gemm_column() {
+        let c = coeffs(Impl::Gemm, &strassen_counts());
+        assert_eq!(
+            (c.nx_a, c.na_x_m, c.nb_x_m, c.nc_x_m),
+            (1, 1, 1, 1),
+            "gemm pays one of each main term"
+        );
+        assert_eq!(c.na_plus_a + c.nb_plus_a + c.nc_plus_a, 0);
+        assert_eq!(c.na_plus_m + c.nb_plus_m + c.nc_plus_m, 0);
+    }
+
+    #[test]
+    fn figure5_bottom_table_one_level_strassen() {
+        // For one-level Strassen: R=7, nnz(U)=nnz(V)=nnz(W)=12.
+        let counts = strassen_counts();
+        let abc = coeffs(Impl::Abc, &counts);
+        assert_eq!(abc.nx_a, 7);
+        assert_eq!(abc.na_plus_a, 5);
+        assert_eq!(abc.nb_plus_a, 5);
+        assert_eq!(abc.nc_plus_a, 12);
+        assert_eq!(abc.na_x_m, 12);
+        assert_eq!(abc.nb_x_m, 12);
+        assert_eq!(abc.nc_x_m, 12);
+        assert_eq!(abc.nc_plus_m, 0);
+
+        let ab = coeffs(Impl::Ab, &counts);
+        assert_eq!(ab.nc_x_m, 7, "AB touches C through the M_r buffer R_L times");
+        assert_eq!(ab.nc_plus_m, 36, "3·nnz(W): 2 reads + 1 write per C update");
+        assert_eq!((ab.na_x_m, ab.nb_x_m), (12, 12));
+
+        let nv = coeffs(Impl::Naive, &counts);
+        assert_eq!((nv.na_x_m, nv.nb_x_m, nv.nc_x_m), (7, 7, 7));
+        assert_eq!(nv.na_plus_m, 19, "nnz(U) + R_L");
+        assert_eq!(nv.nb_plus_m, 19);
+        assert_eq!(nv.nc_plus_m, 36);
+    }
+
+    #[test]
+    fn terms_scale_with_problem_size() {
+        let arch = ArchParams::paper_machine();
+        let t1 = Terms::gemm(1000, 1000, 1000, &arch);
+        let t2 = Terms::gemm(2000, 1000, 1000, &arch);
+        assert!((t2.tx_a / t1.tx_a - 2.0).abs() < 1e-12);
+        assert!((t2.tc_x_m / t1.tc_x_m - 2.0).abs() < 1e-12);
+        assert_eq!(t1.tb_x_m, t2.tb_x_m, "B traffic independent of m");
+    }
+
+    #[test]
+    fn fmm_terms_divide_by_partition_dims() {
+        let arch = ArchParams::paper_machine();
+        let counts = strassen_counts();
+        let f = Terms::fmm(&counts, 2048, 2048, 2048, &arch);
+        let g = Terms::gemm(1024, 1024, 1024, &arch);
+        assert!((f.tx_a - g.tx_a).abs() < 1e-18);
+        assert!((f.ta_plus_a - g.ta_plus_a).abs() < 1e-18);
+    }
+
+    #[test]
+    fn c_traffic_is_ceil_in_k() {
+        // The 2λmn⌈k/k_c⌉ term is a step function of k (paper's explanation
+        // for ABC's rank-k sweet spots at multiples of K̃_L·k_c).
+        let arch = ArchParams::paper_machine();
+        let a = Terms::gemm(4096, 256, 4096, &arch);
+        let b = Terms::gemm(4096, 257, 4096, &arch);
+        assert!(b.tc_x_m > 1.9 * a.tc_x_m, "crossing kc doubles C traffic");
+    }
+}

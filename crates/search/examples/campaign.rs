@@ -1,0 +1,36 @@
+//! Discovery campaign: run the annealing searcher on the registry's target
+//! shapes and write any verified find into the registry data format.
+
+use fmm_search::anneal::{anneal, AnnealConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (m, k, n, rank, secs): (usize, usize, usize, usize, u64) = (
+        args[1].parse().unwrap(),
+        args[2].parse().unwrap(),
+        args[3].parse().unwrap(),
+        args[4].parse().unwrap(),
+        args[5].parse().unwrap(),
+    );
+    let mut cfg = AnnealConfig::new((m, k, n), rank);
+    cfg.budget = Duration::from_secs(secs);
+    cfg.restarts = 100_000;
+    cfg.steps = 400_000;
+    if args.len() > 6 {
+        cfg.seed = args[6].parse().unwrap();
+    }
+    let out = anneal(&cfg);
+    match out.algorithm {
+        Some(algo) => {
+            let file = fmm_search::io::registry_file_name(&algo);
+            let path = std::path::Path::new("crates/core/src/registry/data").join(&file);
+            fmm_search::io::save(&algo, &path).unwrap();
+            println!("FOUND {} -> {}", algo, path.display());
+        }
+        None => println!(
+            "<{m},{k},{n}> rank {rank}: not found (best obj {}, {} restarts, {:?})",
+            out.best_objective, out.restarts_run, out.elapsed
+        ),
+    }
+}

@@ -1,0 +1,96 @@
+//! Developer harness for tuning the search heuristics. Not part of the
+//! public API; see `fmm-search::runner` for the production entry point.
+
+use fmm_search::als::{self, AlsOptions, Factors};
+use fmm_search::linalg::Mat;
+use fmm_search::repair;
+use fmm_search::rounding::DEFAULT_GRID;
+use fmm_search::tensor::MatMulTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn discrete_random(t: &MatMulTensor, r: usize, seed: u64) -> Factors {
+    let (da, db, dc) = t.mode_sizes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = |rows: usize| {
+        Mat::from_rows(
+            rows,
+            r,
+            (0..rows * r)
+                .map(|_| {
+                    let x: f64 = rng.gen();
+                    if x < 0.5 {
+                        0.0
+                    } else if x < 0.75 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect(),
+        )
+    };
+    Factors { u: gen(da), v: gen(db), w: gen(dc) }
+}
+
+fn attempt(t: &MatMulTensor, rank: usize, seed: u64, sweeps: usize) -> Option<usize> {
+    let mut f = discrete_random(t, rank, seed);
+    let opts = AlsOptions { ridge: 1e-7, clamp: 2.5 };
+    let mut mu = 0.002;
+    for outer in 0..sweeps / 4 {
+        for _ in 0..4 {
+            if !als::sweep_discrete(t, &mut f, &opts, mu, DEFAULT_GRID) {
+                return None;
+            }
+        }
+        let res = f.residual_sq(t);
+        let disc = als::discreteness(&f, DEFAULT_GRID);
+        if disc < 0.03 && res < 0.01 {
+            if let Some(a) = repair::finalize(t, &f, "x", DEFAULT_GRID) {
+                if a.rank() == rank {
+                    return Some(outer);
+                }
+            }
+        }
+        // Periodic hard snap (basin hopping) when fit is decent.
+        if outer % 8 == 7 && res < 0.3 {
+            let mut g = f.clone();
+            fmm_search::rounding::snap_all(&mut g.u.data, DEFAULT_GRID);
+            fmm_search::rounding::snap_all(&mut g.v.data, DEFAULT_GRID);
+            fmm_search::rounding::snap_all(&mut g.w.data, DEFAULT_GRID);
+            if g.residual_sq(t) < res + 0.5 {
+                f = g;
+            }
+        }
+        mu = (mu * 1.05).min(0.35);
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (m, k, n, rank, tries): (usize, usize, usize, usize, u64) = if args.len() >= 6 {
+        (
+            args[1].parse().unwrap(),
+            args[2].parse().unwrap(),
+            args[3].parse().unwrap(),
+            args[4].parse().unwrap(),
+            args[5].parse().unwrap(),
+        )
+    } else {
+        (2, 2, 2, 7, 40)
+    };
+    let t = MatMulTensor::new(m, k, n);
+    let mut found = 0;
+    let start = std::time::Instant::now();
+    for seed in 0..tries {
+        if let Some(outer) = attempt(&t, rank, seed, 800) {
+            println!("seed {seed}: FOUND after {outer} outers");
+            found += 1;
+        }
+    }
+    println!(
+        "<{m},{k},{n}> rank {rank}: {found}/{tries} successes in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+}

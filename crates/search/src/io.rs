@@ -1,0 +1,57 @@
+//! Import/export of discovered algorithms as registry JSON files.
+
+use fmm_core::FmmAlgorithm;
+use std::path::Path;
+
+/// Write `algo` to `path` in the registry JSON format
+/// (`crates/core/src/registry/data/*.json`).
+pub fn save(algo: &FmmAlgorithm, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, algo.to_json())
+}
+
+/// Load and re-verify an algorithm from a JSON file.
+pub fn load(path: &Path) -> Result<FmmAlgorithm, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    FmmAlgorithm::from_json(&json)
+}
+
+/// Canonical registry file name for an algorithm, e.g. `mkn233_r15.json`.
+pub fn registry_file_name(algo: &FmmAlgorithm) -> String {
+    let (m, k, n) = algo.dims();
+    format!("mkn{m}{k}{n}_r{}.json", algo.rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_core::registry::strassen;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("fmm_search_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("strassen.json");
+        let s = strassen();
+        save(&s, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.dims(), s.dims());
+        assert_eq!(back.rank(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_tampered_files() {
+        let dir = std::env::temp_dir().join("fmm_search_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let tampered = strassen().to_json().replace("-1.0", "1.0");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_file_name_format() {
+        assert_eq!(registry_file_name(&strassen()), "mkn222_r7.json");
+    }
+}

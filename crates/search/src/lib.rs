@@ -1,0 +1,31 @@
+//! Searching for fast matrix multiplication algorithms.
+//!
+//! The paper consumes algorithms found by others (Benson–Ballard's numerical
+//! search, Smirnov's constructions) and lists coefficient search as future
+//! work (§6). This crate implements the standard discovery pipeline those
+//! sources used, so the repository is self-contained:
+//!
+//! 1. Build the `<m̃,k̃,ñ>` matrix multiplication tensor ([`tensor`]).
+//! 2. Run alternating least squares (ALS) with ridge regularization to find
+//!    an approximate rank-`R` decomposition ([`als`]).
+//! 3. Round factor entries onto the dyadic grid `{0, ±1/2, ±1, ±2}`
+//!    ([`rounding`]).
+//! 4. Repair: with two factors fixed, the third is the solution of a linear
+//!    system — solve it exactly and verify the Brent equations ([`repair`]).
+//! 5. Orchestrate restarts/budgets and emit registry JSON ([`runner`],
+//!    [`io`]).
+//!
+//! Every "discovery" is re-verified through `FmmAlgorithm::new`, so this
+//! pipeline can never hand the registry a wrong algorithm.
+
+pub mod als;
+pub mod anneal;
+pub mod flip;
+pub mod io;
+pub mod linalg;
+pub mod repair;
+pub mod rounding;
+pub mod runner;
+pub mod tensor;
+
+pub use runner::{search, SearchConfig, SearchOutcome};

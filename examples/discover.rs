@@ -1,0 +1,58 @@
+//! Discover a fast matrix multiplication algorithm from scratch: run the
+//! simulated-annealing searcher on `<2,2,2>` at rank 7 and verify that the
+//! result is a genuine Strassen-class algorithm.
+//!
+//! ```sh
+//! cargo run --release --example discover            # <2,2,2> rank 7
+//! cargo run --release --example discover 2 2 3 11   # custom target
+//! ```
+
+use fmm_search::anneal::{anneal, AnnealConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (m, k, n, rank) = if args.len() >= 5 {
+        (
+            args[1].parse().unwrap(),
+            args[2].parse().unwrap(),
+            args[3].parse().unwrap(),
+            args[4].parse().unwrap(),
+        )
+    } else {
+        (2, 2, 2, 7)
+    };
+
+    println!("searching for a <{m},{k},{n}> algorithm of rank {rank}...");
+    let mut cfg = AnnealConfig::new((m, k, n), rank);
+    cfg.budget = Duration::from_secs(60);
+    cfg.restarts = 2_000;
+    let out = anneal(&cfg);
+
+    match out.algorithm {
+        Some(algo) => {
+            println!(
+                "found after {} restart(s) in {:.1}s: {algo}",
+                out.restarts_run,
+                out.elapsed.as_secs_f64()
+            );
+            println!("\nU (A-side combinations), one column per product:");
+            for i in 0..algo.u().rows() {
+                let row: Vec<String> =
+                    (0..algo.rank()).map(|r| format!("{:>4}", algo.u().at(i, r))).collect();
+                println!("  {}", row.join(""));
+            }
+            println!("\nverified against all Brent equations ✓");
+            println!("registry JSON:\n{}", &algo.to_json()[..200.min(algo.to_json().len())]);
+        }
+        None => {
+            println!(
+                "not found within budget: best objective {} over {} restarts ({:.1}s)",
+                out.best_objective,
+                out.restarts_run,
+                out.elapsed.as_secs_f64()
+            );
+            println!("(larger targets need longer campaigns; see fmm-search docs)");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `fmm` — families of practical fast matrix multiplication algorithms.
+//!
+//! This is the umbrella crate of the workspace reproducing Huang, Rice,
+//! Matthews & van de Geijn, *"Generating Families of Practical Fast Matrix
+//! Multiplication Algorithms"* (IPDPS 2017). It re-exports the component
+//! crates and offers a batteries-included entry point, [`multiply`], that
+//! performs model-guided algorithm selection (the paper's poly-algorithm,
+//! §4.4) before executing.
+//!
+//! Components:
+//!
+//! * [`dense`] — column-major matrices and strided views;
+//! * [`gemm`] — the BLIS-style blocked GEMM substrate (packing with sums,
+//!   multi-destination micro-kernel epilogue, rayon loop-3 parallelism);
+//! * [`core`] — `[[U,V,W]]` algorithms, Kronecker multi-level plans,
+//!   dynamic peeling, the Naive/AB/ABC executors, and the Figure-2 registry;
+//! * [`model`] — the generated performance model (Figures 4–5) and
+//!   selection;
+//! * [`search`] — ALS / annealing / flip-graph discovery of new algorithms;
+//! * [`gen`] — the source-code generator for specialized implementations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fmm_dense::{fill, Matrix};
+//!
+//! let a = fill::bench_workload(96, 64, 1);
+//! let b = fill::bench_workload(64, 80, 2);
+//! let mut c = Matrix::zeros(96, 80);
+//! fmm::multiply(c.as_mut(), a.as_ref(), b.as_ref());
+//!
+//! let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+//! assert!(fmm_dense::norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-10);
+//! ```
+
+pub use fmm_core as core;
+pub use fmm_dense as dense;
+pub use fmm_gemm as gemm;
+pub use fmm_gen as gen;
+pub use fmm_model as model;
+pub use fmm_search as search;
+
+use fmm_core::{fmm_execute, fmm_execute_parallel, FmmContext, FmmPlan};
+use fmm_dense::{MatMut, MatRef};
+use fmm_model::{rank_candidates, ArchParams, Impl};
+use std::sync::Arc;
+
+/// Options for the high-level [`multiply_with`] entry point.
+#[derive(Clone, Debug)]
+pub struct MultiplyOptions {
+    /// Architecture parameters for model-guided selection.
+    pub arch: ArchParams,
+    /// Use the rayon-parallel executors.
+    pub parallel: bool,
+    /// Maximum plan levels considered (1 or 2 are practical).
+    pub max_levels: usize,
+}
+
+impl Default for MultiplyOptions {
+    fn default() -> Self {
+        Self { arch: ArchParams::paper_machine(), parallel: false, max_levels: 2 }
+    }
+}
+
+/// `C += A·B` with model-guided selection over the standard registry
+/// (default options).
+pub fn multiply(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    multiply_with(c, a, b, &MultiplyOptions::default())
+}
+
+/// `C += A·B` with model-guided selection (the paper's poly-algorithm):
+/// rank every `(plan, variant)` candidate plus plain GEMM with the
+/// performance model and execute the best prediction.
+///
+/// For production use cases that re-multiply the same shape many times,
+/// follow the paper's full §4.4 protocol instead: take the top-2 via
+/// [`fmm_model::select::top_two`], measure both once, and cache the winner.
+pub fn multiply_with(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, opts: &MultiplyOptions) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let reg = fmm_core::registry::Registry::shared();
+    let mut plans: Vec<Arc<FmmPlan>> = Vec::new();
+    for (_, algo) in reg.paper_rows() {
+        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone()])));
+        if opts.max_levels >= 2 {
+            plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone(), algo.clone()])));
+        }
+    }
+    let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &opts.arch, true);
+    let best = &ranked[0];
+    match (&best.plan, best.impl_.to_variant()) {
+        (Some(plan), Some(variant)) => {
+            let mut ctx = FmmContext::with_defaults();
+            if opts.parallel {
+                fmm_execute_parallel(c, a, b, plan, variant, &mut ctx);
+            } else {
+                fmm_execute(c, a, b, plan, variant, &mut ctx);
+            }
+        }
+        _ => {
+            if opts.parallel {
+                fmm_gemm::gemm_parallel(c, a, b);
+            } else {
+                fmm_gemm::gemm(c, a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_dense::{fill, norms, Matrix};
+
+    #[test]
+    fn multiply_matches_reference_on_awkward_sizes() {
+        for (m, k, n) in [(37, 29, 41), (120, 120, 120), (5, 300, 5)] {
+            let a = fill::bench_workload(m, k, 1);
+            let b = fill::bench_workload(k, n, 2);
+            let mut c = Matrix::zeros(m, n);
+            multiply(c.as_mut(), a.as_ref(), b.as_ref());
+            let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+            assert!(
+                norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9,
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiply_parallel_option() {
+        let opts = MultiplyOptions { parallel: true, ..Default::default() };
+        let a = fill::bench_workload(64, 48, 3);
+        let b = fill::bench_workload(48, 56, 4);
+        let mut c = Matrix::zeros(64, 56);
+        multiply_with(c.as_mut(), a.as_ref(), b.as_ref(), &opts);
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+    }
+
+    #[test]
+    fn multiply_accumulates() {
+        let a = Matrix::identity(8);
+        let b = Matrix::filled(8, 8, 2.0);
+        let mut c = Matrix::filled(8, 8, 1.0);
+        multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        assert_eq!(c, Matrix::filled(8, 8, 3.0));
+    }
+}

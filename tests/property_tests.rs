@@ -1,0 +1,141 @@
+//! Property-based tests over the core invariants.
+#![allow(clippy::needless_range_loop)]
+
+use fmm_core::compose;
+use fmm_core::indexing::BlockGrid;
+use fmm_core::peeling;
+use fmm_core::prelude::*;
+use fmm_core::registry::Registry;
+use fmm_dense::{fill, norms};
+use fmm_gemm::BlockingParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FMM == reference for arbitrary sizes (including fringes), arbitrary
+    /// variant, and a sampled registry algorithm.
+    #[test]
+    fn fmm_matches_reference(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        algo_idx in 0usize..23,
+        variant_idx in 0usize..3,
+    ) {
+        let reg = Registry::shared();
+        let rows = reg.paper_rows();
+        let (_, algo) = &rows[algo_idx % rows.len()];
+        let plan = FmmPlan::from_arcs(vec![algo.clone()]);
+        let variant = Variant::ALL[variant_idx];
+
+        let a = fill::bench_workload(m, k, 11);
+        let b = fill::bench_workload(k, n, 22);
+        let mut c = fill::bench_workload(m, n, 33);
+        let mut c_ref = c.clone();
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant, &mut ctx);
+        fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
+        let err = norms::max_abs_diff(c.as_ref(), c_ref.as_ref());
+        prop_assert!(err < norms::fmm_tolerance(k, 1), "err {err}");
+    }
+
+    /// Morton block indexing is a bijection for arbitrary level stacks.
+    #[test]
+    fn block_grid_bijection(levels in prop::collection::vec((1usize..4, 1usize..4), 1..4)) {
+        let grid = BlockGrid::new(levels);
+        let mut seen = vec![false; grid.len()];
+        for flat in 0..grid.len() {
+            let (r, c) = grid.coords(flat);
+            prop_assert!(r < grid.rows() && c < grid.cols());
+            let back = grid.flat(r, c);
+            prop_assert_eq!(back, flat);
+            prop_assert!(!seen[flat]);
+            seen[flat] = true;
+        }
+    }
+
+    /// Peeling covers the iteration space exactly once.
+    #[test]
+    fn peeling_partitions_exactly(
+        m in 1usize..30,
+        k in 1usize..30,
+        n in 1usize..30,
+        mt in 1usize..5,
+        kt in 1usize..5,
+        nt in 1usize..5,
+    ) {
+        let plan = peeling::peel(m, k, n, (mt, kt, nt));
+        let (mc, kc, nc) = plan.core;
+        prop_assert_eq!(mc % mt, 0);
+        prop_assert_eq!(kc % kt, 0);
+        prop_assert_eq!(nc % nt, 0);
+        let core_flops = mc * kc * nc;
+        prop_assert_eq!(core_flops + plan.rim_flops(), m * k * n);
+    }
+
+    /// Symmetry orientations of valid algorithms are valid (construction
+    /// verifies; this exercises it over random registry picks).
+    #[test]
+    fn orientations_preserve_rank(algo_idx in 0usize..23) {
+        let reg = Registry::shared();
+        let rows = reg.paper_rows();
+        let (_, algo) = &rows[algo_idx % rows.len()];
+        for o in compose::all_orientations(algo) {
+            prop_assert_eq!(o.rank(), algo.rank());
+            let (m, k, n) = algo.dims();
+            let dims = o.dims();
+            let mut sorted_a = [m, k, n];
+            let mut sorted_b = [dims.0, dims.1, dims.2];
+            sorted_a.sort_unstable();
+            sorted_b.sort_unstable();
+            prop_assert_eq!(sorted_a, sorted_b);
+        }
+    }
+
+    /// Direct sums add ranks and dims.
+    #[test]
+    fn stacking_adds_ranks(n1 in 1usize..4, n2 in 1usize..4) {
+        let s = fmm_core::registry::strassen();
+        let a = if n1 == 2 { s.clone() } else { compose::classical(2, 2, n1) };
+        let b = if n2 == 2 { s } else { compose::classical(2, 2, n2) };
+        let sum = compose::stack_n(&a, &b);
+        prop_assert_eq!(sum.rank(), a.rank() + b.rank());
+        prop_assert_eq!(sum.dims(), (2, 2, n1 + n2));
+    }
+
+    /// The packed-sum primitive equals materialize-then-pack.
+    #[test]
+    fn pack_sum_equals_add_then_pack(
+        mb in 1usize..20,
+        kb in 1usize..16,
+        g0 in -2i32..3,
+        g1 in -2i32..3,
+    ) {
+        let x = fill::bench_workload(mb, kb, 1);
+        let y = fill::bench_workload(mb, kb, 2);
+        let terms = [(g0 as f64, x.as_ref()), (g1 as f64, y.as_ref())];
+        let panels = mb.div_ceil(8);
+        let mut packed_direct = vec![0.0; panels * 8 * kb];
+        fmm_gemm::pack::pack_a_sum(&mut packed_direct, &terms, 8);
+
+        let mut sum = fmm_dense::Matrix::zeros(mb, kb);
+        fmm_dense::ops::linear_combination(sum.as_mut(), &terms).unwrap();
+        let mut packed_indirect = vec![0.0; panels * 8 * kb];
+        fmm_gemm::pack::pack_a_sum(&mut packed_indirect, &[(1.0, sum.as_ref())], 8);
+        for (i, (a, b)) in packed_direct.iter().zip(packed_indirect.iter()).enumerate() {
+            prop_assert!((a - b).abs() < 1e-12, "index {i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn registry_algorithms_all_pass_brent_exactly() {
+    // Not a proptest (deterministic), but the central invariant: every
+    // algorithm that reaches users is exactly verified.
+    let reg = Registry::standard();
+    for algo in reg.all() {
+        assert!(fmm_core::brent::verify(algo).is_ok(), "{}", algo.name());
+        assert_eq!(fmm_core::brent::count_violations(algo, 0.0), 0);
+    }
+}
