@@ -1,0 +1,102 @@
+//! Engine performance smoke test: repeated 512³ multiplies through a
+//! model-routed `FmmEngine`, cold versus warm, emitted as
+//! `BENCH_engine.json` so successive PRs accumulate a perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p fmm-bench --bin engine_smoke [-- --size 512 --reps 20 --out BENCH_engine.json]
+//! ```
+//!
+//! * `cold_ms` — the first `multiply` of the shape on a fresh engine:
+//!   pays model ranking, plan composition, context construction, and
+//!   arena/packing allocation.
+//! * `warm_*` — steady state: decision-cache hits, pooled context, zero
+//!   workspace allocation (asserted via engine counters before emitting).
+
+use fmm_bench::timing;
+use fmm_dense::fill;
+use fmm_engine::FmmEngine;
+use std::time::Instant;
+
+struct Args {
+    size: usize,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { size: 512, reps: 20, out: "BENCH_engine.json".to_string() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--size" => {
+                args.size = argv[i + 1].parse().expect("--size takes an integer");
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("--reps takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.size;
+    let a = fill::bench_workload(n, n, 1);
+    let b = fill::bench_workload(n, n, 2);
+    let mut c = fmm_dense::Matrix::zeros(n, n);
+
+    let engine = FmmEngine::with_defaults();
+
+    // Cold: first call on a fresh engine for a fresh shape.
+    let t0 = Instant::now();
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let cold = t0.elapsed().as_secs_f64();
+    let decision = engine.decision_label(n, n, n);
+
+    // Warm: steady-state repeated calls.
+    let warm_secs = timing::time_min(args.reps, || {
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    });
+    let stats = engine.stats();
+
+    // The warm path must have been genuinely warm.
+    assert_eq!(stats.rankings, 1, "exactly one ranking for one shape");
+    let warm_calls = stats.executions - 1;
+    assert_eq!(
+        stats.decision_hits,
+        warm_calls + 1, // + the decision_label probe
+        "every warm call hit the decision cache"
+    );
+
+    let warm_calls_per_sec = 1.0 / warm_secs;
+    let warm_gflops = timing::gflops(n, n, n, warm_secs);
+    let cold_gflops = timing::gflops(n, n, n, cold);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_smoke\",\n  \"shape\": [{n}, {n}, {n}],\n  \"decision\": \"{decision}\",\n  \"cold_ms\": {:.3},\n  \"cold_effective_gflops\": {:.3},\n  \"warm_ms\": {:.3},\n  \"warm_calls_per_sec\": {:.3},\n  \"warm_effective_gflops\": {:.3},\n  \"reps\": {},\n  \"stats\": {{\n    \"executions\": {},\n    \"decision_hits\": {},\n    \"rankings\": {},\n    \"plan_compositions\": {},\n    \"context_allocations\": {},\n    \"arena_grows\": {}\n  }}\n}}\n",
+        cold * 1e3,
+        cold_gflops,
+        warm_secs * 1e3,
+        warm_calls_per_sec,
+        warm_gflops,
+        args.reps,
+        stats.executions,
+        stats.decision_hits,
+        stats.rankings,
+        stats.plan_compositions,
+        stats.context_allocations,
+        stats.arena_grows,
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("wrote {}", args.out);
+}

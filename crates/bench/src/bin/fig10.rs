@@ -29,20 +29,15 @@ fn main() {
 
     type Sweep = (&'static str, Vec<(usize, usize, usize)>);
     let sweeps: [Sweep; 3] = [
-        ("m=k=n", p
-            .k_sweep(&[2000, 6000, 12000])
-            .iter()
-            .map(|&x| (rt(x), rt(x), rt(x)))
-            .collect()),
+        ("m=k=n", p.k_sweep(&[2000, 6000, 12000]).iter().map(|&x| (rt(x), rt(x), rt(x))).collect()),
         ("m=n=14400s, k varies", {
             let mn = p.dim(14400, 144);
             p.k_sweep(&[1000, 4000, 12000]).iter().map(|&k| (mn, rt(k), mn)).collect()
         }),
-        ("k=1024, m=n vary", p
-            .k_sweep(&[2000, 6000, 12000])
-            .iter()
-            .map(|&mn| (rt(mn), 1024, rt(mn)))
-            .collect()),
+        (
+            "k=1024, m=n vary",
+            p.k_sweep(&[2000, 6000, 12000]).iter().map(|&mn| (rt(mn), 1024, rt(mn))).collect(),
+        ),
     ];
 
     for (sweep_name, points) in sweeps {
@@ -64,9 +59,18 @@ fn main() {
                 .fold(0.0, f64::max);
             // Reference role: Naive variant of the best-ranked plan.
             let ref_plan = ranked[0].plan.as_ref().expect("plan");
-            let reference =
-                measure_fmm(ref_plan, Variant::Naive, m, k, n, &params, &arch, p.reps, p.parallel())
-                    .actual;
+            let reference = measure_fmm(
+                ref_plan,
+                Variant::Naive,
+                m,
+                k,
+                n,
+                &params,
+                &arch,
+                p.reps,
+                p.parallel(),
+            )
+            .actual;
             table.push(format!("{m}x{k}x{n}"), vec![gemm.actual, ours, reference]);
         }
         table.print(p.csv);

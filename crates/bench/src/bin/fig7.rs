@@ -51,8 +51,7 @@ fn main() {
     ];
 
     for (sweep_name, points) in sweeps {
-        let headers: Vec<String> =
-            points.iter().map(|&(m, k, n)| format!("{m}x{k}x{n}")).collect();
+        let headers: Vec<String> = points.iter().map(|&(m, k, n)| format!("{m}x{k}x{n}")).collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut actual =
             Table::new(format!("Figure 7: 2-level ABC actual ({sweep_name})"), &headers_ref);

@@ -30,20 +30,18 @@ fn main() {
 
     type Sweep = (&'static str, Vec<(usize, usize, usize)>);
     let sweeps: [Sweep; 3] = [
-        ("m=k=n", p
-            .k_sweep(&[2000, 4000, 8000, 12000])
-            .iter()
-            .map(|&x| (rt(x), rt(x), rt(x)))
-            .collect()),
+        (
+            "m=k=n",
+            p.k_sweep(&[2000, 4000, 8000, 12000]).iter().map(|&x| (rt(x), rt(x), rt(x))).collect(),
+        ),
         ("m=n=14400s, k varies", {
             let mn = p.dim(14400, 144);
             p.k_sweep(&[1000, 2000, 6000, 12000]).iter().map(|&k| (mn, rt(k), mn)).collect()
         }),
-        ("k=1024, m=n vary", p
-            .k_sweep(&[2000, 6000, 12000])
-            .iter()
-            .map(|&mn| (rt(mn), 1024, rt(mn)))
-            .collect()),
+        (
+            "k=1024, m=n vary",
+            p.k_sweep(&[2000, 6000, 12000]).iter().map(|&mn| (rt(mn), 1024, rt(mn))).collect(),
+        ),
     ];
 
     for (sweep_name, points) in sweeps {
@@ -53,8 +51,7 @@ fn main() {
         );
         for (m, k, n) in points {
             let gemm = measure_gemm(m, k, n, &params, &arch, p.reps, p.parallel());
-            let ranked =
-                rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &arch, false);
+            let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &arch, false);
             let measure_candidate = |c: &fmm_model::Candidate| -> f64 {
                 let plan = c.plan.as_ref().expect("FMM candidates carry plans");
                 let variant = c.impl_.to_variant().expect("FMM variant");

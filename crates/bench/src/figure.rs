@@ -35,14 +35,7 @@ impl Table {
 
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([5])
-            .max()
-            .unwrap_or(5)
-            .max(5);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([5]).max().unwrap_or(5).max(5);
         let mut out = String::new();
         out.push_str(&format!("# {}\n", self.title));
         out.push_str(&format!("{:label_w$}", ""));

@@ -2,7 +2,7 @@
 
 use crate::brent;
 use crate::coeffs::CoeffMatrix;
-use serde::{Deserialize, Serialize};
+use crate::json;
 use std::sync::Arc;
 
 /// A one-level `<m̃, k̃, ñ>` fast matrix multiplication algorithm (paper
@@ -17,7 +17,7 @@ use std::sync::Arc;
 ///
 /// Construction verifies the Brent equations, so any `FmmAlgorithm` value
 /// is a *proven-correct* bilinear algorithm.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FmmAlgorithm {
     name: String,
     mt: usize,
@@ -129,15 +129,30 @@ impl FmmAlgorithm {
 
     /// Serialize to the registry JSON format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FmmAlgorithm serializes")
+        let doc = json::Value::Object(std::collections::BTreeMap::from([
+            ("name".to_string(), json::Value::String(self.name.clone())),
+            ("mt".to_string(), json::Value::Int(self.mt as i64)),
+            ("kt".to_string(), json::Value::Int(self.kt as i64)),
+            ("nt".to_string(), json::Value::Int(self.nt as i64)),
+            ("u".to_string(), self.u.to_json_value()),
+            ("v".to_string(), self.v.to_json_value()),
+            ("w".to_string(), self.w.to_json_value()),
+        ]));
+        json::to_string_pretty(&doc)
     }
 
     /// Deserialize from the registry JSON format and re-verify.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        let raw: FmmAlgorithm = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let name = doc.get("name")?.as_str()?.to_string();
+        let dims =
+            (doc.get("mt")?.as_usize()?, doc.get("kt")?.as_usize()?, doc.get("nt")?.as_usize()?);
+        let u = CoeffMatrix::from_json_value(doc.get("u")?)?;
+        let v = CoeffMatrix::from_json_value(doc.get("v")?)?;
+        let w = CoeffMatrix::from_json_value(doc.get("w")?)?;
         // Round-trip through the checked constructor: deserialized data is
         // untrusted.
-        FmmAlgorithm::new(raw.name.clone(), (raw.mt, raw.kt, raw.nt), raw.u, raw.v, raw.w)
+        FmmAlgorithm::new(name, dims, u, v, w)
     }
 }
 

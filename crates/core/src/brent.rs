@@ -112,11 +112,9 @@ fn for_each_equation(
                     for ic in 0..mt {
                         for jc in 0..nt {
                             let wrow = ic * nt + jc;
-                            let expected =
-                                if ka == kb && i == ic && j == jc { 1.0 } else { 0.0 };
+                            let expected = if ka == kb && i == ic && j == jc { 1.0 } else { 0.0 };
                             if !any {
-                                if expected != 0.0
-                                    && !f((i, ka), (kb, j), (ic, jc), 0.0, expected)
+                                if expected != 0.0 && !f((i, ka), (kb, j), (ic, jc), 0.0, expected)
                                 {
                                     return;
                                 }
@@ -167,7 +165,8 @@ mod tests {
         let good = classical_211();
         let mut w = good.w().clone();
         w.set(1, 1, -1.0);
-        let bad = FmmAlgorithm::new_unchecked("bad", (2, 1, 1), good.u().clone(), good.v().clone(), w);
+        let bad =
+            FmmAlgorithm::new_unchecked("bad", (2, 1, 1), good.u().clone(), good.v().clone(), w);
         let viol = verify(&bad).unwrap_err();
         assert_eq!(viol.expected, 1.0);
         assert_eq!(viol.got, -1.0);
@@ -193,7 +192,8 @@ mod tests {
         let good = classical_211();
         let mut u = good.u().clone();
         u.set(0, 0, 1.0 + 2.0_f64.powi(-12)); // tiny dyadic perturbation
-        let bad = FmmAlgorithm::new_unchecked("b", (2, 1, 1), u, good.v().clone(), good.w().clone());
+        let bad =
+            FmmAlgorithm::new_unchecked("b", (2, 1, 1), u, good.v().clone(), good.w().clone());
         assert!(count_violations(&bad, 0.0) > 0);
         assert_eq!(count_violations(&bad, 1e-3), 0);
     }

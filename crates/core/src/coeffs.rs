@@ -8,7 +8,7 @@
 //! This lets [`crate::brent`] verify algorithms with exact `==` comparisons
 //! instead of tolerances.
 
-use serde::{Deserialize, Serialize};
+use crate::json;
 
 /// Largest denominator (as a power of two) accepted for a coefficient.
 pub const MAX_DEN_POW2: u32 = 20;
@@ -28,7 +28,7 @@ pub fn is_dyadic(x: f64) -> bool {
 /// For a `<m̃, k̃, ñ>` algorithm of rank `R`: `U` is `(m̃·k̃) x R`, `V` is
 /// `(k̃·ñ) x R`, `W` is `(m̃·ñ) x R`; column `r` holds the coefficients of
 /// the `r`-th sub-multiplication (paper eq. (3)).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoeffMatrix {
     rows: usize,
     cols: usize,
@@ -79,6 +79,40 @@ impl CoeffMatrix {
     /// Row-major backing data.
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Registry-format JSON value: `{"rows": .., "cols": .., "data": [..]}`.
+    pub fn to_json_value(&self) -> json::Value {
+        json::Value::Object(std::collections::BTreeMap::from([
+            ("rows".to_string(), json::Value::Int(self.rows as i64)),
+            ("cols".to_string(), json::Value::Int(self.cols as i64)),
+            (
+                "data".to_string(),
+                json::Value::Array(self.data.iter().map(|&x| json::Value::Number(x)).collect()),
+            ),
+        ]))
+    }
+
+    /// Parse the registry-format JSON value, re-validating every entry
+    /// (non-dyadic coefficients are rejected, as in [`CoeffMatrix::from_rows`]).
+    pub fn from_json_value(v: &json::Value) -> Result<Self, String> {
+        let rows = v.get("rows")?.as_usize()?;
+        let cols = v.get("cols")?.as_usize()?;
+        let data: Vec<f64> =
+            v.get("data")?.as_array()?.iter().map(|x| x.as_number()).collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(format!(
+                "CoeffMatrix JSON: {rows}x{cols} needs {} entries, got {}",
+                rows * cols,
+                data.len()
+            ));
+        }
+        for (idx, &x) in data.iter().enumerate() {
+            if !is_dyadic(x) {
+                return Err(format!("CoeffMatrix JSON: non-dyadic coefficient {x} at index {idx}"));
+            }
+        }
+        Ok(Self::from_rows(rows, cols, data))
     }
 
     /// Number of non-zero entries (`nnz` in the paper's performance model).
@@ -167,7 +201,13 @@ impl CoeffMatrix {
 
     /// Embed into a taller matrix: `out[row_map(i), col0 + j] = self[i, j]`,
     /// other entries zero. Used by direct-sum composition.
-    pub fn embed(&self, new_rows: usize, new_cols: usize, col0: usize, row_map: impl Fn(usize) -> usize) -> CoeffMatrix {
+    pub fn embed(
+        &self,
+        new_rows: usize,
+        new_cols: usize,
+        col0: usize,
+        row_map: impl Fn(usize) -> usize,
+    ) -> CoeffMatrix {
         assert!(col0 + self.cols <= new_cols, "embed: columns out of range");
         let mut out = CoeffMatrix::zeros(new_rows, new_cols);
         for i in 0..self.rows {
@@ -312,10 +352,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let x = CoeffMatrix::from_rows(2, 2, vec![1.0, -0.5, 0.0, 1.0]);
-        let json = serde_json::to_string(&x).unwrap();
-        let back: CoeffMatrix = serde_json::from_str(&json).unwrap();
+        let text = crate::json::to_string_pretty(&x.to_json_value());
+        let back = CoeffMatrix::from_json_value(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, x);
+    }
+
+    #[test]
+    fn json_rejects_wrong_data_length() {
+        let x = CoeffMatrix::from_rows(2, 2, vec![1.0, -0.5, 0.0, 1.0]);
+        let text =
+            crate::json::to_string_pretty(&x.to_json_value()).replace("\"rows\": 2", "\"rows\": 3");
+        assert!(CoeffMatrix::from_json_value(&crate::json::parse(&text).unwrap()).is_err());
     }
 }

@@ -107,14 +107,18 @@ pub fn stack_m(a: &FmmAlgorithm, b: &FmmAlgorithm) -> FmmAlgorithm {
     let v = a.v().hcat(b.v());
     // Row flattening i*k̃+κ is unchanged for a's rows (i < m1) and shifted
     // by m1 block-rows for b's.
-    let u = a
-        .u()
-        .embed(m * k1, ra + rb, 0, |row| row)
-        .merge_disjoint(&b.u().embed(m * k1, ra + rb, ra, |row| m1 * k1 + row));
-    let w = a
-        .w()
-        .embed(m * n1, ra + rb, 0, |row| row)
-        .merge_disjoint(&b.w().embed(m * n1, ra + rb, ra, |row| m1 * n1 + row));
+    let u = a.u().embed(m * k1, ra + rb, 0, |row| row).merge_disjoint(&b.u().embed(
+        m * k1,
+        ra + rb,
+        ra,
+        |row| m1 * k1 + row,
+    ));
+    let w = a.w().embed(m * n1, ra + rb, 0, |row| row).merge_disjoint(&b.w().embed(
+        m * n1,
+        ra + rb,
+        ra,
+        |row| m1 * n1 + row,
+    ));
     FmmAlgorithm::new(format!("({})⊕m({})", a.name(), b.name()), (m, k1, n1), u, v, w)
         .expect("direct sum along m of valid algorithms is valid")
 }
@@ -140,10 +144,12 @@ pub fn stack_k(a: &FmmAlgorithm, b: &FmmAlgorithm) -> FmmAlgorithm {
             let (i, kk) = (row / k2, row % k2);
             i * k + k1 + kk
         }));
-    let v = a
-        .v()
-        .embed(k * n1, ra + rb, 0, |row| row)
-        .merge_disjoint(&b.v().embed(k * n1, ra + rb, ra, |row| k1 * n1 + row));
+    let v = a.v().embed(k * n1, ra + rb, 0, |row| row).merge_disjoint(&b.v().embed(
+        k * n1,
+        ra + rb,
+        ra,
+        |row| k1 * n1 + row,
+    ));
     FmmAlgorithm::new(format!("({})⊕k({})", a.name(), b.name()), (m1, k, n1), u, v, w)
         .expect("direct sum along k of valid algorithms is valid")
 }
@@ -285,8 +291,8 @@ mod tests {
     fn to_dims_finds_every_permutation_of_234() {
         let base = stack_n(&classical(2, 3, 2), &classical(2, 3, 2)); // <2,3,4>
         for target in [(2, 3, 4), (2, 4, 3), (3, 2, 4), (3, 4, 2), (4, 2, 3), (4, 3, 2)] {
-            let found = to_dims(&base, target)
-                .unwrap_or_else(|| panic!("no orientation for {target:?}"));
+            let found =
+                to_dims(&base, target).unwrap_or_else(|| panic!("no orientation for {target:?}"));
             assert_eq!(found.dims(), target);
             assert_eq!(found.rank(), base.rank());
         }

@@ -7,8 +7,8 @@
 //! The paper shows this wins for large `k` where the rank-k accumulation
 //! through the micro-kernel would re-read `C` many times.
 
-use super::common::{ensure_shape, gather_terms, DestBlocks, OperandBlocks};
-use super::{block_product, FmmContext};
+use super::common::{gather_terms, DestBlocks, OperandBlocks};
+use super::{ArenaViews, GemmDispatch};
 use crate::plan::FmmPlan;
 use fmm_dense::ops;
 use fmm_gemm::DestTile;
@@ -18,28 +18,20 @@ pub(super) fn run(
     a_blocks: &OperandBlocks<'_>,
     b_blocks: &OperandBlocks<'_>,
     c_blocks: &DestBlocks<'_>,
-    ctx: &mut FmmContext,
+    views: ArenaViews<'_>,
+    gemm: &mut GemmDispatch<'_>,
 ) {
-    let (bm, bn) = c_blocks.block_shape();
+    let ArenaViews { mut mr, .. } = views;
     for r in 0..plan.rank() {
         let a_terms = gather_terms(plan.u(), r, a_blocks);
         let b_terms = gather_terms(plan.v(), r, b_blocks);
-        // M_r = (sum u A)(sum v B), overwriting the reused temporary.
-        let mut mr = ctx.mr.take();
-        let mr_mat = ensure_shape(&mut mr, bm, bn);
-        block_product(
-            ctx,
-            &mut [DestTile::new(mr_mat.as_mut(), 1.0)],
-            &a_terms,
-            &b_terms,
-            true,
-        );
+        // M_r = (sum u A)(sum v B), overwriting the reused arena slice.
+        gemm.block_product(&mut [DestTile::new(mr.reborrow(), 1.0)], &a_terms, &b_terms, true);
         for (p, w) in plan.w().col_nonzeros(r) {
             // SAFETY: one destination view alive at a time.
             let dest = unsafe { c_blocks.get(p) };
-            ops::axpy(dest, w, mr_mat.as_ref()).expect("block shapes agree");
+            ops::axpy(dest, w, mr.as_ref()).expect("block shapes agree");
         }
-        ctx.mr = mr;
     }
 }
 
@@ -61,12 +53,13 @@ mod tests {
         fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Ab, &mut ctx);
         let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
         assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-11);
-        // The M_r temporary exists (unlike ABC) and has block shape.
-        let mr = ctx.mr.as_ref().expect("AB allocates M_r");
-        assert_eq!((mr.rows(), mr.cols()), (8, 8));
-        // A-side temporaries do not exist (unlike Naive).
-        assert!(ctx.ta.is_none());
-        assert!(ctx.tb.is_none());
+        // The M_r temporary exists (unlike ABC) and has block shape; the
+        // operand-sum temporaries do not (unlike Naive).
+        let layout = *ctx.last_layout().expect("core executed");
+        assert_eq!(layout.mr, (8, 8));
+        assert_eq!(layout.ta, (0, 0));
+        assert_eq!(layout.tb, (0, 0));
+        assert_eq!(ctx.fmm_workspace_elements(), 8 * 8);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! exists in memory.
 
 use super::common::{gather_terms, DestBlocks, OperandBlocks};
-use super::{block_product, FmmContext};
+use super::GemmDispatch;
 use crate::plan::FmmPlan;
 use fmm_gemm::DestTile;
 
@@ -15,7 +15,7 @@ pub(super) fn run(
     a_blocks: &OperandBlocks<'_>,
     b_blocks: &OperandBlocks<'_>,
     c_blocks: &DestBlocks<'_>,
-    ctx: &mut FmmContext,
+    gemm: &mut GemmDispatch<'_>,
 ) {
     for r in 0..plan.rank() {
         let a_terms = gather_terms(plan.u(), r, a_blocks);
@@ -27,7 +27,7 @@ pub(super) fn run(
             // block indices, and distinct blocks are disjoint regions of C.
             .map(|(p, w)| DestTile::new(unsafe { c_blocks.get(p) }, w))
             .collect();
-        block_product(ctx, &mut dests, &a_terms, &b_terms, false);
+        gemm.block_product(&mut dests, &a_terms, &b_terms, false);
     }
 }
 
@@ -60,9 +60,9 @@ mod tests {
         let mut c = Matrix::zeros(8, 8);
         let mut ctx = FmmContext::new(BlockingParams::tiny());
         fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Abc, &mut ctx);
-        // The Naive/AB temporaries were never allocated.
-        assert!(ctx.ta.is_none());
-        assert!(ctx.tb.is_none());
-        assert!(ctx.mr.is_none());
+        // The Naive/AB temporaries were never allocated: the arena stayed
+        // empty and the layout declares zero workspace.
+        assert_eq!(ctx.fmm_workspace_elements(), 0);
+        assert_eq!(ctx.arena_grow_count(), 0);
     }
 }

@@ -1,0 +1,194 @@
+//! Preplanned workspace arena for the FMM temporaries.
+//!
+//! The Naive and AB variants need scratch matrices (`T_A`, `T_B`, `M_r`)
+//! whose exact sizes are known up-front from the paper's workspace formulas
+//! ([`Variant::workspace_elements`], §4.1). Instead of growing per-slot
+//! heap allocations lazily, the executor sizes one arena before the first
+//! product and carves it into disjoint column-major views. The arena never
+//! shrinks, so a long-lived context (or engine) reaches a steady state
+//! where repeated executions perform **zero** heap allocation for FMM
+//! temporaries — [`WorkspaceArena::grow_count`] makes that property
+//! testable.
+
+use super::Variant;
+use crate::plan::FmmPlan;
+use fmm_dense::{AlignedBuf, MatMut};
+
+/// The block shapes one FMM core execution needs from the arena.
+///
+/// All shapes are in elements of the *block* grid: for a core problem
+/// `(m, k, n)` under a plan with aggregate partition dims `(M̃, K̃, Ñ)`,
+/// `T_A` is `m/M̃ x k/K̃`, `T_B` is `k/K̃ x n/Ñ`, and `M_r` is `m/M̃ x n/Ñ`.
+/// Variants that skip a temporary get a `(0, 0)` shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaLayout {
+    /// `(rows, cols)` of the operand-sum temporary `T_A` (Naive only).
+    pub ta: (usize, usize),
+    /// `(rows, cols)` of the operand-sum temporary `T_B` (Naive only).
+    pub tb: (usize, usize),
+    /// `(rows, cols)` of the product temporary `M_r` (Naive and AB).
+    pub mr: (usize, usize),
+}
+
+impl ArenaLayout {
+    /// Layout for a core problem `(m, k, n)` (dimensions divisible by the
+    /// plan's aggregate partition dims) executed as `variant` under `plan`.
+    pub fn for_core(variant: Variant, plan: &FmmPlan, m: usize, k: usize, n: usize) -> Self {
+        let (mt, kt, nt) = plan.partition_dims();
+        debug_assert!(
+            m.is_multiple_of(mt) && k.is_multiple_of(kt) && n.is_multiple_of(nt),
+            "core dims must divide"
+        );
+        let (bm, bk, bn) = (m / mt, k / kt, n / nt);
+        match variant {
+            Variant::Abc => Self { ta: (0, 0), tb: (0, 0), mr: (0, 0) },
+            Variant::Ab => Self { ta: (0, 0), tb: (0, 0), mr: (bm, bn) },
+            Variant::Naive => Self { ta: (bm, bk), tb: (bk, bn), mr: (bm, bn) },
+        }
+    }
+
+    /// Total arena elements this layout occupies — by construction equal to
+    /// [`Variant::workspace_elements`] for the same `(plan, m, k, n)`.
+    pub fn total_elements(&self) -> usize {
+        self.ta.0 * self.ta.1 + self.tb.0 * self.tb.1 + self.mr.0 * self.mr.1
+    }
+}
+
+/// The three disjoint scratch views of one core execution.
+pub struct ArenaViews<'a> {
+    /// `T_A` view (empty for AB/ABC).
+    pub ta: MatMut<'a>,
+    /// `T_B` view (empty for AB/ABC).
+    pub tb: MatMut<'a>,
+    /// `M_r` view (empty for ABC).
+    pub mr: MatMut<'a>,
+}
+
+/// A grow-only scratch allocation carved into [`ArenaViews`] per execution.
+pub struct WorkspaceArena {
+    buf: AlignedBuf,
+    grows: u64,
+}
+
+impl WorkspaceArena {
+    /// An empty arena; the first [`WorkspaceArena::preplan`] sizes it.
+    pub fn new() -> Self {
+        Self { buf: AlignedBuf::zeroed(0), grows: 0 }
+    }
+
+    /// Ensure capacity for `layout`, reallocating only when it grows beyond
+    /// anything seen before.
+    pub fn preplan(&mut self, layout: &ArenaLayout) {
+        let need = layout.total_elements();
+        if need > self.buf.len() {
+            self.buf = AlignedBuf::zeroed(need);
+            self.grows += 1;
+        }
+    }
+
+    /// Current capacity in `f64` elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// How many times the arena has (re)allocated — stays flat once warm.
+    pub fn grow_count(&self) -> u64 {
+        self.grows
+    }
+
+    /// Carve the arena into the disjoint views of `layout`, growing first
+    /// if the layout was not preplanned.
+    pub fn views(&mut self, layout: &ArenaLayout) -> ArenaViews<'_> {
+        self.preplan(layout);
+        let (ta_rows, ta_cols) = layout.ta;
+        let (tb_rows, tb_cols) = layout.tb;
+        let (mr_rows, mr_cols) = layout.mr;
+        let (ta_slice, rest) = self.buf.split_at_mut(ta_rows * ta_cols);
+        let (tb_slice, rest) = rest.split_at_mut(tb_rows * tb_cols);
+        let mr_slice = &mut rest[..mr_rows * mr_cols];
+        ArenaViews {
+            ta: MatMut::from_col_major(ta_slice, ta_rows, ta_cols, ta_rows.max(1)),
+            tb: MatMut::from_col_major(tb_slice, tb_rows, tb_cols, tb_rows.max(1)),
+            mr: MatMut::from_col_major(mr_slice, mr_rows, mr_cols, mr_rows.max(1)),
+        }
+    }
+}
+
+impl Default for WorkspaceArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WorkspaceArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkspaceArena(capacity={}, grows={})", self.buf.len(), self.grows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::strassen;
+
+    #[test]
+    fn layout_matches_variant_workspace_elements() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let (m, k, n) = (16, 12, 20);
+        for variant in Variant::ALL {
+            let layout = ArenaLayout::for_core(variant, &plan, m, k, n);
+            assert_eq!(
+                layout.total_elements(),
+                variant.workspace_elements(&plan, m, k, n),
+                "variant {}",
+                variant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn views_are_disjoint_and_shaped() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let layout = ArenaLayout::for_core(Variant::Naive, &plan, 16, 12, 20);
+        let mut arena = WorkspaceArena::new();
+        let mut views = arena.views(&layout);
+        assert_eq!((views.ta.rows(), views.ta.cols()), (8, 6));
+        assert_eq!((views.tb.rows(), views.tb.cols()), (6, 10));
+        assert_eq!((views.mr.rows(), views.mr.cols()), (8, 10));
+        views.ta.fill(1.0);
+        views.tb.fill(2.0);
+        views.mr.fill(3.0);
+        assert_eq!(views.ta.at(7, 5), 1.0);
+        assert_eq!(views.tb.at(5, 9), 2.0);
+        assert_eq!(views.mr.at(7, 9), 3.0);
+    }
+
+    #[test]
+    fn preplan_grows_once_then_stays_flat() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let big = ArenaLayout::for_core(Variant::Naive, &plan, 32, 32, 32);
+        let small = ArenaLayout::for_core(Variant::Ab, &plan, 16, 16, 16);
+        let mut arena = WorkspaceArena::new();
+        assert_eq!(arena.grow_count(), 0);
+        arena.preplan(&big);
+        assert_eq!(arena.grow_count(), 1);
+        let cap = arena.capacity();
+        arena.preplan(&small);
+        arena.preplan(&big);
+        let _ = arena.views(&big);
+        assert_eq!(arena.grow_count(), 1, "no reallocation once warm");
+        assert_eq!(arena.capacity(), cap);
+    }
+
+    #[test]
+    fn abc_layout_occupies_nothing() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let layout = ArenaLayout::for_core(Variant::Abc, &plan, 64, 64, 64);
+        assert_eq!(layout.total_elements(), 0);
+        let mut arena = WorkspaceArena::new();
+        let views = arena.views(&layout);
+        assert_eq!(views.mr.rows() * views.mr.cols(), 0);
+        assert_eq!(arena.capacity(), 0);
+        assert_eq!(arena.grow_count(), 0);
+    }
+}

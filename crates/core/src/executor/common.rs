@@ -1,8 +1,8 @@
-//! Shared executor machinery: operand block grids, destination grids, and
-//! reusable temporaries.
+//! Shared executor machinery: operand block grids and destination grids.
+//! (Scratch temporaries live in the preplanned [`super::WorkspaceArena`].)
 
 use crate::indexing::BlockGrid;
-use fmm_dense::{MatMut, MatRef, Matrix};
+use fmm_dense::{MatMut, MatRef};
 
 /// The immutable operand blocks of one FMM core execution, indexed by the
 /// recursive-block flat index the composed coefficients use.
@@ -88,9 +88,8 @@ impl<'a> DestBlocks<'a> {
     /// same `p` at once, nor use a view beyond the parent borrow.
     pub unsafe fn get(&self, p: usize) -> MatMut<'a> {
         let (r, c) = self.coords[p];
-        let ptr = self
-            .ptr
-            .offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
+        let ptr =
+            self.ptr.offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
         MatMut::from_raw_parts(ptr, self.bm, self.bn, self.rs, self.cs)
     }
 
@@ -113,17 +112,6 @@ pub fn gather_terms<'a>(
     blocks: &OperandBlocks<'a>,
 ) -> Vec<(f64, MatRef<'a>)> {
     coeffs.col_nonzeros(r).map(|(i, g)| (g, blocks.get(i))).collect()
-}
-
-/// Ensure `slot` holds a matrix of exactly `(rows, cols)`, reusing the
-/// allocation when the shape already matches.
-pub fn ensure_shape(slot: &mut Option<Matrix>, rows: usize, cols: usize) -> &mut Matrix {
-    let needs_alloc =
-        !matches!(slot, Some(m) if m.rows() == rows && m.cols() == cols);
-    if needs_alloc {
-        *slot = Some(Matrix::zeros(rows, cols));
-    }
-    slot.as_mut().expect("just ensured")
 }
 
 #[cfg(test)]
@@ -191,23 +179,6 @@ mod tests {
         assert_eq!(terms[0].0, 1.0);
         assert_eq!(terms[0].1.at(0, 0), a.get(2, 0)); // A2 top-left
         assert_eq!(terms[1].1.at(0, 0), a.get(2, 2)); // A3 top-left
-    }
-
-    #[test]
-    fn ensure_shape_reuses_allocation() {
-        let mut slot = None;
-        {
-            let m = ensure_shape(&mut slot, 3, 4);
-            m.set(0, 0, 5.0);
-        }
-        let p1 = slot.as_ref().unwrap().raw().as_ptr();
-        {
-            let m = ensure_shape(&mut slot, 3, 4);
-            assert_eq!(m.get(0, 0), 5.0); // reused, not cleared
-        }
-        assert_eq!(slot.as_ref().unwrap().raw().as_ptr(), p1);
-        ensure_shape(&mut slot, 2, 2);
-        assert_eq!(slot.as_ref().unwrap().rows(), 2);
     }
 
     #[test]

@@ -15,14 +15,16 @@
 
 mod ab;
 mod abc;
+mod arena;
 mod common;
 mod naive;
 
+pub use arena::{ArenaLayout, ArenaViews, WorkspaceArena};
 pub use common::{DestBlocks, OperandBlocks};
 
 use crate::peeling;
 use crate::plan::FmmPlan;
-use fmm_dense::{MatMut, MatRef, Matrix};
+use fmm_dense::{MatMut, MatRef};
 use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
 
 /// Which FMM implementation strategy to run (paper §4.1 "Further
@@ -58,7 +60,13 @@ impl Variant {
     ///   micro-kernel epilogue);
     /// * AB: one `M_r` block (`m/M̃ · n/Ñ`);
     /// * Naive: `M_r` plus the two operand-sum blocks.
-    pub fn workspace_elements(self, plan: &crate::plan::FmmPlan, m: usize, k: usize, n: usize) -> usize {
+    pub fn workspace_elements(
+        self,
+        plan: &crate::plan::FmmPlan,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> usize {
         let (mt, kt, nt) = plan.partition_dims();
         let (bm, bk, bn) = (m / mt, k / kt, n / nt);
         match self {
@@ -70,14 +78,22 @@ impl Variant {
 }
 
 /// Reusable state across FMM invocations: blocking parameters, packing
-/// workspace, and the temporaries the Naive/AB variants need.
+/// workspace, and the preplanned arena holding the temporaries the
+/// Naive/AB variants need.
+///
+/// The arena is sized up-front (explicitly via [`FmmContext::preplan`], or
+/// implicitly on the first execution of a shape) and only ever grows, so a
+/// long-lived context performs no heap allocation for FMM temporaries once
+/// warm — the property the engine's warm-path tests assert through
+/// [`FmmContext::arena_grow_count`].
 pub struct FmmContext {
     /// Blocking parameters passed to the underlying GEMM driver.
     pub params: BlockingParams,
     pub(crate) ws: GemmWorkspace,
-    pub(crate) ta: Option<Matrix>,
-    pub(crate) tb: Option<Matrix>,
-    pub(crate) mr: Option<Matrix>,
+    pub(crate) arena: WorkspaceArena,
+    /// Layout of the most recent core execution (`None` before the first,
+    /// or when the problem had an empty core).
+    last_layout: Option<ArenaLayout>,
     /// Execute block products with the rayon-parallel driver.
     pub(crate) parallel: bool,
 }
@@ -88,10 +104,83 @@ impl FmmContext {
         Self::new(BlockingParams::default())
     }
 
-    /// Context with explicit blocking parameters.
+    /// Context with explicit blocking parameters. The packing workspace
+    /// starts empty: the sequential driver sizes it on first use (the
+    /// parallel driver draws per-worker buffers from the global pool
+    /// instead, so parallel-only contexts never pay for it); call
+    /// [`FmmContext::preplan`] to allocate everything up-front.
     pub fn new(params: BlockingParams) -> Self {
-        let ws = GemmWorkspace::for_params(&params);
-        Self { params, ws, ta: None, tb: None, mr: None, parallel: false }
+        Self {
+            params,
+            ws: GemmWorkspace::empty(),
+            arena: WorkspaceArena::new(),
+            last_layout: None,
+            parallel: false,
+        }
+    }
+
+    /// Size the arena and packing workspace for `(plan, variant)` on an
+    /// `(m, k, n)` problem before executing it, so the execution itself
+    /// allocates nothing. Idempotent; never shrinks.
+    pub fn preplan(&mut self, plan: &FmmPlan, variant: Variant, m: usize, k: usize, n: usize) {
+        let (mc, kc, nc) = peeling::peel(m, k, n, plan.partition_dims()).core;
+        if mc > 0 && kc > 0 && nc > 0 {
+            self.arena.preplan(&ArenaLayout::for_core(variant, plan, mc, kc, nc));
+        }
+        self.ws.ensure(&self.params);
+    }
+
+    /// Arena elements occupied by the most recent core execution. Equals
+    /// [`Variant::workspace_elements`] for that execution's parameters.
+    pub fn fmm_workspace_elements(&self) -> usize {
+        self.last_layout.as_ref().map_or(0, ArenaLayout::total_elements)
+    }
+
+    /// Layout of the most recent core execution, if any.
+    pub fn last_layout(&self) -> Option<&ArenaLayout> {
+        self.last_layout.as_ref()
+    }
+
+    /// How many times the arena has (re)allocated; flat once warm.
+    pub fn arena_grow_count(&self) -> u64 {
+        self.arena.grow_count()
+    }
+}
+
+/// The GEMM half of a context, split out so executors can hold arena views
+/// and dispatch block products simultaneously (disjoint borrows of
+/// [`FmmContext`]).
+pub(crate) struct GemmDispatch<'a> {
+    params: &'a BlockingParams,
+    ws: &'a mut GemmWorkspace,
+    parallel: bool,
+}
+
+impl GemmDispatch<'_> {
+    /// Dispatch one block product to the sequential or parallel driver.
+    pub(crate) fn block_product(
+        &mut self,
+        dests: &mut [DestTile<'_>],
+        a_terms: &[(f64, MatRef<'_>)],
+        b_terms: &[(f64, MatRef<'_>)],
+        overwrite: bool,
+    ) {
+        if self.parallel {
+            if overwrite {
+                fmm_gemm::parallel::gemm_sums_parallel_overwrite(
+                    dests,
+                    a_terms,
+                    b_terms,
+                    self.params,
+                );
+            } else {
+                fmm_gemm::parallel::gemm_sums_parallel(dests, a_terms, b_terms, self.params);
+            }
+        } else if overwrite {
+            fmm_gemm::driver::gemm_sums_overwrite(dests, a_terms, b_terms, self.params, self.ws);
+        } else {
+            fmm_gemm::driver::gemm_sums(dests, a_terms, b_terms, self.params, self.ws);
+        }
     }
 }
 
@@ -141,6 +230,10 @@ fn execute_impl(
     let peel_plan = peeling::peel(m, k, n, plan.partition_dims());
     let (mc, kc, nc) = peel_plan.core;
 
+    // Reset before (maybe) running the core, so a reused context never
+    // reports a previous execution's layout when this problem's core is
+    // empty (everything handled by rim GEMMs).
+    ctx.last_layout = None;
     if mc > 0 && kc > 0 && nc > 0 {
         let a_core = a.submatrix(0, 0, mc, kc);
         let b_core = b.submatrix(0, 0, kc, nc);
@@ -148,13 +241,14 @@ fn execute_impl(
         run_core(c_core, a_core, b_core, plan, variant, ctx);
     }
 
+    let FmmContext { params, ws, parallel, .. } = ctx;
+    let mut gemm = GemmDispatch { params, ws, parallel: *parallel };
     for rim in &peel_plan.rims {
         let a_rim = a.submatrix(rim.rows.start, rim.inner.start, rim.rows.len(), rim.inner.len());
         let b_rim = b.submatrix(rim.inner.start, rim.cols.start, rim.inner.len(), rim.cols.len());
         let c_rim =
             c.reborrow().submatrix(rim.rows.start, rim.cols.start, rim.rows.len(), rim.cols.len());
-        block_product(
-            ctx,
+        gemm.block_product(
             &mut [DestTile::new(c_rim, 1.0)],
             &[(1.0, a_rim)],
             &[(1.0, b_rim)],
@@ -171,34 +265,22 @@ fn run_core(
     variant: Variant,
     ctx: &mut FmmContext,
 ) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
     let a_blocks = OperandBlocks::new(a, plan.a_grid());
     let b_blocks = OperandBlocks::new(b, plan.b_grid());
     let c_blocks = DestBlocks::new(c, plan.c_grid());
+    let layout = ArenaLayout::for_core(variant, plan, m, k, n);
+    ctx.last_layout = Some(layout);
+    // Split the context into its disjoint halves: arena views for the
+    // executor, params + packing workspace for the GEMM dispatch.
+    let FmmContext { params, ws, arena, parallel, .. } = ctx;
+    let views = arena.views(&layout);
+    let mut gemm = GemmDispatch { params, ws, parallel: *parallel };
     match variant {
-        Variant::Naive => naive::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
-        Variant::Ab => ab::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
-        Variant::Abc => abc::run(plan, &a_blocks, &b_blocks, &c_blocks, ctx),
-    }
-}
-
-/// Dispatch one block product to the sequential or parallel GEMM driver.
-pub(crate) fn block_product(
-    ctx: &mut FmmContext,
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
-    overwrite: bool,
-) {
-    if ctx.parallel {
-        if overwrite {
-            fmm_gemm::parallel::gemm_sums_parallel_overwrite(dests, a_terms, b_terms, &ctx.params);
-        } else {
-            fmm_gemm::parallel::gemm_sums_parallel(dests, a_terms, b_terms, &ctx.params);
-        }
-    } else if overwrite {
-        fmm_gemm::driver::gemm_sums_overwrite(dests, a_terms, b_terms, &ctx.params, &mut ctx.ws);
-    } else {
-        fmm_gemm::driver::gemm_sums(dests, a_terms, b_terms, &ctx.params, &mut ctx.ws);
+        Variant::Naive => naive::run(plan, &a_blocks, &b_blocks, &c_blocks, views, &mut gemm),
+        Variant::Ab => ab::run(plan, &a_blocks, &b_blocks, &c_blocks, views, &mut gemm),
+        Variant::Abc => abc::run(plan, &a_blocks, &b_blocks, &c_blocks, &mut gemm),
     }
 }
 
@@ -206,7 +288,7 @@ pub(crate) fn block_product(
 mod tests {
     use super::*;
     use crate::registry::strassen;
-    use fmm_dense::{fill, norms};
+    use fmm_dense::{fill, norms, Matrix};
 
     fn check(m: usize, k: usize, n: usize, plan: &FmmPlan, variant: Variant, parallel: bool) {
         let a = fill::bench_workload(m, k, 1);
@@ -289,30 +371,69 @@ mod tests {
     #[test]
     fn workspace_requirements_match_allocations() {
         // The declared workspace sizes must equal what execution actually
-        // allocates (ABC: nothing; AB: M_r; Naive: M_r + T_A + T_B).
+        // occupies in the arena (ABC: nothing; AB: M_r; Naive: M_r + T_A +
+        // T_B).
         let plan = FmmPlan::new(vec![strassen()]);
         let (m, k, n) = (16, 12, 20);
         assert_eq!(Variant::Abc.workspace_elements(&plan, m, k, n), 0);
         assert_eq!(Variant::Ab.workspace_elements(&plan, m, k, n), 8 * 10);
-        assert_eq!(
-            Variant::Naive.workspace_elements(&plan, m, k, n),
-            8 * 10 + 8 * 6 + 6 * 10
-        );
+        assert_eq!(Variant::Naive.workspace_elements(&plan, m, k, n), 8 * 10 + 8 * 6 + 6 * 10);
         for variant in Variant::ALL {
             let a = fill::bench_workload(m, k, 1);
             let b = fill::bench_workload(k, n, 2);
             let mut c = fill::bench_workload(m, n, 3);
             let mut ctx = FmmContext::new(BlockingParams::tiny());
             fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant, &mut ctx);
-            let allocated = ctx.mr.as_ref().map_or(0, |x| x.rows() * x.cols())
-                + ctx.ta.as_ref().map_or(0, |x| x.rows() * x.cols())
-                + ctx.tb.as_ref().map_or(0, |x| x.rows() * x.cols());
             assert_eq!(
-                allocated,
+                ctx.fmm_workspace_elements(),
                 variant.workspace_elements(&plan, m, k, n),
                 "variant {}",
                 variant.name()
             );
         }
+    }
+
+    #[test]
+    fn empty_core_execution_clears_stale_layout() {
+        // A reused context must not report the previous execution's
+        // workspace when the next problem's core is empty (m < partition
+        // dim: everything goes through rim GEMMs).
+        let plan = FmmPlan::new(vec![strassen()]);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        let a = fill::bench_workload(12, 16, 1);
+        let b = fill::bench_workload(16, 20, 2);
+        let mut c = Matrix::zeros(12, 20);
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Naive, &mut ctx);
+        assert!(ctx.fmm_workspace_elements() > 0);
+
+        let a = fill::bench_workload(1, 8, 3);
+        let b = fill::bench_workload(8, 8, 4);
+        let mut c = Matrix::zeros(1, 8);
+        fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Naive, &mut ctx);
+        assert!(ctx.last_layout().is_none(), "empty core leaves no layout");
+        assert_eq!(ctx.fmm_workspace_elements(), 0);
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn preplanned_context_never_reallocates() {
+        // Preplanning sizes the arena up-front; the execution itself (and
+        // any repeat of the same or a smaller shape) must not grow it.
+        let plan = FmmPlan::new(vec![strassen()]);
+        let (m, k, n) = (33, 29, 41);
+        let mut ctx = FmmContext::new(BlockingParams::tiny());
+        ctx.preplan(&plan, Variant::Naive, m, k, n);
+        let grows = ctx.arena_grow_count();
+        assert_eq!(grows, 1, "preplan allocates exactly once");
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        for _ in 0..3 {
+            let mut c = fill::bench_workload(m, n, 3);
+            fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Naive, &mut ctx);
+            fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Ab, &mut ctx);
+            fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Abc, &mut ctx);
+        }
+        assert_eq!(ctx.arena_grow_count(), grows, "warm executions allocate nothing");
     }
 }

@@ -8,8 +8,8 @@
 //! workspace and pays the extra memory traffic the paper's model charges
 //! via the `T^{A+}_m`, `T^{B+}_m`, `T^{C+}_m` terms.
 
-use super::common::{ensure_shape, gather_terms, DestBlocks, OperandBlocks};
-use super::{block_product, FmmContext};
+use super::common::{gather_terms, DestBlocks, OperandBlocks};
+use super::{ArenaViews, GemmDispatch};
 use crate::plan::FmmPlan;
 use fmm_dense::ops;
 use fmm_gemm::DestTile;
@@ -19,44 +19,29 @@ pub(super) fn run(
     a_blocks: &OperandBlocks<'_>,
     b_blocks: &OperandBlocks<'_>,
     c_blocks: &DestBlocks<'_>,
-    ctx: &mut FmmContext,
+    views: ArenaViews<'_>,
+    gemm: &mut GemmDispatch<'_>,
 ) {
-    let (bm, bn) = c_blocks.block_shape();
-    let (bak, _) = {
-        // Block shape of A: rows from C's grid, cols from the k partition.
-        let a0 = a_blocks.get(0);
-        (a0.cols(), a0.rows())
-    };
+    let ArenaViews { mut ta, mut tb, mut mr } = views;
     for r in 0..plan.rank() {
         let a_terms = gather_terms(plan.u(), r, a_blocks);
         let b_terms = gather_terms(plan.v(), r, b_blocks);
 
-        let mut ta = ctx.ta.take();
-        let ta_mat = ensure_shape(&mut ta, bm, bak);
-        ops::linear_combination(ta_mat.as_mut(), &a_terms).expect("A block shapes agree");
+        ops::linear_combination(ta.reborrow(), &a_terms).expect("A block shapes agree");
+        ops::linear_combination(tb.reborrow(), &b_terms).expect("B block shapes agree");
 
-        let mut tb = ctx.tb.take();
-        let tb_mat = ensure_shape(&mut tb, bak, bn);
-        ops::linear_combination(tb_mat.as_mut(), &b_terms).expect("B block shapes agree");
-
-        let mut mr = ctx.mr.take();
-        let mr_mat = ensure_shape(&mut mr, bm, bn);
-        block_product(
-            ctx,
-            &mut [DestTile::new(mr_mat.as_mut(), 1.0)],
-            &[(1.0, ta_mat.as_ref())],
-            &[(1.0, tb_mat.as_ref())],
+        gemm.block_product(
+            &mut [DestTile::new(mr.reborrow(), 1.0)],
+            &[(1.0, ta.as_ref())],
+            &[(1.0, tb.as_ref())],
             true,
         );
 
         for (p, w) in plan.w().col_nonzeros(r) {
             // SAFETY: one destination view alive at a time.
             let dest = unsafe { c_blocks.get(p) };
-            ops::axpy(dest, w, mr_mat.as_ref()).expect("block shapes agree");
+            ops::axpy(dest, w, mr.as_ref()).expect("block shapes agree");
         }
-        ctx.ta = ta;
-        ctx.tb = tb;
-        ctx.mr = mr;
     }
 }
 
@@ -79,13 +64,11 @@ mod tests {
         fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, Variant::Naive, &mut ctx);
         let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
         assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-11);
-        assert_eq!(
-            ctx.ta.as_ref().map(|t| (t.rows(), t.cols())),
-            Some((6, 8)),
-            "T_A has block shape m/2 x k/2"
-        );
-        assert_eq!(ctx.tb.as_ref().map(|t| (t.rows(), t.cols())), Some((8, 10)));
-        assert_eq!(ctx.mr.as_ref().map(|t| (t.rows(), t.cols())), Some((6, 10)));
+        let layout = ctx.last_layout().expect("core executed");
+        assert_eq!(layout.ta, (6, 8), "T_A has block shape m/2 x k/2");
+        assert_eq!(layout.tb, (8, 10));
+        assert_eq!(layout.mr, (6, 10));
+        assert_eq!(ctx.fmm_workspace_elements(), 6 * 8 + 8 * 10 + 6 * 10);
     }
 
     #[test]

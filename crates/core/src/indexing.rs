@@ -96,8 +96,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_level_is_row_major()
-    {
+    fn single_level_is_row_major() {
         let g = BlockGrid::new(vec![(2, 3)]);
         assert_eq!(g.rows(), 2);
         assert_eq!(g.cols(), 3);

@@ -42,6 +42,7 @@ pub mod compose;
 pub mod counts;
 pub mod executor;
 pub mod indexing;
+pub mod json;
 pub mod peeling;
 pub mod plan;
 pub mod registry;

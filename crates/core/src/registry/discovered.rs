@@ -13,9 +13,7 @@ use crate::algorithm::FmmAlgorithm;
 ///
 /// New discoveries are added here after `fmm-search` finds and verifies
 /// them (see the `discover` example and EXPERIMENTS.md).
-const DATA: &[(&str, &str)] = &[
-    ("mkn223_r11.json", include_str!("data/mkn223_r11.json")),
-];
+const DATA: &[(&str, &str)] = &[("mkn223_r11.json", include_str!("data/mkn223_r11.json"))];
 
 /// Deserialize and re-verify every embedded algorithm.
 pub fn discovered_algorithms() -> Vec<FmmAlgorithm> {

@@ -20,9 +20,9 @@ mod discovered;
 mod family;
 mod strassen;
 
+pub use self::strassen::{strassen, winograd};
 pub use discovered::discovered_algorithms;
 pub use family::best_constructive;
-pub use self::strassen::{strassen, winograd};
 
 use crate::algorithm::FmmAlgorithm;
 use crate::compose;

@@ -61,8 +61,7 @@ pub fn winograd() -> FmmAlgorithm {
         1.0, 0.0, 0.0, -1.0, 0.0, 1.0, 1.0,
         1.0, 0.0, 0.0,  0.0, 1.0, 1.0, 1.0,
     ]);
-    FmmAlgorithm::new("winograd", (2, 2, 2), u, v, w)
-        .expect("Winograd's Strassen variant is valid")
+    FmmAlgorithm::new("winograd", (2, 2, 2), u, v, w).expect("Winograd's Strassen variant is valid")
 }
 
 #[cfg(test)]

@@ -101,7 +101,9 @@ impl Matrix {
     pub fn as_ref(&self) -> MatRef<'_> {
         // SAFETY: `data` holds `ld * cols` elements laid out column-major, so
         // every (i, j) with i < rows <= ld, j < cols is in bounds.
-        unsafe { MatRef::from_raw_parts(self.data.as_ptr(), self.rows, self.cols, 1, self.ld as isize) }
+        unsafe {
+            MatRef::from_raw_parts(self.data.as_ptr(), self.rows, self.cols, 1, self.ld as isize)
+        }
     }
 
     /// Mutable strided view of the whole matrix.
@@ -109,7 +111,13 @@ impl Matrix {
     pub fn as_mut(&mut self) -> MatMut<'_> {
         // SAFETY: as in `as_ref`, plus exclusive access through `&mut self`.
         unsafe {
-            MatMut::from_raw_parts(self.data.as_mut_ptr(), self.rows, self.cols, 1, self.ld as isize)
+            MatMut::from_raw_parts(
+                self.data.as_mut_ptr(),
+                self.rows,
+                self.cols,
+                1,
+                self.ld as isize,
+            )
         }
     }
 

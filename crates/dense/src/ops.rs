@@ -8,7 +8,12 @@
 use crate::errors::DimError;
 use crate::view::{MatMut, MatRef};
 
-fn check_same_shape(op: &'static str, rows: usize, cols: usize, b: &MatRef<'_>) -> Result<(), DimError> {
+fn check_same_shape(
+    op: &'static str,
+    rows: usize,
+    cols: usize,
+    b: &MatRef<'_>,
+) -> Result<(), DimError> {
     if b.rows() != rows || b.cols() != cols {
         return Err(DimError::new(op, &[rows, cols, b.rows(), b.cols()]));
     }
@@ -70,7 +75,10 @@ pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
 ///
 /// This is the operand-side linear combination of eq. (3) in the paper,
 /// materialized into a temporary — the Naive-FMM path.
-pub fn linear_combination(mut dst: MatMut<'_>, terms: &[(f64, MatRef<'_>)]) -> Result<(), DimError> {
+pub fn linear_combination(
+    mut dst: MatMut<'_>,
+    terms: &[(f64, MatRef<'_>)],
+) -> Result<(), DimError> {
     let (rows, cols) = (dst.rows(), dst.cols());
     for (_, t) in terms {
         check_same_shape("linear_combination", rows, cols, t)?;

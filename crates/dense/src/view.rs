@@ -47,7 +47,13 @@ impl<'a> MatRef<'a> {
     /// For all `i < rows`, `j < cols`, `ptr.offset(i*rs + j*cs)` must be
     /// in-bounds, readable for lifetime `'a`, and no `&mut` alias may exist.
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *const f64, rows: usize, cols: usize, rs: isize, cs: isize) -> Self {
+    pub unsafe fn from_raw_parts(
+        ptr: *const f64,
+        rows: usize,
+        cols: usize,
+        rs: isize,
+        cs: isize,
+    ) -> Self {
         Self { ptr, rows, cols, rs, cs, _marker: PhantomData }
     }
 
@@ -161,7 +167,13 @@ impl<'a> MatMut<'a> {
     /// in-bounds and exclusively writable for `'a`; distinct `(i, j)` pairs
     /// must address distinct elements (no self-aliasing strides).
     #[inline]
-    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, rs: isize, cs: isize) -> Self {
+    pub unsafe fn from_raw_parts(
+        ptr: *mut f64,
+        rows: usize,
+        cols: usize,
+        rs: isize,
+        cs: isize,
+    ) -> Self {
         Self { ptr, rows, cols, rs, cs, _marker: PhantomData }
     }
 

@@ -1,41 +1,88 @@
-//! Property-based tests for the dense storage substrate.
+//! Property-style tests for the dense storage substrate.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these run each property over a deterministic seeded sweep of case
+//! parameters (an inline xorshift generator). Coverage is comparable —
+//! 64 cases per property, shapes and scalars drawn from the same ranges
+//! the proptest strategies used — and failures print the offending case.
 
 use fmm_dense::{fill, norms, ops, MatRef, Matrix};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic case-parameter generator (xorshift64*).
+struct Cases {
+    state: u64,
+}
 
-    /// Row-major construction and element access agree.
-    #[test]
-    fn from_rows_roundtrip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(2685821657736338717).max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+const CASES: usize = 64;
+
+/// Row-major construction and element access agree.
+#[test]
+fn from_rows_roundtrip() {
+    let mut cases = Cases::new(1);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 12);
+        let cols = cases.usize_in(1, 12);
+        let seed = cases.next_u64() % 1000;
         let m = fill::random_uniform(rows, cols, -5.0, 5.0, seed);
         let row_major: Vec<f64> = (0..rows)
             .flat_map(|i| (0..cols).map(move |j| (i, j)))
             .map(|(i, j)| m.get(i, j))
             .collect();
         let back = Matrix::from_rows(rows, cols, &row_major);
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {case}: rows={rows} cols={cols} seed={seed}");
     }
+}
 
-    /// Transposing twice is the identity, on views and owned copies.
-    #[test]
-    fn double_transpose_identity(rows in 1usize..10, cols in 1usize..10) {
+/// Transposing twice is the identity, on views and owned copies.
+#[test]
+fn double_transpose_identity() {
+    let mut cases = Cases::new(2);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 10);
+        let cols = cases.usize_in(1, 10);
         let m = fill::counter(rows, cols);
-        prop_assert_eq!(m.as_ref().t().t().to_owned(), m.clone());
-        prop_assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.as_ref().t().t().to_owned(), m.clone(), "case {case}");
+        assert_eq!(m.transposed().transposed(), m, "case {case}");
     }
+}
 
-    /// Any submatrix of a submatrix equals the directly-indexed region.
-    #[test]
-    fn nested_submatrix_composition(
-        rows in 4usize..16,
-        cols in 4usize..16,
-        r0 in 0usize..3,
-        c0 in 0usize..3,
-        r1 in 0usize..2,
-        c1 in 0usize..2,
-    ) {
+/// Any submatrix of a submatrix equals the directly-indexed region.
+#[test]
+fn nested_submatrix_composition() {
+    let mut cases = Cases::new(3);
+    for case in 0..CASES {
+        let rows = cases.usize_in(4, 16);
+        let cols = cases.usize_in(4, 16);
+        let r0 = cases.usize_in(0, 3);
+        let c0 = cases.usize_in(0, 3);
+        let r1 = cases.usize_in(0, 2);
+        let c1 = cases.usize_in(0, 2);
         let m = fill::counter(rows, cols);
         let h0 = rows - r0 - 1;
         let w0 = cols - c0 - 1;
@@ -45,26 +92,44 @@ proptest! {
         let inner = outer.submatrix(r1, c1, h1, w1);
         for i in 0..h1 {
             for j in 0..w1 {
-                prop_assert_eq!(inner.at(i, j), m.get(r0 + r1 + i, c0 + c1 + j));
+                assert_eq!(
+                    inner.at(i, j),
+                    m.get(r0 + r1 + i, c0 + c1 + j),
+                    "case {case}: rows={rows} cols={cols} r0={r0} c0={c0} r1={r1} c1={c1}"
+                );
             }
         }
     }
+}
 
-    /// axpy is linear: axpy(c, a, X) twice equals axpy(c, 2a, X).
-    #[test]
-    fn axpy_linearity(rows in 1usize..10, cols in 1usize..10, alpha in -3.0f64..3.0) {
+/// axpy is linear: axpy(c, a, X) twice equals axpy(c, 2a, X).
+#[test]
+fn axpy_linearity() {
+    let mut cases = Cases::new(4);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 10);
+        let cols = cases.usize_in(1, 10);
+        let alpha = cases.f64_in(-3.0, 3.0);
         let x = fill::bench_workload(rows, cols, 1);
         let mut c1 = Matrix::zeros(rows, cols);
         ops::axpy(c1.as_mut(), alpha, x.as_ref()).unwrap();
         ops::axpy(c1.as_mut(), alpha, x.as_ref()).unwrap();
         let mut c2 = Matrix::zeros(rows, cols);
         ops::axpy(c2.as_mut(), 2.0 * alpha, x.as_ref()).unwrap();
-        prop_assert!(norms::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+        assert!(
+            norms::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12,
+            "case {case}: rows={rows} cols={cols} alpha={alpha}"
+        );
     }
+}
 
-    /// linear_combination distributes over term concatenation.
-    #[test]
-    fn linear_combination_associativity(rows in 1usize..8, cols in 1usize..8) {
+/// linear_combination distributes over term concatenation.
+#[test]
+fn linear_combination_associativity() {
+    let mut cases = Cases::new(5);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 8);
+        let cols = cases.usize_in(1, 8);
         let x = fill::bench_workload(rows, cols, 3);
         let y = fill::bench_workload(rows, cols, 4);
         let z = fill::bench_workload(rows, cols, 5);
@@ -78,28 +143,45 @@ proptest! {
         ops::linear_combination(staged.as_mut(), &[(1.0, x.as_ref())]).unwrap();
         ops::axpy(staged.as_mut(), -2.0, y.as_ref()).unwrap();
         ops::axpy(staged.as_mut(), 0.5, z.as_ref()).unwrap();
-        prop_assert!(norms::max_abs_diff(all.as_ref(), staged.as_ref()) < 1e-12);
+        assert!(
+            norms::max_abs_diff(all.as_ref(), staged.as_ref()) < 1e-12,
+            "case {case}: rows={rows} cols={cols}"
+        );
     }
+}
 
-    /// Frobenius norm is monotone under zeroing entries and respects scaling.
-    #[test]
-    fn frobenius_scaling(rows in 1usize..8, cols in 1usize..8, s in 0.0f64..4.0) {
+/// Frobenius norm respects scaling.
+#[test]
+fn frobenius_scaling() {
+    let mut cases = Cases::new(6);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 8);
+        let cols = cases.usize_in(1, 8);
+        let s = cases.f64_in(0.0, 4.0);
         let x = fill::bench_workload(rows, cols, 6);
         let mut scaled = x.clone();
         ops::scale(scaled.as_mut(), s);
         let lhs = norms::frobenius(scaled.as_ref());
         let rhs = s * norms::frobenius(x.as_ref());
-        prop_assert!((lhs - rhs).abs() < 1e-10 * rhs.max(1.0));
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * rhs.max(1.0),
+            "case {case}: rows={rows} cols={cols} s={s}"
+        );
     }
+}
 
-    /// from_col_major with ld == rows sees exactly the slice contents.
-    #[test]
-    fn col_major_view_matches_slice(rows in 1usize..8, cols in 1usize..8) {
+/// from_col_major with ld == rows sees exactly the slice contents.
+#[test]
+fn col_major_view_matches_slice() {
+    let mut cases = Cases::new(7);
+    for case in 0..CASES {
+        let rows = cases.usize_in(1, 8);
+        let cols = cases.usize_in(1, 8);
         let data: Vec<f64> = (0..rows * cols).map(|x| x as f64).collect();
         let v = MatRef::from_col_major(&data, rows, cols, rows);
         for j in 0..cols {
             for i in 0..rows {
-                prop_assert_eq!(v.at(i, j), data[i + j * rows]);
+                assert_eq!(v.at(i, j), data[i + j * rows], "case {case}: rows={rows} cols={cols}");
             }
         }
     }

@@ -1,0 +1,491 @@
+//! `fmm-engine` — a long-lived, cached, model-routed FMM execution engine.
+//!
+//! [`fmm_core`] executes one `(plan, variant)`; [`fmm_model`] ranks
+//! candidates for a problem shape. This crate glues them into the object a
+//! service actually wants: an [`FmmEngine`] that is created once and then
+//! serves `C += A·B` traffic with
+//!
+//! * a **decision cache** — the model ranking (the paper's §4.4
+//!   poly-algorithm) runs once per `(m, k, n)` shape and is remembered in
+//!   a shape-keyed LRU;
+//! * a **plan cache** — `FmmPlan` Kronecker composition runs once per
+//!   `(algorithm, levels)` pair, shared via `Arc` by every decision that
+//!   routes to it;
+//! * a **context pool** — per-caller [`FmmContext`]s (preplanned workspace
+//!   arena + packing buffers) are recycled, so a warm engine performs no
+//!   heap allocation for FMM temporaries;
+//! * built-in **counters** ([`EngineStats`]) that make all three claims
+//!   testable rather than aspirational.
+//!
+//! `FmmEngine::multiply` takes `&self` and is safe to call from many
+//! threads at once; each call checks out its own context.
+//!
+//! # Example
+//!
+//! ```
+//! use fmm_dense::{fill, Matrix};
+//! use fmm_engine::FmmEngine;
+//!
+//! let engine = FmmEngine::with_defaults();
+//! let a = fill::bench_workload(96, 64, 1);
+//! let b = fill::bench_workload(64, 80, 2);
+//! let mut c = Matrix::zeros(96, 80);
+//! engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+//! engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+//! assert_eq!(engine.stats().decision_hits, 1); // second call reused the routing
+//! ```
+
+mod lru;
+
+pub use lru::LruCache;
+
+use fmm_core::executor::ArenaLayout;
+use fmm_core::registry::Registry;
+use fmm_core::{fmm_execute, fmm_execute_parallel, FmmContext, FmmPlan, Variant};
+use fmm_dense::{MatMut, MatRef};
+use fmm_gemm::BlockingParams;
+use fmm_model::{rank_candidates, ArchParams, Impl};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the engine chooses a `(plan, variant)` per shape.
+#[derive(Clone, Debug)]
+pub enum Routing {
+    /// The paper's §4.4 poly-algorithm: rank every registry `(plan,
+    /// variant)` candidate plus plain GEMM with the performance model and
+    /// run the best prediction.
+    Model,
+    /// Always run `levels` nested applications of the registry algorithm
+    /// with partition dims `dims`, as `variant`. For workloads with known
+    /// structure, and for tests that need a deterministic FMM route.
+    Pinned {
+        /// Partition dims of the registry algorithm, e.g. `(2, 2, 2)`.
+        dims: (usize, usize, usize),
+        /// Nesting depth (1 or 2 are practical).
+        levels: usize,
+        /// Implementation strategy.
+        variant: Variant,
+    },
+}
+
+/// Construction-time configuration of an [`FmmEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Architecture parameters for model-guided routing.
+    pub arch: ArchParams,
+    /// GEMM blocking parameters for every execution.
+    pub params: BlockingParams,
+    /// Use the rayon-parallel executors.
+    pub parallel: bool,
+    /// Maximum plan levels the model considers (1 or 2 are practical).
+    pub max_levels: usize,
+    /// Routing policy.
+    pub routing: Routing,
+    /// Capacity of the shape-keyed decision LRU.
+    pub decision_capacity: usize,
+    /// Capacity of the composed-plan LRU.
+    pub plan_capacity: usize,
+    /// Idle contexts kept pooled (returns beyond this are dropped).
+    pub max_pooled_contexts: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            arch: ArchParams::paper_machine(),
+            params: BlockingParams::default(),
+            parallel: false,
+            max_levels: 2,
+            routing: Routing::Model,
+            decision_capacity: 4096,
+            plan_capacity: 256,
+            max_pooled_contexts: 64,
+        }
+    }
+}
+
+/// What the engine decided to run for one shape.
+#[derive(Clone)]
+enum Decision {
+    Gemm,
+    Fmm { plan: Arc<FmmPlan>, variant: Variant },
+}
+
+impl Decision {
+    fn describe(&self) -> String {
+        match self {
+            Decision::Gemm => "GEMM".to_string(),
+            Decision::Fmm { plan, variant } => {
+                format!("{} {}", plan.describe(), variant.name())
+            }
+        }
+    }
+}
+
+/// Monotonic counters exposing the engine's cache behavior.
+///
+/// All counts are cumulative since engine construction; take two snapshots
+/// and difference them to assert warm-path properties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `multiply` calls served.
+    pub executions: u64,
+    /// Decisions answered from the shape LRU.
+    pub decision_hits: u64,
+    /// Decisions that had to be computed.
+    pub decision_misses: u64,
+    /// Full model rankings run (at most one per decision miss).
+    pub rankings: u64,
+    /// Kronecker plan compositions performed (at most one per
+    /// `(algorithm, levels)` pair while cached).
+    pub plan_compositions: u64,
+    /// Fresh `FmmContext` constructions (one per concurrently-active
+    /// caller; flat once the pool is warm).
+    pub context_allocations: u64,
+    /// Workspace-arena reallocations across all pooled contexts (flat once
+    /// every pooled context has seen the largest live shape).
+    pub arena_grows: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    executions: AtomicU64,
+    decision_hits: AtomicU64,
+    decision_misses: AtomicU64,
+    rankings: AtomicU64,
+    plan_compositions: AtomicU64,
+    context_allocations: AtomicU64,
+    arena_grows: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            executions: self.executions.load(Ordering::Relaxed),
+            decision_hits: self.decision_hits.load(Ordering::Relaxed),
+            decision_misses: self.decision_misses.load(Ordering::Relaxed),
+            rankings: self.rankings.load(Ordering::Relaxed),
+            plan_compositions: self.plan_compositions.load(Ordering::Relaxed),
+            context_allocations: self.context_allocations.load(Ordering::Relaxed),
+            arena_grows: self.arena_grows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache key for composed plans: the registry algorithm's partition dims
+/// plus the nesting depth.
+type PlanKey = ((usize, usize, usize), usize);
+
+/// A long-lived, thread-safe FMM execution engine. See the crate docs.
+pub struct FmmEngine {
+    config: EngineConfig,
+    registry: Arc<Registry>,
+    decisions: Mutex<LruCache<(usize, usize, usize), Decision>>,
+    plans: Mutex<LruCache<PlanKey, Arc<FmmPlan>>>,
+    contexts: Mutex<Vec<FmmContext>>,
+    counters: Counters,
+}
+
+impl FmmEngine {
+    /// Engine over the standard registry with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// Engine over the standard registry.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_registry(config, Registry::shared())
+    }
+
+    /// Engine over an explicit algorithm registry.
+    pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
+        assert!(config.max_levels >= 1, "max_levels must be at least 1");
+        let decisions = Mutex::new(LruCache::new(config.decision_capacity));
+        let plans = Mutex::new(LruCache::new(config.plan_capacity));
+        Self {
+            config,
+            registry,
+            decisions,
+            plans,
+            contexts: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The registry the engine routes over.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Snapshot of the cumulative cache/allocation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    /// `C += A·B`, routed through the decision cache. Thread-safe.
+    pub fn multiply(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        assert_eq!(b.rows(), k, "A/B inner dimension mismatch");
+        assert_eq!((c.rows(), c.cols()), (m, n), "C shape mismatch");
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+
+        match self.route(m, k, n) {
+            Decision::Gemm => self.run_gemm(c, a, b),
+            Decision::Fmm { plan, variant } => {
+                self.run_fmm(c, a, b, &plan, variant);
+            }
+        }
+    }
+
+    /// `C += A·B` with an explicit `(plan, variant)`, using the engine's
+    /// pooled contexts (the paper's protocol for measuring top-2 candidates
+    /// empirically). Returns the number of workspace-arena elements the
+    /// execution occupied — equal to [`Variant::workspace_elements`].
+    pub fn multiply_with_plan(
+        &self,
+        c: MatMut<'_>,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        plan: &FmmPlan,
+        variant: Variant,
+    ) -> usize {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        self.run_fmm(c, a, b, plan, variant)
+    }
+
+    /// Resolve (and cache) the routing decision for a shape without
+    /// executing anything, then preplan one pooled context for it — after
+    /// this, the first `multiply` of the shape is already on the warm path.
+    pub fn prepare(&self, m: usize, k: usize, n: usize) {
+        let decision = self.route(m, k, n);
+        if let Decision::Fmm { plan, variant } = decision {
+            let mut ctx = self.acquire_context();
+            let grows_before = ctx.arena_grow_count();
+            ctx.preplan(&plan, variant, m, k, n);
+            self.counters
+                .arena_grows
+                .fetch_add(ctx.arena_grow_count() - grows_before, Ordering::Relaxed);
+            self.release_context(ctx);
+        }
+    }
+
+    /// Human-readable routing decision for a shape, e.g.
+    /// `"<2,2,2>+<2,2,2> ABC"` or `"GEMM"`. Computes and caches the
+    /// decision if the shape has not been seen.
+    pub fn decision_label(&self, m: usize, k: usize, n: usize) -> String {
+        self.route(m, k, n).describe()
+    }
+
+    fn route(&self, m: usize, k: usize, n: usize) -> Decision {
+        if let Some(hit) = self.decisions.lock().get(&(m, k, n)) {
+            self.counters.decision_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.counters.decision_misses.fetch_add(1, Ordering::Relaxed);
+        let decision = self.compute_decision(m, k, n);
+        self.decisions.lock().insert((m, k, n), decision.clone());
+        decision
+    }
+
+    fn compute_decision(&self, m: usize, k: usize, n: usize) -> Decision {
+        match &self.config.routing {
+            Routing::Pinned { dims, levels, variant } => {
+                let algo = self.registry.get(*dims).unwrap_or_else(|| {
+                    panic!("pinned routing: no registry algorithm for {dims:?}")
+                });
+                Decision::Fmm { plan: self.plan_for(&algo, *levels), variant: *variant }
+            }
+            Routing::Model => {
+                let plans = self.candidate_plans();
+                self.counters.rankings.fetch_add(1, Ordering::Relaxed);
+                let ranked =
+                    rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &self.config.arch, true);
+                let best = &ranked[0];
+                match (&best.plan, best.impl_.to_variant()) {
+                    (Some(plan), Some(variant)) => Decision::Fmm { plan: plan.clone(), variant },
+                    _ => Decision::Gemm,
+                }
+            }
+        }
+    }
+
+    /// The candidate plan set model routing ranks over: every registry
+    /// algorithm at 1..=`max_levels` nesting depths, served from the plan
+    /// cache (composed at most once each while cached). Callers that want
+    /// the model's view of a shape (e.g. predicted-vs-measured harnesses)
+    /// should rank over this same set.
+    pub fn candidate_plans(&self) -> Vec<Arc<FmmPlan>> {
+        let mut plans = Vec::new();
+        for (_, algo) in self.registry.paper_rows() {
+            for levels in 1..=self.config.max_levels {
+                plans.push(self.plan_for(&algo, levels));
+            }
+        }
+        plans
+    }
+
+    /// Fetch the composed plan for `levels` nested applications of `algo`,
+    /// composing at most once per `(dims, levels)` while cached.
+    fn plan_for(&self, algo: &Arc<fmm_core::FmmAlgorithm>, levels: usize) -> Arc<FmmPlan> {
+        let key = (algo.dims(), levels);
+        if let Some(plan) = self.plans.lock().get(&key) {
+            return plan;
+        }
+        self.counters.plan_compositions.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(FmmPlan::from_arcs(vec![algo.clone(); levels]));
+        self.plans.lock().insert(key, plan.clone());
+        plan
+    }
+
+    fn run_gemm(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+        // Plain GEMM packing buffers come from fmm-gemm's global pool.
+        if self.config.parallel {
+            fmm_gemm::gemm_parallel(c, a, b);
+        } else {
+            fmm_gemm::gemm(c, a, b);
+        }
+    }
+
+    fn run_fmm(
+        &self,
+        c: MatMut<'_>,
+        a: MatRef<'_>,
+        b: MatRef<'_>,
+        plan: &FmmPlan,
+        variant: Variant,
+    ) -> usize {
+        let mut ctx = self.acquire_context();
+        let grows_before = ctx.arena_grow_count();
+        if self.config.parallel {
+            fmm_execute_parallel(c, a, b, plan, variant, &mut ctx);
+        } else {
+            fmm_execute(c, a, b, plan, variant, &mut ctx);
+        }
+        self.counters
+            .arena_grows
+            .fetch_add(ctx.arena_grow_count() - grows_before, Ordering::Relaxed);
+        let occupied = ctx.last_layout().map_or(0, ArenaLayout::total_elements);
+        self.release_context(ctx);
+        occupied
+    }
+
+    fn acquire_context(&self) -> FmmContext {
+        if let Some(ctx) = self.contexts.lock().pop() {
+            return ctx;
+        }
+        self.counters.context_allocations.fetch_add(1, Ordering::Relaxed);
+        FmmContext::new(self.config.params)
+    }
+
+    fn release_context(&self, ctx: FmmContext) {
+        let mut pool = self.contexts.lock();
+        if pool.len() < self.config.max_pooled_contexts {
+            pool.push(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for FmmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FmmEngine(decisions={}, plans={}, pooled_contexts={}, stats={:?})",
+            self.decisions.lock().len(),
+            self.plans.lock().len(),
+            self.contexts.lock().len(),
+            self.stats()
+        )
+    }
+}
+
+// The engine is shared across threads (`multiply(&self, ..)`); both auto
+// traits must hold for a process-global engine.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FmmEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_dense::{fill, norms, Matrix};
+
+    fn tiny_config(routing: Routing) -> EngineConfig {
+        EngineConfig { params: BlockingParams::tiny(), routing, ..EngineConfig::default() }
+    }
+
+    #[test]
+    fn multiply_matches_reference_via_model_routing() {
+        let engine = FmmEngine::new(tiny_config(Routing::Model));
+        for (m, k, n) in [(37, 29, 41), (64, 64, 64), (5, 120, 5)] {
+            let a = fill::bench_workload(m, k, 1);
+            let b = fill::bench_workload(k, n, 2);
+            let mut c = Matrix::zeros(m, n);
+            engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+            let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+            assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn decision_cache_hits_skip_ranking() {
+        let engine = FmmEngine::new(tiny_config(Routing::Model));
+        let a = fill::bench_workload(48, 32, 1);
+        let b = fill::bench_workload(32, 40, 2);
+        let mut c = Matrix::zeros(48, 40);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let cold = engine.stats();
+        assert_eq!(cold.decision_misses, 1);
+        assert_eq!(cold.rankings, 1);
+        for _ in 0..5 {
+            engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        }
+        let warm = engine.stats();
+        assert_eq!(warm.rankings, cold.rankings, "no re-ranking on cache hits");
+        assert_eq!(warm.plan_compositions, cold.plan_compositions);
+        assert_eq!(warm.decision_hits, cold.decision_hits + 5);
+    }
+
+    #[test]
+    fn pinned_routing_runs_the_requested_plan() {
+        let engine = FmmEngine::new(tiny_config(Routing::Pinned {
+            dims: (2, 2, 2),
+            levels: 1,
+            variant: Variant::Abc,
+        }));
+        assert_eq!(engine.decision_label(32, 32, 32), "<2,2,2> ABC");
+        let a = fill::bench_workload(32, 32, 3);
+        let b = fill::bench_workload(32, 32, 4);
+        let mut c = Matrix::zeros(32, 32);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-10);
+    }
+
+    #[test]
+    fn prepare_makes_the_first_call_warm() {
+        let engine = FmmEngine::new(tiny_config(Routing::Pinned {
+            dims: (2, 2, 2),
+            levels: 2,
+            variant: Variant::Naive,
+        }));
+        engine.prepare(36, 36, 36);
+        let prepared = engine.stats();
+        assert_eq!(prepared.decision_misses, 1);
+        let a = fill::bench_workload(36, 36, 5);
+        let b = fill::bench_workload(36, 36, 6);
+        let mut c = Matrix::zeros(36, 36);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let after = engine.stats();
+        assert_eq!(after.arena_grows, prepared.arena_grows, "arena was preplanned");
+        assert_eq!(after.context_allocations, prepared.context_allocations);
+        assert_eq!(after.plan_compositions, prepared.plan_compositions);
+    }
+}

@@ -1,0 +1,108 @@
+//! A small least-recently-used cache.
+//!
+//! Capacity-bounded map with access-stamped entries; eviction scans for the
+//! oldest stamp. O(capacity) eviction is deliberate: the engine's caches
+//! hold at most a few thousand entries, the scan touches one compact
+//! `HashMap`, and the no-dependency implementation keeps the vendored
+//! surface minimal. Swap in a doubly-linked-list LRU if decision traffic
+//! ever makes this measurable.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A least-recently-used cache from `K` to `V`.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used entry
+    /// when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_inserted_values() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), Some(2));
+        assert_eq!(c.get(&"c"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh "a"; "b" is now oldest
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was evicted");
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh, not a new entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "x");
+        assert_eq!(c.get(&1), Some("x"));
+        c.insert(2, "y");
+        assert_eq!(c.len(), 1);
+    }
+}

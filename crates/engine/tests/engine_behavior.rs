@@ -1,0 +1,180 @@
+//! Engine-level behavioral guarantees: the warm-path contract, concurrent
+//! correctness, and arena sizing.
+
+use fmm_core::{FmmPlan, Variant};
+use fmm_dense::{fill, norms, Matrix};
+use fmm_engine::{EngineConfig, FmmEngine, Routing};
+use fmm_gemm::BlockingParams;
+
+fn tiny_config(routing: Routing) -> EngineConfig {
+    EngineConfig { params: BlockingParams::tiny(), routing, ..EngineConfig::default() }
+}
+
+/// The PR's headline guarantee: after the first call for a given
+/// `(m, k, n)` (and its variant), subsequent `multiply` calls perform no
+/// plan composition, no candidate re-ranking, and no heap allocation for
+/// FMM temporaries — the plan cache, decision cache, context pool, and
+/// preplanned arena absorb everything.
+#[test]
+fn warm_path_does_no_composition_ranking_or_allocation() {
+    // Pinned FMM routing keeps the executed path an actual FMM (model
+    // routing would pick GEMM at test-friendly sizes), exercising the
+    // arena; every cache layer behaves identically under model routing.
+    for variant in Variant::ALL {
+        let engine =
+            FmmEngine::new(tiny_config(Routing::Pinned { dims: (2, 2, 2), levels: 1, variant }));
+        let (m, k, n) = (33, 29, 41); // fringes included
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let cold = engine.stats();
+        assert_eq!(cold.decision_misses, 1, "{}", variant.name());
+        assert_eq!(cold.context_allocations, 1, "{}", variant.name());
+
+        for _ in 0..8 {
+            engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        }
+        let warm = engine.stats();
+        assert_eq!(
+            warm.plan_compositions,
+            cold.plan_compositions,
+            "{}: no recomposition",
+            variant.name()
+        );
+        assert_eq!(warm.rankings, cold.rankings, "{}: no re-ranking", variant.name());
+        assert_eq!(
+            warm.arena_grows,
+            cold.arena_grows,
+            "{}: no workspace allocation",
+            variant.name()
+        );
+        assert_eq!(
+            warm.context_allocations,
+            cold.context_allocations,
+            "{}: context pool reused",
+            variant.name()
+        );
+        assert_eq!(warm.decision_hits, cold.decision_hits + 8, "{}", variant.name());
+    }
+}
+
+/// Model routing has the same warm-path property for the decision layer.
+#[test]
+fn model_routing_ranks_once_per_shape() {
+    let engine = FmmEngine::new(tiny_config(Routing::Model));
+    let shapes = [(48usize, 32usize, 40usize), (37, 29, 41), (64, 64, 64)];
+    for &(m, k, n) in &shapes {
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    }
+    let cold = engine.stats();
+    assert_eq!(cold.rankings, shapes.len() as u64, "one ranking per distinct shape");
+    let compositions = cold.plan_compositions;
+    assert!(compositions > 0, "the candidate plans were composed");
+
+    for &(m, k, n) in &shapes {
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    }
+    let warm = engine.stats();
+    assert_eq!(warm.rankings, cold.rankings);
+    assert_eq!(warm.plan_compositions, compositions, "plans composed exactly once");
+}
+
+/// Concurrent `multiply` calls from many threads produce results matching
+/// the reference GEMM — the engine shares safely via `&self`.
+#[test]
+fn concurrent_multiply_matches_reference() {
+    for routing in
+        [Routing::Model, Routing::Pinned { dims: (2, 2, 2), levels: 1, variant: Variant::Abc }]
+    {
+        let engine = FmmEngine::new(tiny_config(routing.clone()));
+        let threads = 8;
+        let iterations = 4;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let engine = &engine;
+                s.spawn(move || {
+                    // Distinct shapes per thread exercise decision-cache
+                    // writes under contention; repeats exercise hits.
+                    let (m, k, n) = (24 + 2 * t, 18 + t, 30 + 3 * t);
+                    let a = fill::bench_workload(m, k, t as u64 + 1);
+                    let b = fill::bench_workload(k, n, t as u64 + 100);
+                    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+                    for _ in 0..iterations {
+                        let mut c = Matrix::zeros(m, n);
+                        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+                        assert!(
+                            norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9,
+                            "thread {t}: m={m} k={k} n={n}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.executions, (threads * iterations) as u64);
+        assert!(
+            stats.context_allocations <= threads as u64,
+            "at most one context per concurrent caller, got {}",
+            stats.context_allocations
+        );
+    }
+}
+
+/// Arena sizing matches `Variant::workspace_elements` for all three
+/// variants (migrated from the executor's
+/// `workspace_requirements_match_allocations` unit test, now asserted
+/// through the engine's pooled execution path).
+#[test]
+fn arena_sizing_matches_workspace_elements() {
+    let engine = FmmEngine::new(tiny_config(Routing::Model));
+    let plan = FmmPlan::new(vec![fmm_core::registry::strassen()]);
+    let (m, k, n) = (16, 12, 20);
+    assert_eq!(Variant::Abc.workspace_elements(&plan, m, k, n), 0);
+    assert_eq!(Variant::Ab.workspace_elements(&plan, m, k, n), 8 * 10);
+    assert_eq!(Variant::Naive.workspace_elements(&plan, m, k, n), 8 * 10 + 8 * 6 + 6 * 10);
+    for variant in Variant::ALL {
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = fill::bench_workload(m, n, 3);
+        let occupied =
+            engine.multiply_with_plan(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant);
+        assert_eq!(
+            occupied,
+            variant.workspace_elements(&plan, m, k, n),
+            "variant {}",
+            variant.name()
+        );
+        // And the result is correct.
+        let mut c_ref = fill::bench_workload(m, n, 3);
+        fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-10);
+    }
+}
+
+/// Two-level plans and larger problems route through the same caches.
+#[test]
+fn two_level_pinned_execution_is_correct_and_cached() {
+    let engine = FmmEngine::new(tiny_config(Routing::Pinned {
+        dims: (2, 2, 2),
+        levels: 2,
+        variant: Variant::Ab,
+    }));
+    let (m, k, n) = (52, 44, 60);
+    let a = fill::bench_workload(m, k, 7);
+    let b = fill::bench_workload(k, n, 8);
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    for _ in 0..3 {
+        let mut c = Matrix::zeros(m, n);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let tol = norms::fmm_tolerance(k, 2);
+        assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < tol);
+    }
+    assert_eq!(engine.stats().plan_compositions, 1, "one 2-level composition total");
+}

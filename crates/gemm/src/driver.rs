@@ -376,8 +376,11 @@ mod tests {
         )
         .unwrap();
         let mut bsum = Matrix::zeros(k, n);
-        fmm_dense::ops::linear_combination(bsum.as_mut(), &[(1.0, b0.as_ref()), (2.0, b1.as_ref())])
-            .unwrap();
+        fmm_dense::ops::linear_combination(
+            bsum.as_mut(),
+            &[(1.0, b0.as_ref()), (2.0, b1.as_ref())],
+        )
+        .unwrap();
         let c_ref = reference::matmul(asum.as_ref(), bsum.as_ref());
         assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-12);
     }

@@ -10,11 +10,11 @@
 //! auto-vectorizes, and an AVX2+FMA kernel using `std::arch` intrinsics,
 //! selected once at startup by runtime feature detection.
 
-pub mod portable;
 #[cfg(target_arch = "x86_64")]
 pub mod avx;
 #[cfg(target_arch = "x86_64")]
 pub mod avx512;
+pub mod portable;
 
 /// Micro-tile rows. Matches the paper's `mR = 8` for double precision.
 pub const MR: usize = 8;
@@ -62,7 +62,8 @@ pub fn selected_name() -> &'static str {
         if !no512 && std::arch::is_x86_feature_detected!("avx512f") {
             return "avx512f_8x4";
         }
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
             return "avx2_fma_8x4";
         }
     }
@@ -79,7 +80,7 @@ mod tests {
         let a: Vec<f64> = (0..kc * MR).map(|x| (x % 13) as f64 - 6.0).collect();
         let b: Vec<f64> = (0..kc * NR).map(|x| (x % 7) as f64 * 0.5 - 1.5).collect();
         let mut acc: Acc = [0.1; MR * NR]; // non-zero start: kernel must accumulate
-        // SAFETY: panels allocated with exactly the required lengths.
+                                           // SAFETY: panels allocated with exactly the required lengths.
         unsafe { kernel(kc, a.as_ptr(), b.as_ptr(), &mut acc) };
         for j in 0..NR {
             for i in 0..MR {
@@ -106,7 +107,8 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn avx2_kernel_matches_scalar_when_supported() {
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
             for kc in [0, 1, 2, 5, 64, 257] {
                 check_kernel(avx::kernel_8x4_avx2_entry, kc);
             }
@@ -136,7 +138,8 @@ mod tests {
         let b: Vec<f64> = (0..kc * NR).map(|x| ((x * 17) % 7) as f64 * 0.25).collect();
         let mut kernels: Vec<(&str, MicroKernel)> =
             vec![("portable", portable::kernel_8x4_portable)];
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
             kernels.push(("avx2", avx::kernel_8x4_avx2_entry));
         }
         if std::arch::is_x86_feature_detected!("avx512f") {

@@ -47,21 +47,17 @@ pub mod workspace;
 
 pub use driver::{gemm_sums, DestTile};
 pub use params::BlockingParams;
-pub use workspace::GemmWorkspace;
+pub use workspace::{GemmWorkspace, PooledWorkspace, WorkspacePool};
 
 use fmm_dense::{MatMut, MatRef};
 
-/// `C += A * B`, sequential, with default blocking parameters.
+/// `C += A * B`, sequential, with default blocking parameters. Packing
+/// buffers come from the global [`WorkspacePool`], so repeated calls do not
+/// allocate.
 pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     let params = BlockingParams::default();
-    let mut ws = GemmWorkspace::for_params(&params);
-    driver::gemm_sums(
-        &mut [DestTile::new(c, 1.0)],
-        &[(1.0, a)],
-        &[(1.0, b)],
-        &params,
-        &mut ws,
-    );
+    let mut ws = WorkspacePool::global().acquire(&params);
+    driver::gemm_sums(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], &params, &mut ws);
 }
 
 /// `C += A * B`, parallel over the `ic` loop using the global rayon pool.

@@ -207,11 +207,7 @@ mod tests {
         let y = fill::bench_workload(10, 6, 2);
         let z = fill::bench_workload(10, 6, 3);
         let mut dst = vec![0.0; 16 * 6];
-        pack_a_sum(
-            &mut dst,
-            &[(1.0, x.as_ref()), (-1.0, y.as_ref()), (0.5, z.as_ref())],
-            8,
-        );
+        pack_a_sum(&mut dst, &[(1.0, x.as_ref()), (-1.0, y.as_ref()), (0.5, z.as_ref())], 8);
         let got = unpack_a(&dst, 10, 6, 8);
         for j in 0..6 {
             for i in 0..10 {

@@ -12,7 +12,7 @@ use crate::driver::{check_shapes, macro_kernel, DestTile, RawDest};
 use crate::kernel;
 use crate::pack;
 use crate::params::BlockingParams;
-use crate::workspace::GemmWorkspace;
+use crate::workspace::WorkspacePool;
 use fmm_dense::MatRef;
 use rayon::prelude::*;
 
@@ -67,8 +67,10 @@ fn gemm_sums_parallel_impl(
     let ukr = kernel::select();
     let n_ic_blocks = m.div_ceil(params.mc);
 
-    // Shared B̃ panel, packed once per (jc, pc) iteration.
-    let mut bbuf = fmm_dense::AlignedBuf::zeroed(params.packed_b_len());
+    // Shared B̃ panel, packed once per (jc, pc) iteration. Pooled, so the
+    // warm path allocates nothing.
+    let mut bws = WorkspacePool::global().acquire(params);
+    let bbuf = &mut bws.bbuf;
 
     let mut jc = 0;
     while jc < n {
@@ -78,31 +80,27 @@ fn gemm_sums_parallel_impl(
             let kb = params.kc.min(k - pc);
             let b_slices: Vec<(f64, MatRef<'_>)> =
                 b_terms.iter().map(|(g, b)| (*g, b.submatrix(pc, jc, kb, nb))).collect();
-            pack::pack_b_sum(&mut bbuf, &b_slices, params.nr);
+            pack::pack_b_sum(bbuf, &b_slices, params.nr);
             let store = overwrite && pc == 0;
-            let bshared: &[f64] = &bbuf;
+            let bshared: &[f64] = bbuf;
 
-            (0..n_ic_blocks)
-                .into_par_iter()
-                .for_each_init(
-                    || GemmWorkspace::for_params(params),
-                    |ws, blk| {
-                        let ic = blk * params.mc;
-                        let mb = params.mc.min(m - ic);
-                        let a_slices: Vec<(f64, MatRef<'_>)> = a_terms
-                            .iter()
-                            .map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb)))
-                            .collect();
-                        pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
-                        // Each task owns rows [ic, ic + mb) of every
-                        // destination; tasks are disjoint in `ic`, so the
-                        // writes through RawDest cannot race.
-                        let mut local = raw.clone();
-                        macro_kernel(
-                            &mut local, &ws.abuf, bshared, ic, jc, mb, nb, kb, ukr, store,
-                        );
-                    },
-                );
+            (0..n_ic_blocks).into_par_iter().for_each_init(
+                // Per-worker packing buffers come from the global pool,
+                // so steady-state parallel GEMM allocates nothing.
+                || WorkspacePool::global().acquire(params),
+                |ws, blk| {
+                    let ic = blk * params.mc;
+                    let mb = params.mc.min(m - ic);
+                    let a_slices: Vec<(f64, MatRef<'_>)> =
+                        a_terms.iter().map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb))).collect();
+                    pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
+                    // Each task owns rows [ic, ic + mb) of every
+                    // destination; tasks are disjoint in `ic`, so the
+                    // writes through RawDest cannot race.
+                    let mut local = raw.clone();
+                    macro_kernel(&mut local, &ws.abuf, bshared, ic, jc, mb, nb, kb, ukr, store);
+                },
+            );
             pc += params.kc;
         }
         jc += params.nc;
@@ -114,6 +112,7 @@ mod tests {
     use super::*;
     use crate::driver::gemm_sums;
     use crate::reference;
+    use crate::workspace::GemmWorkspace;
     use fmm_dense::{fill, norms, Matrix};
 
     #[test]

@@ -85,13 +85,9 @@ impl BlockingParams {
     /// Validate internal consistency (non-zero tiles, `mc` a multiple of
     /// `mr` is *not* required, but everything must be positive).
     pub fn validate(&self) -> Result<(), String> {
-        for (name, v) in [
-            ("mr", self.mr),
-            ("nr", self.nr),
-            ("kc", self.kc),
-            ("mc", self.mc),
-            ("nc", self.nc),
-        ] {
+        for (name, v) in
+            [("mr", self.mr), ("nr", self.nr), ("kc", self.kc), ("mc", self.mc), ("nc", self.nc)]
+        {
             if v == 0 {
                 return Err(format!("blocking parameter {name} must be positive"));
             }

@@ -1,7 +1,17 @@
-//! Reusable packing workspace.
+//! Reusable packing workspace and the process-wide workspace pool.
+//!
+//! [`GemmWorkspace`] is the pair of packing buffers one GEMM invocation
+//! needs; it is `Send`, so a workspace can be created on one thread and
+//! used on another. [`WorkspacePool`] recycles workspaces across calls and
+//! threads: `acquire` pops a pooled workspace (or allocates on first use),
+//! the returned guard hands it back on drop. After warmup — one workspace
+//! per concurrently-active caller — acquisition is allocation-free, which
+//! [`WorkspacePool::allocation_count`] makes testable.
 
 use crate::params::BlockingParams;
 use fmm_dense::AlignedBuf;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The pair of packing buffers (`Ã`, `B̃`) a GEMM invocation needs.
 ///
@@ -24,6 +34,14 @@ impl GemmWorkspace {
         }
     }
 
+    /// Zero-capacity workspace; the driver's [`GemmWorkspace::ensure`] call
+    /// sizes it on first sequential use. Lets holders that may never pack
+    /// (e.g. contexts running only parallel or rim-free executions) defer
+    /// the multi-megabyte buffers.
+    pub fn empty() -> Self {
+        Self { abuf: AlignedBuf::zeroed(0), bbuf: AlignedBuf::zeroed(0) }
+    }
+
     /// Grow the buffers if `params` needs more space (never shrinks).
     pub fn ensure(&mut self, params: &BlockingParams) {
         self.abuf.ensure_capacity(params.packed_a_len());
@@ -34,6 +52,120 @@ impl GemmWorkspace {
 impl std::fmt::Debug for GemmWorkspace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "GemmWorkspace(a={}, b={})", self.abuf.len(), self.bbuf.len())
+    }
+}
+
+// One engine serves concurrent callers by moving workspaces between
+// threads; this must hold for the pool to be sound (and it does: the
+// buffers are exclusively-owned heap allocations, like `Vec<f64>`).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<GemmWorkspace>();
+};
+
+/// Upper bound on idle pooled workspaces; returns beyond it are dropped.
+/// Bounds idle memory at roughly `PARKED_MAX x` one workspace (~9 MB each
+/// with default blocking parameters) without limiting concurrency.
+const PARKED_MAX: usize = 64;
+
+/// A recycling pool of [`GemmWorkspace`]s shared by every caller that does
+/// not manage its own workspace explicitly.
+pub struct WorkspacePool {
+    parked: Mutex<Vec<GemmWorkspace>>,
+    allocations: AtomicU64,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    pub const fn new() -> Self {
+        Self { parked: Mutex::new(Vec::new()), allocations: AtomicU64::new(0) }
+    }
+
+    /// The process-wide pool used by [`crate::gemm`] and the parallel
+    /// driver's per-worker packing buffers.
+    pub fn global() -> &'static WorkspacePool {
+        static GLOBAL: WorkspacePool = WorkspacePool::new();
+        &GLOBAL
+    }
+
+    /// Check out a workspace sized for `params`. Pops a pooled one (growing
+    /// it if `params` needs more) or allocates on first use; the guard
+    /// returns it to the pool when dropped.
+    pub fn acquire(&self, params: &BlockingParams) -> PooledWorkspace<'_> {
+        let ws = match self.parked.lock().pop() {
+            Some(mut ws) => {
+                ws.ensure(params);
+                ws
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                GemmWorkspace::for_params(params)
+            }
+        };
+        PooledWorkspace { ws: Some(ws), pool: self }
+    }
+
+    /// Number of fresh workspace allocations (never decreases; flat once
+    /// the pool holds one workspace per concurrently-active caller).
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of idle workspaces currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    fn release(&self, ws: GemmWorkspace) {
+        let mut parked = self.parked.lock();
+        if parked.len() < PARKED_MAX {
+            parked.push(ws);
+        }
+    }
+}
+
+impl Default for WorkspacePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorkspacePool(parked={}, allocations={})",
+            self.parked_count(),
+            self.allocation_count()
+        )
+    }
+}
+
+/// An acquired workspace; derefs to [`GemmWorkspace`] and returns itself to
+/// the pool on drop.
+pub struct PooledWorkspace<'a> {
+    ws: Option<GemmWorkspace>,
+    pool: &'a WorkspacePool,
+}
+
+impl std::ops::Deref for PooledWorkspace<'_> {
+    type Target = GemmWorkspace;
+    fn deref(&self) -> &GemmWorkspace {
+        self.ws.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut GemmWorkspace {
+        self.ws.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.release(ws);
+        }
     }
 }
 
@@ -56,5 +188,49 @@ mod tests {
         ws.ensure(&big);
         assert!(ws.abuf.len() >= big.packed_a_len());
         assert!(ws.bbuf.len() >= big.packed_b_len());
+    }
+
+    #[test]
+    fn pool_recycles_instead_of_allocating() {
+        let pool = WorkspacePool::new();
+        let p = BlockingParams::tiny();
+        {
+            let _a = pool.acquire(&p);
+            let _b = pool.acquire(&p);
+            assert_eq!(pool.allocation_count(), 2, "two concurrent users");
+        }
+        assert_eq!(pool.parked_count(), 2);
+        for _ in 0..10 {
+            let _ws = pool.acquire(&p);
+        }
+        assert_eq!(pool.allocation_count(), 2, "serial reuse allocates nothing");
+    }
+
+    #[test]
+    fn pool_grows_pooled_workspace_for_larger_params() {
+        let pool = WorkspacePool::new();
+        drop(pool.acquire(&BlockingParams::tiny()));
+        let big = BlockingParams::default();
+        let ws = pool.acquire(&big);
+        assert!(ws.abuf.len() >= big.packed_a_len());
+        assert!(ws.bbuf.len() >= big.packed_b_len());
+    }
+
+    #[test]
+    fn pool_is_safe_under_contention() {
+        let pool = WorkspacePool::new();
+        let p = BlockingParams::tiny();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let mut ws = pool.acquire(&p);
+                        ws.abuf[0] = 1.0;
+                    }
+                });
+            }
+        });
+        assert!(pool.allocation_count() <= 8, "at most one allocation per thread");
+        assert!(pool.parked_count() <= 8);
     }
 }

@@ -1,5 +1,11 @@
 //! Pre-generated modules, checked in both as golden files for the emitter
 //! and as compiled, testable artifacts of the code-generation path.
+//!
+//! The skip attributes keep `cargo fmt` from rewriting the files: their
+//! byte-exact layout is the emitter's contract (golden-file tested), so
+//! they must stay exactly as `cargo run -p fmm-gen --bin regen` wrote them.
 
+#[rustfmt::skip]
 pub mod strassen_1l;
+#[rustfmt::skip]
 pub mod strassen_2l;

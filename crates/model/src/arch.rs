@@ -1,10 +1,9 @@
 //! Architecture parameters for the performance model (paper Fig. 4).
 
 use fmm_gemm::BlockingParams;
-use serde::{Deserialize, Serialize};
 
 /// The machine description the model needs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ArchParams {
     /// `τ_a`: seconds per floating-point operation (reciprocal of peak
     /// flops/s on the cores in use).
@@ -31,19 +30,17 @@ impl ArchParams {
     /// 59.7 GB/s peak bandwidth; blocking parameters
     /// `m_c, k_c, n_c = 96, 256, 4096`.
     pub fn paper_machine() -> Self {
-        Self {
-            tau_a: 1.0 / 28.32e9,
-            tau_b: 8.0 / 59.7e9,
-            lambda: 0.7,
-            mc: 96,
-            kc: 256,
-            nc: 4096,
-        }
+        Self { tau_a: 1.0 / 28.32e9, tau_b: 8.0 / 59.7e9, lambda: 0.7, mc: 96, kc: 256, nc: 4096 }
     }
 
     /// Parameters from an observed GEMM rate (GFLOPS) and memory bandwidth
     /// (GB/s), with blocking from `params`.
-    pub fn from_measurements(gemm_gflops: f64, bandwidth_gbs: f64, lambda: f64, params: &BlockingParams) -> Self {
+    pub fn from_measurements(
+        gemm_gflops: f64,
+        bandwidth_gbs: f64,
+        lambda: f64,
+        params: &BlockingParams,
+    ) -> Self {
         assert!(gemm_gflops > 0.0 && bandwidth_gbs > 0.0);
         Self {
             tau_a: 1.0 / (gemm_gflops * 1e9),

@@ -27,12 +27,8 @@ pub struct Measurements {
 /// Fit `ArchParams` from measurements: `τ_a`, `τ_b` directly, `λ` by
 /// one-dimensional search so the model reproduces the reference GEMM time.
 pub fn fit(meas: &Measurements, params: &BlockingParams) -> ArchParams {
-    let mut arch = ArchParams::from_measurements(
-        meas.compute_gflops,
-        meas.bandwidth_gbs,
-        0.75,
-        params,
-    );
+    let mut arch =
+        ArchParams::from_measurements(meas.compute_gflops, meas.bandwidth_gbs, 0.75, params);
     let (m, k, n, t_ref) = meas.reference_gemm;
     // λ enters Tm linearly through the C-traffic term; scan the paper's
     // admissible range for the best match.

@@ -21,12 +21,7 @@ pub struct Prediction {
 impl Prediction {
     fn from_times(arithmetic: f64, memory: f64, m: usize, k: usize, n: usize) -> Self {
         let total = arithmetic + memory;
-        Self {
-            arithmetic,
-            memory,
-            total,
-            effective_gflops: classical_flops(m, k, n) / total / 1e9,
-        }
+        Self { arithmetic, memory, total, effective_gflops: classical_flops(m, k, n) / total / 1e9 }
     }
 }
 
@@ -130,15 +125,7 @@ mod tests {
         // ABC/AB at large sizes, because AB/ABC re-read the operands
         // nnz-many times in packing while Naive reads them only R_L times.
         // Counts modeled on Smirnov's <3,6,3>: R = 40, dense coefficients.
-        let counts = PlanCounts {
-            r: 40,
-            nnz_u: 310,
-            nnz_v: 310,
-            nnz_w: 310,
-            mt: 3,
-            kt: 6,
-            nt: 3,
-        };
+        let counts = PlanCounts { r: 40, nnz_u: 310, nnz_v: 310, nnz_w: 310, mt: 3, kt: 6, nt: 3 };
         let (m, k, n) = (14400, 14400, 14400);
         let nv = predict_fmm(Impl::Naive, &counts, m, k, n, &arch());
         let abc = predict_fmm(Impl::Abc, &counts, m, k, n, &arch());

@@ -67,10 +67,7 @@ pub fn rank_candidates(
         }
     }
     out.sort_by(|a, b| {
-        a.prediction
-            .total
-            .partial_cmp(&b.prediction.total)
-            .expect("predictions are finite")
+        a.prediction.total.partial_cmp(&b.prediction.total).expect("predictions are finite")
     });
     out
 }
@@ -98,17 +95,13 @@ mod tests {
 
     fn plans() -> Vec<Arc<FmmPlan>> {
         let s = registry::strassen();
-        vec![
-            Arc::new(FmmPlan::new(vec![s.clone()])),
-            Arc::new(FmmPlan::uniform(s, 2)),
-        ]
+        vec![Arc::new(FmmPlan::new(vec![s.clone()])), Arc::new(FmmPlan::uniform(s, 2))]
     }
 
     #[test]
     fn ranking_is_sorted_by_time() {
         let arch = ArchParams::paper_machine();
-        let ranked =
-            rank_candidates(8000, 8000, 8000, &plans(), &Impl::FMM_VARIANTS, &arch, true);
+        let ranked = rank_candidates(8000, 8000, 8000, &plans(), &Impl::FMM_VARIANTS, &arch, true);
         assert_eq!(ranked.len(), 7); // GEMM + 2 plans x 3 variants
         for pair in ranked.windows(2) {
             assert!(pair[0].prediction.total <= pair[1].prediction.total);
@@ -126,10 +119,8 @@ mod tests {
         let second = second.expect("two candidates available");
         assert_eq!(best.impl_, Impl::Abc, "best = {}", best.describe());
         assert_eq!(second.impl_, Impl::Abc, "second = {}", second.describe());
-        let levels: Vec<usize> = [&best, &second]
-            .iter()
-            .map(|c| c.plan.as_ref().unwrap().num_levels())
-            .collect();
+        let levels: Vec<usize> =
+            [&best, &second].iter().map(|c| c.plan.as_ref().unwrap().num_levels()).collect();
         assert!(levels.contains(&1), "one-level plan must reach the measured top-2");
     }
 

@@ -422,7 +422,12 @@ pub fn anneal(cfg: &AnnealConfig) -> AnnealOutcome {
             }
         }
     }
-    AnnealOutcome { algorithm: None, best_objective: best_obj, restarts_run, elapsed: start.elapsed() }
+    AnnealOutcome {
+        algorithm: None,
+        best_objective: best_obj,
+        restarts_run,
+        elapsed: start.elapsed(),
+    }
 }
 
 fn finalize_discrete(t: &MatMulTensor, s: &State, name: &str) -> Result<FmmAlgorithm, String> {

@@ -197,13 +197,7 @@ pub fn ridge_lstsq(z: &Mat, rhs: &Mat, ridge: f64) -> Option<Mat> {
 /// the current factor onto the dyadic grid, and ramping `mu` drags the
 /// continuous solution onto a discrete one without leaving the residual
 /// basin.
-pub fn ridge_lstsq_with_prior(
-    z: &Mat,
-    rhs: &Mat,
-    ridge: f64,
-    mu: f64,
-    prior: &Mat,
-) -> Option<Mat> {
+pub fn ridge_lstsq_with_prior(z: &Mat, rhs: &Mat, ridge: f64, mu: f64, prior: &Mat) -> Option<Mat> {
     assert_eq!(z.rows, rhs.rows, "ridge_lstsq_with_prior: row mismatch");
     assert_eq!(prior.rows, z.cols, "prior shape");
     assert_eq!(prior.cols, rhs.cols, "prior shape");

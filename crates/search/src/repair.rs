@@ -203,7 +203,8 @@ mod tests {
         w.set(0, 0, 0.0);
         w.set(3, 4, 1.0);
         w.set(2, 1, -1.0);
-        let broken = FmmAlgorithm::new_unchecked("broken", (2, 2, 2), s.u().clone(), s.v().clone(), w);
+        let broken =
+            FmmAlgorithm::new_unchecked("broken", (2, 2, 2), s.u().clone(), s.v().clone(), w);
         assert!(fmm_core::brent::verify(&broken).is_err());
         let fixed = repair_w_default(&broken).expect("repair succeeds");
         assert_eq!(fixed.rank(), 7);
@@ -225,7 +226,8 @@ mod tests {
         for i in 0..4 {
             u.set(i, 0, 0.0);
         }
-        let broken = FmmAlgorithm::new_unchecked("broken", (2, 2, 2), u, s.v().clone(), s.w().clone());
+        let broken =
+            FmmAlgorithm::new_unchecked("broken", (2, 2, 2), u, s.v().clone(), s.w().clone());
         assert!(repair_w_default(&broken).is_none());
     }
 

@@ -37,7 +37,11 @@ pub fn snap_all(data: &mut [f64], grid: &[f64]) -> f64 {
 /// Column-rescaling normalization: for each product `r`, the decomposition
 /// is invariant under `u_r *= α, v_r *= β, w_r /= (αβ)`. Rescale so each
 /// column's largest |entry| is 1, which puts entries near the grid.
-pub fn normalize_columns(u: &mut crate::linalg::Mat, v: &mut crate::linalg::Mat, w: &mut crate::linalg::Mat) {
+pub fn normalize_columns(
+    u: &mut crate::linalg::Mat,
+    v: &mut crate::linalg::Mat,
+    w: &mut crate::linalg::Mat,
+) {
     let r = u.cols;
     for rr in 0..r {
         let max_u = col_max(u, rr);

@@ -92,10 +92,7 @@ pub fn search_als(config: &SearchConfig, budget: Duration) -> SearchOutcome {
     let start = Instant::now();
     let mut best_residual = f64::INFINITY;
     let mut restarts_run = 0;
-    let name = format!(
-        "discovered<{},{},{}>",
-        config.dims.0, config.dims.1, config.dims.2
-    );
+    let name = format!("discovered<{},{},{}>", config.dims.0, config.dims.1, config.dims.2);
     let config = &SearchConfig { budget, ..config.clone() };
 
     for attempt in 0..config.restarts {
@@ -106,11 +103,8 @@ pub fn search_als(config: &SearchConfig, budget: Duration) -> SearchOutcome {
         let mut f = Factors::random(&t, config.rank, config.seed + attempt as u64);
         // Stage 1 — annealed ridge ALS: strong regularization early (keeps
         // entries tame), weak late (lets the residual reach zero).
-        let stages: [(f64, usize); 3] = [
-            (1e-2, config.sweeps / 4),
-            (1e-3, config.sweeps / 4),
-            (1e-6, config.sweeps / 2),
-        ];
+        let stages: [(f64, usize); 3] =
+            [(1e-2, config.sweeps / 4), (1e-3, config.sweeps / 4), (1e-6, config.sweeps / 2)];
         let mut res = f64::INFINITY;
         for (ridge, sweeps) in stages {
             let opts = AlsOptions { ridge, clamp: 2.5 };

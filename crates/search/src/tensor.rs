@@ -169,7 +169,8 @@ mod tests {
             }
             out
         };
-        let res = t222.residual_sq(&to_row_major(s.u()), &to_row_major(s.v()), &to_row_major(s.w()), 7);
+        let res =
+            t222.residual_sq(&to_row_major(s.u()), &to_row_major(s.v()), &to_row_major(s.w()), 7);
         assert_eq!(res, 0.0);
     }
 

@@ -16,8 +16,5 @@ fn main() {
     let spec = GenSpec::new(format!("strassen_{levels}l_abc"), plan);
     let src = generate_module(&spec);
     println!("{src}");
-    eprintln!(
-        "// {} lines generated; compile against fmm-dense + fmm-gemm.",
-        src.lines().count()
-    );
+    eprintln!("// {} lines generated; compile against fmm-dense + fmm-gemm.", src.lines().count());
 }

@@ -3,8 +3,9 @@
 //! workspace and touches `C` through the micro-kernel only.
 //!
 //! Sweeps `k` and prints effective GFLOPS for GEMM and the three variants
-//! of one-level Strassen, showing the ABC > AB > Naive ordering for small
-//! `k` and the cross-over as `k` grows.
+//! of one-level Strassen — all executed through one [`fmm::FmmEngine`]
+//! whose pooled contexts persist across the sweep — plus what the engine's
+//! model routing would pick for each shape.
 //!
 //! ```sh
 //! cargo run --release --example rank_k_update
@@ -24,8 +25,12 @@ fn time_gflops(m: usize, k: usize, n: usize, mut f: impl FnMut()) -> f64 {
 fn main() {
     let mn = 1440;
     println!("rank-k updates: m = n = {mn}, one-level <2,2,2>\n");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "k", "GEMM", "ABC", "AB", "Naive");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}  engine routes to",
+        "k", "GEMM", "ABC", "AB", "Naive"
+    );
 
+    let engine = fmm::engine();
     let plan = FmmPlan::new(vec![registry::strassen()]);
     for k in [128usize, 256, 512, 1024, 1536] {
         let a = fill::bench_workload(mn, k, 1);
@@ -37,16 +42,23 @@ fn main() {
         });
         let mut rates = Vec::new();
         for variant in [Variant::Abc, Variant::Ab, Variant::Naive] {
-            let mut ctx = FmmContext::with_defaults();
             let rate = time_gflops(mn, k, mn, || {
-                fmm_execute(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant, &mut ctx);
+                engine.multiply_with_plan(c.as_mut(), a.as_ref(), b.as_ref(), &plan, variant);
             });
             rates.push(rate);
         }
         println!(
-            "{k:>6} {gemm:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            rates[0], rates[1], rates[2]
+            "{k:>6} {gemm:>10.2} {:>10.2} {:>10.2} {:>10.2}  {}",
+            rates[0],
+            rates[1],
+            rates[2],
+            engine.decision_label(mn, k, mn)
         );
     }
     println!("\n(ABC avoids all M_r traffic: best at small k, paper §4.3)");
+    let stats = engine.stats();
+    println!(
+        "engine stats: {} executions, {} contexts allocated, {} arena grows",
+        stats.executions, stats.context_allocations, stats.arena_grows
+    );
 }

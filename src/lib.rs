@@ -3,19 +3,25 @@
 //! This is the umbrella crate of the workspace reproducing Huang, Rice,
 //! Matthews & van de Geijn, *"Generating Families of Practical Fast Matrix
 //! Multiplication Algorithms"* (IPDPS 2017). It re-exports the component
-//! crates and offers a batteries-included entry point, [`multiply`], that
-//! performs model-guided algorithm selection (the paper's poly-algorithm,
-//! §4.4) before executing.
+//! crates and offers a batteries-included entry point, [`multiply`]: a thin
+//! wrapper over a process-global [`FmmEngine`] that performs model-guided
+//! algorithm selection (the paper's poly-algorithm, §4.4) once per problem
+//! shape, caches the decision, and executes with pooled, preplanned
+//! workspaces — repeated traffic does no plan recomposition, no re-ranking,
+//! and no workspace allocation.
 //!
 //! Components:
 //!
 //! * [`dense`] — column-major matrices and strided views;
 //! * [`gemm`] — the BLIS-style blocked GEMM substrate (packing with sums,
-//!   multi-destination micro-kernel epilogue, rayon loop-3 parallelism);
+//!   multi-destination micro-kernel epilogue, rayon loop-3 parallelism,
+//!   pooled packing workspaces);
 //! * [`core`] — `[[U,V,W]]` algorithms, Kronecker multi-level plans,
-//!   dynamic peeling, the Naive/AB/ABC executors, and the Figure-2 registry;
+//!   dynamic peeling, the arena-backed Naive/AB/ABC executors, and the
+//!   Figure-2 registry;
 //! * [`model`] — the generated performance model (Figures 4–5) and
 //!   selection;
+//! * [`engine`] — the long-lived, cached, model-routed execution engine;
 //! * [`search`] — ALS / annealing / flip-graph discovery of new algorithms;
 //! * [`gen`] — the source-code generator for specialized implementations.
 //!
@@ -32,20 +38,45 @@
 //! let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
 //! assert!(fmm_dense::norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-10);
 //! ```
+//!
+//! For long-lived services, hold an [`FmmEngine`] directly (or use
+//! [`engine()`]): it exposes warmup ([`FmmEngine::prepare`]), explicit
+//! plan execution, and cache statistics.
 
 pub use fmm_core as core;
 pub use fmm_dense as dense;
+// Module and function live in different namespaces: `fmm::engine` is the
+// component crate, `fmm::engine()` the process-global instance.
+pub use fmm_engine as engine;
 pub use fmm_gemm as gemm;
 pub use fmm_gen as gen;
 pub use fmm_model as model;
 pub use fmm_search as search;
 
-use fmm_core::{fmm_execute, fmm_execute_parallel, FmmContext, FmmPlan};
-use fmm_dense::{MatMut, MatRef};
-use fmm_model::{rank_candidates, ArchParams, Impl};
-use std::sync::Arc;
+pub use fmm_engine::{EngineConfig, EngineStats, FmmEngine, Routing};
 
-/// Options for the high-level [`multiply_with`] entry point.
+use fmm_dense::{MatMut, MatRef};
+use fmm_model::ArchParams;
+use std::sync::OnceLock;
+
+/// The engine behind the free-function API: one model-routed
+/// [`FmmEngine`] with default configuration, built on first use and shared
+/// by the whole process. Use it directly for warmup, statistics, or
+/// explicit plan execution.
+pub fn engine() -> &'static FmmEngine {
+    static ENGINE: OnceLock<FmmEngine> = OnceLock::new();
+    ENGINE.get_or_init(FmmEngine::with_defaults)
+}
+
+/// `C += A·B` through the process-global [`engine()`]: model-guided
+/// selection over the standard registry, with every cache layer
+/// (decisions, composed plans, workspaces) shared across calls and
+/// threads.
+pub fn multiply(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    engine().multiply(c, a, b)
+}
+
+/// Options for the deprecated [`multiply_with`] entry point.
 #[derive(Clone, Debug)]
 pub struct MultiplyOptions {
     /// Architecture parameters for model-guided selection.
@@ -62,49 +93,28 @@ impl Default for MultiplyOptions {
     }
 }
 
-/// `C += A·B` with model-guided selection over the standard registry
-/// (default options).
-pub fn multiply(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
-    multiply_with(c, a, b, &MultiplyOptions::default())
+impl MultiplyOptions {
+    /// The equivalent engine configuration.
+    pub fn to_engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            arch: self.arch,
+            parallel: self.parallel,
+            max_levels: self.max_levels,
+            ..EngineConfig::default()
+        }
+    }
 }
 
-/// `C += A·B` with model-guided selection (the paper's poly-algorithm):
-/// rank every `(plan, variant)` candidate plus plain GEMM with the
-/// performance model and execute the best prediction.
+/// `C += A·B` with one-off options.
 ///
-/// For production use cases that re-multiply the same shape many times,
-/// follow the paper's full §4.4 protocol instead: take the top-2 via
-/// [`fmm_model::select::top_two`], measure both once, and cache the winner.
+/// Deprecated: this constructs a throwaway engine per call, repeating plan
+/// composition and ranking every time. Build an [`FmmEngine`] with the
+/// equivalent [`EngineConfig`] once and call
+/// [`FmmEngine::multiply`] instead (or use [`multiply`] for the shared
+/// default engine).
+#[deprecated(since = "0.1.0", note = "hold an FmmEngine (see MultiplyOptions::to_engine_config)")]
 pub fn multiply_with(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, opts: &MultiplyOptions) {
-    let (m, k) = (a.rows(), a.cols());
-    let n = b.cols();
-    let reg = fmm_core::registry::Registry::shared();
-    let mut plans: Vec<Arc<FmmPlan>> = Vec::new();
-    for (_, algo) in reg.paper_rows() {
-        plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone()])));
-        if opts.max_levels >= 2 {
-            plans.push(Arc::new(FmmPlan::from_arcs(vec![algo.clone(), algo.clone()])));
-        }
-    }
-    let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &opts.arch, true);
-    let best = &ranked[0];
-    match (&best.plan, best.impl_.to_variant()) {
-        (Some(plan), Some(variant)) => {
-            let mut ctx = FmmContext::with_defaults();
-            if opts.parallel {
-                fmm_execute_parallel(c, a, b, plan, variant, &mut ctx);
-            } else {
-                fmm_execute(c, a, b, plan, variant, &mut ctx);
-            }
-        }
-        _ => {
-            if opts.parallel {
-                fmm_gemm::gemm_parallel(c, a, b);
-            } else {
-                fmm_gemm::gemm(c, a, b);
-            }
-        }
-    }
+    FmmEngine::new(opts.to_engine_config()).multiply(c, a, b)
 }
 
 #[cfg(test)]
@@ -120,14 +130,12 @@ mod tests {
             let mut c = Matrix::zeros(m, n);
             multiply(c.as_mut(), a.as_ref(), b.as_ref());
             let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
-            assert!(
-                norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9,
-                "m={m} k={k} n={n}"
-            );
+            assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9, "m={m} k={k} n={n}");
         }
     }
 
     #[test]
+    #[allow(deprecated)]
     fn multiply_parallel_option() {
         let opts = MultiplyOptions { parallel: true, ..Default::default() };
         let a = fill::bench_workload(64, 48, 3);
@@ -145,5 +153,23 @@ mod tests {
         let mut c = Matrix::filled(8, 8, 1.0);
         multiply(c.as_mut(), a.as_ref(), b.as_ref());
         assert_eq!(c, Matrix::filled(8, 8, 3.0));
+    }
+
+    #[test]
+    fn global_engine_is_shared_and_caches_decisions() {
+        let a = fill::bench_workload(40, 24, 1);
+        let b = fill::bench_workload(24, 32, 2);
+        let before = engine().stats();
+        for _ in 0..3 {
+            let mut c = Matrix::zeros(40, 32);
+            multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        }
+        let after = engine().stats();
+        // >=, not ==: sibling tests share the process-global engine and may
+        // run between the two snapshots.
+        assert!(after.executions >= before.executions + 3);
+        // The shape is ranked at most once process-wide; at least the last
+        // two calls must be decision-cache hits.
+        assert!(after.decision_hits >= before.decision_hits + 2);
     }
 }

@@ -55,7 +55,14 @@ fn parallel_equals_sequential_bitwise() {
 
             let mut c_par = Matrix::zeros(m, n);
             let mut ctx_p = FmmContext::new(BlockingParams::tiny());
-            fmm_execute_parallel(c_par.as_mut(), a.as_ref(), b.as_ref(), &plan, variant, &mut ctx_p);
+            fmm_execute_parallel(
+                c_par.as_mut(),
+                a.as_ref(),
+                b.as_ref(),
+                &plan,
+                variant,
+                &mut ctx_p,
+            );
 
             assert_eq!(c_seq, c_par, "variant {} m={m}", variant.name());
         }

@@ -53,11 +53,8 @@ fn model_credits_fmm_above_peak_only_for_fast_algorithms() {
 fn selection_is_consistent_with_pairwise_predictions() {
     let reg = Registry::shared();
     let arch = ArchParams::paper_machine();
-    let plans: Vec<Arc<FmmPlan>> = reg
-        .paper_rows()
-        .into_iter()
-        .map(|(_, a)| Arc::new(FmmPlan::from_arcs(vec![a])))
-        .collect();
+    let plans: Vec<Arc<FmmPlan>> =
+        reg.paper_rows().into_iter().map(|(_, a)| Arc::new(FmmPlan::from_arcs(vec![a]))).collect();
     let ranked =
         fmm_model::rank_candidates(2880, 480, 2880, &plans, &Impl::FMM_VARIANTS, &arch, true);
     // The reported ranking must equal sorting by the prediction totals.
@@ -77,7 +74,12 @@ fn calibration_fit_roundtrips_through_the_gemm_model() {
     let meas = fmm_model::calibrate::Measurements {
         compute_gflops: truth.peak_gflops(),
         bandwidth_gbs: 8.0 / truth.tau_b / 1e9,
-        reference_gemm: (shape.0, shape.1, shape.2, predict_gemm(shape.0, shape.1, shape.2, &truth).total),
+        reference_gemm: (
+            shape.0,
+            shape.1,
+            shape.2,
+            predict_gemm(shape.0, shape.1, shape.2, &truth).total,
+        ),
     };
     let fitted = fmm_model::calibrate::fit(&meas, &params);
     let err = (predict_gemm(shape.0, shape.1, shape.2, &fitted).total

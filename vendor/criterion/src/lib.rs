@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! measure-and-print harness: per benchmark it warms up briefly, then runs
+//! timed batches until the configured measurement time elapses and reports
+//! the best batch (ns/iter and, when a throughput is set, elements/s).
+//! No statistics, plots, or baselines; the output is line-per-benchmark so
+//! `cargo bench` remains scriptable.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), param) }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Best observed seconds per iteration, collected by the group.
+    best_secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping the fastest batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: one call, plus enough calls to estimate batch size.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut best = f64::INFINITY;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let secs = t0.elapsed().as_secs_f64() / batch as f64;
+            if secs < best {
+                best = secs;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_secs_per_iter = best;
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b =
+            Bencher { measurement_time: self.measurement_time, best_secs_per_iter: f64::NAN };
+        f(&mut b);
+        self.report(&id, b.best_secs_per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.bench_function(name, |b| f(b, input))
+    }
+
+    fn report(&self, id: &str, secs: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  ({:.3e} /s)", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} {:>12.1} ns/iter{}", self.name, id, secs * 1e9, rate);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `rayon`, backed by `std::thread::scope`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of rayon's API the workspace uses — `into_par_iter()` over
+//! `Range<usize>` with `for_each` / `for_each_init`, plus
+//! `ThreadPoolBuilder::build_global` for a configurable worker count.
+//!
+//! Work is split into contiguous chunks, one per worker thread; each worker
+//! runs its chunk with a private `init()` state, which matches how the GEMM
+//! `ic`-loop uses per-worker packing buffers. Threads are spawned per call
+//! rather than pooled — for the matrix sizes where parallelism pays, spawn
+//! cost is noise; a persistent pool can replace this without API changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel iterators use.
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Record the requested worker count globally. Unlike upstream rayon
+    /// this may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Conversion into a parallel iterator (implemented for `Range<usize>`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { start: self.start, end: self.end }
+    }
+}
+
+impl ParRange {
+    /// Run `op` on every index, with a per-worker state created by `init`.
+    pub fn for_each_init<T, I, F>(self, init: I, op: F)
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, usize) + Sync,
+    {
+        let len = self.end.saturating_sub(self.start);
+        if len == 0 {
+            return;
+        }
+        let workers = current_num_threads().clamp(1, len);
+        if workers == 1 {
+            let mut state = init();
+            for i in self.start..self.end {
+                op(&mut state, i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let lo = self.start + w * chunk;
+                let hi = (lo + chunk).min(self.end);
+                if lo >= hi {
+                    break;
+                }
+                let init = &init;
+                let op = &op;
+                s.spawn(move || {
+                    let mut state = init();
+                    for i in lo..hi {
+                        op(&mut state, i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Run `op` on every index.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_init(|| (), |(), i| op(i));
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        (0..100usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_init_creates_worker_private_state() {
+        let total = AtomicUsize::new(0);
+        (0..64usize).into_par_iter().for_each_init(
+            || 0usize,
+            |acc, _| {
+                *acc += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        (5..5usize).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn build_global_sets_worker_count() {
+        crate::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::ThreadPoolBuilder::new().build_global().unwrap(); // reset
+    }
+}
