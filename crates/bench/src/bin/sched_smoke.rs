@@ -1,0 +1,179 @@
+//! Scheduler performance smoke test: DFS vs BFS vs hybrid warm timings
+//! per shape, plus batched vs sequential engine throughput, emitted as
+//! `BENCH_sched.json` so successive PRs accumulate a perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p fmm-bench --bin sched_smoke \
+//!     [-- --sizes 256,512,1024 --reps 5 --batch 64 --batch-size 256 --out BENCH_sched.json]
+//! ```
+//!
+//! Strategy timings run two-level Strassen (`<2,2,2>+<2,2,2>`, ABC) through
+//! `fmm_sched::execute` on a warm `SchedContext`; the batch section runs a
+//! parallel model-routed `FmmEngine`, comparing one `multiply_batch` of N
+//! problems against N sequential `multiply` calls on the same warm engine.
+//! On a single-core runner every schedule collapses to sequential
+//! execution, so expect parity there; the interesting numbers need
+//! `RAYON_NUM_THREADS > 1`.
+
+use fmm_bench::timing;
+use fmm_core::{registry, FmmPlan, Strategy, Variant};
+use fmm_dense::{fill, Matrix};
+use fmm_engine::{BatchItem, EngineConfig, FmmEngine};
+use fmm_sched::SchedContext;
+
+struct Args {
+    sizes: Vec<usize>,
+    reps: usize,
+    batch: usize,
+    batch_size: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sizes: vec![256, 512, 1024],
+        reps: 5,
+        batch: 64,
+        batch_size: 256,
+        out: "BENCH_sched.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sizes" => {
+                args.sizes = argv[i + 1]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes comma-separated integers"))
+                    .collect();
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("--reps takes an integer");
+                i += 2;
+            }
+            "--batch" => {
+                args.batch = argv[i + 1].parse().expect("--batch takes an integer");
+                i += 2;
+            }
+            "--batch-size" => {
+                args.batch_size = argv[i + 1].parse().expect("--batch-size takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Warm timing of one strategy on a reused context.
+fn time_strategy(
+    n: usize,
+    plan: &FmmPlan,
+    strategy: Strategy,
+    ctx: &mut SchedContext,
+    reps: usize,
+) -> f64 {
+    let a = fill::bench_workload(n, n, 1);
+    let b = fill::bench_workload(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    // Warmup: size every workspace, fill every pool.
+    fmm_sched::execute(c.as_mut(), a.as_ref(), b.as_ref(), plan, Variant::Abc, strategy, ctx, 0);
+    timing::time_min(reps, || {
+        fmm_sched::execute(
+            c.as_mut(),
+            a.as_ref(),
+            b.as_ref(),
+            plan,
+            Variant::Abc,
+            strategy,
+            ctx,
+            0,
+        );
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let workers = rayon::current_num_threads();
+    let plan = FmmPlan::uniform(registry::strassen(), 2);
+
+    let mut shape_rows = Vec::new();
+    for &n in &args.sizes {
+        let mut ctx = SchedContext::with_defaults();
+        let dfs = time_strategy(n, &plan, Strategy::Dfs, &mut ctx, args.reps);
+        let bfs = time_strategy(n, &plan, Strategy::Bfs, &mut ctx, args.reps);
+        let hybrid = time_strategy(n, &plan, Strategy::Hybrid, &mut ctx, args.reps);
+        let best = [(dfs, "DFS"), (bfs, "BFS"), (hybrid, "Hybrid")]
+            .into_iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timings"))
+            .expect("non-empty")
+            .1;
+        println!(
+            "{n}^3: DFS {:.2} ms, BFS {:.2} ms, hybrid {:.2} ms -> {best}",
+            dfs * 1e3,
+            bfs * 1e3,
+            hybrid * 1e3
+        );
+        shape_rows.push(format!(
+            "    {{\n      \"n\": {n},\n      \"dfs_ms\": {:.3},\n      \"bfs_ms\": {:.3},\n      \"hybrid_ms\": {:.3},\n      \"dfs_effective_gflops\": {:.3},\n      \"bfs_speedup_vs_dfs\": {:.3},\n      \"hybrid_speedup_vs_dfs\": {:.3},\n      \"best\": \"{best}\"\n    }}",
+            dfs * 1e3,
+            bfs * 1e3,
+            hybrid * 1e3,
+            timing::gflops(n, n, n, dfs),
+            dfs / bfs,
+            dfs / hybrid,
+        ));
+    }
+
+    // Batched vs sequential throughput on a warm parallel engine.
+    let engine = FmmEngine::new(EngineConfig { parallel: true, ..EngineConfig::default() });
+    let n = args.batch_size;
+    let items_n = args.batch;
+    let a: Vec<Matrix> = (0..items_n).map(|i| fill::bench_workload(n, n, i as u64 + 1)).collect();
+    let b: Vec<Matrix> = (0..items_n).map(|i| fill::bench_workload(n, n, i as u64 + 100)).collect();
+    let mut cs: Vec<Matrix> = (0..items_n).map(|_| Matrix::zeros(n, n)).collect();
+    // Warm the decision cache and workspaces once.
+    engine.multiply(cs[0].as_mut(), a[0].as_ref(), b[0].as_ref());
+
+    let sequential_secs = timing::time_min(2, || {
+        for i in 0..items_n {
+            engine.multiply(cs[i].as_mut(), a[i].as_ref(), b[i].as_ref());
+        }
+    });
+    let batch_secs = timing::time_min(2, || {
+        let mut items: Vec<BatchItem<'_>> = cs
+            .iter_mut()
+            .zip(a.iter().zip(b.iter()))
+            .map(|(c, (a, b))| BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref()))
+            .collect();
+        engine.multiply_batch(&mut items);
+    });
+    let seq_rate = items_n as f64 / sequential_secs;
+    let batch_rate = items_n as f64 / batch_secs;
+    println!(
+        "batch {items_n} x {n}^3: sequential {:.1} calls/s, batched {:.1} calls/s ({:.2}x)",
+        seq_rate,
+        batch_rate,
+        batch_rate / seq_rate
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sched_smoke\",\n  \"workers\": {workers},\n  \"reps\": {},\n  \"decision\": \"{}\",\n  \"shapes\": [\n{}\n  ],\n  \"batch\": {{\n    \"items\": {items_n},\n    \"n\": {n},\n    \"sequential_ms\": {:.3},\n    \"batch_ms\": {:.3},\n    \"sequential_calls_per_sec\": {:.3},\n    \"batch_calls_per_sec\": {:.3},\n    \"batch_speedup\": {:.3}\n  }}\n}}\n",
+        args.reps,
+        engine.decision_label(n, n, n),
+        shape_rows.join(",\n"),
+        sequential_secs * 1e3,
+        batch_secs * 1e3,
+        seq_rate,
+        batch_rate,
+        batch_rate / seq_rate,
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("wrote {}", args.out);
+}

@@ -134,6 +134,17 @@ impl CoeffMatrix {
         })
     }
 
+    /// Iterate the non-zero `(col, value)` pairs of row `i` — for a `W`
+    /// matrix, the products contributing to destination block `i` (what a
+    /// BFS merge phase walks per output block).
+    pub fn row_nonzeros(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.rows, "row out of bounds");
+        (0..self.cols).filter_map(move |j| {
+            let v = self.data[i * self.cols + j];
+            (v != 0.0).then_some((j, v))
+        })
+    }
+
     /// Kronecker product `self ⊗ other`:
     /// `(X ⊗ Y)[p*r2 + v, q*c2 + w] = X[p, q] * Y[v, w]`.
     ///

@@ -12,7 +12,7 @@
 
 use super::Variant;
 use crate::plan::FmmPlan;
-use fmm_dense::{AlignedBuf, MatMut};
+use fmm_dense::{AlignedBuf, MatMut, MatRef};
 
 /// The block shapes one FMM core execution needs from the arena.
 ///
@@ -96,6 +96,32 @@ impl WorkspaceArena {
         self.grows
     }
 
+    /// Ensure capacity for `tasks` task-private copies of `layout` (the
+    /// BFS/hybrid schedulers' per-task workspace regions), reallocating only
+    /// on growth. Idempotent; never shrinks.
+    pub fn preplan_tasks(&mut self, layout: &ArenaLayout, tasks: usize) {
+        let need = layout.total_elements() * tasks;
+        if need > self.buf.len() {
+            self.buf = AlignedBuf::zeroed(need);
+            self.grows += 1;
+        }
+    }
+
+    /// Carve the arena into `tasks` disjoint per-task regions, each shaped
+    /// as `layout`. The returned descriptor is `Sync`, so worker threads
+    /// can each materialize the views of their own task; growth happens
+    /// here (once), never inside a task.
+    pub fn task_slots(&mut self, layout: &ArenaLayout, tasks: usize) -> TaskSlots<'_> {
+        self.preplan_tasks(layout, tasks);
+        TaskSlots {
+            base: self.buf.as_mut_ptr(),
+            stride: layout.total_elements(),
+            layout: *layout,
+            tasks,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// Carve the arena into the disjoint views of `layout`, growing first
     /// if the layout was not preplanned.
     pub fn views(&mut self, layout: &ArenaLayout) -> ArenaViews<'_> {
@@ -117,6 +143,80 @@ impl WorkspaceArena {
 impl Default for WorkspaceArena {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// `tasks` disjoint per-task workspace regions carved from one arena: task
+/// `r` owns elements `[r·stride, (r+1)·stride)`, shaped as the shared
+/// [`ArenaLayout`]. Holds raw parts of the parent arena (like
+/// [`super::DestBlocks`] does for `C`) so that several tasks' views can be
+/// alive at once, on different threads.
+pub struct TaskSlots<'a> {
+    base: *mut f64,
+    stride: usize,
+    layout: ArenaLayout,
+    tasks: usize,
+    _marker: std::marker::PhantomData<&'a mut f64>,
+}
+
+// SAFETY: every accessor that materializes a view is an `unsafe fn` whose
+// contract requires disjoint task indices (or read-only access after all
+// writers finished); sharing the descriptor itself grants no capability
+// beyond those contracts.
+unsafe impl Send for TaskSlots<'_> {}
+unsafe impl Sync for TaskSlots<'_> {}
+
+impl<'a> TaskSlots<'a> {
+    /// The per-task layout.
+    pub fn layout(&self) -> &ArenaLayout {
+        &self.layout
+    }
+
+    /// Number of task regions.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Total arena elements occupied by all task regions.
+    pub fn total_elements(&self) -> usize {
+        self.stride * self.tasks
+    }
+
+    /// The scratch views of task `r`.
+    ///
+    /// # Safety
+    /// Views for *distinct* `r` address disjoint elements, so several may
+    /// be alive simultaneously (on different threads); the caller must not
+    /// obtain two view sets of the same `r` at once, nor use a view beyond
+    /// the parent borrow.
+    pub unsafe fn views(&self, r: usize) -> ArenaViews<'a> {
+        assert!(r < self.tasks, "task index {r} out of range");
+        let (ta_rows, ta_cols) = self.layout.ta;
+        let (tb_rows, tb_cols) = self.layout.tb;
+        let (mr_rows, mr_cols) = self.layout.mr;
+        let ta_ptr = self.base.add(r * self.stride);
+        let tb_ptr = ta_ptr.add(ta_rows * ta_cols);
+        let mr_ptr = tb_ptr.add(tb_rows * tb_cols);
+        ArenaViews {
+            ta: MatMut::from_raw_parts(ta_ptr, ta_rows, ta_cols, 1, ta_rows.max(1) as isize),
+            tb: MatMut::from_raw_parts(tb_ptr, tb_rows, tb_cols, 1, tb_rows.max(1) as isize),
+            mr: MatMut::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize),
+        }
+    }
+
+    /// Read-only view of task `r`'s product block `M_r` (the merge phase's
+    /// input).
+    ///
+    /// # Safety
+    /// No mutable view of task `r` may be alive (i.e. the compute phase
+    /// that wrote `M_r` has completed).
+    pub unsafe fn mr(&self, r: usize) -> MatRef<'a> {
+        assert!(r < self.tasks, "task index {r} out of range");
+        let (ta_rows, ta_cols) = self.layout.ta;
+        let (tb_rows, tb_cols) = self.layout.tb;
+        let (mr_rows, mr_cols) = self.layout.mr;
+        let mr_ptr = self.base.add(r * self.stride + ta_rows * ta_cols + tb_rows * tb_cols);
+        MatRef::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize)
     }
 }
 
@@ -178,6 +278,52 @@ mod tests {
         let _ = arena.views(&big);
         assert_eq!(arena.grow_count(), 1, "no reallocation once warm");
         assert_eq!(arena.capacity(), cap);
+    }
+
+    #[test]
+    fn task_slots_are_disjoint_per_task() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let layout = ArenaLayout::for_core(Variant::Naive, &plan, 8, 8, 8);
+        let mut arena = WorkspaceArena::new();
+        let slots = arena.task_slots(&layout, 7);
+        assert_eq!(slots.tasks(), 7);
+        assert_eq!(slots.total_elements(), 7 * layout.total_elements());
+        // Fill every task region with a task-specific value, from several
+        // threads at once, then check nothing bled across regions.
+        std::thread::scope(|s| {
+            for r in 0..7 {
+                let slots = &slots;
+                s.spawn(move || {
+                    // SAFETY: distinct r -> disjoint regions.
+                    let mut views = unsafe { slots.views(r) };
+                    views.ta.fill(r as f64);
+                    views.tb.fill(10.0 + r as f64);
+                    views.mr.fill(100.0 + r as f64);
+                });
+            }
+        });
+        for r in 0..7 {
+            let views = unsafe { slots.views(r) };
+            assert_eq!(views.ta.at(3, 3), r as f64);
+            assert_eq!(views.tb.at(0, 0), 10.0 + r as f64);
+            assert_eq!(views.mr.at(3, 0), 100.0 + r as f64);
+            let mr = unsafe { slots.mr(r) };
+            assert_eq!(mr.at(3, 0), 100.0 + r as f64);
+            assert_eq!((mr.rows(), mr.cols()), (4, 4));
+        }
+    }
+
+    #[test]
+    fn task_slots_grow_once_then_stay_flat() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let layout = ArenaLayout::for_core(Variant::Ab, &plan, 16, 16, 16);
+        let mut arena = WorkspaceArena::new();
+        arena.preplan_tasks(&layout, 7);
+        assert_eq!(arena.grow_count(), 1);
+        let _ = arena.task_slots(&layout, 7);
+        let smaller = ArenaLayout::for_core(Variant::Ab, &plan, 8, 8, 8);
+        let _ = arena.task_slots(&smaller, 7);
+        assert_eq!(arena.grow_count(), 1, "warm task carving allocates nothing");
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub struct DestBlocks<'a> {
     _marker: std::marker::PhantomData<&'a mut f64>,
 }
 
+// SAFETY: the only way to reach the underlying elements is
+// [`DestBlocks::get`], an `unsafe fn` whose contract requires distinct
+// (hence disjoint) block indices; sharing the descriptor across threads —
+// which the BFS merge phase does, one block per task — adds no capability
+// beyond that contract.
+unsafe impl Send for DestBlocks<'_> {}
+unsafe impl Sync for DestBlocks<'_> {}
+
 impl<'a> DestBlocks<'a> {
     /// Slice `c` into its `grid` of blocks.
     pub fn new(mut c: MatMut<'a>, grid: &BlockGrid) -> Self {

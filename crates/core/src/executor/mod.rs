@@ -19,8 +19,8 @@ mod arena;
 mod common;
 mod naive;
 
-pub use arena::{ArenaLayout, ArenaViews, WorkspaceArena};
-pub use common::{DestBlocks, OperandBlocks};
+pub use arena::{ArenaLayout, ArenaViews, TaskSlots, WorkspaceArena};
+pub use common::{gather_terms, DestBlocks, OperandBlocks};
 
 use crate::peeling;
 use crate::plan::FmmPlan;

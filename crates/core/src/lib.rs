@@ -15,7 +15,9 @@
 //! * [`indexing`] — recursive block (Morton-like) storage indexing (§3.3);
 //! * [`peeling`] — dynamic peeling for arbitrary problem sizes (§4.1);
 //! * [`executor`] — the Naive / AB / ABC implementations built on the
-//!   `fmm-gemm` packing and micro-kernel primitives (§4.1, Fig. 1 right).
+//!   `fmm-gemm` packing and micro-kernel primitives (§4.1, Fig. 1 right);
+//! * [`tasks`] — the BFS/DFS/hybrid scheduling vocabulary and per-task
+//!   workspace shapes consumed by the `fmm-sched` scheduler.
 //!
 //! # Example
 //!
@@ -46,11 +48,13 @@ pub mod json;
 pub mod peeling;
 pub mod plan;
 pub mod registry;
+pub mod tasks;
 
 pub use algorithm::FmmAlgorithm;
 pub use coeffs::CoeffMatrix;
 pub use executor::{fmm_execute, fmm_execute_parallel, FmmContext, Variant};
 pub use plan::FmmPlan;
+pub use tasks::Strategy;
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
@@ -59,4 +63,5 @@ pub mod prelude {
     pub use crate::executor::{fmm_execute, fmm_execute_parallel, FmmContext, Variant};
     pub use crate::plan::FmmPlan;
     pub use crate::registry;
+    pub use crate::tasks::Strategy;
 }

@@ -10,7 +10,7 @@
 use crate::algorithm::FmmAlgorithm;
 use crate::coeffs::CoeffMatrix;
 use crate::indexing::BlockGrid;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An L-level FMM plan with composed coefficients.
 #[derive(Clone, Debug)]
@@ -25,6 +25,9 @@ pub struct FmmPlan {
     a_grid: BlockGrid,
     b_grid: BlockGrid,
     c_grid: BlockGrid,
+    /// Lazily-composed plan over levels `1..L` (the hybrid scheduler's
+    /// DFS-within-task plan); composed at most once per plan instance.
+    inner: OnceLock<Option<Arc<FmmPlan>>>,
 }
 
 impl FmmPlan {
@@ -69,6 +72,7 @@ impl FmmPlan {
             a_grid: BlockGrid::new(a_levels),
             b_grid: BlockGrid::new(b_levels),
             c_grid: BlockGrid::new(c_levels),
+            inner: OnceLock::new(),
         }
     }
 
@@ -87,6 +91,25 @@ impl FmmPlan {
     /// Number of levels `L`.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// The outermost level's algorithm (level 1 in the paper's numbering) —
+    /// what a BFS-at-level-1 scheduler fans its tasks out over.
+    pub fn first_level(&self) -> &Arc<FmmAlgorithm> {
+        &self.levels[0]
+    }
+
+    /// The plan over levels `2..L`, i.e. what each level-1 task executes
+    /// depth-first, or `None` for a one-level plan. Composed lazily, at
+    /// most once per plan instance, so schedulers hitting a cached plan
+    /// never recompose Kronecker coefficients.
+    pub fn inner_plan(&self) -> Option<&Arc<FmmPlan>> {
+        self.inner
+            .get_or_init(|| {
+                (self.levels.len() > 1)
+                    .then(|| Arc::new(FmmPlan::from_arcs(self.levels[1..].to_vec())))
+            })
+            .as_ref()
     }
 
     /// Aggregate partition dims `(∏m̃_l, ∏k̃_l, ∏ñ_l)` — the divisibility
@@ -207,5 +230,19 @@ mod tests {
     #[should_panic(expected = "at least one level")]
     fn empty_plan_panics() {
         let _ = FmmPlan::new(vec![]);
+    }
+
+    #[test]
+    fn inner_plan_splits_off_the_first_level() {
+        let s = strassen();
+        let w = winograd();
+        let p = FmmPlan::new(vec![s.clone(), w.clone()]);
+        assert_eq!(p.first_level().dims(), (2, 2, 2));
+        let inner = p.inner_plan().expect("two levels have an inner plan");
+        assert_eq!(inner.num_levels(), 1);
+        assert_eq!(inner.u(), w.u());
+        // Composed once, cached: both calls return the same Arc.
+        assert!(Arc::ptr_eq(inner, p.inner_plan().unwrap()));
+        assert!(FmmPlan::new(vec![s]).inner_plan().is_none());
     }
 }

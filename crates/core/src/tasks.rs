@@ -1,0 +1,141 @@
+//! Task decomposition of a composed plan for the BFS/DFS/hybrid schedulers.
+//!
+//! The paper parallelizes only *inside* each block product (loop-3 data
+//! parallelism, §5.1); Benson & Ballard (PPoPP 2015) show that fanning the
+//! `R_L` submultiplications out as *tasks* (BFS), or mixing task and data
+//! parallelism (hybrid), dominates for small-to-medium problems. This
+//! module defines the strategy vocabulary and computes, for a given core
+//! problem, the per-task workspace shapes a scheduler must carve — the
+//! execution itself lives in `fmm-sched`, which stays dependency-light by
+//! reading everything it needs from here.
+
+use crate::executor::{ArenaLayout, Variant};
+use crate::indexing::BlockGrid;
+use crate::plan::FmmPlan;
+
+/// How a scheduler maps an [`FmmPlan`]'s submultiplications onto workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Depth-first: the `R_L` products run sequentially, each block
+    /// product data-parallel across workers (the paper's §5.1 scheme).
+    Dfs,
+    /// Breadth-first: all `R_L` products fan out as tasks, each computing
+    /// its `M_r` into a task-private workspace region, followed by a merge
+    /// phase accumulating the `W`-side combinations into `C`.
+    Bfs,
+    /// BFS across the `R_1` level-1 products, DFS (sequential execution of
+    /// the remaining levels) within each task.
+    Hybrid,
+}
+
+impl Strategy {
+    /// All strategies, DFS (the sequential-products baseline) first.
+    pub const ALL: [Strategy; 3] = [Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid];
+
+    /// Display name matching Benson–Ballard's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Dfs => "DFS",
+            Strategy::Bfs => "BFS",
+            Strategy::Hybrid => "Hybrid",
+        }
+    }
+
+    /// How many tasks this strategy fans out for `plan` (1 for DFS: the
+    /// products stay sequential).
+    pub fn task_count(self, plan: &FmmPlan) -> usize {
+        match self {
+            Strategy::Dfs => 1,
+            Strategy::Bfs => plan.rank(),
+            Strategy::Hybrid => plan.first_level().rank(),
+        }
+    }
+}
+
+/// Per-task workspace layout for BFS execution of `plan` as `variant` on a
+/// core problem `(m, k, n)` (dimensions divisible by the plan's aggregate
+/// partition dims).
+///
+/// Every BFS task must materialize its `M_r` — the multi-destination
+/// scatter of the ABC variant cannot run concurrently, because distinct
+/// products update overlapping sets of `C` blocks. The AB and ABC variants
+/// still fold the operand sums into packing (no `T_A`/`T_B`); Naive
+/// materializes them per task.
+pub fn bfs_task_layout(
+    variant: Variant,
+    plan: &FmmPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> ArenaLayout {
+    let (mt, kt, nt) = plan.partition_dims();
+    let (bm, bk, bn) = (m / mt, k / kt, n / nt);
+    match variant {
+        Variant::Naive => ArenaLayout { ta: (bm, bk), tb: (bk, bn), mr: (bm, bn) },
+        Variant::Ab | Variant::Abc => ArenaLayout { ta: (0, 0), tb: (0, 0), mr: (bm, bn) },
+    }
+}
+
+/// Per-task workspace layout for hybrid execution: each level-1 task
+/// materializes its operand sums `T_A = Σ U₁[i,r]·A_i`, `T_B = Σ V₁[j,r]·B_j`
+/// and its product `M_r = T_A·T_B` (computed depth-first with the plan's
+/// [`FmmPlan::inner_plan`]), all at level-1 block granularity.
+pub fn hybrid_task_layout(plan: &FmmPlan, m: usize, k: usize, n: usize) -> ArenaLayout {
+    let (m1, k1, n1) = plan.first_level().dims();
+    let (bm, bk, bn) = (m / m1, k / k1, n / n1);
+    ArenaLayout { ta: (bm, bk), tb: (bk, bn), mr: (bm, bn) }
+}
+
+/// The level-1 block grids of the three operands — what the hybrid
+/// scheduler slices `A`, `B`, `C` by (one partition level, row-major flat
+/// order), as opposed to the composed plan's full recursive grids.
+pub fn level1_grids(plan: &FmmPlan) -> (BlockGrid, BlockGrid, BlockGrid) {
+    let (m1, k1, n1) = plan.first_level().dims();
+    (BlockGrid::new(vec![(m1, k1)]), BlockGrid::new(vec![(k1, n1)]), BlockGrid::new(vec![(m1, n1)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::strassen;
+
+    #[test]
+    fn strategy_names_and_task_counts() {
+        let two = FmmPlan::uniform(strassen(), 2);
+        assert_eq!(Strategy::Dfs.name(), "DFS");
+        assert_eq!(Strategy::Bfs.name(), "BFS");
+        assert_eq!(Strategy::Hybrid.name(), "Hybrid");
+        assert_eq!(Strategy::Dfs.task_count(&two), 1);
+        assert_eq!(Strategy::Bfs.task_count(&two), 49);
+        assert_eq!(Strategy::Hybrid.task_count(&two), 7);
+    }
+
+    #[test]
+    fn bfs_layout_always_materializes_mr() {
+        let plan = FmmPlan::new(vec![strassen()]);
+        let (m, k, n) = (16, 12, 20);
+        for variant in Variant::ALL {
+            let l = bfs_task_layout(variant, &plan, m, k, n);
+            assert_eq!(l.mr, (8, 10), "every BFS task owns an M_r");
+        }
+        let naive = bfs_task_layout(Variant::Naive, &plan, m, k, n);
+        assert_eq!(naive.ta, (8, 6));
+        assert_eq!(naive.tb, (6, 10));
+        let abc = bfs_task_layout(Variant::Abc, &plan, m, k, n);
+        assert_eq!(abc.ta, (0, 0), "AB/ABC fold operand sums into packing");
+    }
+
+    #[test]
+    fn hybrid_layout_uses_level1_blocks() {
+        let plan = FmmPlan::uniform(strassen(), 2);
+        // Level-1 blocks are halves, not the composed plan's quarters.
+        let l = hybrid_task_layout(&plan, 32, 32, 32);
+        assert_eq!(l.ta, (16, 16));
+        assert_eq!(l.tb, (16, 16));
+        assert_eq!(l.mr, (16, 16));
+        let (a, b, c) = level1_grids(&plan);
+        assert_eq!((a.rows(), a.cols()), (2, 2));
+        assert_eq!((b.rows(), b.cols()), (2, 2));
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+    }
+}

@@ -11,11 +11,16 @@
 //! * a **plan cache** — `FmmPlan` Kronecker composition runs once per
 //!   `(algorithm, levels)` pair, shared via `Arc` by every decision that
 //!   routes to it;
-//! * a **context pool** — per-caller [`FmmContext`]s (preplanned workspace
-//!   arena + packing buffers) are recycled, so a warm engine performs no
-//!   heap allocation for FMM temporaries;
+//! * a **context pool** — per-caller [`SchedContext`]s (preplanned
+//!   workspace arenas, packing buffers, per-task regions) are recycled, so
+//!   a warm engine performs no heap allocation for FMM temporaries;
 //! * built-in **counters** ([`EngineStats`]) that make all three claims
 //!   testable rather than aspirational.
+//!
+//! Parallel engines (`EngineConfig::parallel`) execute through the
+//! `fmm-sched` BFS/DFS/hybrid scheduler: the model ranks `(plan, variant,
+//! strategy)` triples per shape, and [`FmmEngine::multiply_batch`] runs
+//! many independent problems at once with inter-problem parallelism.
 //!
 //! `FmmEngine::multiply` takes `&self` and is safe to call from many
 //! threads at once; each call checks out its own context.
@@ -41,10 +46,14 @@ pub use lru::LruCache;
 
 use fmm_core::executor::ArenaLayout;
 use fmm_core::registry::Registry;
-use fmm_core::{fmm_execute, fmm_execute_parallel, FmmContext, FmmPlan, Variant};
+pub use fmm_core::Strategy;
+pub use fmm_sched::SchedContext;
+
+use fmm_core::{fmm_execute, FmmPlan, Variant};
 use fmm_dense::{MatMut, MatRef};
 use fmm_gemm::BlockingParams;
-use fmm_model::{rank_candidates, ArchParams, Impl};
+use fmm_model::{rank_candidates, rank_scheduled, ArchParams, Impl};
+use fmm_sched::fan_out;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,7 +63,8 @@ use std::sync::Arc;
 pub enum Routing {
     /// The paper's §4.4 poly-algorithm: rank every registry `(plan,
     /// variant)` candidate plus plain GEMM with the performance model and
-    /// run the best prediction.
+    /// run the best prediction. Parallel engines rank `(plan, variant,
+    /// strategy)` triples with the parallel-time model instead.
     Model,
     /// Always run `levels` nested applications of the registry algorithm
     /// with partition dims `dims`, as `variant`. For workloads with known
@@ -76,8 +86,19 @@ pub struct EngineConfig {
     pub arch: ArchParams,
     /// GEMM blocking parameters for every execution.
     pub params: BlockingParams,
-    /// Use the rayon-parallel executors.
+    /// Use the parallel execution paths (the `fmm-sched` scheduler for
+    /// FMM, loop-3 data parallelism for plain GEMM).
     pub parallel: bool,
+    /// Worker count for parallel execution and parallel-model routing;
+    /// `0` means the rayon pool width, and explicit values are clamped to
+    /// it (the pool bounds the parallelism every execution path can
+    /// realize, so ranking beyond it would model speedups that cannot
+    /// happen). Ignored when `parallel` is false.
+    pub workers: usize,
+    /// Force every FMM execution onto one schedule instead of letting the
+    /// model pick per shape. Ignored when `parallel` is false (sequential
+    /// engines always run depth-first).
+    pub strategy: Option<Strategy>,
     /// Maximum plan levels the model considers (1 or 2 are practical).
     pub max_levels: usize,
     /// Routing policy.
@@ -96,6 +117,8 @@ impl Default for EngineConfig {
             arch: ArchParams::paper_machine(),
             params: BlockingParams::default(),
             parallel: false,
+            workers: 0,
+            strategy: None,
             max_levels: 2,
             routing: Routing::Model,
             decision_capacity: 4096,
@@ -109,15 +132,18 @@ impl Default for EngineConfig {
 #[derive(Clone)]
 enum Decision {
     Gemm,
-    Fmm { plan: Arc<FmmPlan>, variant: Variant },
+    Fmm { plan: Arc<FmmPlan>, variant: Variant, strategy: Strategy },
 }
 
 impl Decision {
     fn describe(&self) -> String {
         match self {
             Decision::Gemm => "GEMM".to_string(),
-            Decision::Fmm { plan, variant } => {
+            Decision::Fmm { plan, variant, strategy: Strategy::Dfs } => {
                 format!("{} {}", plan.describe(), variant.name())
+            }
+            Decision::Fmm { plan, variant, strategy } => {
+                format!("{} {} {}", plan.describe(), variant.name(), strategy.name())
             }
         }
     }
@@ -140,12 +166,19 @@ pub struct EngineStats {
     /// Kronecker plan compositions performed (at most one per
     /// `(algorithm, levels)` pair while cached).
     pub plan_compositions: u64,
-    /// Fresh `FmmContext` constructions (one per concurrently-active
+    /// Fresh `SchedContext` constructions (one per concurrently-active
     /// caller; flat once the pool is warm).
     pub context_allocations: u64,
-    /// Workspace-arena reallocations across all pooled contexts (flat once
-    /// every pooled context has seen the largest live shape).
+    /// Workspace allocations across all pooled contexts — the DFS arena,
+    /// the per-task BFS/hybrid arena, per-task packing buffers, and hybrid
+    /// inner contexts (flat once every pooled context has seen the largest
+    /// live shape).
     pub arena_grows: u64,
+    /// `multiply_batch` calls served.
+    pub batches: u64,
+    /// Problems executed through `multiply_batch` (also counted in
+    /// `executions`).
+    pub batch_items: u64,
 }
 
 #[derive(Default)]
@@ -157,6 +190,8 @@ struct Counters {
     plan_compositions: AtomicU64,
     context_allocations: AtomicU64,
     arena_grows: AtomicU64,
+    batches: AtomicU64,
+    batch_items: AtomicU64,
 }
 
 impl Counters {
@@ -169,6 +204,8 @@ impl Counters {
             plan_compositions: self.plan_compositions.load(Ordering::Relaxed),
             context_allocations: self.context_allocations.load(Ordering::Relaxed),
             arena_grows: self.arena_grows.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
         }
     }
 }
@@ -177,14 +214,52 @@ impl Counters {
 /// plus the nesting depth.
 type PlanKey = ((usize, usize, usize), usize);
 
+/// One independent `C += A·B` problem of a [`FmmEngine::multiply_batch`]
+/// call. The borrows guarantee the destinations are pairwise disjoint.
+pub struct BatchItem<'a> {
+    /// Accumulation destination.
+    pub c: MatMut<'a>,
+    /// Left operand.
+    pub a: MatRef<'a>,
+    /// Right operand.
+    pub b: MatRef<'a>,
+}
+
+impl<'a> BatchItem<'a> {
+    /// Package one problem.
+    pub fn new(c: MatMut<'a>, a: MatRef<'a>, b: MatRef<'a>) -> Self {
+        Self { c, a, b }
+    }
+}
+
 /// A long-lived, thread-safe FMM execution engine. See the crate docs.
 pub struct FmmEngine {
     config: EngineConfig,
     registry: Arc<Registry>,
     decisions: Mutex<LruCache<(usize, usize, usize), Decision>>,
     plans: Mutex<LruCache<PlanKey, Arc<FmmPlan>>>,
-    contexts: Mutex<Vec<FmmContext>>,
+    contexts: Mutex<Vec<SchedContext>>,
     counters: Counters,
+}
+
+/// A checked-out pooled context; returns itself to the engine on drop.
+struct CtxGuard<'a> {
+    engine: &'a FmmEngine,
+    ctx: Option<SchedContext>,
+}
+
+impl CtxGuard<'_> {
+    fn ctx(&mut self) -> &mut SchedContext {
+        self.ctx.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for CtxGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            self.engine.release_context(ctx);
+        }
+    }
 }
 
 impl FmmEngine {
@@ -228,6 +303,21 @@ impl FmmEngine {
         self.counters.snapshot()
     }
 
+    /// Worker count parallel executions and parallel-model routing use:
+    /// the configured count clamped to the rayon pool width, so the model
+    /// never ranks with parallelism the machine cannot deliver.
+    fn effective_workers(&self) -> usize {
+        if !self.config.parallel {
+            return 1;
+        }
+        let pool = rayon::current_num_threads();
+        if self.config.workers > 0 {
+            self.config.workers.min(pool).max(1)
+        } else {
+            pool
+        }
+    }
+
     /// `C += A·B`, routed through the decision cache. Thread-safe.
     pub fn multiply(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
         let (m, k) = (a.rows(), a.cols());
@@ -238,16 +328,94 @@ impl FmmEngine {
 
         match self.route(m, k, n) {
             Decision::Gemm => self.run_gemm(c, a, b),
-            Decision::Fmm { plan, variant } => {
-                self.run_fmm(c, a, b, &plan, variant);
+            Decision::Fmm { plan, variant, strategy } => {
+                self.run_fmm(c, a, b, &plan, variant, strategy);
             }
         }
     }
 
+    /// Execute many independent problems through the scheduler at once:
+    /// each item runs sequentially on its own pooled context while the
+    /// items themselves fan out over the worker pool. For small problems —
+    /// where even BFS tasks cannot fill the machine — this inter-problem
+    /// parallelism is what keeps every core busy.
+    ///
+    /// Routing (and its cache) is identical to per-call [`FmmEngine::multiply`];
+    /// a batch of one known shape costs one decision lookup per item and
+    /// no ranking once warm. On a sequential engine (`parallel: false`)
+    /// the items simply run in order.
+    pub fn multiply_batch(&self, items: &mut [BatchItem<'_>]) {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.batch_items.fetch_add(items.len() as u64, Ordering::Relaxed);
+        self.counters.executions.fetch_add(items.len() as u64, Ordering::Relaxed);
+        // Resolve every routing decision up-front (cheap cache hits when
+        // warm) so workers never contend on the decision cache.
+        let decisions: Vec<Decision> = items
+            .iter()
+            .map(|item| {
+                let (m, k) = (item.a.rows(), item.a.cols());
+                let n = item.b.cols();
+                assert_eq!(item.b.rows(), k, "A/B inner dimension mismatch");
+                assert_eq!((item.c.rows(), item.c.cols()), (m, n), "C shape mismatch");
+                self.route(m, k, n)
+            })
+            .collect();
+
+        let items_ptr = BatchItemsPtr(items.as_mut_ptr());
+        let workers = self.effective_workers().clamp(1, items.len().max(1));
+        // Up to `workers` items execute co-resident, each packing its own
+        // buffers — shrink the shared-cache panels accordingly (the same
+        // discipline the BFS scheduler applies to its tasks).
+        let batch_params = self.config.params.for_workers(workers);
+        fan_out(
+            items.len(),
+            workers,
+            || {
+                let mut guard = self.checkout();
+                guard.ctx().set_params(batch_params);
+                guard
+            },
+            |guard, i| {
+                // SAFETY: `fan_out` hands each index to exactly one worker,
+                // so every `BatchItem` is mutably borrowed by at most one
+                // thread, and the borrow in `items` outlives the fan-out.
+                let item = unsafe { items_ptr.item(i) };
+                match &decisions[i] {
+                    Decision::Gemm => {
+                        fmm_gemm::gemm_with_params(
+                            item.c.reborrow(),
+                            item.a,
+                            item.b,
+                            &batch_params,
+                        );
+                    }
+                    Decision::Fmm { plan, variant, .. } => {
+                        let ctx = guard.ctx();
+                        let grows_before = ctx.grow_count();
+                        // Within a batch each problem runs depth-first and
+                        // sequential; parallelism comes from the items.
+                        fmm_execute(
+                            item.c.reborrow(),
+                            item.a,
+                            item.b,
+                            plan,
+                            *variant,
+                            ctx.fmm_context(),
+                        );
+                        self.counters
+                            .arena_grows
+                            .fetch_add(ctx.grow_count() - grows_before, Ordering::Relaxed);
+                    }
+                }
+            },
+        );
+    }
+
     /// `C += A·B` with an explicit `(plan, variant)`, using the engine's
     /// pooled contexts (the paper's protocol for measuring top-2 candidates
-    /// empirically). Returns the number of workspace-arena elements the
-    /// execution occupied — equal to [`Variant::workspace_elements`].
+    /// empirically). Runs depth-first (data-parallel block products on a
+    /// parallel engine). Returns the number of workspace-arena elements
+    /// the execution occupied — equal to [`Variant::workspace_elements`].
     pub fn multiply_with_plan(
         &self,
         c: MatMut<'_>,
@@ -257,7 +425,7 @@ impl FmmEngine {
         variant: Variant,
     ) -> usize {
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
-        self.run_fmm(c, a, b, plan, variant)
+        self.run_fmm(c, a, b, plan, variant, Strategy::Dfs)
     }
 
     /// Resolve (and cache) the routing decision for a shape without
@@ -265,14 +433,17 @@ impl FmmEngine {
     /// this, the first `multiply` of the shape is already on the warm path.
     pub fn prepare(&self, m: usize, k: usize, n: usize) {
         let decision = self.route(m, k, n);
-        if let Decision::Fmm { plan, variant } = decision {
-            let mut ctx = self.acquire_context();
-            let grows_before = ctx.arena_grow_count();
-            ctx.preplan(&plan, variant, m, k, n);
-            self.counters
-                .arena_grows
-                .fetch_add(ctx.arena_grow_count() - grows_before, Ordering::Relaxed);
-            self.release_context(ctx);
+        if let Decision::Fmm { plan, variant, strategy } = decision {
+            let workers = self.effective_workers();
+            let mut guard = self.checkout();
+            let ctx = guard.ctx();
+            let grows_before = ctx.grow_count();
+            if self.config.parallel {
+                ctx.preplan(&plan, variant, strategy, workers, m, k, n);
+            } else {
+                ctx.fmm_context().preplan(&plan, variant, m, k, n);
+            }
+            self.counters.arena_grows.fetch_add(ctx.grow_count() - grows_before, Ordering::Relaxed);
         }
     }
 
@@ -295,12 +466,37 @@ impl FmmEngine {
     }
 
     fn compute_decision(&self, m: usize, k: usize, n: usize) -> Decision {
-        match &self.config.routing {
+        let decision = match &self.config.routing {
             Routing::Pinned { dims, levels, variant } => {
                 let algo = self.registry.get(*dims).unwrap_or_else(|| {
                     panic!("pinned routing: no registry algorithm for {dims:?}")
                 });
-                Decision::Fmm { plan: self.plan_for(&algo, *levels), variant: *variant }
+                Decision::Fmm {
+                    plan: self.plan_for(&algo, *levels),
+                    variant: *variant,
+                    strategy: Strategy::Dfs,
+                }
+            }
+            Routing::Model if self.config.parallel => {
+                let plans = self.candidate_plans();
+                self.counters.rankings.fetch_add(1, Ordering::Relaxed);
+                let ranked = rank_scheduled(
+                    m,
+                    k,
+                    n,
+                    &plans,
+                    &Impl::FMM_VARIANTS,
+                    &self.config.arch,
+                    self.effective_workers(),
+                    true,
+                );
+                let best = &ranked[0];
+                match (&best.plan, best.impl_.to_variant()) {
+                    (Some(plan), Some(variant)) => {
+                        Decision::Fmm { plan: plan.clone(), variant, strategy: best.strategy }
+                    }
+                    _ => Decision::Gemm,
+                }
             }
             Routing::Model => {
                 let plans = self.candidate_plans();
@@ -309,10 +505,21 @@ impl FmmEngine {
                     rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &self.config.arch, true);
                 let best = &ranked[0];
                 match (&best.plan, best.impl_.to_variant()) {
-                    (Some(plan), Some(variant)) => Decision::Fmm { plan: plan.clone(), variant },
+                    (Some(plan), Some(variant)) => {
+                        Decision::Fmm { plan: plan.clone(), variant, strategy: Strategy::Dfs }
+                    }
                     _ => Decision::Gemm,
                 }
             }
+        };
+        // The strategy override replaces whatever routing picked (it only
+        // takes effect on parallel engines; sequential execution is always
+        // depth-first).
+        match (decision, self.config.strategy) {
+            (Decision::Fmm { plan, variant, .. }, Some(strategy)) if self.config.parallel => {
+                Decision::Fmm { plan, variant, strategy }
+            }
+            (decision, _) => decision,
         }
     }
 
@@ -360,37 +567,73 @@ impl FmmEngine {
         b: MatRef<'_>,
         plan: &FmmPlan,
         variant: Variant,
+        strategy: Strategy,
     ) -> usize {
-        let mut ctx = self.acquire_context();
-        let grows_before = ctx.arena_grow_count();
-        if self.config.parallel {
-            fmm_execute_parallel(c, a, b, plan, variant, &mut ctx);
+        let mut guard = self.checkout();
+        let ctx = guard.ctx();
+        let grows_before = ctx.grow_count();
+        let occupied = if self.config.parallel {
+            let task_ws =
+                fmm_sched::execute(c, a, b, plan, variant, strategy, ctx, self.config.workers);
+            if matches!(strategy, Strategy::Dfs) {
+                ctx.fmm_context().last_layout().map_or(0, ArenaLayout::total_elements)
+            } else {
+                task_ws
+            }
         } else {
-            fmm_execute(c, a, b, plan, variant, &mut ctx);
-        }
-        self.counters
-            .arena_grows
-            .fetch_add(ctx.arena_grow_count() - grows_before, Ordering::Relaxed);
-        let occupied = ctx.last_layout().map_or(0, ArenaLayout::total_elements);
-        self.release_context(ctx);
+            let fmm = ctx.fmm_context();
+            fmm_execute(c, a, b, plan, variant, fmm);
+            fmm.last_layout().map_or(0, ArenaLayout::total_elements)
+        };
+        self.counters.arena_grows.fetch_add(ctx.grow_count() - grows_before, Ordering::Relaxed);
         occupied
     }
 
-    fn acquire_context(&self) -> FmmContext {
-        if let Some(ctx) = self.contexts.lock().pop() {
-            return ctx;
-        }
-        self.counters.context_allocations.fetch_add(1, Ordering::Relaxed);
-        FmmContext::new(self.config.params)
+    fn checkout(&self) -> CtxGuard<'_> {
+        let ctx = match self.contexts.lock().pop() {
+            Some(mut ctx) => {
+                // A previous checkout (e.g. a batch) may have installed
+                // worker-shrunk parameters; restore the configured set.
+                ctx.set_params(self.config.params);
+                ctx
+            }
+            None => {
+                self.counters.context_allocations.fetch_add(1, Ordering::Relaxed);
+                SchedContext::new(self.config.params)
+            }
+        };
+        CtxGuard { engine: self, ctx: Some(ctx) }
     }
 
-    fn release_context(&self, ctx: FmmContext) {
+    fn release_context(&self, ctx: SchedContext) {
         let mut pool = self.contexts.lock();
         if pool.len() < self.config.max_pooled_contexts {
             pool.push(ctx);
         }
     }
 }
+
+/// Raw pointer to a batch's items, shared across the fan-out workers.
+/// Safety rests on the fan-out's each-index-exactly-once guarantee; see
+/// the comment at the use site.
+struct BatchItemsPtr<'a>(*mut BatchItem<'a>);
+
+impl<'a> BatchItemsPtr<'a> {
+    /// Mutable access to item `i`.
+    ///
+    /// # Safety
+    /// At most one live borrow per index, and the parent slice must
+    /// outlive it — both upheld by the fan-out index protocol.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn item(&self, i: usize) -> &mut BatchItem<'a> {
+        &mut *self.0.add(i)
+    }
+}
+
+// SAFETY: dereferencing is `unsafe` at the use site, with disjointness
+// guaranteed by the fan-out index protocol.
+unsafe impl Send for BatchItemsPtr<'_> {}
+unsafe impl Sync for BatchItemsPtr<'_> {}
 
 impl std::fmt::Debug for FmmEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -1,9 +1,9 @@
 //! Engine-level behavioral guarantees: the warm-path contract, concurrent
 //! correctness, and arena sizing.
 
-use fmm_core::{FmmPlan, Variant};
+use fmm_core::{FmmPlan, Strategy, Variant};
 use fmm_dense::{fill, norms, Matrix};
-use fmm_engine::{EngineConfig, FmmEngine, Routing};
+use fmm_engine::{BatchItem, EngineConfig, FmmEngine, Routing};
 use fmm_gemm::BlockingParams;
 
 fn tiny_config(routing: Routing) -> EngineConfig {
@@ -156,6 +156,147 @@ fn arena_sizing_matches_workspace_elements() {
         fmm_gemm::reference::matmul_into(c_ref.as_mut(), a.as_ref(), b.as_ref());
         assert!(norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-10);
     }
+}
+
+/// The scheduler strategies route through the same cache layers: after the
+/// cold call, warm BFS/hybrid multiplies perform no re-ranking, no plan
+/// recomposition, and no workspace allocation — the acceptance guarantee
+/// for the task-parallel paths.
+#[test]
+fn warm_scheduled_paths_do_no_ranking_composition_or_allocation() {
+    for strategy in [Strategy::Bfs, Strategy::Hybrid] {
+        for variant in Variant::ALL {
+            let engine = FmmEngine::new(EngineConfig {
+                params: BlockingParams::tiny(),
+                parallel: true,
+                workers: 4,
+                strategy: Some(strategy),
+                routing: Routing::Pinned { dims: (2, 2, 2), levels: 2, variant },
+                ..EngineConfig::default()
+            });
+            let (m, k, n) = (52, 44, 60); // fringes included
+            let a = fill::bench_workload(m, k, 1);
+            let b = fill::bench_workload(k, n, 2);
+            let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+            let mut c = Matrix::zeros(m, n);
+            engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+            let cold = engine.stats();
+            assert_eq!(cold.decision_misses, 1);
+            for _ in 0..6 {
+                let mut c = Matrix::zeros(m, n);
+                engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+                let tol = norms::fmm_tolerance(k, 2);
+                assert!(
+                    norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < tol,
+                    "{} {}",
+                    strategy.name(),
+                    variant.name()
+                );
+            }
+            let warm = engine.stats();
+            let label = format!("{} {}", strategy.name(), variant.name());
+            assert_eq!(warm.rankings, cold.rankings, "{label}: no re-ranking");
+            assert_eq!(warm.plan_compositions, cold.plan_compositions, "{label}: no recomposition");
+            assert_eq!(warm.arena_grows, cold.arena_grows, "{label}: no workspace allocation");
+            assert_eq!(warm.context_allocations, cold.context_allocations, "{label}: pool reused");
+            assert_eq!(warm.decision_hits, cold.decision_hits + 6, "{label}");
+        }
+    }
+}
+
+/// A parallel model-routed engine picks a strategy per shape and labels it.
+#[test]
+fn parallel_model_routing_selects_a_strategy() {
+    // `workers` is clamped to the rayon pool width (the model must not
+    // rank with parallelism the machine cannot deliver), so widen the
+    // pool first — correctness of every other test is width-agnostic.
+    rayon::ThreadPoolBuilder::new().num_threads(8).build_global().unwrap();
+    let engine =
+        FmmEngine::new(EngineConfig { parallel: true, workers: 8, ..EngineConfig::default() });
+    // 256³: too small for DFS data parallelism to fill 8 workers — the
+    // parallel model must route away from plain DFS (see
+    // fmm_model::parallel tests for the formula-level assertion).
+    let label = engine.decision_label(256, 256, 256);
+    assert!(
+        label.contains("BFS") || label.contains("Hybrid"),
+        "expected a task-parallel schedule at 256^3 x 8 workers, got {label}"
+    );
+    let a = fill::bench_workload(256, 256, 1);
+    let b = fill::bench_workload(256, 256, 2);
+    let mut c = Matrix::zeros(256, 256);
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+}
+
+/// `multiply_batch`: every item matches the reference, the batch counters
+/// advance, and a warm same-shape batch costs no rankings and no
+/// allocations (inter-problem parallelism reuses pooled contexts).
+#[test]
+fn multiply_batch_is_correct_and_warm_after_first_batch() {
+    let engine = FmmEngine::new(EngineConfig {
+        params: BlockingParams::tiny(),
+        parallel: true,
+        workers: 4,
+        routing: Routing::Pinned { dims: (2, 2, 2), levels: 1, variant: Variant::Abc },
+        ..EngineConfig::default()
+    });
+    let items_n = 12;
+    let (m, k, n) = (48, 40, 44);
+    let a: Vec<Matrix> = (0..items_n).map(|i| fill::bench_workload(m, k, i as u64 + 1)).collect();
+    let b: Vec<Matrix> = (0..items_n).map(|i| fill::bench_workload(k, n, i as u64 + 50)).collect();
+    let refs: Vec<Matrix> =
+        (0..items_n).map(|i| fmm_gemm::reference::matmul(a[i].as_ref(), b[i].as_ref())).collect();
+
+    let run_batch = || {
+        let mut cs: Vec<Matrix> = (0..items_n).map(|_| Matrix::zeros(m, n)).collect();
+        {
+            let mut items: Vec<BatchItem<'_>> = cs
+                .iter_mut()
+                .zip(a.iter().zip(b.iter()))
+                .map(|(c, (a, b))| BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref()))
+                .collect();
+            engine.multiply_batch(&mut items);
+        }
+        for (i, c) in cs.iter().enumerate() {
+            assert!(norms::rel_error(c.as_ref(), refs[i].as_ref()) < 1e-9, "item {i}");
+        }
+    };
+    run_batch();
+    let cold = engine.stats();
+    assert_eq!(cold.batches, 1);
+    assert_eq!(cold.batch_items, items_n as u64);
+    assert_eq!(cold.executions, items_n as u64);
+    assert_eq!(cold.decision_misses, 1, "one shape, one decision");
+
+    run_batch();
+    let warm = engine.stats();
+    assert_eq!(warm.batches, 2);
+    assert_eq!(warm.rankings, cold.rankings, "warm batch re-ranks nothing");
+    assert_eq!(warm.plan_compositions, cold.plan_compositions);
+    assert_eq!(warm.arena_grows, cold.arena_grows, "warm batch allocates no workspaces");
+    assert_eq!(warm.context_allocations, cold.context_allocations, "contexts pooled");
+}
+
+/// A sequential engine accepts batches too (items just run in order).
+#[test]
+fn sequential_engine_runs_batches_in_order() {
+    let engine = FmmEngine::new(tiny_config(Routing::Model));
+    let a = fill::bench_workload(33, 29, 1);
+    let b = fill::bench_workload(29, 41, 2);
+    let mut c0 = Matrix::zeros(33, 41);
+    let mut c1 = Matrix::zeros(33, 41);
+    {
+        let mut items = vec![
+            BatchItem::new(c0.as_mut(), a.as_ref(), b.as_ref()),
+            BatchItem::new(c1.as_mut(), a.as_ref(), b.as_ref()),
+        ];
+        engine.multiply_batch(&mut items);
+    }
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c0.as_ref(), c_ref.as_ref()) < 1e-9);
+    assert_eq!(c0, c1, "identical problems yield identical results");
+    assert_eq!(engine.stats().batch_items, 2);
 }
 
 /// Two-level plans and larger problems route through the same caches.

@@ -55,9 +55,15 @@ use fmm_dense::{MatMut, MatRef};
 /// buffers come from the global [`WorkspacePool`], so repeated calls do not
 /// allocate.
 pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
-    let params = BlockingParams::default();
-    let mut ws = WorkspacePool::global().acquire(&params);
-    driver::gemm_sums(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], &params, &mut ws);
+    gemm_with_params(c, a, b, &BlockingParams::default())
+}
+
+/// As [`gemm`], with explicit blocking parameters — e.g.
+/// [`BlockingParams::for_workers`]-shrunk panels when several sequential
+/// GEMMs run co-resident on one shared cache.
+pub fn gemm_with_params(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, params: &BlockingParams) {
+    let mut ws = WorkspacePool::global().acquire(params);
+    driver::gemm_sums(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], params, &mut ws);
 }
 
 /// `C += A * B`, parallel over the `ic` loop using the global rayon pool.

@@ -106,6 +106,23 @@ impl BlockingParams {
     pub fn tiny() -> Self {
         Self { mr: 8, nr: 4, kc: 8, mc: 16, nc: 12 }
     }
+
+    /// Parameters for one of `workers` *co-resident* GEMM instances — the
+    /// BFS scheduler's situation, where every worker packs its own `B̃`
+    /// panel at the same time.
+    ///
+    /// `nc` sizes the packed `B` panel against the *shared* L3, so it is
+    /// divided across workers (rounded to whole `nr` micro-panels, floored
+    /// at one) to keep the aggregate packed footprint within the budget a
+    /// single instance was tuned for. The register tile, `kc` (L1) and
+    /// `mc` (per-core L2) are private resources and stay unchanged.
+    pub fn for_workers(&self, workers: usize) -> Self {
+        if workers <= 1 {
+            return *self;
+        }
+        let nc = ((self.nc / workers).max(self.nr) / self.nr) * self.nr;
+        Self { nc, ..*self }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +160,20 @@ mod tests {
         assert_eq!(p.packed_a_len(), 2 * 8 * 10);
         // 6 cols -> 2 panels of 4 cols.
         assert_eq!(p.packed_b_len(), 2 * 4 * 10);
+    }
+
+    #[test]
+    fn for_workers_divides_the_shared_panel() {
+        let p = BlockingParams::default();
+        assert_eq!(p.for_workers(1), p, "single worker keeps the tuned panel");
+        let q = p.for_workers(4);
+        assert_eq!(q.nc, 1024, "L3 panel split four ways");
+        assert_eq!((q.mr, q.nr, q.kc, q.mc), (p.mr, p.nr, p.kc, p.mc), "private resources kept");
+        q.validate().unwrap();
+        // Extreme worker counts still yield at least one micro-panel.
+        let tiny = BlockingParams::tiny().for_workers(64);
+        assert_eq!(tiny.nc, tiny.nr);
+        tiny.validate().unwrap();
     }
 
     #[test]

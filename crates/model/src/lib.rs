@@ -30,11 +30,14 @@
 
 pub mod arch;
 pub mod calibrate;
+pub mod parallel;
 pub mod predict;
 pub mod select;
 pub mod terms;
 
 pub use arch::ArchParams;
+pub use fmm_core::tasks::Strategy;
+pub use parallel::{predict_parallel, predict_scheduled, rank_scheduled, ScheduledCandidate};
 pub use predict::{predict_fmm, predict_gemm, Prediction};
 pub use select::{rank_candidates, Candidate};
 

@@ -19,7 +19,7 @@ pub struct Prediction {
 }
 
 impl Prediction {
-    fn from_times(arithmetic: f64, memory: f64, m: usize, k: usize, n: usize) -> Self {
+    pub(crate) fn from_times(arithmetic: f64, memory: f64, m: usize, k: usize, n: usize) -> Self {
         let total = arithmetic + memory;
         Self { arithmetic, memory, total, effective_gflops: classical_flops(m, k, n) / total / 1e9 }
     }

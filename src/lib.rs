@@ -19,9 +19,12 @@
 //! * [`core`] — `[[U,V,W]]` algorithms, Kronecker multi-level plans,
 //!   dynamic peeling, the arena-backed Naive/AB/ABC executors, and the
 //!   Figure-2 registry;
-//! * [`model`] — the generated performance model (Figures 4–5) and
-//!   selection;
-//! * [`engine`] — the long-lived, cached, model-routed execution engine;
+//! * [`model`] — the generated performance model (Figures 4–5),
+//!   selection, and the parallel-time strategy ranking;
+//! * [`sched`] — the task-parallel BFS/DFS/hybrid scheduler
+//!   (Benson–Ballard-style task parallelism across submultiplications);
+//! * [`engine`] — the long-lived, cached, model-routed execution engine
+//!   with the batched [`multiply_batch`] entry point;
 //! * [`search`] — ALS / annealing / flip-graph discovery of new algorithms;
 //! * [`gen`] — the source-code generator for specialized implementations.
 //!
@@ -51,12 +54,13 @@ pub use fmm_engine as engine;
 pub use fmm_gemm as gemm;
 pub use fmm_gen as gen;
 pub use fmm_model as model;
+pub use fmm_sched as sched;
 pub use fmm_search as search;
 
-pub use fmm_engine::{EngineConfig, EngineStats, FmmEngine, Routing};
+pub use fmm_core::Strategy;
+pub use fmm_engine::{BatchItem, EngineConfig, EngineStats, FmmEngine, Routing};
 
 use fmm_dense::{MatMut, MatRef};
-use fmm_model::ArchParams;
 use std::sync::OnceLock;
 
 /// The engine behind the free-function API: one model-routed
@@ -76,45 +80,12 @@ pub fn multiply(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     engine().multiply(c, a, b)
 }
 
-/// Options for the deprecated [`multiply_with`] entry point.
-#[derive(Clone, Debug)]
-pub struct MultiplyOptions {
-    /// Architecture parameters for model-guided selection.
-    pub arch: ArchParams,
-    /// Use the rayon-parallel executors.
-    pub parallel: bool,
-    /// Maximum plan levels considered (1 or 2 are practical).
-    pub max_levels: usize,
-}
-
-impl Default for MultiplyOptions {
-    fn default() -> Self {
-        Self { arch: ArchParams::paper_machine(), parallel: false, max_levels: 2 }
-    }
-}
-
-impl MultiplyOptions {
-    /// The equivalent engine configuration.
-    pub fn to_engine_config(&self) -> EngineConfig {
-        EngineConfig {
-            arch: self.arch,
-            parallel: self.parallel,
-            max_levels: self.max_levels,
-            ..EngineConfig::default()
-        }
-    }
-}
-
-/// `C += A·B` with one-off options.
-///
-/// Deprecated: this constructs a throwaway engine per call, repeating plan
-/// composition and ranking every time. Build an [`FmmEngine`] with the
-/// equivalent [`EngineConfig`] once and call
-/// [`FmmEngine::multiply`] instead (or use [`multiply`] for the shared
-/// default engine).
-#[deprecated(since = "0.1.0", note = "hold an FmmEngine (see MultiplyOptions::to_engine_config)")]
-pub fn multiply_with(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, opts: &MultiplyOptions) {
-    FmmEngine::new(opts.to_engine_config()).multiply(c, a, b)
+/// Execute many independent `C += A·B` problems through the process-global
+/// [`engine()`] in one call. See [`FmmEngine::multiply_batch`]; the
+/// default engine is sequential, so items run in order — build a parallel
+/// [`FmmEngine`] for inter-problem parallelism.
+pub fn multiply_batch(items: &mut [BatchItem<'_>]) {
+    engine().multiply_batch(items)
 }
 
 #[cfg(test)]
@@ -135,15 +106,32 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn multiply_parallel_option() {
-        let opts = MultiplyOptions { parallel: true, ..Default::default() };
+    fn parallel_engine_config_multiplies_correctly() {
+        // What the removed `multiply_with { parallel: true }` shim covered,
+        // on the supported surface: a parallel engine held by the caller.
+        let engine = FmmEngine::new(EngineConfig { parallel: true, ..EngineConfig::default() });
         let a = fill::bench_workload(64, 48, 3);
         let b = fill::bench_workload(48, 56, 4);
         let mut c = Matrix::zeros(64, 56);
-        multiply_with(c.as_mut(), a.as_ref(), b.as_ref(), &opts);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
         let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
         assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+    }
+
+    #[test]
+    fn multiply_batch_matches_reference() {
+        let a = fill::bench_workload(37, 29, 9);
+        let b = fill::bench_workload(29, 41, 10);
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        let mut cs: Vec<Matrix> = (0..4).map(|_| Matrix::zeros(37, 41)).collect();
+        {
+            let mut items: Vec<BatchItem<'_>> =
+                cs.iter_mut().map(|c| BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref())).collect();
+            multiply_batch(&mut items);
+        }
+        for c in &cs {
+            assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+        }
     }
 
     #[test]

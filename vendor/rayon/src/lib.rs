@@ -2,8 +2,10 @@
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the subset of rayon's API the workspace uses — `into_par_iter()` over
-//! `Range<usize>` with `for_each` / `for_each_init`, plus
-//! `ThreadPoolBuilder::build_global` for a configurable worker count.
+//! `Range<usize>` with `for_each` / `for_each_init`, the fork-join
+//! primitives [`join`] and [`scope`], plus
+//! `ThreadPoolBuilder::build_global` for a configurable worker count (the
+//! `RAYON_NUM_THREADS` environment variable is honored, as upstream does).
 //!
 //! Work is split into contiguous chunks, one per worker thread; each worker
 //! runs its chunk with a private `init()` state, which matches how the GEMM
@@ -11,18 +13,161 @@
 //! rather than pooled — for the matrix sizes where parallelism pays, spawn
 //! cost is noise; a persistent pool can replace this without API changes.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads parallel iterators use.
+/// `RAYON_NUM_THREADS`, read once per process (as upstream rayon does).
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+    })
+}
+
+/// Number of worker threads parallel iterators use. Resolution order:
+/// `ThreadPoolBuilder::build_global`, then `RAYON_NUM_THREADS`, then the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
     let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
     if configured > 0 {
-        configured
-    } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        return configured;
     }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// With a single configured worker the calls run sequentially on the
+/// current thread (no spawn); otherwise `b` runs on a scoped thread while
+/// `a` runs inline. A panic in either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A fork-join scope: tasks spawned into it (including tasks spawned by
+/// other tasks) all complete before [`scope`] returns.
+pub struct Scope<'scope> {
+    queue: Mutex<VecDeque<ScopeTask<'scope>>>,
+    running: AtomicUsize,
+    /// Signaled when a task finishes (it may have spawned more work) so
+    /// idle workers can recheck the queue instead of spinning.
+    idle: Condvar,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `body` to run within the scope. Spawning from inside a
+    /// running task is allowed.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.queue.lock().unwrap().push_back(Box::new(body));
+        self.idle.notify_all();
+    }
+
+    /// Drain the queue on the current thread only.
+    fn drain_sequential(&self) {
+        loop {
+            let task = self.queue.lock().unwrap().pop_front();
+            match task {
+                Some(task) => task(self),
+                None => break,
+            }
+        }
+    }
+}
+
+/// Decrements the running-task count and wakes idle workers on drop — on
+/// the unwind path too, so a panicking task cannot strand its siblings in
+/// the exit check.
+struct RunningGuard<'a> {
+    running: &'a AtomicUsize,
+    idle: &'a Condvar,
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.running.fetch_sub(1, Ordering::SeqCst);
+        self.idle.notify_all();
+    }
+}
+
+/// Create a fork-join scope, run `op`, then execute every spawned task over
+/// the configured worker threads. Returns `op`'s result after all tasks
+/// (including transitively spawned ones) have finished; a panic in any
+/// task propagates to the caller once the workers have joined.
+///
+/// Unlike upstream rayon the spawned tasks do not start until `op` returns;
+/// rayon makes no ordering guarantee callers could rely on, so the
+/// difference is unobservable to well-formed users.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let sc = Scope {
+        queue: Mutex::new(VecDeque::new()),
+        running: AtomicUsize::new(0),
+        idle: Condvar::new(),
+    };
+    let result = op(&sc);
+    let queued = sc.queue.lock().unwrap().len();
+    let workers = current_num_threads().min(queued.max(1));
+    if workers <= 1 {
+        sc.drain_sequential();
+        return result;
+    }
+    std::thread::scope(|ts| {
+        for _ in 0..workers {
+            ts.spawn(|| loop {
+                let mut queue = sc.queue.lock().unwrap();
+                if let Some(task) = queue.pop_front() {
+                    drop(queue);
+                    sc.running.fetch_add(1, Ordering::SeqCst);
+                    let _guard = RunningGuard { running: &sc.running, idle: &sc.idle };
+                    task(&sc);
+                    continue;
+                }
+                // A running task may still spawn more work; only quit once
+                // the queue is empty and nothing runs. Otherwise sleep
+                // until a task finishes (the timeout is a safety net
+                // against wakeups notified between our check and wait).
+                if sc.running.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                let _unused = sc.idle.wait_timeout(queue, Duration::from_millis(1)).unwrap();
+            });
+        }
+    });
+    result
 }
 
 /// Error from [`ThreadPoolBuilder::build_global`] (never produced; the type
@@ -173,5 +318,84 @@ mod tests {
         crate::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
         assert_eq!(crate::current_num_threads(), 3);
         crate::ThreadPoolBuilder::new().build_global().unwrap(); // reset
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 6 * 7, || "right".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = crate::join(|| crate::join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn join_borrows_shared_state() {
+        let total = AtomicUsize::new(0);
+        crate::join(
+            || total.fetch_add(10, Ordering::SeqCst),
+            || total.fetch_add(32, Ordering::SeqCst),
+        );
+        assert_eq!(total.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task_before_returning() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let out = crate::scope(|s| {
+            for (i, hit) in hits.iter().enumerate() {
+                s.spawn(move |_| {
+                    hit.fetch_add(1, Ordering::SeqCst);
+                });
+                let _ = i;
+            }
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        let total = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|inner| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(|_| {
+                        total.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 44, "4 outer + 4 nested tasks all ran");
+    }
+
+    #[test]
+    fn empty_scope_is_a_noop() {
+        let out = crate::scope(|_| 7);
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_instead_of_hanging() {
+        // A panicking task must not strand sibling workers in the exit
+        // check: the scope joins everyone and re-raises the panic.
+        let survivors = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        survivors.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                s.spawn(|_| panic!("task failure"));
+            });
+        }));
+        assert!(result.is_err(), "the task panic reaches the caller");
     }
 }
