@@ -1,0 +1,106 @@
+//! Single-precision smoke benchmark: f32 vs f64 engine throughput at
+//! 256³ / 512³ / 1024³, emitted as `BENCH_f32.json` so successive PRs
+//! accumulate a dtype-performance trajectory.
+//!
+//! ```sh
+//! cargo run --release -p fmm-bench --bin f32_smoke [-- --reps 5 --out BENCH_f32.json]
+//! ```
+//!
+//! Each size reports warm (steady-state) effective GFLOP/s for both
+//! dtypes plus the speedup ratio; the f32 result is additionally checked
+//! against the f64 result at the `Scalar`-derived bound, so a kernel bug
+//! can never masquerade as a speedup.
+
+use fmm_bench::timing;
+use fmm_dense::{fill, norms, Matrix, Scalar};
+use fmm_engine::FmmEngine;
+use fmm_gemm::GemmScalar;
+
+struct Args {
+    sizes: Vec<usize>,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { sizes: vec![256, 512, 1024], reps: 5, out: "BENCH_f32.json".to_string() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sizes" => {
+                args.sizes = argv[i + 1]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes comma-separated integers"))
+                    .collect();
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("--reps takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let e64 = FmmEngine::<f64>::with_defaults();
+    let e32 = FmmEngine::<f32>::with_defaults();
+
+    let mut rows = Vec::new();
+    for &n in &args.sizes {
+        let a32 = fill::bench_workload_t::<f32>(n, n, 1);
+        let b32 = fill::bench_workload_t::<f32>(n, n, 2);
+        let a64 = a32.cast::<f64>();
+        let b64 = b32.cast::<f64>();
+
+        let mut c64 = Matrix::<f64>::zeros(n, n);
+        let warm64 = timing::time_min(args.reps, || {
+            c64.clear();
+            e64.multiply(c64.as_mut(), a64.as_ref(), b64.as_ref());
+        });
+        let mut c32 = Matrix::<f32>::zeros(n, n);
+        let warm32 = timing::time_min(args.reps, || {
+            c32.clear();
+            e32.multiply(c32.as_mut(), a32.as_ref(), b32.as_ref());
+        });
+
+        // Guard: the timed f32 result must actually be right.
+        let err = norms::rel_error(c32.cast::<f64>().as_ref(), c64.as_ref());
+        let bound = <f32 as Scalar>::accuracy_bound(n, 2);
+        assert!(err < bound, "n={n}: f32 error {err} exceeds bound {bound}");
+
+        let g64 = timing::gflops(n, n, n, warm64);
+        let g32 = timing::gflops(n, n, n, warm32);
+        println!(
+            "{n:>5}³: f64 {g64:7.2} GFLOP/s | f32 {g32:7.2} GFLOP/s | speedup {:.2}x | err {err:.1e}",
+            g32 / g64
+        );
+        rows.push(format!(
+            "    {{ \"size\": {n}, \"f64_gflops\": {g64:.3}, \"f32_gflops\": {g32:.3}, \
+             \"f32_speedup\": {:.3}, \"f64_decision\": \"{}\", \"f32_decision\": \"{}\", \
+             \"rel_error\": {err:.3e} }}",
+            g32 / g64,
+            e64.decision_label(n, n, n),
+            e32.decision_label(n, n, n),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"f32_smoke\",\n  \"f64_kernel\": \"{}\",\n  \"f32_kernel\": \"{}\",\n  \"reps\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        <f64 as GemmScalar>::micro_kernel_name(),
+        <f32 as GemmScalar>::micro_kernel_name(),
+        args.reps,
+        rows.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("wrote {}", args.out);
+}

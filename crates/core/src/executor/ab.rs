@@ -11,26 +11,26 @@ use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::{ArenaViews, GemmDispatch};
 use crate::plan::FmmPlan;
 use fmm_dense::ops;
-use fmm_gemm::DestTile;
+use fmm_gemm::{DestTile, GemmScalar};
 
-pub(super) fn run(
+pub(super) fn run<T: GemmScalar>(
     plan: &FmmPlan,
-    a_blocks: &OperandBlocks<'_>,
-    b_blocks: &OperandBlocks<'_>,
-    c_blocks: &DestBlocks<'_>,
-    views: ArenaViews<'_>,
-    gemm: &mut GemmDispatch<'_>,
+    a_blocks: &OperandBlocks<'_, T>,
+    b_blocks: &OperandBlocks<'_, T>,
+    c_blocks: &DestBlocks<'_, T>,
+    views: ArenaViews<'_, T>,
+    gemm: &mut GemmDispatch<'_, T>,
 ) {
     let ArenaViews { mut mr, .. } = views;
     for r in 0..plan.rank() {
         let a_terms = gather_terms(plan.u(), r, a_blocks);
         let b_terms = gather_terms(plan.v(), r, b_blocks);
         // M_r = (sum u A)(sum v B), overwriting the reused arena slice.
-        gemm.block_product(&mut [DestTile::new(mr.reborrow(), 1.0)], &a_terms, &b_terms, true);
+        gemm.block_product(&mut [DestTile::new(mr.reborrow(), T::ONE)], &a_terms, &b_terms, true);
         for (p, w) in plan.w().col_nonzeros(r) {
             // SAFETY: one destination view alive at a time.
             let dest = unsafe { c_blocks.get(p) };
-            ops::axpy(dest, w, mr.as_ref()).expect("block shapes agree");
+            ops::axpy(dest, T::from_f64(w), mr.as_ref()).expect("block shapes agree");
         }
     }
 }

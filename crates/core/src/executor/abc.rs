@@ -8,24 +8,24 @@
 use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::GemmDispatch;
 use crate::plan::FmmPlan;
-use fmm_gemm::DestTile;
+use fmm_gemm::{DestTile, GemmScalar};
 
-pub(super) fn run(
+pub(super) fn run<T: GemmScalar>(
     plan: &FmmPlan,
-    a_blocks: &OperandBlocks<'_>,
-    b_blocks: &OperandBlocks<'_>,
-    c_blocks: &DestBlocks<'_>,
-    gemm: &mut GemmDispatch<'_>,
+    a_blocks: &OperandBlocks<'_, T>,
+    b_blocks: &OperandBlocks<'_, T>,
+    c_blocks: &DestBlocks<'_, T>,
+    gemm: &mut GemmDispatch<'_, T>,
 ) {
     for r in 0..plan.rank() {
         let a_terms = gather_terms(plan.u(), r, a_blocks);
         let b_terms = gather_terms(plan.v(), r, b_blocks);
-        let mut dests: Vec<DestTile<'_>> = plan
+        let mut dests: Vec<DestTile<'_, T>> = plan
             .w()
             .col_nonzeros(r)
             // SAFETY: `col_nonzeros` yields strictly increasing distinct
             // block indices, and distinct blocks are disjoint regions of C.
-            .map(|(p, w)| DestTile::new(unsafe { c_blocks.get(p) }, w))
+            .map(|(p, w)| DestTile::new(unsafe { c_blocks.get(p) }, T::from_f64(w)))
             .collect();
         gemm.block_product(&mut dests, &a_terms, &b_terms, false);
     }

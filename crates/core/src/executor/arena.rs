@@ -12,7 +12,7 @@
 
 use super::Variant;
 use crate::plan::FmmPlan;
-use fmm_dense::{AlignedBuf, MatMut, MatRef};
+use fmm_dense::{AlignedBuf, MatMut, MatRef, Scalar};
 
 /// The block shapes one FMM core execution needs from the arena.
 ///
@@ -55,22 +55,23 @@ impl ArenaLayout {
 }
 
 /// The three disjoint scratch views of one core execution.
-pub struct ArenaViews<'a> {
+pub struct ArenaViews<'a, T = f64> {
     /// `T_A` view (empty for AB/ABC).
-    pub ta: MatMut<'a>,
+    pub ta: MatMut<'a, T>,
     /// `T_B` view (empty for AB/ABC).
-    pub tb: MatMut<'a>,
+    pub tb: MatMut<'a, T>,
     /// `M_r` view (empty for ABC).
-    pub mr: MatMut<'a>,
+    pub mr: MatMut<'a, T>,
 }
 
-/// A grow-only scratch allocation carved into [`ArenaViews`] per execution.
-pub struct WorkspaceArena {
-    buf: AlignedBuf,
+/// A grow-only scratch allocation carved into [`ArenaViews`] per execution,
+/// generic over the scalar it stores (default `f64`).
+pub struct WorkspaceArena<T = f64> {
+    buf: AlignedBuf<T>,
     grows: u64,
 }
 
-impl WorkspaceArena {
+impl<T: Scalar> WorkspaceArena<T> {
     /// An empty arena; the first [`WorkspaceArena::preplan`] sizes it.
     pub fn new() -> Self {
         Self { buf: AlignedBuf::zeroed(0), grows: 0 }
@@ -86,7 +87,7 @@ impl WorkspaceArena {
         }
     }
 
-    /// Current capacity in `f64` elements.
+    /// Current capacity in scalar elements.
     pub fn capacity(&self) -> usize {
         self.buf.len()
     }
@@ -111,7 +112,7 @@ impl WorkspaceArena {
     /// as `layout`. The returned descriptor is `Sync`, so worker threads
     /// can each materialize the views of their own task; growth happens
     /// here (once), never inside a task.
-    pub fn task_slots(&mut self, layout: &ArenaLayout, tasks: usize) -> TaskSlots<'_> {
+    pub fn task_slots(&mut self, layout: &ArenaLayout, tasks: usize) -> TaskSlots<'_, T> {
         self.preplan_tasks(layout, tasks);
         TaskSlots {
             base: self.buf.as_mut_ptr(),
@@ -124,7 +125,7 @@ impl WorkspaceArena {
 
     /// Carve the arena into the disjoint views of `layout`, growing first
     /// if the layout was not preplanned.
-    pub fn views(&mut self, layout: &ArenaLayout) -> ArenaViews<'_> {
+    pub fn views(&mut self, layout: &ArenaLayout) -> ArenaViews<'_, T> {
         self.preplan(layout);
         let (ta_rows, ta_cols) = layout.ta;
         let (tb_rows, tb_cols) = layout.tb;
@@ -140,7 +141,7 @@ impl WorkspaceArena {
     }
 }
 
-impl Default for WorkspaceArena {
+impl<T: Scalar> Default for WorkspaceArena<T> {
     fn default() -> Self {
         Self::new()
     }
@@ -151,22 +152,22 @@ impl Default for WorkspaceArena {
 /// [`ArenaLayout`]. Holds raw parts of the parent arena (like
 /// [`super::DestBlocks`] does for `C`) so that several tasks' views can be
 /// alive at once, on different threads.
-pub struct TaskSlots<'a> {
-    base: *mut f64,
+pub struct TaskSlots<'a, T = f64> {
+    base: *mut T,
     stride: usize,
     layout: ArenaLayout,
     tasks: usize,
-    _marker: std::marker::PhantomData<&'a mut f64>,
+    _marker: std::marker::PhantomData<&'a mut T>,
 }
 
 // SAFETY: every accessor that materializes a view is an `unsafe fn` whose
 // contract requires disjoint task indices (or read-only access after all
 // writers finished); sharing the descriptor itself grants no capability
 // beyond those contracts.
-unsafe impl Send for TaskSlots<'_> {}
-unsafe impl Sync for TaskSlots<'_> {}
+unsafe impl<T: Scalar> Send for TaskSlots<'_, T> {}
+unsafe impl<T: Scalar> Sync for TaskSlots<'_, T> {}
 
-impl<'a> TaskSlots<'a> {
+impl<'a, T: Scalar> TaskSlots<'a, T> {
     /// The per-task layout.
     pub fn layout(&self) -> &ArenaLayout {
         &self.layout
@@ -189,7 +190,7 @@ impl<'a> TaskSlots<'a> {
     /// be alive simultaneously (on different threads); the caller must not
     /// obtain two view sets of the same `r` at once, nor use a view beyond
     /// the parent borrow.
-    pub unsafe fn views(&self, r: usize) -> ArenaViews<'a> {
+    pub unsafe fn views(&self, r: usize) -> ArenaViews<'a, T> {
         assert!(r < self.tasks, "task index {r} out of range");
         let (ta_rows, ta_cols) = self.layout.ta;
         let (tb_rows, tb_cols) = self.layout.tb;
@@ -210,7 +211,7 @@ impl<'a> TaskSlots<'a> {
     /// # Safety
     /// No mutable view of task `r` may be alive (i.e. the compute phase
     /// that wrote `M_r` has completed).
-    pub unsafe fn mr(&self, r: usize) -> MatRef<'a> {
+    pub unsafe fn mr(&self, r: usize) -> MatRef<'a, T> {
         assert!(r < self.tasks, "task index {r} out of range");
         let (ta_rows, ta_cols) = self.layout.ta;
         let (tb_rows, tb_cols) = self.layout.tb;
@@ -220,7 +221,7 @@ impl<'a> TaskSlots<'a> {
     }
 }
 
-impl std::fmt::Debug for WorkspaceArena {
+impl<T: Scalar> std::fmt::Debug for WorkspaceArena<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "WorkspaceArena(capacity={}, grows={})", self.buf.len(), self.grows)
     }
@@ -268,7 +269,7 @@ mod tests {
         let plan = FmmPlan::new(vec![strassen()]);
         let big = ArenaLayout::for_core(Variant::Naive, &plan, 32, 32, 32);
         let small = ArenaLayout::for_core(Variant::Ab, &plan, 16, 16, 16);
-        let mut arena = WorkspaceArena::new();
+        let mut arena = WorkspaceArena::<f64>::new();
         assert_eq!(arena.grow_count(), 0);
         arena.preplan(&big);
         assert_eq!(arena.grow_count(), 1);
@@ -317,7 +318,7 @@ mod tests {
     fn task_slots_grow_once_then_stay_flat() {
         let plan = FmmPlan::new(vec![strassen()]);
         let layout = ArenaLayout::for_core(Variant::Ab, &plan, 16, 16, 16);
-        let mut arena = WorkspaceArena::new();
+        let mut arena = WorkspaceArena::<f64>::new();
         arena.preplan_tasks(&layout, 7);
         assert_eq!(arena.grow_count(), 1);
         let _ = arena.task_slots(&layout, 7);
@@ -331,7 +332,7 @@ mod tests {
         let plan = FmmPlan::new(vec![strassen()]);
         let layout = ArenaLayout::for_core(Variant::Abc, &plan, 64, 64, 64);
         assert_eq!(layout.total_elements(), 0);
-        let mut arena = WorkspaceArena::new();
+        let mut arena = WorkspaceArena::<f64>::new();
         let views = arena.views(&layout);
         assert_eq!(views.mr.rows() * views.mr.cols(), 0);
         assert_eq!(arena.capacity(), 0);

@@ -2,17 +2,17 @@
 //! (Scratch temporaries live in the preplanned [`super::WorkspaceArena`].)
 
 use crate::indexing::BlockGrid;
-use fmm_dense::{MatMut, MatRef};
+use fmm_dense::{MatMut, MatRef, Scalar};
 
 /// The immutable operand blocks of one FMM core execution, indexed by the
 /// recursive-block flat index the composed coefficients use.
-pub struct OperandBlocks<'a> {
-    blocks: Vec<MatRef<'a>>,
+pub struct OperandBlocks<'a, T = f64> {
+    blocks: Vec<MatRef<'a, T>>,
 }
 
-impl<'a> OperandBlocks<'a> {
+impl<'a, T: Scalar> OperandBlocks<'a, T> {
     /// Slice `op` into its `grid` of `(block_rows x block_cols)` views.
-    pub fn new(op: MatRef<'a>, grid: &BlockGrid) -> Self {
+    pub fn new(op: MatRef<'a, T>, grid: &BlockGrid) -> Self {
         assert_eq!(op.rows() % grid.rows(), 0, "operand rows not divisible by grid");
         assert_eq!(op.cols() % grid.cols(), 0, "operand cols not divisible by grid");
         let bm = op.rows() / grid.rows();
@@ -27,7 +27,7 @@ impl<'a> OperandBlocks<'a> {
     }
 
     /// Block view for flat index `i`.
-    pub fn get(&self, i: usize) -> MatRef<'a> {
+    pub fn get(&self, i: usize) -> MatRef<'a, T> {
         self.blocks[i]
     }
 
@@ -46,14 +46,14 @@ impl<'a> OperandBlocks<'a> {
 ///
 /// Holds raw parts of the parent view so that several disjoint block views
 /// can be alive at once (one FMM product updates multiple `C_p`).
-pub struct DestBlocks<'a> {
-    ptr: *mut f64,
+pub struct DestBlocks<'a, T = f64> {
+    ptr: *mut T,
     rs: isize,
     cs: isize,
     bm: usize,
     bn: usize,
     coords: Vec<(usize, usize)>,
-    _marker: std::marker::PhantomData<&'a mut f64>,
+    _marker: std::marker::PhantomData<&'a mut T>,
 }
 
 // SAFETY: the only way to reach the underlying elements is
@@ -61,12 +61,12 @@ pub struct DestBlocks<'a> {
 // (hence disjoint) block indices; sharing the descriptor across threads —
 // which the BFS merge phase does, one block per task — adds no capability
 // beyond that contract.
-unsafe impl Send for DestBlocks<'_> {}
-unsafe impl Sync for DestBlocks<'_> {}
+unsafe impl<T: Scalar> Send for DestBlocks<'_, T> {}
+unsafe impl<T: Scalar> Sync for DestBlocks<'_, T> {}
 
-impl<'a> DestBlocks<'a> {
+impl<'a, T: Scalar> DestBlocks<'a, T> {
     /// Slice `c` into its `grid` of blocks.
-    pub fn new(mut c: MatMut<'a>, grid: &BlockGrid) -> Self {
+    pub fn new(mut c: MatMut<'a, T>, grid: &BlockGrid) -> Self {
         assert_eq!(c.rows() % grid.rows(), 0, "C rows not divisible by grid");
         assert_eq!(c.cols() % grid.cols(), 0, "C cols not divisible by grid");
         let bm = c.rows() / grid.rows();
@@ -94,7 +94,7 @@ impl<'a> DestBlocks<'a> {
     /// Views for *distinct* `p` address disjoint elements, so several may be
     /// alive simultaneously; the caller must not obtain two views of the
     /// same `p` at once, nor use a view beyond the parent borrow.
-    pub unsafe fn get(&self, p: usize) -> MatMut<'a> {
+    pub unsafe fn get(&self, p: usize) -> MatMut<'a, T> {
         let (r, c) = self.coords[p];
         let ptr =
             self.ptr.offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
@@ -113,13 +113,15 @@ impl<'a> DestBlocks<'a> {
 }
 
 /// Gather the non-zero operand terms of product `r` from a coefficient
-/// matrix column: `[(coeff, block view), ...]`.
-pub fn gather_terms<'a>(
+/// matrix column: `[(coeff, block view), ...]`. Plan coefficients are
+/// stored in `f64` and narrowed to the execution scalar here — the single
+/// point where the coefficient domain meets the data domain.
+pub fn gather_terms<'a, T: Scalar>(
     coeffs: &crate::coeffs::CoeffMatrix,
     r: usize,
-    blocks: &OperandBlocks<'a>,
-) -> Vec<(f64, MatRef<'a>)> {
-    coeffs.col_nonzeros(r).map(|(i, g)| (g, blocks.get(i))).collect()
+    blocks: &OperandBlocks<'a, T>,
+) -> Vec<(T, MatRef<'a, T>)> {
+    coeffs.col_nonzeros(r).map(|(i, g)| (T::from_f64(g), blocks.get(i))).collect()
 }
 
 #[cfg(test)]

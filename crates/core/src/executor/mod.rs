@@ -25,7 +25,7 @@ pub use common::{gather_terms, DestBlocks, OperandBlocks};
 use crate::peeling;
 use crate::plan::FmmPlan;
 use fmm_dense::{MatMut, MatRef};
-use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+use fmm_gemm::{BlockingParams, DestTile, GemmScalar, GemmWorkspace};
 
 /// Which FMM implementation strategy to run (paper §4.1 "Further
 /// variations").
@@ -86,11 +86,11 @@ impl Variant {
 /// long-lived context performs no heap allocation for FMM temporaries once
 /// warm — the property the engine's warm-path tests assert through
 /// [`FmmContext::arena_grow_count`].
-pub struct FmmContext {
+pub struct FmmContext<T = f64> {
     /// Blocking parameters passed to the underlying GEMM driver.
     pub params: BlockingParams,
-    pub(crate) ws: GemmWorkspace,
-    pub(crate) arena: WorkspaceArena,
+    pub(crate) ws: GemmWorkspace<T>,
+    pub(crate) arena: WorkspaceArena<T>,
     /// Layout of the most recent core execution (`None` before the first,
     /// or when the problem had an empty core).
     last_layout: Option<ArenaLayout>,
@@ -98,7 +98,7 @@ pub struct FmmContext {
     pub(crate) parallel: bool,
 }
 
-impl FmmContext {
+impl<T: GemmScalar> FmmContext<T> {
     /// Context with the default (paper §5.1) blocking parameters.
     pub fn with_defaults() -> Self {
         Self::new(BlockingParams::default())
@@ -127,7 +127,7 @@ impl FmmContext {
         if mc > 0 && kc > 0 && nc > 0 {
             self.arena.preplan(&ArenaLayout::for_core(variant, plan, mc, kc, nc));
         }
-        self.ws.ensure(&self.params);
+        self.ws.ensure(&self.params.with_register_tile(T::MR, T::NR));
     }
 
     /// Arena elements occupied by the most recent core execution. Equals
@@ -150,19 +150,19 @@ impl FmmContext {
 /// The GEMM half of a context, split out so executors can hold arena views
 /// and dispatch block products simultaneously (disjoint borrows of
 /// [`FmmContext`]).
-pub(crate) struct GemmDispatch<'a> {
+pub(crate) struct GemmDispatch<'a, T = f64> {
     params: &'a BlockingParams,
-    ws: &'a mut GemmWorkspace,
+    ws: &'a mut GemmWorkspace<T>,
     parallel: bool,
 }
 
-impl GemmDispatch<'_> {
+impl<T: GemmScalar> GemmDispatch<'_, T> {
     /// Dispatch one block product to the sequential or parallel driver.
     pub(crate) fn block_product(
         &mut self,
-        dests: &mut [DestTile<'_>],
-        a_terms: &[(f64, MatRef<'_>)],
-        b_terms: &[(f64, MatRef<'_>)],
+        dests: &mut [DestTile<'_, T>],
+        a_terms: &[(T, MatRef<'_, T>)],
+        b_terms: &[(T, MatRef<'_, T>)],
         overwrite: bool,
     ) {
         if self.parallel {
@@ -187,13 +187,13 @@ impl GemmDispatch<'_> {
 /// Execute `C += A · B` with the given plan and variant, sequentially.
 ///
 /// Dimensions are arbitrary; fringes are handled by dynamic peeling.
-pub fn fmm_execute(
-    c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+pub fn fmm_execute<T: GemmScalar>(
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
-    ctx: &mut FmmContext,
+    ctx: &mut FmmContext<T>,
 ) {
     ctx.parallel = false;
     execute_impl(c, a, b, plan, variant, ctx)
@@ -202,25 +202,25 @@ pub fn fmm_execute(
 /// As [`fmm_execute`], but each block product uses the rayon-parallel GEMM
 /// driver (the paper's loop-3 data parallelism); the `R_L` products remain
 /// sequential, exactly as in the paper's implementation.
-pub fn fmm_execute_parallel(
-    c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+pub fn fmm_execute_parallel<T: GemmScalar>(
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
-    ctx: &mut FmmContext,
+    ctx: &mut FmmContext<T>,
 ) {
     ctx.parallel = true;
     execute_impl(c, a, b, plan, variant, ctx)
 }
 
-fn execute_impl(
-    mut c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+fn execute_impl<T: GemmScalar>(
+    mut c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
-    ctx: &mut FmmContext,
+    ctx: &mut FmmContext<T>,
 ) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -249,21 +249,21 @@ fn execute_impl(
         let c_rim =
             c.reborrow().submatrix(rim.rows.start, rim.cols.start, rim.rows.len(), rim.cols.len());
         gemm.block_product(
-            &mut [DestTile::new(c_rim, 1.0)],
-            &[(1.0, a_rim)],
-            &[(1.0, b_rim)],
+            &mut [DestTile::new(c_rim, T::ONE)],
+            &[(T::ONE, a_rim)],
+            &[(T::ONE, b_rim)],
             false,
         );
     }
 }
 
-fn run_core(
-    c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+fn run_core<T: GemmScalar>(
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
-    ctx: &mut FmmContext,
+    ctx: &mut FmmContext<T>,
 ) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();

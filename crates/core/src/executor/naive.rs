@@ -12,15 +12,15 @@ use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::{ArenaViews, GemmDispatch};
 use crate::plan::FmmPlan;
 use fmm_dense::ops;
-use fmm_gemm::DestTile;
+use fmm_gemm::{DestTile, GemmScalar};
 
-pub(super) fn run(
+pub(super) fn run<T: GemmScalar>(
     plan: &FmmPlan,
-    a_blocks: &OperandBlocks<'_>,
-    b_blocks: &OperandBlocks<'_>,
-    c_blocks: &DestBlocks<'_>,
-    views: ArenaViews<'_>,
-    gemm: &mut GemmDispatch<'_>,
+    a_blocks: &OperandBlocks<'_, T>,
+    b_blocks: &OperandBlocks<'_, T>,
+    c_blocks: &DestBlocks<'_, T>,
+    views: ArenaViews<'_, T>,
+    gemm: &mut GemmDispatch<'_, T>,
 ) {
     let ArenaViews { mut ta, mut tb, mut mr } = views;
     for r in 0..plan.rank() {
@@ -31,16 +31,16 @@ pub(super) fn run(
         ops::linear_combination(tb.reborrow(), &b_terms).expect("B block shapes agree");
 
         gemm.block_product(
-            &mut [DestTile::new(mr.reborrow(), 1.0)],
-            &[(1.0, ta.as_ref())],
-            &[(1.0, tb.as_ref())],
+            &mut [DestTile::new(mr.reborrow(), T::ONE)],
+            &[(T::ONE, ta.as_ref())],
+            &[(T::ONE, tb.as_ref())],
             true,
         );
 
         for (p, w) in plan.w().col_nonzeros(r) {
             // SAFETY: one destination view alive at a time.
             let dest = unsafe { c_blocks.get(p) };
-            ops::axpy(dest, w, mr.as_ref()).expect("block shapes agree");
+            ops::axpy(dest, T::from_f64(w), mr.as_ref()).expect("block shapes agree");
         }
     }
 }

@@ -19,6 +19,12 @@
 //! * [`tasks`] — the BFS/DFS/hybrid scheduling vocabulary and per-task
 //!   workspace shapes consumed by the `fmm-sched` scheduler.
 //!
+//! Plans and coefficients are dtype-free (`U`/`V`/`W` stay `f64`); the
+//! execution machinery ([`executor::FmmContext`], the arena, the block
+//! grids, all three variants) is generic over `fmm_gemm::GemmScalar`
+//! (`f64` default, `f32` supported), with coefficients narrowed to the
+//! execution scalar at [`executor::gather_terms`].
+//!
 //! # Example
 //!
 //! ```

@@ -1,15 +1,30 @@
 //! Deterministic and random matrix fills for tests and benchmarks.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Uniformly random entries in `[lo, hi)`, reproducible from `seed`.
 pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix {
+    random_uniform_t::<f64>(rows, cols, lo, hi, seed)
+}
+
+/// Generic-scalar [`random_uniform`]: the stream is drawn in `f64` and
+/// narrowed, so `random_uniform_t::<f32>` and `random_uniform_t::<f64>`
+/// with one seed describe the *same* matrix at two precisions — exactly
+/// what f32-vs-f64 comparison tests need.
+pub fn random_uniform_t<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Matrix<T> {
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = Uniform::new(lo, hi);
-    Matrix::from_fn(rows, cols, |_, _| dist.sample(&mut rng))
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(&mut rng)))
 }
 
 /// The benchmark workload fill used throughout the harness: entries in
@@ -17,6 +32,12 @@ pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> 
 /// but bounded in correctness comparisons.
 pub fn bench_workload(rows: usize, cols: usize, seed: u64) -> Matrix {
     random_uniform(rows, cols, -1.0, 1.0, seed)
+}
+
+/// Generic-scalar [`bench_workload`]; same value stream as the `f64`
+/// version (see [`random_uniform_t`]).
+pub fn bench_workload_t<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    random_uniform_t::<T>(rows, cols, -1.0, 1.0, seed)
 }
 
 /// Entries `i + j * rows` (column-major counter) — handy for debugging

@@ -10,8 +10,11 @@
 //! * deterministic and random fills ([`fill`]) and comparison helpers
 //!   ([`norms`]) used by tests and benchmarks.
 //!
-//! Everything is `f64`: the reproduced paper evaluates DGEMM, and keeping a
-//! single scalar type keeps the micro-kernels honest.
+//! Storage and kernels are generic over the [`Scalar`] element type —
+//! `f64` (the paper's DGEMM experiments) by default, with `f32` opening
+//! the SGEMM workload at twice the SIMD lanes per instruction. Every type
+//! here defaults its parameter to `f64`, so single-precision use is opt-in
+//! (`Matrix<f32>`, `fill::bench_workload_t::<f32>`).
 //!
 //! # Example
 //!
@@ -30,9 +33,11 @@ pub mod fill;
 pub mod matrix;
 pub mod norms;
 pub mod ops;
+pub mod scalar;
 pub mod view;
 
 pub use aligned::AlignedBuf;
 pub use errors::DimError;
 pub use matrix::Matrix;
+pub use scalar::Scalar;
 pub use view::{MatMut, MatRef};

@@ -1,29 +1,30 @@
 //! Owned column-major matrix storage.
 
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 
-/// An owned, column-major `f64` matrix.
+/// An owned, column-major matrix of `T` (default `f64`).
 ///
 /// Element `(i, j)` lives at linear index `i + j * ld` where `ld >= rows` is
 /// the leading dimension. Freshly-constructed matrices have `ld == rows`;
 /// a larger `ld` arises only through [`Matrix::with_leading_dim`], which is
 /// useful for exercising strided code paths in tests.
 #[derive(Clone, Debug)]
-pub struct Matrix {
-    data: Vec<f64>,
+pub struct Matrix<T = f64> {
+    data: Vec<T>,
     rows: usize,
     cols: usize,
     ld: usize,
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// An `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows.max(1).saturating_mul(cols)], rows, cols, ld: rows.max(1) }
+        Self { data: vec![T::ZERO; rows.max(1).saturating_mul(cols)], rows, cols, ld: rows.max(1) }
     }
 
     /// An `rows x cols` matrix with every entry `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
         let mut m = Self::zeros(rows, cols);
         m.data.fill(value);
         m
@@ -33,13 +34,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, 1.0);
+            m.set(i, i, T::ONE);
         }
         m
     }
 
     /// Build from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut m = Self::zeros(rows, cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -53,7 +54,7 @@ impl Matrix {
     ///
     /// Row-major input is the natural way to write small matrices in source
     /// code; storage remains column-major.
-    pub fn from_rows(rows: usize, cols: usize, values: &[f64]) -> Self {
+    pub fn from_rows(rows: usize, cols: usize, values: &[T]) -> Self {
         assert_eq!(values.len(), rows * cols, "from_rows: wrong number of values");
         Self::from_fn(rows, cols, |i, j| values[i * cols + j])
     }
@@ -61,7 +62,7 @@ impl Matrix {
     /// Build with an explicit leading dimension `ld >= rows` (padding rows are zero).
     pub fn with_leading_dim(rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension must be >= rows");
-        Self { data: vec![0.0; ld * cols], rows, cols, ld }
+        Self { data: vec![T::ZERO; ld * cols], rows, cols, ld }
     }
 
     /// Number of rows.
@@ -84,21 +85,21 @@ impl Matrix {
 
     /// Element access.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         assert!(i < self.rows && j < self.cols, "index out of bounds");
         self.data[i + j * self.ld]
     }
 
     /// Element assignment.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         assert!(i < self.rows && j < self.cols, "index out of bounds");
         self.data[i + j * self.ld] = v;
     }
 
     /// Immutable strided view of the whole matrix.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, T> {
         // SAFETY: `data` holds `ld * cols` elements laid out column-major, so
         // every (i, j) with i < rows <= ld, j < cols is in bounds.
         unsafe {
@@ -108,7 +109,7 @@ impl Matrix {
 
     /// Mutable strided view of the whole matrix.
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
         // SAFETY: as in `as_ref`, plus exclusive access through `&mut self`.
         unsafe {
             MatMut::from_raw_parts(
@@ -122,27 +123,33 @@ impl Matrix {
     }
 
     /// The raw column-major backing storage (including any `ld` padding).
-    pub fn raw(&self) -> &[f64] {
+    pub fn raw(&self) -> &[T] {
         &self.data
     }
 
     /// Set every entry to zero.
     pub fn clear(&mut self) {
-        self.data.fill(0.0);
+        self.data.fill(T::ZERO);
     }
 
     /// Transposed copy.
-    pub fn transposed(&self) -> Matrix {
+    pub fn transposed(&self) -> Matrix<T> {
         Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
     }
 
     /// Maximum absolute entry, 0.0 for empty matrices.
-    pub fn max_abs(&self) -> f64 {
-        self.as_ref().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    pub fn max_abs(&self) -> T {
+        self.as_ref().fold(T::ZERO, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Entrywise conversion into another scalar type (e.g. the `f64` copy
+    /// of an `f32` operand that reference comparisons are computed in).
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| U::from_f64(self.get(i, j).to_f64()))
     }
 }
 
-impl PartialEq for Matrix {
+impl<T: Scalar> PartialEq for Matrix<T> {
     fn eq(&self, other: &Self) -> bool {
         if self.rows != other.rows || self.cols != other.cols {
             return false;
@@ -164,7 +171,7 @@ mod tests {
 
     #[test]
     fn zeros_shape_and_content() {
-        let m = Matrix::zeros(3, 5);
+        let m = Matrix::<f64>::zeros(3, 5);
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), 5);
         for j in 0..5 {
@@ -195,7 +202,7 @@ mod tests {
 
     #[test]
     fn identity_has_unit_diagonal() {
-        let m = Matrix::identity(3);
+        let m = Matrix::<f64>::identity(3);
         for i in 0..3 {
             for j in 0..3 {
                 assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
@@ -205,7 +212,7 @@ mod tests {
 
     #[test]
     fn leading_dim_padding_is_respected() {
-        let mut m = Matrix::with_leading_dim(2, 3, 5);
+        let mut m = Matrix::<f64>::with_leading_dim(2, 3, 5);
         assert_eq!(m.leading_dim(), 5);
         m.set(1, 2, 7.0);
         assert_eq!(m.get(1, 2), 7.0);
@@ -243,7 +250,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_is_usable() {
-        let m = Matrix::zeros(0, 0);
+        let m = Matrix::<f64>::zeros(0, 0);
         assert_eq!(m.rows(), 0);
         assert_eq!(m.max_abs(), 0.0);
     }

@@ -1,27 +1,30 @@
 //! Norms and error measures used to validate FMM results against reference
 //! products.
 
+use crate::scalar::Scalar;
 use crate::view::MatRef;
 
-/// Maximum absolute entry.
-pub fn max_abs(a: MatRef<'_>) -> f64 {
-    a.fold(0.0_f64, |acc, v| acc.max(v.abs()))
+/// Maximum absolute entry, widened to `f64`.
+pub fn max_abs<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    a.fold(0.0_f64, |acc, v| acc.max(v.abs().to_f64()))
 }
 
-/// Frobenius norm.
-pub fn frobenius(a: MatRef<'_>) -> f64 {
-    a.fold(0.0, |acc, v| acc + v * v).sqrt()
+/// Frobenius norm, accumulated in `f64` regardless of the element type.
+pub fn frobenius<T: Scalar>(a: MatRef<'_, T>) -> f64 {
+    a.fold(0.0, |acc, v| acc + v.to_f64() * v.to_f64()).sqrt()
 }
 
-/// Maximum absolute elementwise difference. Panics on shape mismatch.
-pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+/// Maximum absolute elementwise difference (in `f64`). Panics on shape
+/// mismatch.
+pub fn max_abs_diff<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
     assert_eq!(a.rows(), b.rows(), "max_abs_diff: row mismatch");
     assert_eq!(a.cols(), b.cols(), "max_abs_diff: col mismatch");
     let mut worst = 0.0_f64;
     for j in 0..a.cols() {
         for i in 0..a.rows() {
             // SAFETY: loop bounds are the (checked-equal) shape.
-            let d = unsafe { (a.at_unchecked(i, j) - b.at_unchecked(i, j)).abs() };
+            let d =
+                unsafe { (a.at_unchecked(i, j).to_f64() - b.at_unchecked(i, j).to_f64()).abs() };
             worst = worst.max(d);
         }
     }
@@ -30,7 +33,7 @@ pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
 
 /// Relative error `||a - b||_max / max(1, ||b||_max)` — the acceptance
 /// metric for FMM-vs-reference comparisons.
-pub fn rel_error(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+pub fn rel_error<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> f64 {
     max_abs_diff(a, b) / max_abs(b).max(1.0)
 }
 
@@ -44,6 +47,13 @@ pub fn fmm_tolerance(k: usize, levels: usize) -> f64 {
     1e-12 * growth * (k.max(2) as f64)
 }
 
+/// Precision-scaled variant of [`fmm_tolerance`]: the [`Scalar::accuracy_bound`]
+/// for `T`, so `f32` executions are accepted against a bound derived from
+/// `f32::EPSILON` rather than the hard-wired `f64` constant above.
+pub fn fmm_tolerance_t<T: Scalar>(k: usize, levels: usize) -> f64 {
+    T::accuracy_bound(k, levels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,13 +61,13 @@ mod tests {
 
     #[test]
     fn frobenius_of_identity() {
-        let id = Matrix::identity(9);
+        let id = Matrix::<f64>::identity(9);
         assert!((frobenius(id.as_ref()) - 3.0).abs() < 1e-15);
     }
 
     #[test]
     fn max_abs_diff_detects_single_entry() {
-        let a = Matrix::zeros(3, 3);
+        let a = Matrix::<f64>::zeros(3, 3);
         let mut b = Matrix::zeros(3, 3);
         b.set(2, 1, 1e-3);
         assert_eq!(max_abs_diff(a.as_ref(), b.as_ref()), 1e-3);
@@ -79,7 +89,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "row mismatch")]
     fn diff_shape_mismatch_panics() {
-        let a = Matrix::zeros(2, 2);
+        let a = Matrix::<f64>::zeros(2, 2);
         let b = Matrix::zeros(3, 2);
         max_abs_diff(a.as_ref(), b.as_ref());
     }

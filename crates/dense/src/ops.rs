@@ -6,13 +6,14 @@
 //! column-major fast path (`rs == 1`) is special-cased so LLVM vectorizes it.
 
 use crate::errors::DimError;
+use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 
-fn check_same_shape(
+fn check_same_shape<T: Scalar>(
     op: &'static str,
     rows: usize,
     cols: usize,
-    b: &MatRef<'_>,
+    b: &MatRef<'_, T>,
 ) -> Result<(), DimError> {
     if b.rows() != rows || b.cols() != cols {
         return Err(DimError::new(op, &[rows, cols, b.rows(), b.cols()]));
@@ -21,7 +22,7 @@ fn check_same_shape(
 }
 
 /// `dst = src`.
-pub fn copy(mut dst: MatMut<'_>, src: MatRef<'_>) -> Result<(), DimError> {
+pub fn copy<T: Scalar>(mut dst: MatMut<'_, T>, src: MatRef<'_, T>) -> Result<(), DimError> {
     check_same_shape("copy", dst.rows(), dst.cols(), &src)?;
     for j in 0..dst.cols() {
         for i in 0..dst.rows() {
@@ -34,7 +35,11 @@ pub fn copy(mut dst: MatMut<'_>, src: MatRef<'_>) -> Result<(), DimError> {
 }
 
 /// `dst += alpha * src`.
-pub fn axpy(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) -> Result<(), DimError> {
+pub fn axpy<T: Scalar>(
+    mut dst: MatMut<'_, T>,
+    alpha: T,
+    src: MatRef<'_, T>,
+) -> Result<(), DimError> {
     check_same_shape("axpy", dst.rows(), dst.cols(), &src)?;
     let (rows, cols) = (dst.rows(), dst.cols());
     if dst.row_stride() == 1 && src.row_stride() == 1 {
@@ -62,7 +67,7 @@ pub fn axpy(mut dst: MatMut<'_>, alpha: f64, src: MatRef<'_>) -> Result<(), DimE
 }
 
 /// `dst *= alpha`.
-pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
+pub fn scale<T: Scalar>(mut dst: MatMut<'_, T>, alpha: T) {
     for j in 0..dst.cols() {
         for i in 0..dst.rows() {
             let v = dst.at(i, j);
@@ -75,22 +80,22 @@ pub fn scale(mut dst: MatMut<'_>, alpha: f64) {
 ///
 /// This is the operand-side linear combination of eq. (3) in the paper,
 /// materialized into a temporary — the Naive-FMM path.
-pub fn linear_combination(
-    mut dst: MatMut<'_>,
-    terms: &[(f64, MatRef<'_>)],
+pub fn linear_combination<T: Scalar>(
+    mut dst: MatMut<'_, T>,
+    terms: &[(T, MatRef<'_, T>)],
 ) -> Result<(), DimError> {
     let (rows, cols) = (dst.rows(), dst.cols());
     for (_, t) in terms {
         check_same_shape("linear_combination", rows, cols, t)?;
     }
     match terms {
-        [] => dst.fill(0.0),
+        [] => dst.fill(T::ZERO),
         [(a0, t0)] => {
             for j in 0..cols {
                 for i in 0..rows {
                     // SAFETY: shape checked above.
                     let v = unsafe { t0.at_unchecked(i, j) };
-                    dst.set(i, j, a0 * v);
+                    dst.set(i, j, *a0 * v);
                 }
             }
         }
@@ -101,7 +106,7 @@ pub fn linear_combination(
                     // SAFETY: shape checked above.
                     let mut acc = first.0 * unsafe { first.1.at_unchecked(i, j) };
                     for (a, t) in rest {
-                        acc += a * unsafe { t.at_unchecked(i, j) };
+                        acc = a.mul_add(unsafe { t.at_unchecked(i, j) }, acc);
                     }
                     dst.set(i, j, acc);
                 }
@@ -112,13 +117,13 @@ pub fn linear_combination(
 }
 
 /// Frobenius inner product `<a, b> = sum_ij a_ij * b_ij`.
-pub fn dot(a: MatRef<'_>, b: MatRef<'_>) -> Result<f64, DimError> {
+pub fn dot<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> Result<T, DimError> {
     check_same_shape("dot", a.rows(), a.cols(), &b)?;
-    let mut acc = 0.0;
+    let mut acc = T::ZERO;
     for j in 0..a.cols() {
         for i in 0..a.rows() {
             // SAFETY: shape checked above.
-            acc += unsafe { a.at_unchecked(i, j) * b.at_unchecked(i, j) };
+            acc = unsafe { a.at_unchecked(i, j).mul_add(b.at_unchecked(i, j), acc) };
         }
     }
     Ok(acc)
@@ -139,7 +144,7 @@ mod tests {
 
     #[test]
     fn copy_shape_mismatch_errors() {
-        let src = Matrix::zeros(3, 4);
+        let src = Matrix::<f64>::zeros(3, 4);
         let mut dst = Matrix::zeros(4, 3);
         assert!(copy(dst.as_mut(), src.as_ref()).is_err());
     }

@@ -7,40 +7,49 @@
 //! to `rs == 1`, `cs == leading_dim`, but arbitrary strides are supported
 //! (transpose is a stride swap).
 
+use crate::scalar::Scalar;
 use std::marker::PhantomData;
 
-/// Immutable strided view of an `f64` matrix.
-#[derive(Clone, Copy, Debug)]
-pub struct MatRef<'a> {
-    ptr: *const f64,
+/// Immutable strided view of a matrix of `T` (default `f64`).
+#[derive(Debug)]
+pub struct MatRef<'a, T = f64> {
+    ptr: *const T,
     rows: usize,
     cols: usize,
     rs: isize,
     cs: isize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a T>,
 }
 
-// SAFETY: a `MatRef` only permits reads of the underlying `f64` data, which
-// is `Sync`; sharing the view across threads is as safe as sharing `&[f64]`.
-unsafe impl Send for MatRef<'_> {}
-unsafe impl Sync for MatRef<'_> {}
+impl<T> Clone for MatRef<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-/// Mutable strided view of an `f64` matrix.
+impl<T> Copy for MatRef<'_, T> {}
+
+// SAFETY: a `MatRef` only permits reads of the underlying scalar data, which
+// is `Sync`; sharing the view across threads is as safe as sharing `&[T]`.
+unsafe impl<T: Scalar> Send for MatRef<'_, T> {}
+unsafe impl<T: Scalar> Sync for MatRef<'_, T> {}
+
+/// Mutable strided view of a matrix of `T` (default `f64`).
 #[derive(Debug)]
-pub struct MatMut<'a> {
-    ptr: *mut f64,
+pub struct MatMut<'a, T = f64> {
+    ptr: *mut T,
     rows: usize,
     cols: usize,
     rs: isize,
     cs: isize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut T>,
 }
 
 // SAFETY: `MatMut` is an exclusive view (it is not `Copy`/`Clone`), so moving
-// it to another thread moves exclusive access, like `&mut [f64]`.
-unsafe impl Send for MatMut<'_> {}
+// it to another thread moves exclusive access, like `&mut [T]`.
+unsafe impl<T: Scalar> Send for MatMut<'_, T> {}
 
-impl<'a> MatRef<'a> {
+impl<'a, T: Scalar> MatRef<'a, T> {
     /// Build a view from raw parts.
     ///
     /// # Safety
@@ -48,7 +57,7 @@ impl<'a> MatRef<'a> {
     /// in-bounds, readable for lifetime `'a`, and no `&mut` alias may exist.
     #[inline]
     pub unsafe fn from_raw_parts(
-        ptr: *const f64,
+        ptr: *const T,
         rows: usize,
         cols: usize,
         rs: isize,
@@ -58,7 +67,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// View of a column-major slice with leading dimension `ld`.
-    pub fn from_col_major(data: &'a [f64], rows: usize, cols: usize, ld: usize) -> Self {
+    pub fn from_col_major(data: &'a [T], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension too small");
         assert!(data.len() >= ld * cols.saturating_sub(1) + rows.min(ld), "slice too short");
         // SAFETY: bounds checked above; shared borrow of `data` for 'a.
@@ -91,13 +100,13 @@ impl<'a> MatRef<'a> {
 
     /// Raw pointer to element (0, 0).
     #[inline]
-    pub fn as_ptr(&self) -> *const f64 {
+    pub fn as_ptr(&self) -> *const T {
         self.ptr
     }
 
     /// Element access with bounds check.
     #[inline]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         assert!(i < self.rows && j < self.cols, "MatRef index out of bounds");
         // SAFETY: in-bounds by the check above and the construction contract.
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
@@ -108,13 +117,13 @@ impl<'a> MatRef<'a> {
     /// # Safety
     /// `i < rows && j < cols`.
     #[inline]
-    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
+    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> T {
         *self.ptr.offset(i as isize * self.rs + j as isize * self.cs)
     }
 
     /// Submatrix view: rows `[ri, ri+nrows)`, cols `[ci, ci+ncols)`.
     #[inline]
-    pub fn submatrix(&self, ri: usize, ci: usize, nrows: usize, ncols: usize) -> MatRef<'a> {
+    pub fn submatrix(&self, ri: usize, ci: usize, nrows: usize, ncols: usize) -> MatRef<'a, T> {
         assert!(ri + nrows <= self.rows && ci + ncols <= self.cols, "submatrix out of bounds");
         // SAFETY: the sub-range is contained in the parent's valid range.
         unsafe {
@@ -130,13 +139,13 @@ impl<'a> MatRef<'a> {
 
     /// Transposed view (swaps dimensions and strides; no data movement).
     #[inline]
-    pub fn t(&self) -> MatRef<'a> {
+    pub fn t(&self) -> MatRef<'a, T> {
         // SAFETY: same data, same valid index set with roles of i/j swapped.
         unsafe { MatRef::from_raw_parts(self.ptr, self.cols, self.rows, self.cs, self.rs) }
     }
 
     /// Fold over all elements in column-major order.
-    pub fn fold<T>(&self, init: T, mut f: impl FnMut(T, f64) -> T) -> T {
+    pub fn fold<U>(&self, init: U, mut f: impl FnMut(U, T) -> U) -> U {
         let mut acc = init;
         for j in 0..self.cols {
             for i in 0..self.rows {
@@ -148,7 +157,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Copy into an owned [`crate::Matrix`].
-    pub fn to_owned(&self) -> crate::Matrix {
+    pub fn to_owned(&self) -> crate::Matrix<T> {
         crate::Matrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
     }
 
@@ -159,7 +168,7 @@ impl<'a> MatRef<'a> {
     }
 }
 
-impl<'a> MatMut<'a> {
+impl<'a, T: Scalar> MatMut<'a, T> {
     /// Build a mutable view from raw parts.
     ///
     /// # Safety
@@ -168,7 +177,7 @@ impl<'a> MatMut<'a> {
     /// must address distinct elements (no self-aliasing strides).
     #[inline]
     pub unsafe fn from_raw_parts(
-        ptr: *mut f64,
+        ptr: *mut T,
         rows: usize,
         cols: usize,
         rs: isize,
@@ -178,7 +187,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Mutable view of a column-major slice with leading dimension `ld`.
-    pub fn from_col_major(data: &'a mut [f64], rows: usize, cols: usize, ld: usize) -> Self {
+    pub fn from_col_major(data: &'a mut [T], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension too small");
         assert!(data.len() >= ld * cols.saturating_sub(1) + rows.min(ld), "slice too short");
         // SAFETY: bounds checked above; exclusive borrow of `data` for 'a.
@@ -211,13 +220,13 @@ impl<'a> MatMut<'a> {
 
     /// Raw pointer to element (0, 0).
     #[inline]
-    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+    pub fn as_mut_ptr(&mut self) -> *mut T {
         self.ptr
     }
 
     /// Element read.
     #[inline]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
         // SAFETY: in-bounds by the check above.
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
@@ -225,7 +234,7 @@ impl<'a> MatMut<'a> {
 
     /// Element write.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
         // SAFETY: in-bounds by the check above; exclusive access via &mut self.
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) = v }
@@ -233,7 +242,7 @@ impl<'a> MatMut<'a> {
 
     /// In-place update `self[i,j] += v`.
     #[inline]
-    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+    pub fn add_at(&mut self, i: usize, j: usize, v: T) {
         assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
         // SAFETY: in-bounds by the check above.
         unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) += v }
@@ -241,14 +250,14 @@ impl<'a> MatMut<'a> {
 
     /// Reborrow as an immutable view.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
+    pub fn as_ref(&self) -> MatRef<'_, T> {
         // SAFETY: downgrading exclusive access to shared access.
         unsafe { MatRef::from_raw_parts(self.ptr, self.rows, self.cols, self.rs, self.cs) }
     }
 
     /// Reborrow mutably with a shorter lifetime.
     #[inline]
-    pub fn reborrow(&mut self) -> MatMut<'_> {
+    pub fn reborrow(&mut self) -> MatMut<'_, T> {
         // SAFETY: `&mut self` guarantees exclusivity for the shorter lifetime.
         unsafe { MatMut::from_raw_parts(self.ptr, self.rows, self.cols, self.rs, self.cs) }
     }
@@ -257,7 +266,7 @@ impl<'a> MatMut<'a> {
     ///
     /// Consumes the view; use [`MatMut::reborrow`] first to keep the parent.
     #[inline]
-    pub fn submatrix(self, ri: usize, ci: usize, nrows: usize, ncols: usize) -> MatMut<'a> {
+    pub fn submatrix(self, ri: usize, ci: usize, nrows: usize, ncols: usize) -> MatMut<'a, T> {
         assert!(ri + nrows <= self.rows && ci + ncols <= self.cols, "submatrix out of bounds");
         // SAFETY: contained sub-range of an exclusively borrowed range.
         unsafe {
@@ -272,7 +281,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Split into two disjoint mutable views at row `r`: `[0, r)` and `[r, rows)`.
-    pub fn split_rows(self, r: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_rows(self, r: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
         assert!(r <= self.rows, "split_rows out of bounds");
         // SAFETY: the two halves address disjoint element sets of the parent.
         unsafe {
@@ -290,7 +299,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Split into two disjoint mutable views at column `c`: `[0, c)` and `[c, cols)`.
-    pub fn split_cols(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_cols(self, c: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
         assert!(c <= self.cols, "split_cols out of bounds");
         // SAFETY: disjoint column ranges of the parent.
         unsafe {
@@ -308,7 +317,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Fill every element with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for j in 0..self.cols {
             for i in 0..self.rows {
                 self.set(i, j, v);
@@ -409,7 +418,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn submatrix_oob_panics() {
-        let m = Matrix::zeros(3, 3);
+        let m = Matrix::<f64>::zeros(3, 3);
         let _ = m.as_ref().submatrix(1, 1, 3, 1);
     }
 

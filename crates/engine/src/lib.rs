@@ -22,6 +22,15 @@
 //! strategy)` triples per shape, and [`FmmEngine::multiply_batch`] runs
 //! many independent problems at once with inter-problem parallelism.
 //!
+//! The engine is generic over the execution scalar: `FmmEngine<f64>` (the
+//! default) and `FmmEngine<f32>` run the same plans and routing logic over
+//! dtype-specific kernels, contexts, and workspace pools. Every cache —
+//! decisions, composed plans, pooled contexts — lives inside the engine
+//! value, so caches are per-dtype by construction; the performance model
+//! stays `f64` but its memory terms are scaled by the engine's element
+//! width (`ArchParams::with_elem_bytes`), which is what lets `f32` ranking
+//! reflect its halved bandwidth cost.
+//!
 //! `FmmEngine::multiply` takes `&self` and is safe to call from many
 //! threads at once; each call checks out its own context.
 //!
@@ -51,7 +60,7 @@ pub use fmm_sched::SchedContext;
 
 use fmm_core::{fmm_execute, FmmPlan, Variant};
 use fmm_dense::{MatMut, MatRef};
-use fmm_gemm::BlockingParams;
+use fmm_gemm::{BlockingParams, GemmScalar};
 use fmm_model::{rank_candidates, rank_scheduled, ArchParams, Impl};
 use fmm_sched::fan_out;
 use parking_lot::Mutex;
@@ -179,6 +188,10 @@ pub struct EngineStats {
     /// Problems executed through `multiply_batch` (also counted in
     /// `executions`).
     pub batch_items: u64,
+    /// `Routing::Pinned` decisions that fell back to GEMM because the
+    /// registry holds no algorithm for the pinned dims (one per decision
+    /// miss of such a shape, not per call).
+    pub pinned_fallbacks: u64,
 }
 
 #[derive(Default)]
@@ -192,6 +205,7 @@ struct Counters {
     arena_grows: AtomicU64,
     batches: AtomicU64,
     batch_items: AtomicU64,
+    pinned_fallbacks: AtomicU64,
 }
 
 impl Counters {
@@ -206,6 +220,7 @@ impl Counters {
             arena_grows: self.arena_grows.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_items: self.batch_items.load(Ordering::Relaxed),
+            pinned_fallbacks: self.pinned_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,45 +231,46 @@ type PlanKey = ((usize, usize, usize), usize);
 
 /// One independent `C += A·B` problem of a [`FmmEngine::multiply_batch`]
 /// call. The borrows guarantee the destinations are pairwise disjoint.
-pub struct BatchItem<'a> {
+pub struct BatchItem<'a, T = f64> {
     /// Accumulation destination.
-    pub c: MatMut<'a>,
+    pub c: MatMut<'a, T>,
     /// Left operand.
-    pub a: MatRef<'a>,
+    pub a: MatRef<'a, T>,
     /// Right operand.
-    pub b: MatRef<'a>,
+    pub b: MatRef<'a, T>,
 }
 
-impl<'a> BatchItem<'a> {
+impl<'a, T: GemmScalar> BatchItem<'a, T> {
     /// Package one problem.
-    pub fn new(c: MatMut<'a>, a: MatRef<'a>, b: MatRef<'a>) -> Self {
+    pub fn new(c: MatMut<'a, T>, a: MatRef<'a, T>, b: MatRef<'a, T>) -> Self {
         Self { c, a, b }
     }
 }
 
-/// A long-lived, thread-safe FMM execution engine. See the crate docs.
-pub struct FmmEngine {
+/// A long-lived, thread-safe FMM execution engine, generic over the
+/// execution scalar (default `f64`). See the crate docs.
+pub struct FmmEngine<T: GemmScalar = f64> {
     config: EngineConfig,
     registry: Arc<Registry>,
     decisions: Mutex<LruCache<(usize, usize, usize), Decision>>,
     plans: Mutex<LruCache<PlanKey, Arc<FmmPlan>>>,
-    contexts: Mutex<Vec<SchedContext>>,
+    contexts: Mutex<Vec<SchedContext<T>>>,
     counters: Counters,
 }
 
 /// A checked-out pooled context; returns itself to the engine on drop.
-struct CtxGuard<'a> {
-    engine: &'a FmmEngine,
-    ctx: Option<SchedContext>,
+struct CtxGuard<'a, T: GemmScalar> {
+    engine: &'a FmmEngine<T>,
+    ctx: Option<SchedContext<T>>,
 }
 
-impl CtxGuard<'_> {
-    fn ctx(&mut self) -> &mut SchedContext {
+impl<T: GemmScalar> CtxGuard<'_, T> {
+    fn ctx(&mut self) -> &mut SchedContext<T> {
         self.ctx.as_mut().expect("present until drop")
     }
 }
 
-impl Drop for CtxGuard<'_> {
+impl<T: GemmScalar> Drop for CtxGuard<'_, T> {
     fn drop(&mut self) {
         if let Some(ctx) = self.ctx.take() {
             self.engine.release_context(ctx);
@@ -262,7 +278,7 @@ impl Drop for CtxGuard<'_> {
     }
 }
 
-impl FmmEngine {
+impl<T: GemmScalar> FmmEngine<T> {
     /// Engine over the standard registry with default configuration.
     pub fn with_defaults() -> Self {
         Self::new(EngineConfig::default())
@@ -274,8 +290,25 @@ impl FmmEngine {
     }
 
     /// Engine over an explicit algorithm registry.
+    ///
+    /// # Panics
+    /// On contradictory configuration: `workers > 0` with `parallel:
+    /// false` would silently run sequentially (the worker count is only
+    /// meaningful to parallel execution and routing), so it is rejected
+    /// here, at construction, instead of surprising a misconfigured
+    /// service at traffic time.
     pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
         assert!(config.max_levels >= 1, "max_levels must be at least 1");
+        assert!(
+            config.parallel || config.workers == 0,
+            "EngineConfig {{ workers: {}, parallel: false }} is contradictory: \
+             workers only applies to parallel engines (set parallel: true, or workers: 0)",
+            config.workers
+        );
+        // The model's memory terms are charged at this engine's element
+        // width; rankings (and their cache) are per-dtype anyway.
+        let mut config = config;
+        config.arch = config.arch.with_elem_bytes(std::mem::size_of::<T>());
         let decisions = Mutex::new(LruCache::new(config.decision_capacity));
         let plans = Mutex::new(LruCache::new(config.plan_capacity));
         Self {
@@ -319,7 +352,7 @@ impl FmmEngine {
     }
 
     /// `C += A·B`, routed through the decision cache. Thread-safe.
-    pub fn multiply(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    pub fn multiply(&self, c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
         let (m, k) = (a.rows(), a.cols());
         let n = b.cols();
         assert_eq!(b.rows(), k, "A/B inner dimension mismatch");
@@ -344,7 +377,16 @@ impl FmmEngine {
     /// a batch of one known shape costs one decision lookup per item and
     /// no ranking once warm. On a sequential engine (`parallel: false`)
     /// the items simply run in order.
-    pub fn multiply_batch(&self, items: &mut [BatchItem<'_>]) {
+    pub fn multiply_batch(&self, items: &mut [BatchItem<'_, T>]) {
+        // Validate every item before touching any counter: a shape
+        // mismatch must leave `EngineStats` exactly as it found it, not
+        // count a batch that never executed.
+        for item in items.iter() {
+            let (m, k) = (item.a.rows(), item.a.cols());
+            let n = item.b.cols();
+            assert_eq!(item.b.rows(), k, "A/B inner dimension mismatch");
+            assert_eq!((item.c.rows(), item.c.cols()), (m, n), "C shape mismatch");
+        }
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters.batch_items.fetch_add(items.len() as u64, Ordering::Relaxed);
         self.counters.executions.fetch_add(items.len() as u64, Ordering::Relaxed);
@@ -352,13 +394,7 @@ impl FmmEngine {
         // warm) so workers never contend on the decision cache.
         let decisions: Vec<Decision> = items
             .iter()
-            .map(|item| {
-                let (m, k) = (item.a.rows(), item.a.cols());
-                let n = item.b.cols();
-                assert_eq!(item.b.rows(), k, "A/B inner dimension mismatch");
-                assert_eq!((item.c.rows(), item.c.cols()), (m, n), "C shape mismatch");
-                self.route(m, k, n)
-            })
+            .map(|item| self.route(item.a.rows(), item.a.cols(), item.b.cols()))
             .collect();
 
         let items_ptr = BatchItemsPtr(items.as_mut_ptr());
@@ -418,9 +454,9 @@ impl FmmEngine {
     /// the execution occupied — equal to [`Variant::workspace_elements`].
     pub fn multiply_with_plan(
         &self,
-        c: MatMut<'_>,
-        a: MatRef<'_>,
-        b: MatRef<'_>,
+        c: MatMut<'_, T>,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
         plan: &FmmPlan,
         variant: Variant,
     ) -> usize {
@@ -467,16 +503,20 @@ impl FmmEngine {
 
     fn compute_decision(&self, m: usize, k: usize, n: usize) -> Decision {
         let decision = match &self.config.routing {
-            Routing::Pinned { dims, levels, variant } => {
-                let algo = self.registry.get(*dims).unwrap_or_else(|| {
-                    panic!("pinned routing: no registry algorithm for {dims:?}")
-                });
-                Decision::Fmm {
+            Routing::Pinned { dims, levels, variant } => match self.registry.get(*dims) {
+                Some(algo) => Decision::Fmm {
                     plan: self.plan_for(&algo, *levels),
                     variant: *variant,
                     strategy: Strategy::Dfs,
+                },
+                // No algorithm for the pinned dims: fall back to the GEMM
+                // decision (counted, cached like any other decision) rather
+                // than killing the process over a routing hint.
+                None => {
+                    self.counters.pinned_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    Decision::Gemm
                 }
-            }
+            },
             Routing::Model if self.config.parallel => {
                 let plans = self.candidate_plans();
                 self.counters.rankings.fetch_add(1, Ordering::Relaxed);
@@ -551,7 +591,7 @@ impl FmmEngine {
         plan
     }
 
-    fn run_gemm(&self, c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+    fn run_gemm(&self, c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
         // Plain GEMM packing buffers come from fmm-gemm's global pool.
         if self.config.parallel {
             fmm_gemm::gemm_parallel(c, a, b);
@@ -562,9 +602,9 @@ impl FmmEngine {
 
     fn run_fmm(
         &self,
-        c: MatMut<'_>,
-        a: MatRef<'_>,
-        b: MatRef<'_>,
+        c: MatMut<'_, T>,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
         plan: &FmmPlan,
         variant: Variant,
         strategy: Strategy,
@@ -589,7 +629,7 @@ impl FmmEngine {
         occupied
     }
 
-    fn checkout(&self) -> CtxGuard<'_> {
+    fn checkout(&self) -> CtxGuard<'_, T> {
         let ctx = match self.contexts.lock().pop() {
             Some(mut ctx) => {
                 // A previous checkout (e.g. a batch) may have installed
@@ -605,7 +645,7 @@ impl FmmEngine {
         CtxGuard { engine: self, ctx: Some(ctx) }
     }
 
-    fn release_context(&self, ctx: SchedContext) {
+    fn release_context(&self, ctx: SchedContext<T>) {
         let mut pool = self.contexts.lock();
         if pool.len() < self.config.max_pooled_contexts {
             pool.push(ctx);
@@ -616,26 +656,26 @@ impl FmmEngine {
 /// Raw pointer to a batch's items, shared across the fan-out workers.
 /// Safety rests on the fan-out's each-index-exactly-once guarantee; see
 /// the comment at the use site.
-struct BatchItemsPtr<'a>(*mut BatchItem<'a>);
+struct BatchItemsPtr<'a, T>(*mut BatchItem<'a, T>);
 
-impl<'a> BatchItemsPtr<'a> {
+impl<'a, T: GemmScalar> BatchItemsPtr<'a, T> {
     /// Mutable access to item `i`.
     ///
     /// # Safety
     /// At most one live borrow per index, and the parent slice must
     /// outlive it — both upheld by the fan-out index protocol.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn item(&self, i: usize) -> &mut BatchItem<'a> {
+    unsafe fn item(&self, i: usize) -> &mut BatchItem<'a, T> {
         &mut *self.0.add(i)
     }
 }
 
 // SAFETY: dereferencing is `unsafe` at the use site, with disjointness
 // guaranteed by the fan-out index protocol.
-unsafe impl Send for BatchItemsPtr<'_> {}
-unsafe impl Sync for BatchItemsPtr<'_> {}
+unsafe impl<T: GemmScalar> Send for BatchItemsPtr<'_, T> {}
+unsafe impl<T: GemmScalar> Sync for BatchItemsPtr<'_, T> {}
 
-impl std::fmt::Debug for FmmEngine {
+impl<T: GemmScalar> std::fmt::Debug for FmmEngine<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -652,7 +692,8 @@ impl std::fmt::Debug for FmmEngine {
 // traits must hold for a process-global engine.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<FmmEngine>();
+    assert_send_sync::<FmmEngine<f64>>();
+    assert_send_sync::<FmmEngine<f32>>();
 };
 
 #[cfg(test)]

@@ -13,27 +13,27 @@
 //! steps of `mc` (loop 3, packs `Ã`), then the macro-kernel: `jr` (loop 2)
 //! and `ir` (loop 1) over micro-tiles.
 
-use crate::kernel::{self, Acc, MicroKernel, MR, NR};
+use crate::kernel::{GemmScalar, MicroKernelFn, ACC_CAP};
 use crate::pack;
 use crate::params::BlockingParams;
 use crate::workspace::GemmWorkspace;
-use fmm_dense::{MatMut, MatRef};
+use fmm_dense::{MatMut, MatRef, Scalar};
 
 /// One destination of a generalized GEMM: a mutable view plus the scalar
 /// coefficient `w` applied to the product before accumulation.
-pub struct DestTile<'a> {
-    view: MatMut<'a>,
-    coeff: f64,
+pub struct DestTile<'a, T = f64> {
+    view: MatMut<'a, T>,
+    coeff: T,
 }
 
-impl<'a> DestTile<'a> {
+impl<'a, T: Scalar> DestTile<'a, T> {
     /// Destination `view += coeff * P`.
-    pub fn new(view: MatMut<'a>, coeff: f64) -> Self {
+    pub fn new(view: MatMut<'a, T>, coeff: T) -> Self {
         Self { view, coeff }
     }
 
     /// The coefficient `w` for this destination.
-    pub fn coeff(&self) -> f64 {
+    pub fn coeff(&self) -> T {
         self.coeff
     }
 
@@ -43,7 +43,7 @@ impl<'a> DestTile<'a> {
     }
 
     /// Immutable raw parts, used by the parallel driver.
-    pub(crate) fn raw(&mut self) -> RawDest {
+    pub(crate) fn raw(&mut self) -> RawDest<T> {
         RawDest {
             ptr: self.view.as_mut_ptr(),
             rows: self.view.rows(),
@@ -58,21 +58,29 @@ impl<'a> DestTile<'a> {
 /// Raw-pointer form of a destination, `Copy` so the macro-kernel can keep an
 /// array of them. Writes through it are only sound while the originating
 /// `DestTile` borrow is live and writers touch disjoint element sets.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct RawDest {
-    pub ptr: *mut f64,
+#[derive(Debug)]
+pub(crate) struct RawDest<T> {
+    pub ptr: *mut T,
     pub rows: usize,
     pub cols: usize,
     pub rs: isize,
     pub cs: isize,
-    pub coeff: f64,
+    pub coeff: T,
 }
+
+impl<T: Scalar> Clone for RawDest<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Scalar> Copy for RawDest<T> {}
 
 // SAFETY: see the invariant on the type — the parallel driver partitions
 // writers by disjoint row ranges, and the sequential driver is single
 // threaded. The pointer itself is as sendable as the `&mut` it came from.
-unsafe impl Send for RawDest {}
-unsafe impl Sync for RawDest {}
+unsafe impl<T: Scalar> Send for RawDest<T> {}
+unsafe impl<T: Scalar> Sync for RawDest<T> {}
 
 /// Generalized GEMM: for every destination `d`,
 /// `C_d (+)= w_d * (sum a_terms) * (sum b_terms)`.
@@ -82,52 +90,55 @@ unsafe impl Sync for RawDest {}
 ///
 /// `overwrite = false` accumulates (`+=`, the FMM/GEMM default). Use
 /// [`gemm_sums_overwrite`] for `=` semantics (used for `M_r` temporaries).
-pub fn gemm_sums(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+pub fn gemm_sums<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
-    ws: &mut GemmWorkspace,
+    ws: &mut GemmWorkspace<T>,
 ) {
     gemm_sums_impl(dests, a_terms, b_terms, params, ws, false)
 }
 
 /// As [`gemm_sums`], but destinations are overwritten (`C_d = w_d * P`)
 /// instead of accumulated into.
-pub fn gemm_sums_overwrite(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+pub fn gemm_sums_overwrite<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
-    ws: &mut GemmWorkspace,
+    ws: &mut GemmWorkspace<T>,
 ) {
     gemm_sums_impl(dests, a_terms, b_terms, params, ws, true)
 }
 
-fn gemm_sums_impl(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+fn gemm_sums_impl<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
-    ws: &mut GemmWorkspace,
+    ws: &mut GemmWorkspace<T>,
     overwrite: bool,
 ) {
     let (m, k, n) = check_shapes(dests, a_terms, b_terms);
+    // The register tile is the kernel's property, not the caller's: pack
+    // micro-panels for `T`'s kernel, keep the caller's cache blocking.
+    let params = params.with_register_tile(T::MR, T::NR);
     params.validate().expect("invalid blocking parameters");
-    ws.ensure(params);
-    let mut raw: Vec<RawDest> = dests.iter_mut().map(|d| d.raw()).collect();
+    ws.ensure(&params);
+    let mut raw: Vec<RawDest<T>> = dests.iter_mut().map(|d| d.raw()).collect();
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 {
         if overwrite {
             for d in dests {
-                d.view.fill(0.0);
+                d.view.fill(T::ZERO);
             }
         }
         return;
     }
-    let ukr = kernel::select();
+    let ukr = T::micro_kernel();
 
     let mut jc = 0;
     while jc < n {
@@ -136,7 +147,7 @@ fn gemm_sums_impl(
         while pc < k {
             let kb = params.kc.min(k - pc);
             // Loop 4 body: pack (the sum of) B into B̃.
-            let b_slices: Vec<(f64, MatRef<'_>)> =
+            let b_slices: Vec<(T, MatRef<'_, T>)> =
                 b_terms.iter().map(|(g, b)| (*g, b.submatrix(pc, jc, kb, nb))).collect();
             pack::pack_b_sum(&mut ws.bbuf, &b_slices, params.nr);
             // First k-panel overwrites if requested; later panels accumulate.
@@ -146,7 +157,7 @@ fn gemm_sums_impl(
             while ic < m {
                 let mb = params.mc.min(m - ic);
                 // Loop 3 body: pack (the sum of) A into Ã.
-                let a_slices: Vec<(f64, MatRef<'_>)> =
+                let a_slices: Vec<(T, MatRef<'_, T>)> =
                     a_terms.iter().map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb))).collect();
                 pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
 
@@ -162,40 +173,44 @@ fn gemm_sums_impl(
 /// Loops 2 and 1: sweep `nr x mr` micro-tiles of the current block, run the
 /// micro-kernel, and scatter the accumulator into every destination.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn macro_kernel(
-    dests: &mut [RawDest],
-    abuf: &[f64],
-    bbuf: &[f64],
+pub(crate) fn macro_kernel<T: GemmScalar>(
+    dests: &mut [RawDest<T>],
+    abuf: &[T],
+    bbuf: &[T],
     ic: usize,
     jc: usize,
     mb: usize,
     nb: usize,
     kb: usize,
-    ukr: MicroKernel,
+    ukr: MicroKernelFn<T>,
     store: bool,
 ) {
-    debug_assert_eq!(MR, 8);
+    let (mr, nr) = (T::MR, T::NR);
+    debug_assert!(mr * nr <= ACC_CAP);
     let mut jr = 0;
     while jr < nb {
-        let nr_eff = NR.min(nb - jr);
-        let bpanel = &bbuf[(jr / NR) * NR * kb..];
+        let nr_eff = nr.min(nb - jr);
+        let bpanel = &bbuf[(jr / nr) * nr * kb..];
         let mut ir = 0;
         while ir < mb {
-            let mr_eff = MR.min(mb - ir);
-            let apanel = &abuf[(ir / MR) * MR * kb..];
-            let mut acc: Acc = [0.0; MR * NR];
-            // SAFETY: packed panels hold kb * MR and kb * NR elements
-            // (zero-padded), as produced by pack_a_sum / pack_b_sum.
-            unsafe { ukr(kb, apanel.as_ptr(), bpanel.as_ptr(), &mut acc) };
+            let mr_eff = mr.min(mb - ir);
+            let apanel = &abuf[(ir / mr) * mr * kb..];
+            // Stack accumulator sized for the largest supported tile; the
+            // kernel touches only its own `mr * nr` prefix.
+            let mut acc = [T::ZERO; ACC_CAP];
+            // SAFETY: packed panels hold kb * mr and kb * nr elements
+            // (zero-padded), as produced by pack_a_sum / pack_b_sum, and
+            // `acc` has at least mr * nr writable elements.
+            unsafe { ukr(kb, apanel.as_ptr(), bpanel.as_ptr(), acc.as_mut_ptr()) };
             for d in dests.iter() {
                 // SAFETY: ic + mr_eff <= m and jc + nr_eff <= n for every
                 // destination (shapes checked at entry); distinct (i, j)
                 // address distinct elements per the MatMut contract.
                 unsafe { apply_tile(d, ic + ir, jc + jr, mr_eff, nr_eff, &acc, store) };
             }
-            ir += MR;
+            ir += mr;
         }
-        jr += NR;
+        jr += nr;
     }
 }
 
@@ -204,21 +219,22 @@ pub(crate) fn macro_kernel(
 /// # Safety
 /// `(i0 + mr_eff, j0 + nr_eff)` must be within `d`'s bounds and no other
 /// thread may concurrently touch those elements.
-unsafe fn apply_tile(
-    d: &RawDest,
+unsafe fn apply_tile<T: GemmScalar>(
+    d: &RawDest<T>,
     i0: usize,
     j0: usize,
     mr_eff: usize,
     nr_eff: usize,
-    acc: &Acc,
+    acc: &[T; ACC_CAP],
     store: bool,
 ) {
     debug_assert!(i0 + mr_eff <= d.rows && j0 + nr_eff <= d.cols);
+    let mr = T::MR;
     let w = d.coeff;
     for j in 0..nr_eff {
         let colbase = d.ptr.offset((i0 as isize) * d.rs + (j0 + j) as isize * d.cs);
         if d.rs == 1 {
-            let src = &acc[j * MR..j * MR + mr_eff];
+            let src = &acc[j * mr..j * mr + mr_eff];
             if store {
                 for (i, &v) in src.iter().enumerate() {
                     *colbase.add(i) = w * v;
@@ -231,7 +247,7 @@ unsafe fn apply_tile(
         } else {
             for i in 0..mr_eff {
                 let p = colbase.offset(i as isize * d.rs);
-                let v = w * acc[i + j * MR];
+                let v = w * acc[i + j * mr];
                 if store {
                     *p = v;
                 } else {
@@ -242,10 +258,10 @@ unsafe fn apply_tile(
     }
 }
 
-pub(crate) fn check_shapes(
-    dests: &[DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+pub(crate) fn check_shapes<T: Scalar>(
+    dests: &[DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
 ) -> (usize, usize, usize) {
     let (m, k) = {
         let first = a_terms.first().expect("gemm_sums: at least one A term");
@@ -469,6 +485,30 @@ mod tests {
                 assert_eq!(c.get(i + 6, j), 0.0);
                 assert_eq!(c.get(i, j + 6), 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn f32_gemm_matches_f64_reference() {
+        // The f32 driver (16x4 kernel, f32 packing) against the same
+        // product computed in f64, at the f32-derived bound.
+        use fmm_dense::Scalar;
+        for (m, k, n) in [(37, 29, 41), (64, 64, 64), (16, 100, 8)] {
+            let a = fill::bench_workload_t::<f32>(m, k, 11);
+            let b = fill::bench_workload_t::<f32>(k, n, 22);
+            let mut c = Matrix::<f32>::zeros(m, n);
+            let mut ws = GemmWorkspace::<f32>::for_params(&BlockingParams::tiny());
+            gemm_sums(
+                &mut [DestTile::new(c.as_mut(), 1.0f32)],
+                &[(1.0f32, a.as_ref())],
+                &[(1.0f32, b.as_ref())],
+                &BlockingParams::tiny(),
+                &mut ws,
+            );
+            let c_ref = reference::matmul(a.cast::<f64>().as_ref(), b.cast::<f64>().as_ref());
+            let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.as_ref());
+            let bound = <f32 as Scalar>::accuracy_bound(k, 0);
+            assert!(err < bound, "m={m} k={k} n={n}: err={err} bound={bound}");
         }
     }
 

@@ -6,18 +6,28 @@
 //! into one or many submatrices of `C`) lives in the driver so that the same
 //! kernel serves plain GEMM and every FMM variant.
 //!
-//! Two implementations are provided: a portable Rust kernel that LLVM
-//! auto-vectorizes, and an AVX2+FMA kernel using `std::arch` intrinsics,
-//! selected once at startup by runtime feature detection.
+//! Two `f64` implementations are provided (a portable Rust kernel that LLVM
+//! auto-vectorizes, and AVX2+FMA / AVX-512 kernels using `std::arch`
+//! intrinsics) plus an `f32` pair (portable and AVX2+FMA over the doubled
+//! `16 x 4` register tile), each selected once at startup by runtime
+//! feature detection. Kernel dispatch for generic code goes through the
+//! [`GemmScalar`] trait: the driver asks `T::micro_kernel()` for the entry
+//! point and `T::MR`/`T::NR` for the register tile it packs for.
 
 #[cfg(target_arch = "x86_64")]
 pub mod avx;
 #[cfg(target_arch = "x86_64")]
 pub mod avx512;
+#[cfg(target_arch = "x86_64")]
+pub mod avx_f32;
 pub mod portable;
 
-/// Micro-tile rows. Matches the paper's `mR = 8` for double precision.
-pub const MR: usize = 8;
+use crate::workspace::WorkspacePool;
+use fmm_dense::Scalar;
+
+/// Micro-tile rows: two 256-bit vectors of the dtype per accumulator
+/// column. For `f64` that is the paper's `mR = 8`.
+pub const MR: usize = 2 * <f64 as Scalar>::SIMD_WIDTH_HINT;
 /// Micro-tile columns. Matches the paper's `nR = 4`.
 pub const NR: usize = 4;
 
@@ -31,6 +41,139 @@ pub type Acc = [f64; MR * NR];
 /// `a` must point to `kc * MR` readable elements (a packed A micro-panel)
 /// and `b` to `kc * NR` readable elements (a packed B micro-panel).
 pub type MicroKernel = unsafe fn(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc);
+
+/// Micro-tile rows of the `f32` kernels: twice the `f64` rows, matching
+/// the doubled 256-bit lane count (16 `f32` rows = two `__m256` vectors).
+pub const MR_F32: usize = 2 * <f32 as Scalar>::SIMD_WIDTH_HINT;
+/// Micro-tile columns of the `f32` kernels.
+pub const NR_F32: usize = 4;
+
+/// Upper bound on `MR * NR` across every supported scalar — the driver's
+/// stack accumulator is sized by this so one code path serves all dtypes.
+pub const ACC_CAP: usize = 64;
+
+/// Raw generic micro-kernel signature: `acc` (an `MR x NR` column-major
+/// tile of `T`) accumulates the rank-`kc` product of two packed panels.
+///
+/// # Safety
+/// `a` must point to `kc * MR` readable elements, `b` to `kc * NR`, and
+/// `acc` to `MR * NR` writable elements, for the `MR`/`NR` of `T`.
+pub type MicroKernelFn<T> = unsafe fn(kc: usize, a: *const T, b: *const T, acc: *mut T);
+
+/// The per-scalar kernel dispatch the generic GEMM driver runs on: the
+/// register tile shape, the runtime-selected micro-kernel, and the
+/// process-wide packing-workspace pool for this dtype.
+pub trait GemmScalar: Scalar {
+    /// Micro-tile rows the kernels of this scalar compute.
+    const MR: usize;
+    /// Micro-tile columns.
+    const NR: usize;
+
+    /// The best micro-kernel for the running CPU (detected once).
+    fn micro_kernel() -> MicroKernelFn<Self>;
+    /// Name of the kernel [`GemmScalar::micro_kernel`] returns.
+    fn micro_kernel_name() -> &'static str;
+    /// The process-wide packing-workspace pool for this dtype (each scalar
+    /// gets its own, so `f32` and `f64` traffic never trade buffers).
+    fn global_pool() -> &'static WorkspacePool<Self>;
+}
+
+impl GemmScalar for f64 {
+    const MR: usize = MR;
+    const NR: usize = NR;
+
+    fn micro_kernel() -> MicroKernelFn<f64> {
+        // One concrete adapter per kernel over the legacy `&mut Acc` ABI
+        // (the generic driver hands a pointer to at least `MR * NR`
+        // writable elements), selected once — the adapter invoked per
+        // micro-tile is a single direct call into the chosen kernel, with
+        // no per-tile `OnceLock` load.
+        #[cfg(target_arch = "x86_64")]
+        {
+            unsafe fn adapt_avx512(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+                avx512::kernel_8x4_avx512_entry(kc, a, b, &mut *(acc as *mut Acc))
+            }
+            unsafe fn adapt_avx2(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+                avx::kernel_8x4_avx2_entry(kc, a, b, &mut *(acc as *mut Acc))
+            }
+            unsafe fn adapt_portable(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+                portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc))
+            }
+            use std::sync::OnceLock;
+            static CHOICE: OnceLock<MicroKernelFn<f64>> = OnceLock::new();
+            *CHOICE.get_or_init(|| match selected_name() {
+                "avx512f_8x4" => adapt_avx512,
+                "avx2_fma_8x4" => adapt_avx2,
+                _ => adapt_portable,
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            unsafe fn adapt_portable(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
+                portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc))
+            }
+            adapt_portable
+        }
+    }
+
+    fn micro_kernel_name() -> &'static str {
+        selected_name()
+    }
+
+    fn global_pool() -> &'static WorkspacePool<f64> {
+        static POOL: WorkspacePool<f64> = WorkspacePool::new();
+        &POOL
+    }
+}
+
+impl GemmScalar for f32 {
+    const MR: usize = MR_F32;
+    const NR: usize = NR_F32;
+
+    fn micro_kernel() -> MicroKernelFn<f32> {
+        select_f32()
+    }
+
+    fn micro_kernel_name() -> &'static str {
+        selected_name_f32()
+    }
+
+    fn global_pool() -> &'static WorkspacePool<f32> {
+        static POOL: WorkspacePool<f32> = WorkspacePool::new();
+        &POOL
+    }
+}
+
+const _: () = assert!(MR * NR <= ACC_CAP && MR_F32 * NR_F32 <= ACC_CAP);
+
+/// Select the best `f32` micro-kernel for the running CPU (detected once).
+pub fn select_f32() -> MicroKernelFn<f32> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static CHOICE: OnceLock<MicroKernelFn<f32>> = OnceLock::new();
+        *CHOICE.get_or_init(|| match selected_name_f32() {
+            "avx2_fma_16x4" => avx_f32::kernel_16x4_avx2_f32_entry,
+            _ => portable::kernel_16x4_portable_f32,
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        portable::kernel_16x4_portable_f32
+    }
+}
+
+/// Name of the kernel [`select_f32`] returns, for benchmark reports.
+pub fn selected_name_f32() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return "avx2_fma_16x4";
+        }
+    }
+    "portable_16x4"
+}
 
 /// Select the best micro-kernel for the running CPU (detected once).
 ///
@@ -169,5 +312,60 @@ mod tests {
     fn selected_kernel_matches_scalar() {
         check_kernel(select(), 128);
         assert!(!selected_name().is_empty());
+    }
+
+    /// f32 analogue of `check_kernel`: packed panels against a scalar
+    /// triple loop, at the f32-appropriate tolerance.
+    fn check_kernel_f32(kernel: MicroKernelFn<f32>, kc: usize) {
+        let a: Vec<f32> = (0..kc * MR_F32).map(|x| (x % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..kc * NR_F32).map(|x| (x % 7) as f32 * 0.5 - 1.5).collect();
+        let mut acc = [0.1f32; MR_F32 * NR_F32]; // non-zero start: kernel must accumulate
+                                                 // SAFETY: panels allocated with exactly the required lengths.
+        unsafe { kernel(kc, a.as_ptr(), b.as_ptr(), acc.as_mut_ptr()) };
+        for j in 0..NR_F32 {
+            for i in 0..MR_F32 {
+                let mut expect = 0.1f32;
+                for p in 0..kc {
+                    expect += a[p * MR_F32 + i] * b[p * NR_F32 + j];
+                }
+                let got = acc[i + j * MR_F32];
+                assert!(
+                    (got - expect).abs() < 1e-3 * expect.abs().max(1.0),
+                    "kc={kc} i={i} j={j}: got {got}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portable_f32_kernel_matches_scalar() {
+        for kc in [0, 1, 2, 5, 64, 257] {
+            check_kernel_f32(portable::kernel_16x4_portable_f32, kc);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_f32_kernel_matches_scalar_when_supported() {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            for kc in [0, 1, 2, 5, 64, 257] {
+                check_kernel_f32(avx_f32::kernel_16x4_avx2_f32_entry, kc);
+            }
+        }
+    }
+
+    #[test]
+    fn selected_f32_kernel_matches_scalar() {
+        check_kernel_f32(select_f32(), 128);
+        assert!(!selected_name_f32().is_empty());
+    }
+
+    #[test]
+    fn gemm_scalar_tiles_fit_the_accumulator() {
+        assert_eq!(<f64 as GemmScalar>::MR * <f64 as GemmScalar>::NR, 32);
+        assert_eq!(<f32 as GemmScalar>::MR * <f32 as GemmScalar>::NR, ACC_CAP);
+        // The f32 tile doubles the f64 rows, tracking the SIMD width hint.
+        assert_eq!(<f32 as GemmScalar>::MR, 2 * <f64 as GemmScalar>::MR);
     }
 }

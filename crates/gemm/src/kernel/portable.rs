@@ -31,3 +31,31 @@ pub unsafe fn kernel_8x4_portable(kc: usize, a: *const f64, b: *const f64, acc: 
         *dst += *src;
     }
 }
+
+/// Single-precision portable kernel over the `16 x 4` `f32` register tile.
+///
+/// # Safety
+/// `a` points to `kc * 16` readable `f32` elements, `b` to `kc * 4`, and
+/// `acc` to a writable `16 x 4` column-major tile.
+pub unsafe fn kernel_16x4_portable_f32(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    use super::{MR_F32, NR_F32};
+    let mut local = [0.0f32; MR_F32 * NR_F32];
+    for p in 0..kc {
+        let ap = a.add(p * MR_F32);
+        let bp = b.add(p * NR_F32);
+        let mut av = [0.0f32; MR_F32];
+        for (i, slot) in av.iter_mut().enumerate() {
+            *slot = *ap.add(i);
+        }
+        for j in 0..NR_F32 {
+            let bj = *bp.add(j);
+            let col = &mut local[j * MR_F32..(j + 1) * MR_F32];
+            for i in 0..MR_F32 {
+                col[i] += av[i] * bj;
+            }
+        }
+    }
+    for (i, src) in local.iter().enumerate() {
+        *acc.add(i) += *src;
+    }
+}

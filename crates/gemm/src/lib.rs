@@ -19,6 +19,15 @@
 //! per operand and one destination; the FMM executors in `fmm-core` invoke
 //! the general driver directly.
 //!
+//! The whole substrate is generic over the packed element type through
+//! [`kernel::GemmScalar`] (`f64` default, `f32` supported): the trait owns
+//! the register tile (`8x4` doubles, `16x4` singles — same eight 256-bit
+//! accumulators, double the lanes), the runtime-selected micro-kernel, and
+//! a per-dtype global packing pool. Callers pass one `BlockingParams`; the
+//! driver swaps in the kernel's register tile via
+//! [`BlockingParams::with_register_tile`] while keeping the cache-level
+//! blocking as configured.
+//!
 //! Parallelism mirrors the paper's OpenMP scheme: the third loop around the
 //! micro-kernel (the `ic` loop) is data-parallel over rayon worker threads.
 //!
@@ -46,28 +55,46 @@ pub mod reference;
 pub mod workspace;
 
 pub use driver::{gemm_sums, DestTile};
+pub use kernel::{GemmScalar, MicroKernelFn};
 pub use params::BlockingParams;
 pub use workspace::{GemmWorkspace, PooledWorkspace, WorkspacePool};
 
 use fmm_dense::{MatMut, MatRef};
 
-/// `C += A * B`, sequential, with default blocking parameters. Packing
-/// buffers come from the global [`WorkspacePool`], so repeated calls do not
+/// `C += A * B`, sequential, with default blocking parameters, generic
+/// over the [`GemmScalar`] element (`f64` or `f32`). Packing buffers come
+/// from the dtype's global [`WorkspacePool`], so repeated calls do not
 /// allocate.
-pub fn gemm(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+pub fn gemm<T: GemmScalar>(c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
     gemm_with_params(c, a, b, &BlockingParams::default())
 }
 
 /// As [`gemm`], with explicit blocking parameters — e.g.
 /// [`BlockingParams::for_workers`]-shrunk panels when several sequential
 /// GEMMs run co-resident on one shared cache.
-pub fn gemm_with_params(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>, params: &BlockingParams) {
-    let mut ws = WorkspacePool::global().acquire(params);
-    driver::gemm_sums(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], params, &mut ws);
+pub fn gemm_with_params<T: GemmScalar>(
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    params: &BlockingParams,
+) {
+    let mut ws = T::global_pool().acquire(params);
+    driver::gemm_sums(
+        &mut [DestTile::new(c, T::ONE)],
+        &[(T::ONE, a)],
+        &[(T::ONE, b)],
+        params,
+        &mut ws,
+    );
 }
 
 /// `C += A * B`, parallel over the `ic` loop using the global rayon pool.
-pub fn gemm_parallel(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+pub fn gemm_parallel<T: GemmScalar>(c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
     let params = BlockingParams::default();
-    parallel::gemm_sums_parallel(&mut [DestTile::new(c, 1.0)], &[(1.0, a)], &[(1.0, b)], &params);
+    parallel::gemm_sums_parallel(
+        &mut [DestTile::new(c, T::ONE)],
+        &[(T::ONE, a)],
+        &[(T::ONE, b)],
+        &params,
+    );
 }

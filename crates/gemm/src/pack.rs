@@ -14,7 +14,7 @@
 //! panel `q` holds columns `[q*nr, q*nr + nr)`, `p`-major with `nr`
 //! contiguous column values per depth index, zero-padded past `nb`.
 
-use fmm_dense::MatRef;
+use fmm_dense::{MatRef, Scalar};
 
 /// Pack `sum_t terms[t].0 * terms[t].1` (all of shape `mb x kb`) into `dst`
 /// using the packed-A micro-panel layout with register blocking `mr`.
@@ -22,18 +22,18 @@ use fmm_dense::MatRef;
 /// With a single term of coefficient 1.0 this is exactly the BLIS `packm`
 /// operation; with several terms it implements the AB/ABC-variant
 /// pack-and-add at the same memory traffic as a plain pack.
-pub fn pack_a_sum(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
+pub fn pack_a_sum<T: Scalar>(dst: &mut [T], terms: &[(T, MatRef<'_, T>)], mr: usize) {
     let (mb, kb) = shape_of(terms);
     let panels = mb.div_ceil(mr);
     assert!(dst.len() >= panels * mr * kb, "pack_a_sum: dst too small");
     match terms {
-        [] => dst[..panels * mr * kb].fill(0.0),
-        [(g, a)] if *g == 1.0 => pack_a_one(dst, *a, mr),
+        [] => dst[..panels * mr * kb].fill(T::ZERO),
+        [(g, a)] if *g == T::ONE => pack_a_one(dst, *a, mr),
         _ => pack_a_many(dst, terms, mr),
     }
 }
 
-fn pack_a_one(dst: &mut [f64], a: MatRef<'_>, mr: usize) {
+fn pack_a_one<T: Scalar>(dst: &mut [T], a: MatRef<'_, T>, mr: usize) {
     let (mb, kb) = (a.rows(), a.cols());
     let panels = mb.div_ceil(mr);
     for q in 0..panels {
@@ -58,14 +58,14 @@ fn pack_a_one(dst: &mut [f64], a: MatRef<'_>, mr: usize) {
                     dst[base + p * mr + i] = unsafe { a.at_unchecked(i0 + i, p) };
                 }
                 for i in rows..mr {
-                    dst[base + p * mr + i] = 0.0;
+                    dst[base + p * mr + i] = T::ZERO;
                 }
             }
         }
     }
 }
 
-fn pack_a_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
+fn pack_a_many<T: Scalar>(dst: &mut [T], terms: &[(T, MatRef<'_, T>)], mr: usize) {
     let (mb, kb) = shape_of(terms);
     let panels = mb.div_ceil(mr);
     for q in 0..panels {
@@ -74,15 +74,15 @@ fn pack_a_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
         let base = q * mr * kb;
         for p in 0..kb {
             for i in 0..rows {
-                let mut acc = 0.0;
+                let mut acc = T::ZERO;
                 for (g, a) in terms {
                     // SAFETY: i0 + i < mb, p < kb, all terms share the shape.
-                    acc += g * unsafe { a.at_unchecked(i0 + i, p) };
+                    acc += *g * unsafe { a.at_unchecked(i0 + i, p) };
                 }
                 dst[base + p * mr + i] = acc;
             }
             for i in rows..mr {
-                dst[base + p * mr + i] = 0.0;
+                dst[base + p * mr + i] = T::ZERO;
             }
         }
     }
@@ -90,18 +90,18 @@ fn pack_a_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], mr: usize) {
 
 /// Pack `sum_t terms[t].0 * terms[t].1` (all of shape `kb x nb`) into `dst`
 /// using the packed-B micro-panel layout with register blocking `nr`.
-pub fn pack_b_sum(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], nr: usize) {
+pub fn pack_b_sum<T: Scalar>(dst: &mut [T], terms: &[(T, MatRef<'_, T>)], nr: usize) {
     let (kb, nb) = shape_of(terms);
     let panels = nb.div_ceil(nr);
     assert!(dst.len() >= panels * nr * kb, "pack_b_sum: dst too small");
     match terms {
-        [] => dst[..panels * nr * kb].fill(0.0),
-        [(g, b)] if *g == 1.0 => pack_b_one(dst, *b, nr),
+        [] => dst[..panels * nr * kb].fill(T::ZERO),
+        [(g, b)] if *g == T::ONE => pack_b_one(dst, *b, nr),
         _ => pack_b_many(dst, terms, nr),
     }
 }
 
-fn pack_b_one(dst: &mut [f64], b: MatRef<'_>, nr: usize) {
+fn pack_b_one<T: Scalar>(dst: &mut [T], b: MatRef<'_, T>, nr: usize) {
     let (kb, nb) = (b.rows(), b.cols());
     let panels = nb.div_ceil(nr);
     for q in 0..panels {
@@ -114,13 +114,13 @@ fn pack_b_one(dst: &mut [f64], b: MatRef<'_>, nr: usize) {
                 dst[base + p * nr + j] = unsafe { b.at_unchecked(p, j0 + j) };
             }
             for j in cols..nr {
-                dst[base + p * nr + j] = 0.0;
+                dst[base + p * nr + j] = T::ZERO;
             }
         }
     }
 }
 
-fn pack_b_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], nr: usize) {
+fn pack_b_many<T: Scalar>(dst: &mut [T], terms: &[(T, MatRef<'_, T>)], nr: usize) {
     let (kb, nb) = shape_of(terms);
     let panels = nb.div_ceil(nr);
     for q in 0..panels {
@@ -129,21 +129,21 @@ fn pack_b_many(dst: &mut [f64], terms: &[(f64, MatRef<'_>)], nr: usize) {
         let base = q * nr * kb;
         for p in 0..kb {
             for j in 0..cols {
-                let mut acc = 0.0;
+                let mut acc = T::ZERO;
                 for (g, b) in terms {
                     // SAFETY: p < kb, j0 + j < nb, shared shape.
-                    acc += g * unsafe { b.at_unchecked(p, j0 + j) };
+                    acc += *g * unsafe { b.at_unchecked(p, j0 + j) };
                 }
                 dst[base + p * nr + j] = acc;
             }
             for j in cols..nr {
-                dst[base + p * nr + j] = 0.0;
+                dst[base + p * nr + j] = T::ZERO;
             }
         }
     }
 }
 
-fn shape_of(terms: &[(f64, MatRef<'_>)]) -> (usize, usize) {
+fn shape_of<T: Scalar>(terms: &[(T, MatRef<'_, T>)]) -> (usize, usize) {
     let first = terms.first().expect("pack: at least one term required for shape");
     let shape = (first.1.rows(), first.1.cols());
     for (_, t) in terms {

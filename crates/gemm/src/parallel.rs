@@ -9,47 +9,48 @@
 //! needed beyond the loop barrier.
 
 use crate::driver::{check_shapes, macro_kernel, DestTile, RawDest};
-use crate::kernel;
+use crate::kernel::GemmScalar;
 use crate::pack;
 use crate::params::BlockingParams;
-use crate::workspace::WorkspacePool;
 use fmm_dense::MatRef;
 use rayon::prelude::*;
 
 /// Parallel generalized GEMM: `C_d += w_d * (sum A_i)(sum B_j)` for every
 /// destination, with the `ic` loop parallelized over the current rayon pool.
-pub fn gemm_sums_parallel(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+pub fn gemm_sums_parallel<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
 ) {
     gemm_sums_parallel_impl(dests, a_terms, b_terms, params, false)
 }
 
 /// Parallel variant of [`crate::driver::gemm_sums_overwrite`].
-pub fn gemm_sums_parallel_overwrite(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+pub fn gemm_sums_parallel_overwrite<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
 ) {
     gemm_sums_parallel_impl(dests, a_terms, b_terms, params, true)
 }
 
-fn gemm_sums_parallel_impl(
-    dests: &mut [DestTile<'_>],
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+fn gemm_sums_parallel_impl<T: GemmScalar>(
+    dests: &mut [DestTile<'_, T>],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
     overwrite: bool,
 ) {
     let (m, k, n) = check_shapes(dests, a_terms, b_terms);
+    // As in the sequential driver: pack for `T`'s kernel tile.
+    let params = &params.with_register_tile(T::MR, T::NR);
     params.validate().expect("invalid blocking parameters");
     if m == 0 || n == 0 {
         return;
     }
-    let raw: Vec<RawDest> = dests.iter_mut().map(|d| d.raw()).collect();
+    let raw: Vec<RawDest<T>> = dests.iter_mut().map(|d| d.raw()).collect();
     if k == 0 {
         if overwrite {
             // Zero all destinations (k = 0 product is the zero matrix).
@@ -57,19 +58,19 @@ fn gemm_sums_parallel_impl(
                 for j in 0..d.cols {
                     for i in 0..d.rows {
                         // SAFETY: (i, j) in bounds; single-threaded here.
-                        unsafe { *d.ptr.offset(i as isize * d.rs + j as isize * d.cs) = 0.0 };
+                        unsafe { *d.ptr.offset(i as isize * d.rs + j as isize * d.cs) = T::ZERO };
                     }
                 }
             }
         }
         return;
     }
-    let ukr = kernel::select();
+    let ukr = T::micro_kernel();
     let n_ic_blocks = m.div_ceil(params.mc);
 
-    // Shared B̃ panel, packed once per (jc, pc) iteration. Pooled, so the
-    // warm path allocates nothing.
-    let mut bws = WorkspacePool::global().acquire(params);
+    // Shared B̃ panel, packed once per (jc, pc) iteration. Pooled (one pool
+    // per dtype), so the warm path allocates nothing.
+    let mut bws = T::global_pool().acquire(params);
     let bbuf = &mut bws.bbuf;
 
     let mut jc = 0;
@@ -78,20 +79,20 @@ fn gemm_sums_parallel_impl(
         let mut pc = 0;
         while pc < k {
             let kb = params.kc.min(k - pc);
-            let b_slices: Vec<(f64, MatRef<'_>)> =
+            let b_slices: Vec<(T, MatRef<'_, T>)> =
                 b_terms.iter().map(|(g, b)| (*g, b.submatrix(pc, jc, kb, nb))).collect();
             pack::pack_b_sum(bbuf, &b_slices, params.nr);
             let store = overwrite && pc == 0;
-            let bshared: &[f64] = bbuf;
+            let bshared: &[T] = bbuf;
 
             (0..n_ic_blocks).into_par_iter().for_each_init(
                 // Per-worker packing buffers come from the global pool,
                 // so steady-state parallel GEMM allocates nothing.
-                || WorkspacePool::global().acquire(params),
+                || T::global_pool().acquire(params),
                 |ws, blk| {
                     let ic = blk * params.mc;
                     let mb = params.mc.min(m - ic);
-                    let a_slices: Vec<(f64, MatRef<'_>)> =
+                    let a_slices: Vec<(T, MatRef<'_, T>)> =
                         a_terms.iter().map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb))).collect();
                     pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
                     // Each task owns rows [ic, ic + mb) of every

@@ -107,6 +107,16 @@ impl BlockingParams {
         Self { mr: 8, nr: 4, kc: 8, mc: 16, nc: 12 }
     }
 
+    /// The same cache blocking with the register tile replaced — the
+    /// generic driver derives the effective parameter set for a scalar
+    /// type from its kernel's `MR x NR` tile (e.g. `16 x 4` for `f32`),
+    /// keeping every cache-level parameter as configured. Sizing and
+    /// packing always go through this, so one `BlockingParams` value can
+    /// serve every dtype.
+    pub fn with_register_tile(&self, mr: usize, nr: usize) -> Self {
+        Self { mr, nr, mc: self.mc.max(mr), nc: self.nc.max(nr), ..*self }
+    }
+
     /// Parameters for one of `workers` *co-resident* GEMM instances — the
     /// BFS scheduler's situation, where every worker packs its own `B̃`
     /// panel at the same time.

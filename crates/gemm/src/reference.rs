@@ -1,11 +1,11 @@
 //! Reference (unblocked) matrix multiplication, used as the correctness
 //! oracle for the blocked GEMM and for every FMM variant.
 
-use fmm_dense::{MatMut, MatRef};
+use fmm_dense::{MatMut, MatRef, Scalar};
 
 /// `C += A * B` with a cache-oblivious `j-p-i` loop nest (column-major
 /// friendly: the inner loop walks a column of `A` and of `C`).
-pub fn matmul_into(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
+pub fn matmul_into<T: Scalar>(mut c: MatMut<'_, T>, a: MatRef<'_, T>, b: MatRef<'_, T>) {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
     assert_eq!(c.rows(), a.rows(), "matmul: C rows");
     assert_eq!(c.cols(), b.cols(), "matmul: C cols");
@@ -14,7 +14,7 @@ pub fn matmul_into(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
         for p in 0..k {
             // SAFETY: p < k, j < n.
             let bpj = unsafe { b.at_unchecked(p, j) };
-            if bpj == 0.0 {
+            if bpj == T::ZERO {
                 continue;
             }
             for i in 0..m {
@@ -27,7 +27,7 @@ pub fn matmul_into(mut c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
 }
 
 /// Convenience: allocate and return `A * B`.
-pub fn matmul(a: MatRef<'_>, b: MatRef<'_>) -> fmm_dense::Matrix {
+pub fn matmul<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> fmm_dense::Matrix<T> {
     let mut c = fmm_dense::Matrix::zeros(a.rows(), b.cols());
     matmul_into(c.as_mut(), a, b);
     c
@@ -83,7 +83,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions")]
     fn mismatched_inner_dim_panics() {
-        let a = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         matmul(a.as_ref(), b.as_ref());
     }

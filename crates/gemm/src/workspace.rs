@@ -8,24 +8,26 @@
 //! per concurrently-active caller — acquisition is allocation-free, which
 //! [`WorkspacePool::allocation_count`] makes testable.
 
+use crate::kernel::GemmScalar;
 use crate::params::BlockingParams;
-use fmm_dense::AlignedBuf;
+use fmm_dense::{AlignedBuf, Scalar};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The pair of packing buffers (`Ã`, `B̃`) a GEMM invocation needs.
+/// The pair of packing buffers (`Ã`, `B̃`) a GEMM invocation needs,
+/// generic over the packed element type (default `f64`).
 ///
 /// Allocated once and reused across calls (and across the `R_L` products of
 /// an FMM execution) so that buffer allocation never appears in the timed
 /// region — mirroring BLIS, where the packing buffers are long-lived.
-pub struct GemmWorkspace {
+pub struct GemmWorkspace<T = f64> {
     /// Packed `mc x kc` block of (a linear combination of) `A`.
-    pub abuf: AlignedBuf,
+    pub abuf: AlignedBuf<T>,
     /// Packed `kc x nc` panel of (a linear combination of) `B`.
-    pub bbuf: AlignedBuf,
+    pub bbuf: AlignedBuf<T>,
 }
 
-impl GemmWorkspace {
+impl<T: Scalar> GemmWorkspace<T> {
     /// Allocate buffers sized for `params`.
     pub fn for_params(params: &BlockingParams) -> Self {
         Self {
@@ -49,7 +51,7 @@ impl GemmWorkspace {
     }
 }
 
-impl std::fmt::Debug for GemmWorkspace {
+impl<T: Scalar> std::fmt::Debug for GemmWorkspace<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "GemmWorkspace(a={}, b={})", self.abuf.len(), self.bbuf.len())
     }
@@ -60,7 +62,8 @@ impl std::fmt::Debug for GemmWorkspace {
 // buffers are exclusively-owned heap allocations, like `Vec<f64>`).
 const _: fn() = || {
     fn assert_send<T: Send>() {}
-    assert_send::<GemmWorkspace>();
+    assert_send::<GemmWorkspace<f64>>();
+    assert_send::<GemmWorkspace<f32>>();
 };
 
 /// Upper bound on idle pooled workspaces; returns beyond it are dropped.
@@ -69,40 +72,17 @@ const _: fn() = || {
 const PARKED_MAX: usize = 64;
 
 /// A recycling pool of [`GemmWorkspace`]s shared by every caller that does
-/// not manage its own workspace explicitly.
-pub struct WorkspacePool {
-    parked: Mutex<Vec<GemmWorkspace>>,
+/// not manage its own workspace explicitly. One pool per scalar type: the
+/// process-wide instances live behind [`crate::kernel::GemmScalar::global_pool`].
+pub struct WorkspacePool<T = f64> {
+    parked: Mutex<Vec<GemmWorkspace<T>>>,
     allocations: AtomicU64,
 }
 
-impl WorkspacePool {
+impl<T: Scalar> WorkspacePool<T> {
     /// An empty pool.
     pub const fn new() -> Self {
         Self { parked: Mutex::new(Vec::new()), allocations: AtomicU64::new(0) }
-    }
-
-    /// The process-wide pool used by [`crate::gemm`] and the parallel
-    /// driver's per-worker packing buffers.
-    pub fn global() -> &'static WorkspacePool {
-        static GLOBAL: WorkspacePool = WorkspacePool::new();
-        &GLOBAL
-    }
-
-    /// Check out a workspace sized for `params`. Pops a pooled one (growing
-    /// it if `params` needs more) or allocates on first use; the guard
-    /// returns it to the pool when dropped.
-    pub fn acquire(&self, params: &BlockingParams) -> PooledWorkspace<'_> {
-        let ws = match self.parked.lock().pop() {
-            Some(mut ws) => {
-                ws.ensure(params);
-                ws
-            }
-            None => {
-                self.allocations.fetch_add(1, Ordering::Relaxed);
-                GemmWorkspace::for_params(params)
-            }
-        };
-        PooledWorkspace { ws: Some(ws), pool: self }
     }
 
     /// Number of fresh workspace allocations (never decreases; flat once
@@ -116,7 +96,7 @@ impl WorkspacePool {
         self.parked.lock().len()
     }
 
-    fn release(&self, ws: GemmWorkspace) {
+    fn release(&self, ws: GemmWorkspace<T>) {
         let mut parked = self.parked.lock();
         if parked.len() < PARKED_MAX {
             parked.push(ws);
@@ -124,13 +104,45 @@ impl WorkspacePool {
     }
 }
 
-impl Default for WorkspacePool {
+impl<T: GemmScalar> WorkspacePool<T> {
+    /// Check out a workspace sized for `params` *at this dtype's register
+    /// tile* — the same [`BlockingParams::with_register_tile`] adjustment
+    /// the driver applies, so a buffer reserved here never has to grow
+    /// inside the GEMM call (e.g. inside a prewarmed parallel task). Pops
+    /// a pooled workspace or allocates on first use; the guard returns it
+    /// to the pool when dropped.
+    pub fn acquire(&self, params: &BlockingParams) -> PooledWorkspace<'_, T> {
+        let params = params.with_register_tile(T::MR, T::NR);
+        let ws = match self.parked.lock().pop() {
+            Some(mut ws) => {
+                ws.ensure(&params);
+                ws
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                GemmWorkspace::for_params(&params)
+            }
+        };
+        PooledWorkspace { ws: Some(ws), pool: self }
+    }
+}
+
+impl WorkspacePool<f64> {
+    /// The process-wide `f64` pool used by [`crate::gemm`] and the parallel
+    /// driver's per-worker packing buffers. Generic code should reach the
+    /// per-dtype pool through [`crate::kernel::GemmScalar::global_pool`].
+    pub fn global() -> &'static WorkspacePool<f64> {
+        <f64 as crate::kernel::GemmScalar>::global_pool()
+    }
+}
+
+impl<T: Scalar> Default for WorkspacePool<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl std::fmt::Debug for WorkspacePool {
+impl<T: Scalar> std::fmt::Debug for WorkspacePool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -143,25 +155,25 @@ impl std::fmt::Debug for WorkspacePool {
 
 /// An acquired workspace; derefs to [`GemmWorkspace`] and returns itself to
 /// the pool on drop.
-pub struct PooledWorkspace<'a> {
-    ws: Option<GemmWorkspace>,
-    pool: &'a WorkspacePool,
+pub struct PooledWorkspace<'a, T: Scalar = f64> {
+    ws: Option<GemmWorkspace<T>>,
+    pool: &'a WorkspacePool<T>,
 }
 
-impl std::ops::Deref for PooledWorkspace<'_> {
-    type Target = GemmWorkspace;
-    fn deref(&self) -> &GemmWorkspace {
+impl<T: Scalar> std::ops::Deref for PooledWorkspace<'_, T> {
+    type Target = GemmWorkspace<T>;
+    fn deref(&self) -> &GemmWorkspace<T> {
         self.ws.as_ref().expect("present until drop")
     }
 }
 
-impl std::ops::DerefMut for PooledWorkspace<'_> {
-    fn deref_mut(&mut self) -> &mut GemmWorkspace {
+impl<T: Scalar> std::ops::DerefMut for PooledWorkspace<'_, T> {
+    fn deref_mut(&mut self) -> &mut GemmWorkspace<T> {
         self.ws.as_mut().expect("present until drop")
     }
 }
 
-impl Drop for PooledWorkspace<'_> {
+impl<T: Scalar> Drop for PooledWorkspace<'_, T> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
             self.pool.release(ws);
@@ -176,14 +188,14 @@ mod tests {
     #[test]
     fn sized_from_params() {
         let p = BlockingParams::tiny();
-        let ws = GemmWorkspace::for_params(&p);
+        let ws = GemmWorkspace::<f64>::for_params(&p);
         assert_eq!(ws.abuf.len(), p.packed_a_len());
         assert_eq!(ws.bbuf.len(), p.packed_b_len());
     }
 
     #[test]
     fn ensure_grows_for_larger_params() {
-        let mut ws = GemmWorkspace::for_params(&BlockingParams::tiny());
+        let mut ws = GemmWorkspace::<f64>::for_params(&BlockingParams::tiny());
         let big = BlockingParams::default();
         ws.ensure(&big);
         assert!(ws.abuf.len() >= big.packed_a_len());
@@ -192,7 +204,7 @@ mod tests {
 
     #[test]
     fn pool_recycles_instead_of_allocating() {
-        let pool = WorkspacePool::new();
+        let pool = WorkspacePool::<f64>::new();
         let p = BlockingParams::tiny();
         {
             let _a = pool.acquire(&p);
@@ -208,7 +220,7 @@ mod tests {
 
     #[test]
     fn pool_grows_pooled_workspace_for_larger_params() {
-        let pool = WorkspacePool::new();
+        let pool = WorkspacePool::<f64>::new();
         drop(pool.acquire(&BlockingParams::tiny()));
         let big = BlockingParams::default();
         let ws = pool.acquire(&big);
@@ -218,7 +230,7 @@ mod tests {
 
     #[test]
     fn pool_is_safe_under_contention() {
-        let pool = WorkspacePool::new();
+        let pool = WorkspacePool::<f64>::new();
         let p = BlockingParams::tiny();
         std::thread::scope(|s| {
             for _ in 0..8 {

@@ -22,6 +22,11 @@ pub struct ArchParams {
     pub kc: usize,
     /// `n_c` blocking parameter.
     pub nc: usize,
+    /// Bytes per matrix element. `τ_b` is calibrated for 8-byte doubles;
+    /// every memory term scales by `elem_bytes / 8`, so an `f32` engine
+    /// (4 bytes) sees half the bandwidth cost per element — which is what
+    /// shifts its rankings toward the memory-hungry variants later.
+    pub elem_bytes: usize,
 }
 
 impl ArchParams {
@@ -30,7 +35,15 @@ impl ArchParams {
     /// 59.7 GB/s peak bandwidth; blocking parameters
     /// `m_c, k_c, n_c = 96, 256, 4096`.
     pub fn paper_machine() -> Self {
-        Self { tau_a: 1.0 / 28.32e9, tau_b: 8.0 / 59.7e9, lambda: 0.7, mc: 96, kc: 256, nc: 4096 }
+        Self {
+            tau_a: 1.0 / 28.32e9,
+            tau_b: 8.0 / 59.7e9,
+            lambda: 0.7,
+            mc: 96,
+            kc: 256,
+            nc: 4096,
+            elem_bytes: 8,
+        }
     }
 
     /// Parameters from an observed GEMM rate (GFLOPS) and memory bandwidth
@@ -49,7 +62,16 @@ impl ArchParams {
             mc: params.mc,
             kc: params.kc,
             nc: params.nc,
+            elem_bytes: 8,
         }
+    }
+
+    /// The same machine serving a different element width (e.g. 4 for an
+    /// `f32` engine). `τ_b` stays per-8-bytes; the width scales the memory
+    /// terms at prediction time.
+    pub fn with_elem_bytes(self, elem_bytes: usize) -> Self {
+        assert!(elem_bytes > 0, "elem_bytes must be positive");
+        Self { elem_bytes, ..self }
     }
 
     /// Peak rate implied by `τ_a`, in GFLOPS.
@@ -67,6 +89,9 @@ impl ArchParams {
         }
         if self.mc == 0 || self.kc == 0 || self.nc == 0 {
             return Err("blocking parameters must be positive".into());
+        }
+        if self.elem_bytes == 0 {
+            return Err("elem_bytes must be positive".into());
         }
         Ok(())
     }
@@ -91,6 +116,16 @@ mod tests {
         assert!((a.peak_gflops() - 10.0).abs() < 1e-12);
         assert!((a.tau_b - 8.0 / 20.0e9).abs() < 1e-20);
         a.validate().unwrap();
+    }
+
+    #[test]
+    fn elem_bytes_defaults_to_doubles_and_overrides() {
+        let a = ArchParams::paper_machine();
+        assert_eq!(a.elem_bytes, 8);
+        let f32_arch = a.with_elem_bytes(4);
+        assert_eq!(f32_arch.elem_bytes, 4);
+        assert_eq!(f32_arch.tau_b, a.tau_b, "tau_b itself is width-independent");
+        f32_arch.validate().unwrap();
     }
 
     #[test]

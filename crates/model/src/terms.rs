@@ -60,7 +60,9 @@ impl Terms {
 
     fn build(m: f64, k: f64, n: f64, arch: &ArchParams) -> Self {
         let ta = arch.tau_a;
-        let tb = arch.tau_b;
+        // τ_b is seconds per 8-byte double; narrower elements move
+        // proportionally less data for the same term.
+        let tb = arch.tau_b * (arch.elem_bytes as f64 / 8.0);
         let ceil = |x: f64, b: usize| (x / b as f64).ceil().max(1.0);
         Self {
             tx_a: 2.0 * m * n * k * ta,
@@ -224,6 +226,18 @@ mod tests {
         let g = Terms::gemm(1024, 1024, 1024, &arch);
         assert!((f.tx_a - g.tx_a).abs() < 1e-18);
         assert!((f.ta_plus_a - g.ta_plus_a).abs() < 1e-18);
+    }
+
+    #[test]
+    fn halved_element_size_halves_memory_terms_only() {
+        let arch = ArchParams::paper_machine();
+        let f32_arch = arch.with_elem_bytes(4);
+        let t8 = Terms::gemm(1024, 1024, 1024, &arch);
+        let t4 = Terms::gemm(1024, 1024, 1024, &f32_arch);
+        assert_eq!(t8.tx_a, t4.tx_a, "arithmetic terms unchanged");
+        assert!((t4.tb_x_m / t8.tb_x_m - 0.5).abs() < 1e-12);
+        assert!((t4.tc_x_m / t8.tc_x_m - 0.5).abs() < 1e-12);
+        assert!((t4.tc_plus_m / t8.tc_plus_m - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -52,7 +52,7 @@
 use fmm_core::executor::{gather_terms, ArenaViews, DestBlocks, OperandBlocks, WorkspaceArena};
 use fmm_core::{fmm_execute, fmm_execute_parallel, peeling, tasks, FmmContext, FmmPlan, Variant};
 use fmm_dense::{ops, MatMut, MatRef};
-use fmm_gemm::{BlockingParams, DestTile, WorkspacePool};
+use fmm_gemm::{BlockingParams, DestTile, GemmScalar, WorkspacePool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -80,14 +80,14 @@ pub struct SchedStats {
 /// Like [`FmmContext`], a `SchedContext` reaches a steady state where
 /// repeated executions perform no heap allocation — [`SchedContext::grow_count`]
 /// aggregates every allocation source and stays flat once warm.
-pub struct SchedContext {
+pub struct SchedContext<T = f64> {
     /// Blocking parameters for every GEMM the scheduler dispatches
     /// (per-task GEMMs shrink them via [`BlockingParams::for_workers`]).
     pub params: BlockingParams,
-    fmm: FmmContext,
-    task_arena: WorkspaceArena,
-    packing_pool: WorkspacePool,
-    inner_ctxs: Mutex<Vec<FmmContext>>,
+    fmm: FmmContext<T>,
+    task_arena: WorkspaceArena<T>,
+    packing_pool: WorkspacePool<T>,
+    inner_ctxs: Mutex<Vec<FmmContext<T>>>,
     inner_allocations: AtomicU64,
     inner_arena_grows: AtomicU64,
     bfs_executions: AtomicU64,
@@ -95,7 +95,7 @@ pub struct SchedContext {
     tasks_executed: AtomicU64,
 }
 
-impl SchedContext {
+impl<T: GemmScalar> SchedContext<T> {
     /// Context with the default (paper §5.1) blocking parameters.
     pub fn with_defaults() -> Self {
         Self::new(BlockingParams::default())
@@ -120,7 +120,7 @@ impl SchedContext {
 
     /// The wrapped DFS execution context (what [`Strategy::Dfs`] and the
     /// engine's sequential path run on).
-    pub fn fmm_context(&mut self) -> &mut FmmContext {
+    pub fn fmm_context(&mut self) -> &mut FmmContext<T> {
         &mut self.fmm
     }
 
@@ -233,7 +233,7 @@ impl SchedContext {
     }
 }
 
-impl std::fmt::Debug for SchedContext {
+impl<T: GemmScalar> std::fmt::Debug for SchedContext<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SchedContext(grows={}, stats={:?})", self.grow_count(), self.stats())
     }
@@ -242,7 +242,8 @@ impl std::fmt::Debug for SchedContext {
 // A scheduler context moves between engine callers like an `FmmContext`.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<SchedContext>();
+    assert_send_sync::<SchedContext<f64>>();
+    assert_send_sync::<SchedContext<f32>>();
 };
 
 /// `0` means "use the rayon pool width"; explicit counts are clamped to
@@ -311,14 +312,14 @@ where
 /// described in the crate docs, with effective parallelism
 /// `min(workers, tasks, pool width)`.
 #[allow(clippy::too_many_arguments)]
-pub fn execute(
-    mut c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+pub fn execute<T: GemmScalar>(
+    mut c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
     strategy: Strategy,
-    ctx: &mut SchedContext,
+    ctx: &mut SchedContext<T>,
     workers: usize,
 ) -> usize {
     let (m, k) = (a.rows(), a.cols());
@@ -358,9 +359,9 @@ pub fn execute(
         let c_rim =
             c.reborrow().submatrix(rim.rows.start, rim.cols.start, rim.rows.len(), rim.cols.len());
         fmm_gemm::parallel::gemm_sums_parallel(
-            &mut [DestTile::new(c_rim, 1.0)],
-            &[(1.0, a_rim)],
-            &[(1.0, b_rim)],
+            &mut [DestTile::new(c_rim, T::ONE)],
+            &[(T::ONE, a_rim)],
+            &[(T::ONE, b_rim)],
             &ctx.params,
         );
     }
@@ -369,11 +370,11 @@ pub fn execute(
 
 /// BFS core: phase 1 computes every `M_r` task-parallel, phase 2 merges
 /// them into the disjoint destination blocks, also task-parallel.
-fn bfs_core(
-    ctx: &mut SchedContext,
-    c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+fn bfs_core<T: GemmScalar>(
+    ctx: &mut SchedContext<T>,
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
     workers: usize,
@@ -427,7 +428,7 @@ fn bfs_core(
             let mut dest = unsafe { c_blocks.get(p) };
             for (r, w) in plan.w().row_nonzeros(p) {
                 let mr = unsafe { slots.mr(r) };
-                ops::axpy(dest.reborrow(), w, mr).expect("block shapes agree");
+                ops::axpy(dest.reborrow(), T::from_f64(w), mr).expect("block shapes agree");
             }
         },
     );
@@ -439,13 +440,13 @@ fn bfs_core(
 
 /// One BFS task: `M_r = (Σ uᵢAᵢ)(Σ vⱼBⱼ)` with the sequential driver.
 /// AB/ABC fold the sums into packing; Naive materializes them first.
-fn compute_product(
-    views: ArenaViews<'_>,
+fn compute_product<T: GemmScalar>(
+    views: ArenaViews<'_, T>,
     variant: Variant,
-    a_terms: &[(f64, MatRef<'_>)],
-    b_terms: &[(f64, MatRef<'_>)],
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
     params: &BlockingParams,
-    ws: &mut fmm_gemm::PooledWorkspace<'_>,
+    ws: &mut fmm_gemm::PooledWorkspace<'_, T>,
 ) {
     let ArenaViews { mut ta, mut tb, mr } = views;
     match variant {
@@ -453,16 +454,16 @@ fn compute_product(
             ops::linear_combination(ta.reborrow(), a_terms).expect("A block shapes agree");
             ops::linear_combination(tb.reborrow(), b_terms).expect("B block shapes agree");
             fmm_gemm::driver::gemm_sums_overwrite(
-                &mut [DestTile::new(mr, 1.0)],
-                &[(1.0, ta.as_ref())],
-                &[(1.0, tb.as_ref())],
+                &mut [DestTile::new(mr, T::ONE)],
+                &[(T::ONE, ta.as_ref())],
+                &[(T::ONE, tb.as_ref())],
                 params,
                 ws,
             );
         }
         Variant::Ab | Variant::Abc => {
             fmm_gemm::driver::gemm_sums_overwrite(
-                &mut [DestTile::new(mr, 1.0)],
+                &mut [DestTile::new(mr, T::ONE)],
                 a_terms,
                 b_terms,
                 params,
@@ -474,16 +475,16 @@ fn compute_product(
 
 /// A pooled inner DFS context for one hybrid worker; returns itself (and
 /// its arena-growth delta) to the scheduler context on drop.
-struct InnerCtx<'a> {
-    ctx: Option<FmmContext>,
+struct InnerCtx<'a, T: GemmScalar> {
+    ctx: Option<FmmContext<T>>,
     grows_at_acquire: u64,
-    pool: &'a Mutex<Vec<FmmContext>>,
+    pool: &'a Mutex<Vec<FmmContext<T>>>,
     arena_grows: &'a AtomicU64,
 }
 
-impl<'a> InnerCtx<'a> {
+impl<'a, T: GemmScalar> InnerCtx<'a, T> {
     fn acquire(
-        pool: &'a Mutex<Vec<FmmContext>>,
+        pool: &'a Mutex<Vec<FmmContext<T>>>,
         allocations: &AtomicU64,
         arena_grows: &'a AtomicU64,
         params: BlockingParams,
@@ -502,12 +503,12 @@ impl<'a> InnerCtx<'a> {
         Self { ctx: Some(ctx), grows_at_acquire, pool, arena_grows }
     }
 
-    fn ctx(&mut self) -> &mut FmmContext {
+    fn ctx(&mut self) -> &mut FmmContext<T> {
         self.ctx.as_mut().expect("present until drop")
     }
 }
 
-impl Drop for InnerCtx<'_> {
+impl<T: GemmScalar> Drop for InnerCtx<'_, T> {
     fn drop(&mut self) {
         if let Some(ctx) = self.ctx.take() {
             self.arena_grows
@@ -520,11 +521,11 @@ impl Drop for InnerCtx<'_> {
 /// Hybrid core: BFS over the `R_1` level-1 products; each task
 /// materializes its level-1 operand sums and runs the remaining levels
 /// depth-first on a pooled inner context.
-fn hybrid_core(
-    ctx: &mut SchedContext,
-    c: MatMut<'_>,
-    a: MatRef<'_>,
-    b: MatRef<'_>,
+fn hybrid_core<T: GemmScalar>(
+    ctx: &mut SchedContext<T>,
+    c: MatMut<'_, T>,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
     plan: &FmmPlan,
     variant: Variant,
     workers: usize,
@@ -571,7 +572,7 @@ fn hybrid_core(
             ops::linear_combination(tb.reborrow(), &b_terms).expect("B block shapes agree");
             // The executors accumulate; the task region is reused, so
             // clear M_r before descending.
-            mr.fill(0.0);
+            mr.fill(T::ZERO);
             fmm_execute(mr, ta.as_ref(), tb.as_ref(), &inner, variant, ictx.ctx());
         },
     );
@@ -586,7 +587,7 @@ fn hybrid_core(
             let mut dest = unsafe { c_blocks.get(p) };
             for (r, w) in outer.w().row_nonzeros(p) {
                 let mr = unsafe { slots.mr(r) };
-                ops::axpy(dest.reborrow(), w, mr).expect("block shapes agree");
+                ops::axpy(dest.reborrow(), T::from_f64(w), mr).expect("block shapes agree");
             }
         },
     );

@@ -45,6 +45,16 @@
 //! For long-lived services, hold an [`FmmEngine`] directly (or use
 //! [`engine()`]): it exposes warmup ([`FmmEngine::prepare`]), explicit
 //! plan execution, and cache statistics.
+//!
+//! # Precision
+//!
+//! The execution stack is generic over `fmm_dense::Scalar`. [`multiply`]
+//! serves `f64` (the paper's DGEMM experiments); [`multiply_f32`] serves
+//! `f32` through its own process-global engine — dtype-specific kernels
+//! (16x4 AVX2 register tile where available), per-dtype caches and
+//! workspace pools, and model rankings charged at 4 bytes per element.
+//! The `f32` accuracy contract is `Scalar::accuracy_bound`: within the
+//! `f32`-epsilon-derived bound of an `f64`-computed reference.
 
 pub use fmm_core as core;
 pub use fmm_dense as dense;
@@ -63,13 +73,24 @@ pub use fmm_engine::{BatchItem, EngineConfig, EngineStats, FmmEngine, Routing};
 use fmm_dense::{MatMut, MatRef};
 use std::sync::OnceLock;
 
-/// The engine behind the free-function API: one model-routed
+/// The engine behind the free-function `f64` API: one model-routed
 /// [`FmmEngine`] with default configuration, built on first use and shared
 /// by the whole process. Use it directly for warmup, statistics, or
-/// explicit plan execution.
+/// explicit plan execution. The `f32` traffic has its own engine
+/// ([`engine_f32`]) — one process-global engine per dtype, so decision and
+/// plan caches never mix element types.
 pub fn engine() -> &'static FmmEngine {
     static ENGINE: OnceLock<FmmEngine> = OnceLock::new();
     ENGINE.get_or_init(FmmEngine::with_defaults)
+}
+
+/// The process-global single-precision engine behind [`multiply_f32`]:
+/// same routing and caching as [`engine()`], executing over the `f32`
+/// kernel stack (16x4 AVX2 register tile where available), with the
+/// model's memory terms charged at 4 bytes per element.
+pub fn engine_f32() -> &'static FmmEngine<f32> {
+    static ENGINE: OnceLock<FmmEngine<f32>> = OnceLock::new();
+    ENGINE.get_or_init(FmmEngine::<f32>::with_defaults)
 }
 
 /// `C += A·B` through the process-global [`engine()`]: model-guided
@@ -80,12 +101,25 @@ pub fn multiply(c: MatMut<'_>, a: MatRef<'_>, b: MatRef<'_>) {
     engine().multiply(c, a, b)
 }
 
+/// Single-precision `C += A·B` through the process-global [`engine_f32`].
+/// Accuracy contract: the result matches an `f64`-computed reference
+/// within [`fmm_dense::Scalar::accuracy_bound`] for `f32` at the plan's
+/// inner dimension and level count.
+pub fn multiply_f32(c: MatMut<'_, f32>, a: MatRef<'_, f32>, b: MatRef<'_, f32>) {
+    engine_f32().multiply(c, a, b)
+}
+
 /// Execute many independent `C += A·B` problems through the process-global
 /// [`engine()`] in one call. See [`FmmEngine::multiply_batch`]; the
 /// default engine is sequential, so items run in order — build a parallel
 /// [`FmmEngine`] for inter-problem parallelism.
 pub fn multiply_batch(items: &mut [BatchItem<'_>]) {
     engine().multiply_batch(items)
+}
+
+/// Single-precision [`multiply_batch`], through [`engine_f32`].
+pub fn multiply_batch_f32(items: &mut [BatchItem<'_, f32>]) {
+    engine_f32().multiply_batch(items)
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Acceptance tests for the single-precision path: `fmm::multiply_f32`
+//! against an `f64`-computed reference, on square and awkward sizes, held
+//! to the `Scalar`-derived accuracy bound.
+
+use fmm_dense::{fill, norms, Matrix, Scalar};
+
+/// The default engine considers up to 2 plan levels; the bound is monotone
+/// in levels, so charging every shape at the maximum is safe and simple.
+const MAX_LEVELS: usize = 2;
+
+#[test]
+fn multiply_f32_matches_f64_reference_on_awkward_sizes() {
+    for (m, k, n) in [(37, 29, 41), (5, 300, 5), (96, 64, 80)] {
+        let a = fill::bench_workload_t::<f32>(m, k, 1);
+        let b = fill::bench_workload_t::<f32>(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        fmm::multiply_f32(c.as_mut(), a.as_ref(), b.as_ref());
+
+        let c_ref =
+            fmm::gemm::reference::matmul(a.cast::<f64>().as_ref(), b.cast::<f64>().as_ref());
+        let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.as_ref());
+        let bound = <f32 as Scalar>::accuracy_bound(k, MAX_LEVELS);
+        assert!(err < bound, "m={m} k={k} n={n}: err={err} bound={bound}");
+    }
+}
+
+#[test]
+fn multiply_f32_matches_f64_engine_at_512() {
+    let n = 512;
+    let a = fill::bench_workload_t::<f32>(n, n, 3);
+    let b = fill::bench_workload_t::<f32>(n, n, 4);
+    let mut c = Matrix::<f32>::zeros(n, n);
+    fmm::multiply_f32(c.as_mut(), a.as_ref(), b.as_ref());
+
+    // The f64 engine is the oracle here: its own error (~1e-13 relative)
+    // is far below the f32 acceptance bound, and it is much faster than
+    // the naive triple loop at this size.
+    let a64 = a.cast::<f64>();
+    let b64 = b.cast::<f64>();
+    let mut c64 = Matrix::<f64>::zeros(n, n);
+    fmm::multiply(c64.as_mut(), a64.as_ref(), b64.as_ref());
+
+    let err = norms::rel_error(c.cast::<f64>().as_ref(), c64.as_ref());
+    let bound = <f32 as Scalar>::accuracy_bound(n, MAX_LEVELS);
+    assert!(err < bound, "512^3: err={err} bound={bound}");
+}
+
+#[test]
+fn multiply_f32_accumulates() {
+    let a = Matrix::<f32>::identity(8);
+    let b = Matrix::<f32>::filled(8, 8, 2.0);
+    let mut c = Matrix::<f32>::filled(8, 8, 1.0);
+    fmm::multiply_f32(c.as_mut(), a.as_ref(), b.as_ref());
+    assert_eq!(c, Matrix::<f32>::filled(8, 8, 3.0));
+}
+
+#[test]
+fn multiply_batch_f32_matches_reference() {
+    let a = fill::bench_workload_t::<f32>(37, 29, 9);
+    let b = fill::bench_workload_t::<f32>(29, 41, 10);
+    let c_ref = fmm::gemm::reference::matmul(a.cast::<f64>().as_ref(), b.cast::<f64>().as_ref());
+    let mut cs: Vec<Matrix<f32>> = (0..4).map(|_| Matrix::zeros(37, 41)).collect();
+    {
+        let mut items: Vec<fmm::BatchItem<'_, f32>> = cs
+            .iter_mut()
+            .map(|c| fmm::BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref()))
+            .collect();
+        fmm::multiply_batch_f32(&mut items);
+    }
+    let bound = <f32 as Scalar>::accuracy_bound(29, MAX_LEVELS);
+    for c in &cs {
+        assert!(norms::rel_error(c.cast::<f64>().as_ref(), c_ref.as_ref()) < bound);
+    }
+}
+
+#[test]
+fn global_f32_engine_is_independent_of_f64_engine() {
+    let a = fill::bench_workload_t::<f32>(32, 32, 5);
+    let b = fill::bench_workload_t::<f32>(32, 32, 6);
+    let mut c = Matrix::<f32>::zeros(32, 32);
+    let before = fmm::engine_f32().stats();
+    fmm::multiply_f32(c.as_mut(), a.as_ref(), b.as_ref());
+    let after = fmm::engine_f32().stats();
+    assert!(after.executions > before.executions);
+    // The f64 engine's model is charged 8 bytes/element, the f32 engine 4.
+    assert_eq!(fmm::engine().config().arch.elem_bytes, 8);
+    assert_eq!(fmm::engine_f32().config().arch.elem_bytes, 4);
+}
