@@ -12,6 +12,7 @@
 //! * `warm_*` — steady state: decision-cache hits, pooled context, zero
 //!   workspace allocation (asserted via engine counters before emitting).
 
+use fmm_bench::report::{int, num, object, text, Report};
 use fmm_bench::timing;
 use fmm_dense::fill;
 use fmm_engine::FmmEngine;
@@ -81,22 +82,28 @@ fn main() {
     let warm_gflops = timing::gflops(n, n, n, warm_secs);
     let cold_gflops = timing::gflops(n, n, n, cold);
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"engine_smoke\",\n  \"shape\": [{n}, {n}, {n}],\n  \"decision\": \"{decision}\",\n  \"cold_ms\": {:.3},\n  \"cold_effective_gflops\": {:.3},\n  \"warm_ms\": {:.3},\n  \"warm_calls_per_sec\": {:.3},\n  \"warm_effective_gflops\": {:.3},\n  \"reps\": {},\n  \"stats\": {{\n    \"executions\": {},\n    \"decision_hits\": {},\n    \"rankings\": {},\n    \"plan_compositions\": {},\n    \"context_allocations\": {},\n    \"arena_grows\": {}\n  }}\n}}\n",
-        cold * 1e3,
-        cold_gflops,
-        warm_secs * 1e3,
-        warm_calls_per_sec,
-        warm_gflops,
-        args.reps,
-        stats.executions,
-        stats.decision_hits,
-        stats.rankings,
-        stats.plan_compositions,
-        stats.context_allocations,
-        stats.arena_grows,
-    );
-    std::fs::write(&args.out, &json).expect("write benchmark JSON");
-    println!("{json}");
-    println!("wrote {}", args.out);
+    let mut report = Report::new("engine_smoke");
+    report
+        .field("reps", int(args.reps as i64))
+        .field(
+            "stats",
+            object(&[
+                ("executions", int(stats.executions as i64)),
+                ("decision_hits", int(stats.decision_hits as i64)),
+                ("rankings", int(stats.rankings as i64)),
+                ("plan_compositions", int(stats.plan_compositions as i64)),
+                ("context_allocations", int(stats.context_allocations as i64)),
+                ("arena_grows", int(stats.arena_grows as i64)),
+            ]),
+        )
+        .row(&[
+            ("size", int(n as i64)),
+            ("gflops", num(warm_gflops)),
+            ("decision", text(decision)),
+            ("cold_ms", num(cold * 1e3)),
+            ("cold_effective_gflops", num(cold_gflops)),
+            ("warm_ms", num(warm_secs * 1e3)),
+            ("warm_calls_per_sec", num(warm_calls_per_sec)),
+        ]);
+    report.write(&args.out);
 }

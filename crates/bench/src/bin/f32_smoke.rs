@@ -11,10 +11,10 @@
 //! against the f64 result at the `Scalar`-derived bound, so a kernel bug
 //! can never masquerade as a speedup.
 
+use fmm_bench::report::{int, num, text, Report};
 use fmm_bench::timing;
 use fmm_dense::{fill, norms, Matrix, Scalar};
 use fmm_engine::FmmEngine;
-use fmm_gemm::GemmScalar;
 
 struct Args {
     sizes: Vec<usize>,
@@ -54,7 +54,8 @@ fn main() {
     let e64 = FmmEngine::<f64>::with_defaults();
     let e32 = FmmEngine::<f32>::with_defaults();
 
-    let mut rows = Vec::new();
+    let mut report = Report::new("f32_smoke");
+    report.field("reps", int(args.reps as i64));
     for &n in &args.sizes {
         let a32 = fill::bench_workload_t::<f32>(n, n, 1);
         let b32 = fill::bench_workload_t::<f32>(n, n, 2);
@@ -83,24 +84,16 @@ fn main() {
             "{n:>5}³: f64 {g64:7.2} GFLOP/s | f32 {g32:7.2} GFLOP/s | speedup {:.2}x | err {err:.1e}",
             g32 / g64
         );
-        rows.push(format!(
-            "    {{ \"size\": {n}, \"f64_gflops\": {g64:.3}, \"f32_gflops\": {g32:.3}, \
-             \"f32_speedup\": {:.3}, \"f64_decision\": \"{}\", \"f32_decision\": \"{}\", \
-             \"rel_error\": {err:.3e} }}",
-            g32 / g64,
-            e64.decision_label(n, n, n),
-            e32.decision_label(n, n, n),
-        ));
+        report.row(&[
+            ("size", int(n as i64)),
+            ("gflops", num(g32)),
+            ("f64_gflops", num(g64)),
+            ("f32_gflops", num(g32)),
+            ("f32_speedup", num(g32 / g64)),
+            ("f64_decision", text(e64.decision_label(n, n, n))),
+            ("f32_decision", text(e32.decision_label(n, n, n))),
+            ("rel_error", num(err)),
+        ]);
     }
-
-    let json = format!(
-        "{{\n  \"benchmark\": \"f32_smoke\",\n  \"f64_kernel\": \"{}\",\n  \"f32_kernel\": \"{}\",\n  \"reps\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        <f64 as GemmScalar>::micro_kernel_name(),
-        <f32 as GemmScalar>::micro_kernel_name(),
-        args.reps,
-        rows.join(",\n"),
-    );
-    std::fs::write(&args.out, &json).expect("write benchmark JSON");
-    println!("{json}");
-    println!("wrote {}", args.out);
+    report.write(&args.out);
 }

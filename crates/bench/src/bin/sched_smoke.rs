@@ -15,6 +15,7 @@
 //! execution, so expect parity there; the interesting numbers need
 //! `RAYON_NUM_THREADS > 1`.
 
+use fmm_bench::report::{int, num, object, text, Report};
 use fmm_bench::timing;
 use fmm_core::{registry, FmmPlan, Strategy, Variant};
 use fmm_dense::{fill, Matrix};
@@ -99,10 +100,10 @@ fn time_strategy(
 
 fn main() {
     let args = parse_args();
-    let workers = rayon::current_num_threads();
     let plan = FmmPlan::uniform(registry::strassen(), 2);
 
-    let mut shape_rows = Vec::new();
+    let mut report = Report::new("sched_smoke");
+    report.field("reps", int(args.reps as i64));
     for &n in &args.sizes {
         let mut ctx = SchedContext::with_defaults();
         let dfs = time_strategy(n, &plan, Strategy::Dfs, &mut ctx, args.reps);
@@ -111,23 +112,25 @@ fn main() {
         let best = [(dfs, "DFS"), (bfs, "BFS"), (hybrid, "Hybrid")]
             .into_iter()
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timings"))
-            .expect("non-empty")
-            .1;
+            .expect("non-empty");
         println!(
-            "{n}^3: DFS {:.2} ms, BFS {:.2} ms, hybrid {:.2} ms -> {best}",
-            dfs * 1e3,
-            bfs * 1e3,
-            hybrid * 1e3
-        );
-        shape_rows.push(format!(
-            "    {{\n      \"n\": {n},\n      \"dfs_ms\": {:.3},\n      \"bfs_ms\": {:.3},\n      \"hybrid_ms\": {:.3},\n      \"dfs_effective_gflops\": {:.3},\n      \"bfs_speedup_vs_dfs\": {:.3},\n      \"hybrid_speedup_vs_dfs\": {:.3},\n      \"best\": \"{best}\"\n    }}",
+            "{n}^3: DFS {:.2} ms, BFS {:.2} ms, hybrid {:.2} ms -> {}",
             dfs * 1e3,
             bfs * 1e3,
             hybrid * 1e3,
-            timing::gflops(n, n, n, dfs),
-            dfs / bfs,
-            dfs / hybrid,
-        ));
+            best.1
+        );
+        report.row(&[
+            ("size", int(n as i64)),
+            ("gflops", num(timing::gflops(n, n, n, best.0))),
+            ("dfs_ms", num(dfs * 1e3)),
+            ("bfs_ms", num(bfs * 1e3)),
+            ("hybrid_ms", num(hybrid * 1e3)),
+            ("dfs_effective_gflops", num(timing::gflops(n, n, n, dfs))),
+            ("bfs_speedup_vs_dfs", num(dfs / bfs)),
+            ("hybrid_speedup_vs_dfs", num(dfs / hybrid)),
+            ("best", text(best.1)),
+        ]);
     }
 
     // Batched vs sequential throughput on a warm parallel engine.
@@ -162,18 +165,17 @@ fn main() {
         batch_rate / seq_rate
     );
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"sched_smoke\",\n  \"workers\": {workers},\n  \"reps\": {},\n  \"decision\": \"{}\",\n  \"shapes\": [\n{}\n  ],\n  \"batch\": {{\n    \"items\": {items_n},\n    \"n\": {n},\n    \"sequential_ms\": {:.3},\n    \"batch_ms\": {:.3},\n    \"sequential_calls_per_sec\": {:.3},\n    \"batch_calls_per_sec\": {:.3},\n    \"batch_speedup\": {:.3}\n  }}\n}}\n",
-        args.reps,
-        engine.decision_label(n, n, n),
-        shape_rows.join(",\n"),
-        sequential_secs * 1e3,
-        batch_secs * 1e3,
-        seq_rate,
-        batch_rate,
-        batch_rate / seq_rate,
+    report.field("decision", text(engine.decision_label(n, n, n))).field(
+        "batch",
+        object(&[
+            ("items", int(items_n as i64)),
+            ("n", int(n as i64)),
+            ("sequential_ms", num(sequential_secs * 1e3)),
+            ("batch_ms", num(batch_secs * 1e3)),
+            ("sequential_calls_per_sec", num(seq_rate)),
+            ("batch_calls_per_sec", num(batch_rate)),
+            ("batch_speedup", num(batch_rate / seq_rate)),
+        ]),
     );
-    std::fs::write(&args.out, &json).expect("write benchmark JSON");
-    println!("{json}");
-    println!("wrote {}", args.out);
+    report.write(&args.out);
 }

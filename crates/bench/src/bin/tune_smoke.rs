@@ -1,0 +1,172 @@
+//! Autotuning smoke benchmark: model-routed vs tuned-routed engine
+//! throughput at 256³ / 512³ / 1024³, emitted as `BENCH_tune.json`.
+//!
+//! ```sh
+//! cargo run --release -p fmm-bench --bin tune_smoke \
+//!     [-- --sizes 256,512,1024 --reps 3 --top-k 4 --out BENCH_tune.json]
+//! ```
+//!
+//! The flow is the production flow: calibrate this host, explore each
+//! size with the `Tuner` (verified winners recorded into a private
+//! `TuneStore`), then serve the same sizes through two engines sharing
+//! the calibrated `ArchParams` — one `Routing::Model`, one
+//! `Routing::Tuned` over the warm store. The tuned engine must answer
+//! every size from the store (zero model rankings, asserted via
+//! `EngineStats`) and its results are checked against blocked GEMM, so a
+//! routing bug can never masquerade as a speedup.
+
+use fmm_bench::report::{int, num, text, Report};
+use fmm_bench::timing;
+use fmm_dense::{fill, norms, Matrix};
+use fmm_engine::{EngineConfig, FmmEngine, Routing};
+use fmm_gemm::BlockingParams;
+use fmm_tune::{calibrate_host, TunePolicy, TuneStore, Tuner};
+use std::sync::Arc;
+
+struct Args {
+    sizes: Vec<usize>,
+    reps: usize,
+    top_k: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { sizes: vec![256, 512, 1024], reps: 3, top_k: 4, out: "BENCH_tune.json".to_string() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sizes" => {
+                args.sizes = argv[i + 1]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes comma-separated integers"))
+                    .collect();
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv[i + 1].parse().expect("--reps takes an integer");
+                i += 2;
+            }
+            "--top-k" => {
+                args.top_k = argv[i + 1].parse().expect("--top-k takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Stage 1: calibrate this host (private to the benchmark — the user's
+    // store is not touched).
+    let arch = calibrate_host::<f64>(&BlockingParams::default(), 0.25);
+    println!(
+        "calibrated: peak {:.2} GFLOP/s, bandwidth {:.2} GB/s, lambda {:.2}",
+        arch.peak_gflops(),
+        8.0 / arch.tau_b / 1e9,
+        arch.lambda
+    );
+
+    // Stage 2: explore each size, recording verified winners.
+    let mut store = TuneStore::new();
+    let policy =
+        TunePolicy { top_k: args.top_k, warmup: 1, reps: args.reps, ..TunePolicy::default() };
+    let tuner = Tuner::new(policy, 1, 2);
+    for &n in &args.sizes {
+        let outcome = tuner.explore::<f64>(&mut store, &arch, n, n, n);
+        println!(
+            "{n}³ tuned -> {} at {:.2} GFLOP/s (model picked {})",
+            outcome.winner, outcome.winner_gflops, outcome.model_pick
+        );
+    }
+
+    // Stage 3: serve through both routings on the same calibrated arch.
+    let model_engine =
+        FmmEngine::<f64>::new(EngineConfig { arch: arch.into(), ..Default::default() });
+    let tuned_engine = FmmEngine::<f64>::new(EngineConfig {
+        arch: arch.into(),
+        routing: Routing::Tuned { store: Arc::new(store) },
+        ..Default::default()
+    });
+
+    let mut report = Report::new("tune_smoke");
+    report.field("reps", int(args.reps as i64)).field("top_k", int(args.top_k as i64));
+    for &n in &args.sizes {
+        let a = fill::bench_workload(n, n, 1);
+        let b = fill::bench_workload(n, n, 2);
+
+        // Interleave the two engines' samples (min of each): container
+        // drift between two back-to-back measurement windows would
+        // otherwise masquerade as a routing difference.
+        let mut c_model = Matrix::zeros(n, n);
+        let mut c_tuned = Matrix::zeros(n, n);
+        let mut run_model = || {
+            c_model.clear();
+            model_engine.multiply(c_model.as_mut(), a.as_ref(), b.as_ref());
+        };
+        let mut run_tuned = || {
+            c_tuned.clear();
+            tuned_engine.multiply(c_tuned.as_mut(), a.as_ref(), b.as_ref());
+        };
+        run_model(); // warmup: decisions, plans, arenas
+        run_tuned();
+        let (mut model_secs, mut tuned_secs) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..args.reps.max(1) {
+            let t0 = std::time::Instant::now();
+            run_model();
+            model_secs = model_secs.min(t0.elapsed().as_secs_f64());
+            let t1 = std::time::Instant::now();
+            run_tuned();
+            tuned_secs = tuned_secs.min(t1.elapsed().as_secs_f64());
+        }
+
+        // Guard: the timed tuned result must actually be right.
+        let mut c_ref = Matrix::zeros(n, n);
+        fmm_gemm::gemm(c_ref.as_mut(), a.as_ref(), b.as_ref());
+        let err = norms::rel_error(c_tuned.as_ref(), c_ref.as_ref());
+        let tol = norms::fmm_tolerance(n, 2);
+        assert!(err < tol, "n={n}: tuned-routed error {err} exceeds {tol}");
+
+        let g_model = timing::gflops(n, n, n, model_secs);
+        let g_tuned = timing::gflops(n, n, n, tuned_secs);
+        println!(
+            "{n:>5}³: model {g_model:7.2} GFLOP/s ({}) | tuned {g_tuned:7.2} GFLOP/s ({}) | {:.2}x",
+            model_engine.decision_label(n, n, n),
+            tuned_engine.decision_label(n, n, n),
+            g_tuned / g_model
+        );
+        report.row(&[
+            ("size", int(n as i64)),
+            ("gflops", num(g_tuned)),
+            ("model_gflops", num(g_model)),
+            ("tuned_gflops", num(g_tuned)),
+            ("tuned_speedup", num(g_tuned / g_model)),
+            ("model_decision", text(model_engine.decision_label(n, n, n))),
+            ("tuned_decision", text(tuned_engine.decision_label(n, n, n))),
+            ("rel_error", num(err)),
+        ]);
+    }
+
+    // The tuned engine must have answered every size from the store.
+    let stats = tuned_engine.stats();
+    assert_eq!(stats.rankings, 0, "tuned routing must not re-rank stored classes");
+    assert_eq!(stats.tuned_hits, args.sizes.len() as u64, "every size answered by the store");
+    assert_eq!(stats.tuned_misses, 0);
+    report.field(
+        "stats",
+        fmm_bench::report::object(&[
+            ("tuned_hits", int(stats.tuned_hits as i64)),
+            ("tuned_misses", int(stats.tuned_misses as i64)),
+            ("rankings", int(stats.rankings as i64)),
+        ]),
+    );
+    report.write(&args.out);
+}

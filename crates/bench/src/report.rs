@@ -1,0 +1,117 @@
+//! Shared benchmark-report emission.
+//!
+//! Every smoke benchmark used to hand-roll its own `format!`-built JSON;
+//! this module gives them one schema and one serializer
+//! (`fmm_core::json`). A report is
+//!
+//! ```json
+//! {
+//!   "benchmark": "<name>",
+//!   "env": { "workers": N, "kernel_f64": "...", "kernel_f32": "..." },
+//!   ...benchmark-specific scalar fields...,
+//!   "rows": [ { "size": 512, "gflops": 24.5, ... }, ... ]
+//! }
+//! ```
+//!
+//! where the `env` fingerprint is captured automatically, and every row
+//! carries at least a `size` and a `gflops` so trajectory tooling can read
+//! any benchmark's output without per-benchmark parsers.
+
+use fmm_core::json::{self, Value};
+use fmm_gemm::GemmScalar;
+use std::collections::BTreeMap;
+
+/// Shorthand: a JSON number.
+pub fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+/// Shorthand: a JSON integer.
+pub fn int(x: i64) -> Value {
+    Value::Int(x)
+}
+
+/// Shorthand: a JSON string.
+pub fn text(s: impl Into<String>) -> Value {
+    Value::String(s.into())
+}
+
+/// Shorthand: a JSON object from key/value pairs.
+pub fn object(entries: &[(&str, Value)]) -> Value {
+    Value::Object(entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+}
+
+/// One benchmark report under the shared schema. See the module docs.
+pub struct Report {
+    fields: BTreeMap<String, Value>,
+    rows: Vec<Value>,
+}
+
+impl Report {
+    /// Start a report, capturing the environment fingerprint (worker
+    /// count and the runtime-selected micro-kernels).
+    pub fn new(name: &str) -> Self {
+        let mut fields = BTreeMap::new();
+        fields.insert("benchmark".to_string(), text(name));
+        fields.insert(
+            "env".to_string(),
+            object(&[
+                ("workers", int(rayon::current_num_threads() as i64)),
+                ("kernel_f64", text(<f64 as GemmScalar>::micro_kernel_name())),
+                ("kernel_f32", text(<f32 as GemmScalar>::micro_kernel_name())),
+            ]),
+        );
+        Self { fields, rows: Vec::new() }
+    }
+
+    /// Set a top-level scalar field.
+    pub fn field(&mut self, key: &str, value: Value) -> &mut Self {
+        self.fields.insert(key.to_string(), value);
+        self
+    }
+
+    /// Append one measurement row. Rows should carry at least `size` and
+    /// `gflops`; extra keys are benchmark-specific.
+    pub fn row(&mut self, entries: &[(&str, Value)]) -> &mut Self {
+        self.rows.push(object(entries));
+        self
+    }
+
+    /// Serialize to the schema's JSON text.
+    pub fn to_json(&self) -> String {
+        let mut doc = self.fields.clone();
+        doc.insert("rows".to_string(), Value::Array(self.rows.clone()));
+        let mut out = json::to_string_pretty(&Value::Object(doc));
+        out.push('\n');
+        out
+    }
+
+    /// Write the report to `path` and echo it to stdout (the CI pattern:
+    /// the file is the artifact, the echo is the log).
+    pub fn write(&self, path: &str) {
+        let text = self.to_json();
+        std::fs::write(path, &text).expect("write benchmark JSON");
+        println!("{text}");
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_emits_schema_with_env_fingerprint() {
+        let mut r = Report::new("unit_test");
+        r.field("reps", int(3));
+        r.row(&[("size", int(256)), ("gflops", num(12.5))]);
+        let doc = json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("benchmark").unwrap().as_str().unwrap(), "unit_test");
+        assert!(doc.get("env").unwrap().get("workers").unwrap().as_usize().unwrap() >= 1);
+        assert!(doc.get("env").unwrap().get("kernel_f64").is_ok());
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("size").unwrap().as_usize().unwrap(), 256);
+        assert_eq!(rows[0].get("gflops").unwrap().as_number().unwrap(), 12.5);
+    }
+}

@@ -25,7 +25,7 @@ pub struct Measured {
 
 fn engine_for(params: &BlockingParams, arch: &ArchParams, parallel: bool) -> FmmEngine {
     FmmEngine::new(EngineConfig {
-        arch: *arch,
+        arch: (*arch).into(),
         params: *params,
         parallel,
         ..EngineConfig::default()
@@ -144,7 +144,7 @@ pub fn measure_engine_pinned(
 ) -> (Measured, EngineStats) {
     let mut w = Workload::new(m, k, n);
     let engine = FmmEngine::new(EngineConfig {
-        arch: *arch,
+        arch: (*arch).into(),
         params: *params,
         routing: Routing::Pinned { dims, levels, variant },
         ..EngineConfig::default()

@@ -22,6 +22,14 @@
 //! strategy)` triples per shape, and [`FmmEngine::multiply_batch`] runs
 //! many independent problems at once with inter-problem parallelism.
 //!
+//! The model itself is grounded in this machine, twice over: engines
+//! default to **host-calibrated** [`ArchParams`]
+//! ([`ArchSource::Calibrated`] — measured once per machine via
+//! `fmm-tune`, persisted, paper constants only on request), and
+//! [`Routing::Tuned`] consults a persistent [`TuneStore`] of empirically
+//! measured winners before falling back to model ranking
+//! ([`EngineStats::tuned_hits`]/[`EngineStats::tuned_misses`]).
+//!
 //! The engine is generic over the execution scalar: `FmmEngine<f64>` (the
 //! default) and `FmmEngine<f32>` run the same plans and routing logic over
 //! dtype-specific kernels, contexts, and workspace pools. Every cache —
@@ -57,6 +65,7 @@ use fmm_core::executor::ArenaLayout;
 use fmm_core::registry::Registry;
 pub use fmm_core::Strategy;
 pub use fmm_sched::SchedContext;
+pub use fmm_tune::{kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, TunedDecision};
 
 use fmm_core::{fmm_execute, FmmPlan, Variant};
 use fmm_dense::{MatMut, MatRef};
@@ -86,13 +95,48 @@ pub enum Routing {
         /// Implementation strategy.
         variant: Variant,
     },
+    /// Empirical decisions first, model fallback: the [`TuneStore`] is
+    /// consulted per shape class (dtype, worker count, and micro-kernel
+    /// fingerprint must all match); a hit routes with **zero model
+    /// re-ranking** ([`EngineStats::tuned_hits`]), a miss — including a
+    /// stale entry whose algorithm left the registry — falls back to
+    /// [`Routing::Model`] ([`EngineStats::tuned_misses`]). Build the store
+    /// with `fmm-tune`'s `Tuner` or the `fmm_tune` CLI.
+    Tuned {
+        /// The (typically loaded-from-disk) tuned decision store.
+        store: Arc<TuneStore>,
+    },
+}
+
+/// Where an engine's [`ArchParams`] come from.
+///
+/// The default is [`ArchSource::Calibrated`]: on first use the host is
+/// measured (`fmm_tune::host_arch`, cached process-wide and persisted in
+/// the tune store) instead of assuming the paper's 2017 experiment
+/// machine. Pass [`ArchSource::Fixed`] to reproduce published rankings or
+/// pin tests.
+#[derive(Clone, Debug, Default)]
+pub enum ArchSource {
+    /// Measure (once) and use this host's calibrated parameters.
+    #[default]
+    Calibrated,
+    /// Use exactly these parameters.
+    Fixed(ArchParams),
+}
+
+impl From<ArchParams> for ArchSource {
+    fn from(arch: ArchParams) -> Self {
+        ArchSource::Fixed(arch)
+    }
 }
 
 /// Construction-time configuration of an [`FmmEngine`].
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Architecture parameters for model-guided routing.
-    pub arch: ArchParams,
+    /// Architecture parameters for model-guided routing: host-calibrated
+    /// by default, or pinned via [`ArchSource::Fixed`] /
+    /// `ArchParams::into()`.
+    pub arch: ArchSource,
     /// GEMM blocking parameters for every execution.
     pub params: BlockingParams,
     /// Use the parallel execution paths (the `fmm-sched` scheduler for
@@ -123,7 +167,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
-            arch: ArchParams::paper_machine(),
+            arch: ArchSource::Calibrated,
             params: BlockingParams::default(),
             parallel: false,
             workers: 0,
@@ -192,6 +236,14 @@ pub struct EngineStats {
     /// registry holds no algorithm for the pinned dims (one per decision
     /// miss of such a shape, not per call).
     pub pinned_fallbacks: u64,
+    /// `Routing::Tuned` decisions answered by the tune store — shape
+    /// classes that routed with zero model re-ranking (one per decision
+    /// miss of such a shape, not per call).
+    pub tuned_hits: u64,
+    /// `Routing::Tuned` decisions the store could not answer (absent
+    /// class, kernel-fingerprint mismatch, or an algorithm no longer in
+    /// the registry) that fell back to model ranking.
+    pub tuned_misses: u64,
 }
 
 #[derive(Default)]
@@ -206,6 +258,8 @@ struct Counters {
     batches: AtomicU64,
     batch_items: AtomicU64,
     pinned_fallbacks: AtomicU64,
+    tuned_hits: AtomicU64,
+    tuned_misses: AtomicU64,
 }
 
 impl Counters {
@@ -221,6 +275,8 @@ impl Counters {
             batches: self.batches.load(Ordering::Relaxed),
             batch_items: self.batch_items.load(Ordering::Relaxed),
             pinned_fallbacks: self.pinned_fallbacks.load(Ordering::Relaxed),
+            tuned_hits: self.tuned_hits.load(Ordering::Relaxed),
+            tuned_misses: self.tuned_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -251,6 +307,9 @@ impl<'a, T: GemmScalar> BatchItem<'a, T> {
 /// execution scalar (default `f64`). See the crate docs.
 pub struct FmmEngine<T: GemmScalar = f64> {
     config: EngineConfig,
+    /// Resolved, validated architecture parameters (from
+    /// [`EngineConfig::arch`]), memory terms charged at `T`'s width.
+    arch: ArchParams,
     registry: Arc<Registry>,
     decisions: Mutex<LruCache<(usize, usize, usize), Decision>>,
     plans: Mutex<LruCache<PlanKey, Arc<FmmPlan>>>,
@@ -296,7 +355,9 @@ impl<T: GemmScalar> FmmEngine<T> {
     /// false` would silently run sequentially (the worker count is only
     /// meaningful to parallel execution and routing), so it is rejected
     /// here, at construction, instead of surprising a misconfigured
-    /// service at traffic time.
+    /// service at traffic time. Likewise on invalid [`ArchSource::Fixed`]
+    /// parameters (`ArchParams::validate`): a zero or negative bandwidth
+    /// would silently poison every ranking the engine ever makes.
     pub fn with_registry(config: EngineConfig, registry: Arc<Registry>) -> Self {
         assert!(config.max_levels >= 1, "max_levels must be at least 1");
         assert!(
@@ -305,14 +366,23 @@ impl<T: GemmScalar> FmmEngine<T> {
              workers only applies to parallel engines (set parallel: true, or workers: 0)",
             config.workers
         );
+        let resolved = match &config.arch {
+            ArchSource::Fixed(arch) => *arch,
+            // Host-measured, process-cached, store-persisted; always
+            // validates by construction.
+            ArchSource::Calibrated => fmm_tune::host_arch::<T>(),
+        };
         // The model's memory terms are charged at this engine's element
         // width; rankings (and their cache) are per-dtype anyway.
-        let mut config = config;
-        config.arch = config.arch.with_elem_bytes(std::mem::size_of::<T>());
+        let arch = resolved.with_elem_bytes(std::mem::size_of::<T>());
+        if let Err(e) = arch.validate() {
+            panic!("EngineConfig.arch is invalid ({e}); refusing to rank with poisoned constants");
+        }
         let decisions = Mutex::new(LruCache::new(config.decision_capacity));
         let plans = Mutex::new(LruCache::new(config.plan_capacity));
         Self {
             config,
+            arch,
             registry,
             decisions,
             plans,
@@ -324,6 +394,11 @@ impl<T: GemmScalar> FmmEngine<T> {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The resolved architecture parameters the engine ranks with.
+    pub fn arch(&self) -> &ArchParams {
+        &self.arch
     }
 
     /// The registry the engine routes over.
@@ -517,40 +592,19 @@ impl<T: GemmScalar> FmmEngine<T> {
                     Decision::Gemm
                 }
             },
-            Routing::Model if self.config.parallel => {
-                let plans = self.candidate_plans();
-                self.counters.rankings.fetch_add(1, Ordering::Relaxed);
-                let ranked = rank_scheduled(
-                    m,
-                    k,
-                    n,
-                    &plans,
-                    &Impl::FMM_VARIANTS,
-                    &self.config.arch,
-                    self.effective_workers(),
-                    true,
-                );
-                let best = &ranked[0];
-                match (&best.plan, best.impl_.to_variant()) {
-                    (Some(plan), Some(variant)) => {
-                        Decision::Fmm { plan: plan.clone(), variant, strategy: best.strategy }
-                    }
-                    _ => Decision::Gemm,
+            Routing::Tuned { store } => match self.tuned_decision(store, m, k, n) {
+                Some(decision) => {
+                    self.counters.tuned_hits.fetch_add(1, Ordering::Relaxed);
+                    decision
                 }
-            }
-            Routing::Model => {
-                let plans = self.candidate_plans();
-                self.counters.rankings.fetch_add(1, Ordering::Relaxed);
-                let ranked =
-                    rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &self.config.arch, true);
-                let best = &ranked[0];
-                match (&best.plan, best.impl_.to_variant()) {
-                    (Some(plan), Some(variant)) => {
-                        Decision::Fmm { plan: plan.clone(), variant, strategy: Strategy::Dfs }
-                    }
-                    _ => Decision::Gemm,
+                // Store miss (or a stale entry naming an algorithm this
+                // registry no longer has): fall back to model routing.
+                None => {
+                    self.counters.tuned_misses.fetch_add(1, Ordering::Relaxed);
+                    self.model_decision(m, k, n)
                 }
-            }
+            },
+            Routing::Model => self.model_decision(m, k, n),
         };
         // The strategy override replaces whatever routing picked (it only
         // takes effect on parallel engines; sequential execution is always
@@ -560,6 +614,72 @@ impl<T: GemmScalar> FmmEngine<T> {
                 Decision::Fmm { plan, variant, strategy }
             }
             (decision, _) => decision,
+        }
+    }
+
+    /// One full model ranking (the paper's §4.4 poly-algorithm), counted
+    /// in [`EngineStats::rankings`]: scheduled triples for parallel
+    /// engines, sequential pairs otherwise.
+    fn model_decision(&self, m: usize, k: usize, n: usize) -> Decision {
+        let plans = self.candidate_plans();
+        self.counters.rankings.fetch_add(1, Ordering::Relaxed);
+        if self.config.parallel {
+            let ranked = rank_scheduled(
+                m,
+                k,
+                n,
+                &plans,
+                &Impl::FMM_VARIANTS,
+                &self.arch,
+                self.effective_workers(),
+                true,
+            );
+            let best = &ranked[0];
+            match (&best.plan, best.impl_.to_variant()) {
+                (Some(plan), Some(variant)) => {
+                    Decision::Fmm { plan: plan.clone(), variant, strategy: best.strategy }
+                }
+                _ => Decision::Gemm,
+            }
+        } else {
+            let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &self.arch, true);
+            let best = &ranked[0];
+            match (&best.plan, best.impl_.to_variant()) {
+                (Some(plan), Some(variant)) => {
+                    Decision::Fmm { plan: plan.clone(), variant, strategy: Strategy::Dfs }
+                }
+                _ => Decision::Gemm,
+            }
+        }
+    }
+
+    /// Resolve a stored tuned decision for this shape's class, or `None`
+    /// when the store cannot answer (absent class, kernel-fingerprint
+    /// mismatch via `TuneStore::decision`, or a stored algorithm this
+    /// registry no longer holds). Performs **no model ranking**.
+    fn tuned_decision(&self, store: &TuneStore, m: usize, k: usize, n: usize) -> Option<Decision> {
+        let class = ShapeClass::of(m, k, n);
+        let fingerprint = fmm_tune::kernel_fingerprint::<T>();
+        let tuned = store.decision(class, T::NAME, self.effective_workers(), &fingerprint)?;
+        match &tuned.choice {
+            TunedChoice::Gemm => Some(Decision::Gemm),
+            TunedChoice::Fmm { dims, levels, variant, strategy } => {
+                // `levels == 0` would panic plan composition; a store
+                // built programmatically could hold it (the JSON load
+                // path rejects it), so treat it as a miss here too.
+                if *levels == 0 {
+                    return None;
+                }
+                let algo = self.registry.get(*dims)?;
+                // Sequential engines always run depth-first; a strategy
+                // tuned on a parallel configuration is not replayed here.
+                let strategy = if self.config.parallel { *strategy } else { Strategy::Dfs };
+                Some(Decision::Fmm {
+                    plan: self.plan_for(&algo, *levels),
+                    variant: *variant,
+                    strategy,
+                })
+            }
         }
     }
 

@@ -211,8 +211,15 @@ fn parallel_model_routing_selects_a_strategy() {
     // rank with parallelism the machine cannot deliver), so widen the
     // pool first — correctness of every other test is width-agnostic.
     rayon::ThreadPoolBuilder::new().num_threads(8).build_global().unwrap();
-    let engine =
-        FmmEngine::new(EngineConfig { parallel: true, workers: 8, ..EngineConfig::default() });
+    // Pin the paper machine: the assertion below is about the parallel
+    // model's *formula* at known constants, not about whatever constants
+    // this CI host happens to calibrate to.
+    let engine = FmmEngine::new(EngineConfig {
+        arch: fmm_model::ArchParams::paper_machine().into(),
+        parallel: true,
+        workers: 8,
+        ..EngineConfig::default()
+    });
     // 256³: too small for DFS data parallelism to fill 8 workers — the
     // parallel model must route away from plain DFS (see
     // fmm_model::parallel tests for the formula-level assertion).

@@ -1,0 +1,209 @@
+//! `Routing::Tuned` end-to-end: a warm store routes with zero model
+//! re-ranking, every miss mode falls back to model routing, and invalid
+//! architecture constants are rejected at construction.
+
+use fmm_core::{Strategy, Variant};
+use fmm_dense::{fill, norms, Matrix};
+use fmm_engine::{
+    kernel_fingerprint, ArchSource, EngineConfig, FmmEngine, Routing, ShapeClass, TuneStore,
+    TunedChoice,
+};
+use fmm_gemm::BlockingParams;
+use fmm_model::ArchParams;
+use fmm_tune::TunedDecision;
+use std::sync::Arc;
+
+/// The fingerprint the engine will look decisions up under.
+fn f64_kernel() -> String {
+    kernel_fingerprint::<f64>()
+}
+
+/// A store holding one winning decision for the given shape at one worker.
+fn store_with(m: usize, k: usize, n: usize, kernel: &str, choice: TunedChoice) -> Arc<TuneStore> {
+    let mut store = TuneStore::new();
+    store.set_decision(
+        ShapeClass::of(m, k, n),
+        "f64",
+        1,
+        kernel,
+        TunedDecision { choice, gflops: 1.0 },
+    );
+    Arc::new(store)
+}
+
+fn tuned_engine(store: Arc<TuneStore>) -> FmmEngine {
+    FmmEngine::new(EngineConfig {
+        arch: ArchParams::paper_machine().into(),
+        params: BlockingParams::tiny(),
+        routing: Routing::Tuned { store },
+        ..EngineConfig::default()
+    })
+}
+
+/// The acceptance guarantee: a fresh engine over a warm store performs
+/// zero model ranking for the stored shape class, and the stored decision
+/// actually executes (correctly).
+#[test]
+fn warm_store_routes_without_model_ranking() {
+    let (m, k, n) = (64, 64, 64);
+    let choice = TunedChoice::Fmm {
+        dims: (2, 2, 2),
+        levels: 1,
+        variant: Variant::Abc,
+        strategy: Strategy::Dfs,
+    };
+    let engine = tuned_engine(store_with(m, k, n, &f64_kernel(), choice));
+    assert_eq!(engine.decision_label(m, k, n), "<2,2,2> ABC", "the stored decision routes");
+
+    let a = fill::bench_workload(m, k, 1);
+    let b = fill::bench_workload(k, n, 2);
+    let mut c = Matrix::zeros(m, n);
+    for _ in 0..3 {
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.rankings, 0, "stored shape classes never rank");
+    assert_eq!(stats.tuned_hits, 1, "one decision miss, answered by the store");
+    assert_eq!(stats.tuned_misses, 0);
+
+    let mut c_once = Matrix::zeros(m, n);
+    engine.multiply(c_once.as_mut(), a.as_ref(), b.as_ref());
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c_once.as_ref(), c_ref.as_ref()) < 1e-9);
+}
+
+/// Nearby shapes share the stored class (that is what makes a store warm
+/// for *traffic*, not just for the tuned size), while other classes miss.
+#[test]
+fn class_neighbors_hit_and_strangers_fall_back() {
+    let choice = TunedChoice::Fmm {
+        dims: (2, 2, 2),
+        levels: 1,
+        variant: Variant::Abc,
+        strategy: Strategy::Dfs,
+    };
+    let engine = tuned_engine(store_with(64, 64, 64, &f64_kernel(), choice));
+    let run = |m: usize, k: usize, n: usize| {
+        let a = fill::bench_workload(m, k, 1);
+        let b = fill::bench_workload(k, n, 2);
+        let mut c = Matrix::zeros(m, n);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9, "m={m} k={k} n={n}");
+    };
+    run(60, 58, 70); // buckets to 64x64x64 -> hit
+    assert_eq!(engine.stats().tuned_hits, 1);
+    assert_eq!(engine.stats().rankings, 0);
+
+    run(120, 120, 120); // buckets to 128^3 -> miss, model fallback
+    let stats = engine.stats();
+    assert_eq!(stats.tuned_misses, 1, "unknown class fell back");
+    assert_eq!(stats.rankings, 1, "fallback ranked once");
+}
+
+/// A stale entry whose kernel fingerprint does not match the running
+/// machine is ignored, not replayed.
+#[test]
+fn kernel_fingerprint_mismatch_is_a_miss() {
+    let choice = TunedChoice::Fmm {
+        dims: (2, 2, 2),
+        levels: 1,
+        variant: Variant::Abc,
+        strategy: Strategy::Dfs,
+    };
+    let engine = tuned_engine(store_with(64, 64, 64, "some_other_cpu_kernel", choice));
+    let a = fill::bench_workload(64, 64, 1);
+    let b = fill::bench_workload(64, 64, 2);
+    let mut c = Matrix::zeros(64, 64);
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let stats = engine.stats();
+    assert_eq!(stats.tuned_hits, 0);
+    assert_eq!(stats.tuned_misses, 1);
+    assert_eq!(stats.rankings, 1);
+}
+
+/// A stored decision naming an algorithm the registry no longer holds
+/// degrades to model routing instead of panicking.
+#[test]
+fn stale_algorithm_reference_falls_back_to_model() {
+    let choice = TunedChoice::Fmm {
+        dims: (9, 9, 9),
+        levels: 1,
+        variant: Variant::Abc,
+        strategy: Strategy::Dfs,
+    };
+    let engine = tuned_engine(store_with(64, 64, 64, &f64_kernel(), choice));
+    let a = fill::bench_workload(64, 64, 1);
+    let b = fill::bench_workload(64, 64, 2);
+    let mut c = Matrix::zeros(64, 64);
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+    let stats = engine.stats();
+    assert_eq!(stats.tuned_misses, 1);
+    assert_eq!(stats.rankings, 1);
+}
+
+/// A corrupted store file loads as empty, so a tuned engine over it is
+/// just a model-routed engine — no panic anywhere on the path.
+#[test]
+fn corrupted_store_file_degrades_to_model_routing() {
+    let path = std::env::temp_dir().join(format!("fmm-tune-corrupt-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"schema_version\": 1, \"calibr").unwrap();
+    let store = Arc::new(TuneStore::load(&path));
+    assert!(store.is_empty(), "corrupted file reads as empty");
+    let engine = tuned_engine(store);
+    let a = fill::bench_workload(48, 40, 1);
+    let b = fill::bench_workload(40, 44, 2);
+    let mut c = Matrix::zeros(48, 44);
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+    let stats = engine.stats();
+    assert_eq!(stats.tuned_misses, 1);
+    assert_eq!(stats.rankings, 1);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A programmatically-built store entry with `levels: 0` (the JSON load
+/// path rejects it, but `Routing::Tuned` accepts any `TuneStore` value)
+/// reads as a miss instead of panicking plan composition.
+#[test]
+fn zero_levels_entry_is_a_miss_not_a_panic() {
+    let choice = TunedChoice::Fmm {
+        dims: (2, 2, 2),
+        levels: 0,
+        variant: Variant::Abc,
+        strategy: Strategy::Dfs,
+    };
+    let engine = tuned_engine(store_with(64, 64, 64, &f64_kernel(), choice));
+    let a = fill::bench_workload(64, 64, 1);
+    let b = fill::bench_workload(64, 64, 2);
+    let mut c = Matrix::zeros(64, 64);
+    engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+    let stats = engine.stats();
+    assert_eq!(stats.tuned_misses, 1);
+    assert_eq!(stats.rankings, 1);
+}
+
+/// A stored GEMM winner routes to plain GEMM.
+#[test]
+fn stored_gemm_decision_routes_to_gemm() {
+    let engine = tuned_engine(store_with(32, 32, 32, &f64_kernel(), TunedChoice::Gemm));
+    assert_eq!(engine.decision_label(32, 32, 32), "GEMM");
+    assert_eq!(engine.stats().tuned_hits, 1);
+    assert_eq!(engine.stats().rankings, 0);
+}
+
+/// Satellite guarantee: invalid arch constants are rejected at
+/// construction instead of silently poisoning every ranking.
+#[test]
+#[should_panic(expected = "EngineConfig.arch is invalid")]
+fn invalid_fixed_arch_is_rejected_at_construction() {
+    let mut bad = ArchParams::paper_machine();
+    bad.tau_b = -1.0; // a negative bandwidth cost
+    let _ = FmmEngine::<f64>::new(EngineConfig {
+        arch: ArchSource::Fixed(bad),
+        ..EngineConfig::default()
+    });
+}

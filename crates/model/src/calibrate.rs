@@ -9,7 +9,7 @@
 use crate::arch::ArchParams;
 use crate::predict::predict_gemm;
 use fmm_dense::{fill, Matrix};
-use fmm_gemm::{BlockingParams, DestTile, GemmWorkspace};
+use fmm_gemm::{BlockingParams, DestTile, GemmScalar, GemmWorkspace};
 use std::time::Instant;
 
 /// Measured inputs for calibration, separated from the measurement code so
@@ -50,13 +50,23 @@ pub fn fit(meas: &Measurements, params: &BlockingParams) -> ArchParams {
 ///
 /// `scale` shrinks the measurement sizes (1.0 = the defaults below); the
 /// figure harness passes its `--scale` through so calibration cost tracks
-/// experiment cost.
+/// experiment cost. [`measure_t`] is the generic form; this `f64` alias
+/// keeps the historical signature.
 pub fn measure(params: &BlockingParams, scale: f64) -> Measurements {
+    measure_t::<f64>(params, scale)
+}
+
+/// [`measure`] for an arbitrary execution scalar: the compute probe and the
+/// reference GEMM run `T`'s runtime-selected micro-kernel (so `tau_a`
+/// reflects the dtype's actual peak), while the bandwidth probe stays an
+/// 8-byte stream — `tau_b` is defined per 8 bytes moved and the DRAM rate
+/// is dtype-independent.
+pub fn measure_t<T: GemmScalar>(params: &BlockingParams, scale: f64) -> Measurements {
     let dim = |x: usize| ((x as f64 * scale) as usize).max(64);
     // Compute-bound probe: operands sized to the L2-resident block.
     let compute_gflops = {
         let (m, k, n) = (params.mc.max(64), params.kc.max(64), 256.max(params.nr));
-        let secs = time_gemm(m, k, n, params, 5);
+        let secs = time_gemm::<T>(m, k, n, params, 5);
         fmm_core::counts::effective_gflops(m, k, n, secs)
     };
     // Bandwidth probe: large copy with accumulate (read + write streams).
@@ -78,7 +88,7 @@ pub fn measure(params: &BlockingParams, scale: f64) -> Measurements {
     };
     // Reference mid-size GEMM for the λ fit.
     let (m, k, n) = (dim(2048), dim(1024), dim(2048));
-    let secs = time_gemm(m, k, n, params, 2);
+    let secs = time_gemm::<T>(m, k, n, params, 2);
     Measurements { compute_gflops, bandwidth_gbs, reference_gemm: (m, k, n, secs) }
 }
 
@@ -87,25 +97,31 @@ pub fn calibrate(params: &BlockingParams, scale: f64) -> ArchParams {
     fit(&measure(params, scale), params)
 }
 
-fn time_gemm(m: usize, k: usize, n: usize, params: &BlockingParams, reps: usize) -> f64 {
-    let a = fill::bench_workload(m, k, 91);
-    let b = fill::bench_workload(k, n, 92);
-    let mut c = Matrix::zeros(m, n);
-    let mut ws = GemmWorkspace::for_params(params);
+fn time_gemm<T: GemmScalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    params: &BlockingParams,
+    reps: usize,
+) -> f64 {
+    let a = fill::bench_workload_t::<T>(m, k, 91);
+    let b = fill::bench_workload_t::<T>(k, n, 92);
+    let mut c = Matrix::<T>::zeros(m, n);
+    let mut ws = GemmWorkspace::<T>::for_params(params);
     // Warm-up.
     fmm_gemm::driver::gemm_sums(
-        &mut [DestTile::new(c.as_mut(), 1.0)],
-        &[(1.0, a.as_ref())],
-        &[(1.0, b.as_ref())],
+        &mut [DestTile::new(c.as_mut(), T::ONE)],
+        &[(T::ONE, a.as_ref())],
+        &[(T::ONE, b.as_ref())],
         params,
         &mut ws,
     );
     let start = Instant::now();
     for _ in 0..reps {
         fmm_gemm::driver::gemm_sums(
-            &mut [DestTile::new(c.as_mut(), 1.0)],
-            &[(1.0, a.as_ref())],
-            &[(1.0, b.as_ref())],
+            &mut [DestTile::new(c.as_mut(), T::ONE)],
+            &[(T::ONE, a.as_ref())],
+            &[(T::ONE, b.as_ref())],
             params,
             &mut ws,
         );

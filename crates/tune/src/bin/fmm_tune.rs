@@ -1,0 +1,239 @@
+//! `fmm_tune` — operate the persistent autotuning store from a shell.
+//!
+//! ```sh
+//! fmm_tune calibrate [--scale 1.0] [--dtype f64|f32|both]
+//! fmm_tune explore --sizes 256,512 [--workers N] [--top-k K] [--reps R]
+//!          [--warmup W] [--levels L] [--no-verify] [--dtype f64|f32|both]
+//! fmm_tune show
+//! fmm_tune clear
+//! ```
+//!
+//! The store lives at `~/.cache/fmm/tune.json` unless `FMM_TUNE_STORE`
+//! points elsewhere. `calibrate` measures this host's `ArchParams` per
+//! dtype (honoring the runtime-selected micro-kernel) and persists them;
+//! `explore` times the model's top candidates at each size (squares) and
+//! persists the measured winners, verifying every winner against an exact
+//! blocked GEMM unless `--no-verify`; `show` prints the store; `clear`
+//! deletes it.
+
+use fmm_gemm::{BlockingParams, GemmScalar};
+use fmm_tune::{calibrate_host, ExploreOutcome, TunePolicy, TuneStore, Tuner};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        usage_and_exit();
+    };
+    match command.as_str() {
+        "calibrate" => cmd_calibrate(&argv[1..]),
+        "explore" => cmd_explore(&argv[1..]),
+        "show" => cmd_show(),
+        "clear" => cmd_clear(),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: fmm_tune <calibrate|explore|show|clear> [options]\n\
+         \n\
+         calibrate [--scale S] [--dtype f64|f32|both]\n\
+         explore --sizes N,N,... [--workers N] [--top-k K] [--reps R]\n\
+         \x20        [--warmup W] [--levels L] [--no-verify] [--dtype f64|f32|both]\n\
+         show\n\
+         clear\n\
+         \n\
+         store: {} (override with FMM_TUNE_STORE)",
+        TuneStore::default_path().display()
+    );
+    std::process::exit(2);
+}
+
+fn arg_value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    argv.get(*i).unwrap_or_else(|| {
+        eprintln!("{flag} takes a value");
+        std::process::exit(2);
+    })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dtype {
+    F64,
+    F32,
+    Both,
+}
+
+fn parse_dtype(s: &str) -> Dtype {
+    match s {
+        "f64" => Dtype::F64,
+        "f32" => Dtype::F32,
+        "both" => Dtype::Both,
+        other => {
+            eprintln!("unknown dtype {other:?} (expected f64, f32, or both)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_calibrate(argv: &[String]) {
+    let mut scale = 1.0_f64;
+    let mut dtype = Dtype::F64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => scale = arg_value(argv, &mut i, "--scale").parse().expect("--scale: f64"),
+            "--dtype" => dtype = parse_dtype(arg_value(argv, &mut i, "--dtype")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let path = TuneStore::default_path();
+    let mut store = TuneStore::load(&path);
+    if matches!(dtype, Dtype::F64 | Dtype::Both) {
+        calibrate_one::<f64>(&mut store, scale);
+    }
+    if matches!(dtype, Dtype::F32 | Dtype::Both) {
+        calibrate_one::<f32>(&mut store, scale);
+    }
+    store.save(&path).expect("save tune store");
+    println!("saved {}", path.display());
+}
+
+fn calibrate_one<T: GemmScalar>(store: &mut TuneStore, scale: f64) {
+    let kernel = fmm_tune::kernel_fingerprint::<T>();
+    println!("calibrating {} ({kernel}) at scale {scale} ...", T::NAME);
+    let arch = calibrate_host::<T>(&BlockingParams::default(), scale);
+    println!(
+        "  peak {:.2} GFLOP/s | bandwidth {:.2} GB/s | lambda {:.2}",
+        arch.peak_gflops(),
+        8.0 / arch.tau_b / 1e9,
+        arch.lambda
+    );
+    store.set_calibrated(T::NAME, &kernel, arch);
+}
+
+fn cmd_explore(argv: &[String]) {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut policy = TunePolicy::default();
+    let mut workers = 1usize;
+    let mut levels = 2usize;
+    let mut dtype = Dtype::F64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sizes" => {
+                sizes = arg_value(argv, &mut i, "--sizes")
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes: comma-separated integers"))
+                    .collect();
+            }
+            "--workers" => {
+                workers = arg_value(argv, &mut i, "--workers").parse().expect("--workers: integer");
+            }
+            "--top-k" => {
+                policy.top_k =
+                    arg_value(argv, &mut i, "--top-k").parse().expect("--top-k: integer");
+            }
+            "--reps" => {
+                policy.reps = arg_value(argv, &mut i, "--reps").parse().expect("--reps: integer");
+            }
+            "--warmup" => {
+                policy.warmup =
+                    arg_value(argv, &mut i, "--warmup").parse().expect("--warmup: integer");
+            }
+            "--levels" => {
+                levels = arg_value(argv, &mut i, "--levels").parse().expect("--levels: integer");
+            }
+            "--no-verify" => policy.verify = false,
+            "--verify" => policy.verify = true,
+            "--dtype" => dtype = parse_dtype(arg_value(argv, &mut i, "--dtype")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if sizes.is_empty() {
+        eprintln!("explore requires --sizes N,N,...");
+        std::process::exit(2);
+    }
+
+    let path = TuneStore::default_path();
+    let mut store = TuneStore::load(&path);
+    let tuner = Tuner::new(policy, workers, levels);
+    if matches!(dtype, Dtype::F64 | Dtype::Both) {
+        explore_one::<f64>(&tuner, &mut store, &sizes);
+    }
+    if matches!(dtype, Dtype::F32 | Dtype::Both) {
+        explore_one::<f32>(&tuner, &mut store, &sizes);
+    }
+    store.save(&path).expect("save tune store");
+    println!("saved {} ({} decisions)", path.display(), store.decision_count());
+}
+
+fn explore_one<T: GemmScalar>(tuner: &Tuner, store: &mut TuneStore, sizes: &[usize]) {
+    // Calibrated params from the store when fingerprint-fresh, else a
+    // fresh measurement recorded into *this* store — the caller saves it,
+    // so the calibration and the decisions land in the file together.
+    let arch = fmm_tune::ensure_calibrated::<T>(store);
+    for &n in sizes {
+        let outcome = tuner.explore::<T>(store, &arch, n, n, n);
+        print_outcome(&outcome);
+    }
+}
+
+fn print_outcome(o: &ExploreOutcome) {
+    println!(
+        "{} {}³ (class {}, {} workers): winner {} at {:.2} GFLOP/s (model picked {})",
+        o.dtype,
+        o.shape.0,
+        o.class.label(),
+        o.workers,
+        o.winner,
+        o.winner_gflops,
+        o.model_pick
+    );
+    for c in &o.candidates {
+        println!(
+            "    {:<32} {:>9.3} ms measured | {:>9.3} ms predicted | {:>7.2} GFLOP/s",
+            c.label,
+            c.secs * 1e3,
+            c.predicted_secs * 1e3,
+            c.gflops
+        );
+    }
+    if let Some(err) = o.verified_error {
+        println!("    verified against blocked GEMM: rel error {err:.3e}");
+    }
+}
+
+fn cmd_show() {
+    let path = TuneStore::default_path();
+    let store = TuneStore::load(&path);
+    println!("store: {}", path.display());
+    println!(
+        "{} calibrated dtype(s), {} decision(s)",
+        store.calibrated_count(),
+        store.decision_count()
+    );
+    println!("{}", store.to_json_string());
+}
+
+fn cmd_clear() {
+    let path = TuneStore::default_path();
+    match std::fs::remove_file(&path) {
+        Ok(()) => println!("removed {}", path.display()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("nothing to clear at {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("failed to remove {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

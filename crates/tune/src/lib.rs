@@ -1,0 +1,60 @@
+//! `fmm-tune` — host calibration, empirical autotuning, and the persistent
+//! decision store that closes the model→reality loop.
+//!
+//! The paper's selection story (§6, Figs. 9–10) is a *model* ranking
+//! validated against *empirical* timings: the model proposes, measurement
+//! disposes. The rest of this workspace only implemented the first half —
+//! every engine routed with [`ArchParams::paper_machine`], the 2017
+//! experiment machine's constants. This crate supplies the second half as
+//! a three-stage pipeline:
+//!
+//! 1. **Calibration** ([`host`]) — run the `fmm_model::calibrate`
+//!    microbenchmarks on the running machine, per dtype and honoring the
+//!    dtype's runtime-selected micro-kernel, to fit a host-specific
+//!    [`ArchParams`]. [`host_arch`] caches the result process-wide and
+//!    persists it in the tune store, so the measurement cost is paid once
+//!    per machine, not per process.
+//! 2. **Empirical exploration** ([`tuner`]) — for a problem shape, take
+//!    the top-K candidates from the model ranking
+//!    (`rank_candidates`/`rank_scheduled`, GEMM included) and time each
+//!    for real through pooled [`FmmContext`](fmm_core::FmmContext)/
+//!    [`SchedContext`](fmm_sched::SchedContext)s, under a configurable
+//!    warmup/rep/outlier [`TunePolicy`]. The measured winner — not the
+//!    model's guess — is what gets remembered.
+//! 3. **Persistence** ([`store`]) — a versioned [`TuneStore`] (serialized
+//!    with `fmm_core::json`, default location `~/.cache/fmm/tune.json`,
+//!    `FMM_TUNE_STORE` override) holding the calibrated `ArchParams` plus
+//!    the winning decision per (shape class, dtype, workers), each entry
+//!    fingerprinted by micro-kernel name so a different CPU (or kernel
+//!    selection) invalidates stale decisions instead of replaying them.
+//!
+//! `fmm-engine` consumes the store through `Routing::Tuned`: stored shape
+//! classes route with **zero model re-ranking**, misses fall back to model
+//! routing, and both paths are counted (`EngineStats::{tuned_hits,
+//! tuned_misses}`). The `fmm_tune` CLI binary (`calibrate`, `explore`,
+//! `show`, `clear`) makes the store operable from a shell.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fmm_tune::{host_arch, ShapeClass, TuneStore, Tuner};
+//!
+//! let arch = host_arch::<f64>(); // calibrated for this machine, cached
+//! let mut store = TuneStore::load_default();
+//! let tuner = Tuner::sequential();
+//! let outcome = tuner.explore::<f64>(&mut store, &arch, 512, 512, 512);
+//! println!("{}: {:.1} GFLOP/s", outcome.winner, outcome.winner_gflops);
+//! store.save(&TuneStore::default_path()).ok();
+//! ```
+
+pub mod host;
+pub mod store;
+pub mod tuner;
+
+pub use fmm_model::ArchParams;
+pub use host::{calibrate_host, ensure_calibrated, host_arch, QUICK_SCALE};
+pub use store::{
+    kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, TunedDecision, MAX_DECISION_LEVELS,
+    SCHEMA_VERSION,
+};
+pub use tuner::{CandidateTiming, ExploreOutcome, TunePolicy, Tuner};

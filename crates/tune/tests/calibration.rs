@@ -1,0 +1,54 @@
+//! Calibration coverage: `fit` recovers known synthetic measurements, and
+//! real host calibration always yields validating parameters (the CI
+//! matrix runs this at both 1 and 4 workers).
+
+use fmm_gemm::BlockingParams;
+use fmm_model::calibrate::{fit, Measurements};
+use fmm_model::predict::predict_gemm;
+use fmm_model::ArchParams;
+use fmm_tune::{calibrate_host, host_arch};
+
+/// `fit` inverts the model: synthetic measurements generated from known
+/// `(tau_a, tau_b, lambda)` are recovered within tolerance across the
+/// admissible lambda range.
+#[test]
+fn fit_recovers_known_synthetic_measurements() {
+    let params = BlockingParams::default();
+    for lambda in [0.55, 0.7, 0.82, 0.95] {
+        let truth = ArchParams { lambda, ..ArchParams::paper_machine() };
+        let (m, k, n) = (4000, 256, 4000); // memory-sensitive shape
+        let meas = Measurements {
+            compute_gflops: truth.peak_gflops(),
+            bandwidth_gbs: 8.0 / truth.tau_b / 1e9,
+            reference_gemm: (m, k, n, predict_gemm(m, k, n, &truth).total),
+        };
+        let fitted = fit(&meas, &params);
+        assert!((fitted.tau_a - truth.tau_a).abs() / truth.tau_a < 1e-9, "lambda={lambda}");
+        assert!((fitted.tau_b - truth.tau_b).abs() / truth.tau_b < 1e-9, "lambda={lambda}");
+        assert!((fitted.lambda - lambda).abs() < 0.02, "lambda={lambda}: fitted {}", fitted.lambda);
+        fitted.validate().unwrap();
+    }
+}
+
+/// Real (small-scale) host calibration produces validating parameters for
+/// both dtypes — under every worker count CI runs this suite at.
+#[test]
+fn calibrated_params_validate_on_this_host() {
+    let params = BlockingParams::default();
+    let f64_arch = calibrate_host::<f64>(&params, 0.05);
+    f64_arch.validate().expect("f64 host calibration must validate");
+    assert!(f64_arch.peak_gflops() > 0.0);
+    let f32_arch = calibrate_host::<f32>(&params, 0.05);
+    f32_arch.validate().expect("f32 host calibration must validate");
+}
+
+/// The cached host-arch entry point always returns validating parameters
+/// and is stable across calls within a process.
+#[test]
+fn host_arch_is_valid_and_stable() {
+    let a = host_arch::<f64>();
+    a.validate().unwrap();
+    assert_eq!(a, host_arch::<f64>());
+    let a32 = host_arch::<f32>();
+    a32.validate().unwrap();
+}

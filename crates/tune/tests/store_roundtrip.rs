@@ -1,0 +1,125 @@
+//! TuneStore persistence contract: lossless round-trips, graceful
+//! degradation on every corruption mode, fingerprint invalidation.
+
+use fmm_core::{Strategy, Variant};
+use fmm_model::ArchParams;
+use fmm_tune::{ShapeClass, TuneStore, TunedChoice, TunedDecision};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fmm-tune-test-{tag}-{}.json", std::process::id()))
+}
+
+fn populated_store() -> TuneStore {
+    let mut store = TuneStore::new();
+    store.set_calibrated("f64", "avx512f_8x4", ArchParams::paper_machine());
+    store.set_calibrated("f32", "avx2_fma_16x4", ArchParams::paper_machine().with_elem_bytes(4));
+    store.set_decision(
+        ShapeClass::of(512, 512, 512),
+        "f64",
+        1,
+        "avx512f_8x4",
+        TunedDecision {
+            choice: TunedChoice::Fmm {
+                dims: (2, 2, 2),
+                levels: 2,
+                variant: Variant::Abc,
+                strategy: Strategy::Dfs,
+            },
+            gflops: 24.5,
+        },
+    );
+    store.set_decision(
+        ShapeClass::of(256, 256, 256),
+        "f64",
+        4,
+        "avx512f_8x4",
+        TunedDecision {
+            choice: TunedChoice::Fmm {
+                dims: (3, 3, 3),
+                levels: 1,
+                variant: Variant::Ab,
+                strategy: Strategy::Hybrid,
+            },
+            gflops: 61.125,
+        },
+    );
+    store.set_decision(
+        ShapeClass::of(96, 4096, 96),
+        "f32",
+        1,
+        "avx2_fma_16x4",
+        TunedDecision { choice: TunedChoice::Gemm, gflops: 39.0 },
+    );
+    store
+}
+
+#[test]
+fn save_load_is_lossless() {
+    let store = populated_store();
+    let path = temp_path("roundtrip");
+    store.save(&path).expect("save");
+    let loaded = TuneStore::load(&path);
+    assert_eq!(loaded, store, "byte-for-byte semantic round-trip");
+    // And the text itself re-parses to the same value (serializer and
+    // parser agree on the schema).
+    assert_eq!(TuneStore::from_json_str(&store.to_json_string()).unwrap(), store);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_corruption_mode_degrades_to_empty_never_panics() {
+    let path = temp_path("corrupt");
+    let full = populated_store().to_json_string();
+    let cases: Vec<String> = vec![
+        String::new(),                           // empty file
+        "not json at all".to_string(),           // garbage
+        full[..full.len() / 2].to_string(),      // truncated mid-document
+        "{\"schema_version\": 999}".to_string(), // future schema
+        "{\"decisions\": {}}".to_string(),       // missing version stamp
+        // Right shape, nonsense decision payload.
+        "{\"schema_version\": 1, \"calibrated\": {}, \"decisions\": \
+         {\"f64/512x512x512/w1\": {\"kernel\": \"k\", \"gflops\": 1.0, \"kind\": \"bogus\"}}}"
+            .to_string(),
+        // Parseable JSON whose levels would panic plan composition.
+        "{\"schema_version\": 1, \"calibrated\": {}, \"decisions\": \
+         {\"f64/512x512x512/w1\": {\"kernel\": \"k\", \"gflops\": 1.0, \"kind\": \"fmm\", \
+          \"dims\": [2, 2, 2], \"levels\": 0, \"variant\": \"ABC\", \"strategy\": \"DFS\"}}}"
+            .to_string(),
+    ];
+    for (i, text) in cases.iter().enumerate() {
+        std::fs::write(&path, text).unwrap();
+        let store = TuneStore::load(&path);
+        assert!(store.is_empty(), "case {i} must degrade to an empty store");
+    }
+    std::fs::remove_file(&path).ok();
+    // Missing file entirely.
+    assert!(TuneStore::load(&path).is_empty());
+}
+
+#[test]
+fn fingerprint_mismatch_ignores_stale_decisions() {
+    let path = temp_path("fingerprint");
+    populated_store().save(&path).expect("save");
+    let loaded = TuneStore::load(&path);
+    let class = ShapeClass::of(512, 512, 512);
+    assert!(loaded.decision(class, "f64", 1, "avx512f_8x4").is_some(), "matching kernel hits");
+    assert!(
+        loaded.decision(class, "f64", 1, "portable_8x4").is_none(),
+        "a different machine's kernel must not replay this machine's winners"
+    );
+    // Same for calibrated params.
+    assert!(loaded.calibrated("f64", "avx512f_8x4").is_some());
+    assert!(loaded.calibrated("f64", "portable_8x4").is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_creates_parent_directories_atomically() {
+    let dir = std::env::temp_dir().join(format!("fmm-tune-test-dir-{}", std::process::id()));
+    let path = dir.join("nested").join("tune.json");
+    let store = populated_store();
+    store.save(&path).expect("save with directory creation");
+    assert_eq!(TuneStore::load(&path), store);
+    std::fs::remove_dir_all(&dir).ok();
+}

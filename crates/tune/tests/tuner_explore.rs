@@ -1,0 +1,57 @@
+//! Tuner end-to-end: exploration times real candidates, verifies the
+//! winner, and records a fingerprinted decision the engine can consume.
+
+use fmm_gemm::BlockingParams;
+use fmm_model::ArchParams;
+use fmm_tune::{kernel_fingerprint, ShapeClass, TunePolicy, TuneStore, Tuner};
+
+fn quick_tuner(workers: usize) -> Tuner {
+    Tuner::with_registry(
+        TunePolicy { top_k: 3, warmup: 1, reps: 2, trim: 0.5, verify: true },
+        BlockingParams::tiny(),
+        fmm_core::registry::Registry::shared(),
+        workers,
+        1,
+    )
+}
+
+#[test]
+fn explore_records_a_verified_winner_for_f64() {
+    let tuner = quick_tuner(1);
+    let mut store = TuneStore::new();
+    let arch = ArchParams::paper_machine();
+    let outcome = tuner.explore::<f64>(&mut store, &arch, 96, 96, 96);
+
+    assert_eq!(outcome.dtype, "f64");
+    assert_eq!(outcome.workers, 1);
+    assert_eq!(outcome.class, ShapeClass::of(96, 96, 96));
+    assert!(!outcome.candidates.is_empty());
+    for pair in outcome.candidates.windows(2) {
+        assert!(pair[0].secs <= pair[1].secs, "candidates sorted fastest first");
+    }
+    assert_eq!(outcome.winner, outcome.candidates[0].label);
+    assert!(outcome.winner_gflops > 0.0);
+    let err = outcome.verified_error.expect("policy.verify was on");
+    assert!(err < <f64 as fmm_dense::Scalar>::accuracy_bound(96, 1));
+
+    let stored = store
+        .decision(outcome.class, "f64", 1, &kernel_fingerprint::<f64>())
+        .expect("winner persisted under the current kernel fingerprint");
+    assert!((stored.gflops - outcome.winner_gflops).abs() < 1e-12);
+}
+
+#[test]
+fn explore_keys_by_dtype_and_workers() {
+    let tuner = quick_tuner(1);
+    let mut store = TuneStore::new();
+    let arch = ArchParams::paper_machine();
+    tuner.explore::<f32>(&mut store, &arch, 64, 64, 64);
+    let class = ShapeClass::of(64, 64, 64);
+    let f32_kernel = kernel_fingerprint::<f32>();
+    assert!(store.decision(class, "f32", 1, &f32_kernel).is_some());
+    assert!(
+        store.decision(class, "f64", 1, &kernel_fingerprint::<f64>()).is_none(),
+        "an f32 exploration must not answer f64 routing"
+    );
+    assert!(store.decision(class, "f32", 4, &f32_kernel).is_none(), "worker count is in the key");
+}

@@ -83,6 +83,6 @@ fn global_f32_engine_is_independent_of_f64_engine() {
     let after = fmm::engine_f32().stats();
     assert!(after.executions > before.executions);
     // The f64 engine's model is charged 8 bytes/element, the f32 engine 4.
-    assert_eq!(fmm::engine().config().arch.elem_bytes, 8);
-    assert_eq!(fmm::engine_f32().config().arch.elem_bytes, 4);
+    assert_eq!(fmm::engine().arch().elem_bytes, 8);
+    assert_eq!(fmm::engine_f32().arch().elem_bytes, 4);
 }
