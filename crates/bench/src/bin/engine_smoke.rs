@@ -82,28 +82,22 @@ fn main() {
     let warm_gflops = timing::gflops(n, n, n, warm_secs);
     let cold_gflops = timing::gflops(n, n, n, cold);
 
+    // The full counter set rides along via the `EngineStats::fields`
+    // reflection surface (one schema for every consumer; see fmm-serve's
+    // stats channel for the other user).
+    let stat_fields: Vec<(&str, fmm_core::json::Value)> =
+        stats.fields().iter().map(|&(name, value)| (name, int(value as i64))).collect();
+    println!("engine stats: {stats}");
+
     let mut report = Report::new("engine_smoke");
-    report
-        .field("reps", int(args.reps as i64))
-        .field(
-            "stats",
-            object(&[
-                ("executions", int(stats.executions as i64)),
-                ("decision_hits", int(stats.decision_hits as i64)),
-                ("rankings", int(stats.rankings as i64)),
-                ("plan_compositions", int(stats.plan_compositions as i64)),
-                ("context_allocations", int(stats.context_allocations as i64)),
-                ("arena_grows", int(stats.arena_grows as i64)),
-            ]),
-        )
-        .row(&[
-            ("size", int(n as i64)),
-            ("gflops", num(warm_gflops)),
-            ("decision", text(decision)),
-            ("cold_ms", num(cold * 1e3)),
-            ("cold_effective_gflops", num(cold_gflops)),
-            ("warm_ms", num(warm_secs * 1e3)),
-            ("warm_calls_per_sec", num(warm_calls_per_sec)),
-        ]);
+    report.field("reps", int(args.reps as i64)).field("stats", object(&stat_fields)).row(&[
+        ("size", int(n as i64)),
+        ("gflops", num(warm_gflops)),
+        ("decision", text(decision)),
+        ("cold_ms", num(cold * 1e3)),
+        ("cold_effective_gflops", num(cold_gflops)),
+        ("warm_ms", num(warm_secs * 1e3)),
+        ("warm_calls_per_sec", num(warm_calls_per_sec)),
+    ]);
     report.write(&args.out);
 }

@@ -15,7 +15,7 @@
 //! `EngineStats`) and its results are checked against blocked GEMM, so a
 //! routing bug can never masquerade as a speedup.
 
-use fmm_bench::report::{int, num, text, Report};
+use fmm_bench::report::{int, latency_fields, num, text, Report};
 use fmm_bench::timing;
 use fmm_dense::{fill, norms, Matrix};
 use fmm_engine::{EngineConfig, FmmEngine, Routing};
@@ -118,15 +118,22 @@ fn main() {
         };
         run_model(); // warmup: decisions, plans, arenas
         run_tuned();
-        let (mut model_secs, mut tuned_secs) = (f64::INFINITY, f64::INFINITY);
+        // Keep every sample: min for the headline GFLOP/s (classic
+        // benchmark convention), the full distribution for the latency
+        // columns — the serving story cares about p99, not best-case.
+        let mut model_samples = Vec::with_capacity(args.reps.max(1));
+        let mut tuned_samples = Vec::with_capacity(args.reps.max(1));
         for _ in 0..args.reps.max(1) {
             let t0 = std::time::Instant::now();
             run_model();
-            model_secs = model_secs.min(t0.elapsed().as_secs_f64());
+            model_samples.push(t0.elapsed().as_secs_f64());
             let t1 = std::time::Instant::now();
             run_tuned();
-            tuned_secs = tuned_secs.min(t1.elapsed().as_secs_f64());
+            tuned_samples.push(t1.elapsed().as_secs_f64());
         }
+        let fold_min = |samples: &[f64]| samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let model_secs = fold_min(&model_samples);
+        let tuned_secs = fold_min(&tuned_samples);
 
         // Guard: the timed tuned result must actually be right.
         let mut c_ref = Matrix::zeros(n, n);
@@ -143,7 +150,7 @@ fn main() {
             tuned_engine.decision_label(n, n, n),
             g_tuned / g_model
         );
-        report.row(&[
+        let mut entries = vec![
             ("size", int(n as i64)),
             ("gflops", num(g_tuned)),
             ("model_gflops", num(g_model)),
@@ -152,7 +159,10 @@ fn main() {
             ("model_decision", text(model_engine.decision_label(n, n, n))),
             ("tuned_decision", text(tuned_engine.decision_label(n, n, n))),
             ("rel_error", num(err)),
-        ]);
+        ];
+        // Latency columns over the tuned engine's full sample set.
+        entries.extend(latency_fields(&tuned_samples));
+        report.row(&entries);
     }
 
     // The tuned engine must have answered every size from the store.

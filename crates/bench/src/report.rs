@@ -41,6 +41,34 @@ pub fn object(entries: &[(&str, Value)]) -> Value {
     Value::Object(entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
 }
 
+/// Optional per-row latency columns from raw per-call samples (seconds
+/// in, milliseconds out): `mean_ms` / `p50_ms` / `p99_ms`, nearest-rank
+/// percentiles. Serving benchmarks are latency benchmarks, so rows that
+/// time individual calls should append these alongside `gflops`:
+///
+/// ```ignore
+/// let mut entries = vec![("size", int(n as i64)), ("gflops", num(g))];
+/// entries.extend(latency_fields(&samples_secs));
+/// report.row(&entries);
+/// ```
+///
+/// (Deliberately self-contained: `fmm-serve`'s live-metrics ring keeps
+/// its own summarizer — this bottom-of-the-graph module must not pull
+/// the serving stack into every figure binary.)
+pub fn latency_fields(samples_secs: &[f64]) -> [(&'static str, Value); 3] {
+    if samples_secs.is_empty() {
+        return [("mean_ms", num(0.0)), ("p50_ms", num(0.0)), ("p99_ms", num(0.0))];
+    }
+    let mut sorted: Vec<f64> = samples_secs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = |p: f64| -> f64 {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx] * 1e3
+    };
+    let mean_ms = sorted.iter().sum::<f64>() / sorted.len() as f64 * 1e3;
+    [("mean_ms", num(mean_ms)), ("p50_ms", num(rank(0.50))), ("p99_ms", num(rank(0.99)))]
+}
+
 /// One benchmark report under the shared schema. See the module docs.
 pub struct Report {
     fields: BTreeMap<String, Value>,
@@ -99,6 +127,26 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_fields_summarize_samples_in_ms() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 1e3).collect();
+        let fields = latency_fields(&samples);
+        let by_key: BTreeMap<&str, f64> =
+            fields.iter().map(|(k, v)| (*k, v.as_number().unwrap())).collect();
+        assert!((by_key["p50_ms"] - 50.0).abs() < 1e-9);
+        assert!((by_key["p99_ms"] - 99.0).abs() < 1e-9);
+        assert!((by_key["mean_ms"] - 50.5).abs() < 1e-9);
+
+        // Rows accept them alongside the standard columns.
+        let mut r = Report::new("latency_unit_test");
+        let mut entries = vec![("size", int(64)), ("gflops", num(1.0))];
+        entries.extend(latency_fields(&samples));
+        r.row(&entries);
+        let doc = json::parse(&r.to_json()).expect("valid JSON");
+        let row = &doc.get("rows").unwrap().as_array().unwrap()[0];
+        assert!(row.get("p99_ms").unwrap().as_number().unwrap() > 0.0);
+    }
 
     #[test]
     fn report_emits_schema_with_env_fingerprint() {

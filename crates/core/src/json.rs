@@ -169,9 +169,20 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container (object/array) nesting depth [`parse`] accepts.
+///
+/// The parser recurses per nesting level, so without a limit a small
+/// hostile document (`[[[[…`) overflows the stack. Every consumer of this
+/// module parses files it did not write — registry fixtures, the tune
+/// store, `fmm_serve` CLI inputs — so depth is bounded here, once, and
+/// exceeding it degrades to `Err` like any other malformed input. The
+/// registry format nests a handful of levels; 64 is far above any
+/// legitimate document and far below stack exhaustion.
+pub const MAX_DEPTH: usize = 64;
+
 /// Parse a complete JSON document.
 pub fn parse(input: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -184,6 +195,8 @@ pub fn parse(input: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, checked against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -225,12 +238,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting depth exceeds {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek()? == b'}' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -248,6 +271,7 @@ impl Parser<'_> {
                 }
                 b'}' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 other => {
@@ -259,10 +283,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek()? == b']' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -275,6 +301,7 @@ impl Parser<'_> {
                 }
                 b']' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 other => {
@@ -414,6 +441,77 @@ mod tests {
     fn parse_handles_escapes_and_unicode() {
         let v = parse(r#""a\"b\\c\ndAé""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "a\"b\\c\ndAé");
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting_without_overflow() {
+        // Just inside the limit: parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // One past the limit: a clean Err, not a stack overflow.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = parse(&over).unwrap_err();
+        assert!(err.contains("nesting depth"), "{err}");
+        // A hostile unterminated prefix far past any plausible stack
+        // budget must also degrade to Err.
+        for open in ["[", "{\"k\":", "[[{\"a\":["] {
+            let hostile = open.repeat(100_000);
+            assert!(parse(&hostile).is_err());
+        }
+        // Depth counts the *stack*, not the total container count: wide
+        // shallow documents stay parseable.
+        let wide = format!("[{}1]", "[1],".repeat(10_000));
+        assert!(parse(&wide).is_ok());
+        // Sibling containers release their depth budget.
+        let siblings = format!(
+            "[{a},{a}]",
+            a = format!("{}1{}", "[".repeat(MAX_DEPTH - 1), "]".repeat(MAX_DEPTH - 1))
+        );
+        assert!(parse(&siblings).is_ok());
+    }
+
+    /// Fuzz-style determinism sweep: parsing truncated and byte-mutated
+    /// documents must always return (Ok or Err), never panic or overflow —
+    /// the tune store and the serve CLI both feed this parser files and
+    /// frames they did not write.
+    #[test]
+    fn truncated_and_garbage_inputs_degrade_to_err() {
+        let seed_doc = concat!(
+            "{\"name\": \"strassen <2,2,2>\", \"rank\": 7.0, ",
+            "\"u\": [[1.0, -0.5], [0.0, 2.0e3]], ",
+            "\"meta\": {\"esc\": \"a\\\"b\\\\c\\u00e9\\n\", \"deep\": [[[[1]]]]}}"
+        );
+        assert!(parse(seed_doc).is_ok());
+
+        // Every prefix: truncation at any byte is an error or (for the
+        // full document) a success — never a panic.
+        for cut in 0..seed_doc.len() {
+            if !seed_doc.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse(&seed_doc[..cut]);
+        }
+
+        // Deterministic xorshift byte mutations (single- and double-byte),
+        // parsed as lossy UTF-8. No mutation may panic.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let bytes = seed_doc.as_bytes();
+        for _ in 0..2_000 {
+            let mut mutated = bytes.to_vec();
+            let flips = 1 + (next() as usize % 2);
+            for _ in 0..flips {
+                let pos = next() as usize % mutated.len();
+                mutated[pos] = (next() & 0xFF) as u8;
+            }
+            let text = String::from_utf8_lossy(&mutated);
+            let _ = parse(&text);
+        }
     }
 
     #[test]

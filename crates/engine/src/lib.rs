@@ -64,10 +64,13 @@ pub use lru::LruCache;
 use fmm_core::executor::ArenaLayout;
 use fmm_core::registry::Registry;
 pub use fmm_core::Strategy;
+// `Routing::Pinned` and `multiply_with_plan` take a `Variant`; re-export
+// it so engine consumers need no direct fmm-core dependency for routing.
+pub use fmm_core::Variant;
 pub use fmm_sched::SchedContext;
 pub use fmm_tune::{kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, TunedDecision};
 
-use fmm_core::{fmm_execute, FmmPlan, Variant};
+use fmm_core::{fmm_execute, FmmPlan};
 use fmm_dense::{MatMut, MatRef};
 use fmm_gemm::{BlockingParams, GemmScalar};
 use fmm_model::{rank_candidates, rank_scheduled, ArchParams, Impl};
@@ -246,6 +249,43 @@ pub struct EngineStats {
     pub tuned_misses: u64,
 }
 
+impl EngineStats {
+    /// Every counter as a `(name, value)` row, in declaration order.
+    /// This is the reflection surface consumers like `fmm-serve`'s stats
+    /// channel and the smoke benchmarks render from, so a new counter
+    /// shows up everywhere by being added here once.
+    pub fn fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("executions", self.executions),
+            ("decision_hits", self.decision_hits),
+            ("decision_misses", self.decision_misses),
+            ("rankings", self.rankings),
+            ("plan_compositions", self.plan_compositions),
+            ("context_allocations", self.context_allocations),
+            ("arena_grows", self.arena_grows),
+            ("batches", self.batches),
+            ("batch_items", self.batch_items),
+            ("pinned_fallbacks", self.pinned_fallbacks),
+            ("tuned_hits", self.tuned_hits),
+            ("tuned_misses", self.tuned_misses),
+        ]
+    }
+}
+
+/// One line of `name=value` pairs in [`EngineStats::fields`] order — the
+/// rendering the serve daemon's stats frame and log lines use.
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (name, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     executions: AtomicU64,
@@ -263,6 +303,24 @@ struct Counters {
 }
 
 impl Counters {
+    fn reset(&self) {
+        // Relaxed is enough: reset is a test/bench affordance, not a
+        // synchronization point — concurrent increments may land on
+        // either side of it, exactly like two racing `snapshot`s.
+        self.executions.store(0, Ordering::Relaxed);
+        self.decision_hits.store(0, Ordering::Relaxed);
+        self.decision_misses.store(0, Ordering::Relaxed);
+        self.rankings.store(0, Ordering::Relaxed);
+        self.plan_compositions.store(0, Ordering::Relaxed);
+        self.context_allocations.store(0, Ordering::Relaxed);
+        self.arena_grows.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_items.store(0, Ordering::Relaxed);
+        self.pinned_fallbacks.store(0, Ordering::Relaxed);
+        self.tuned_hits.store(0, Ordering::Relaxed);
+        self.tuned_misses.store(0, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> EngineStats {
         EngineStats {
             executions: self.executions.load(Ordering::Relaxed),
@@ -409,6 +467,14 @@ impl<T: GemmScalar> FmmEngine<T> {
     /// Snapshot of the cumulative cache/allocation counters.
     pub fn stats(&self) -> EngineStats {
         self.counters.snapshot()
+    }
+
+    /// Zero every counter. For tests and benchmarks that want absolute
+    /// assertions against a shared (e.g. process-global) engine without
+    /// bookkeeping a baseline snapshot; caches and pooled contexts are
+    /// untouched, so the engine stays warm.
+    pub fn reset_stats(&self) {
+        self.counters.reset();
     }
 
     /// Worker count parallel executions and parallel-model routing use:
@@ -871,6 +937,46 @@ mod tests {
         engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
         let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
         assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-10);
+    }
+
+    #[test]
+    fn stats_fields_display_and_reset_are_coherent() {
+        let engine = FmmEngine::new(tiny_config(Routing::Model));
+        let a = fill::bench_workload(48, 32, 1);
+        let b = fill::bench_workload(32, 40, 2);
+        let mut c = Matrix::zeros(48, 40);
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+
+        let stats = engine.stats();
+        let fields = stats.fields();
+        // The reflection surface must cover every public counter.
+        assert_eq!(
+            fields.iter().map(|(_, v)| *v).sum::<u64>(),
+            stats.executions
+                + stats.decision_hits
+                + stats.decision_misses
+                + stats.rankings
+                + stats.plan_compositions
+                + stats.context_allocations
+                + stats.arena_grows
+                + stats.batches
+                + stats.batch_items
+                + stats.pinned_fallbacks
+                + stats.tuned_hits
+                + stats.tuned_misses,
+        );
+        let rendered = stats.to_string();
+        assert!(rendered.contains("executions=1"), "{rendered}");
+        assert!(rendered.contains("rankings=1"), "{rendered}");
+
+        engine.reset_stats();
+        assert_eq!(engine.stats(), EngineStats::default());
+        // Caches survive a reset: the next call is a decision hit.
+        engine.multiply(c.as_mut(), a.as_ref(), b.as_ref());
+        let warm = engine.stats();
+        assert_eq!(warm.executions, 1);
+        assert_eq!(warm.decision_hits, 1);
+        assert_eq!(warm.rankings, 0);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! `fmm_serve` — operate the serving daemon from the command line.
+//!
+//! ```sh
+//! fmm_serve serve [--addr 127.0.0.1:7117] [--window-us 2000] [--gap-us 200]
+//!                 [--max-batch 32] [--queue 256] [--workers 0] [--no-tuned]
+//! fmm_serve ping --addr HOST:PORT [--count 3]
+//! fmm_serve stats --addr HOST:PORT
+//! fmm_serve bench --addr HOST:PORT [--threads 4] [--requests 32]
+//!                 [--size 96] [--dtype f64|f32] [--verify]
+//! fmm_serve shutdown --addr HOST:PORT
+//! ```
+//!
+//! `serve` runs until a client sends a `Shutdown` frame, then drains
+//! in-flight work, prints a final stats snapshot, and exits 0 — the clean
+//! shutdown CI asserts. `bench` is the network loadgen: N client threads
+//! each issuing M requests over their own connection, reporting aggregate
+//! throughput and client-observed latency percentiles (the in-process
+//! batched-vs-unbatched comparison lives in `fmm-bench`'s `serve_smoke`).
+
+use fmm_dense::{fill, norms, Matrix};
+use fmm_serve::{BatchPolicy, Client, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("usage: fmm_serve <serve|ping|stats|bench|shutdown> [options]");
+        std::process::exit(2);
+    };
+    let opts = Options::parse(&argv[1..]);
+    match command.as_str() {
+        "serve" => cmd_serve(&opts),
+        "ping" => cmd_ping(&opts),
+        "stats" => cmd_stats(&opts),
+        "bench" => cmd_bench(&opts),
+        "shutdown" => cmd_shutdown(&opts),
+        other => {
+            eprintln!("unknown command {other:?} (serve|ping|stats|bench|shutdown)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Flat flag bag shared by every subcommand (hand-rolled like the other
+/// workspace CLIs; unknown flags are fatal).
+struct Options {
+    addr: String,
+    window_us: u64,
+    gap_us: u64,
+    max_batch: usize,
+    queue: usize,
+    workers: usize,
+    tuned: bool,
+    threads: usize,
+    requests: usize,
+    size: usize,
+    dtype: String,
+    count: usize,
+    verify: bool,
+}
+
+impl Options {
+    fn parse(argv: &[String]) -> Self {
+        let mut o = Options {
+            addr: "127.0.0.1:7117".to_string(),
+            window_us: 2000,
+            gap_us: 200,
+            max_batch: 32,
+            queue: 256,
+            workers: 0,
+            tuned: true,
+            threads: 4,
+            requests: 32,
+            size: 96,
+            dtype: "f64".to_string(),
+            count: 3,
+            verify: false,
+        };
+        let mut i = 0;
+        let value = |argv: &[String], i: usize, flag: &str| -> String {
+            argv.get(i + 1).unwrap_or_else(|| panic!("{flag} takes a value")).clone()
+        };
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--addr" => {
+                    o.addr = value(argv, i, "--addr");
+                    i += 2;
+                }
+                "--window-us" => {
+                    o.window_us = value(argv, i, "--window-us").parse().expect("--window-us: int");
+                    i += 2;
+                }
+                "--gap-us" => {
+                    o.gap_us = value(argv, i, "--gap-us").parse().expect("--gap-us: int");
+                    i += 2;
+                }
+                "--max-batch" => {
+                    o.max_batch = value(argv, i, "--max-batch").parse().expect("--max-batch: int");
+                    i += 2;
+                }
+                "--queue" => {
+                    o.queue = value(argv, i, "--queue").parse().expect("--queue: int");
+                    i += 2;
+                }
+                "--workers" => {
+                    o.workers = value(argv, i, "--workers").parse().expect("--workers: int");
+                    i += 2;
+                }
+                "--no-tuned" => {
+                    o.tuned = false;
+                    i += 1;
+                }
+                "--threads" => {
+                    o.threads = value(argv, i, "--threads").parse().expect("--threads: int");
+                    i += 2;
+                }
+                "--requests" => {
+                    o.requests = value(argv, i, "--requests").parse().expect("--requests: int");
+                    i += 2;
+                }
+                "--size" => {
+                    o.size = value(argv, i, "--size").parse().expect("--size: int");
+                    i += 2;
+                }
+                "--dtype" => {
+                    o.dtype = value(argv, i, "--dtype");
+                    i += 2;
+                }
+                "--count" => {
+                    o.count = value(argv, i, "--count").parse().expect("--count: int");
+                    i += 2;
+                }
+                "--verify" => {
+                    o.verify = true;
+                    i += 1;
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+}
+
+fn cmd_serve(o: &Options) {
+    let config = ServeConfig {
+        addr: o.addr.clone(),
+        batch: BatchPolicy {
+            window: Duration::from_micros(o.window_us),
+            max_batch: o.max_batch.max(1),
+            straggler_gap: Duration::from_micros(o.gap_us),
+        },
+        queue_capacity: o.queue,
+        workers: o.workers,
+        tuned: o.tuned,
+        ..ServeConfig::default()
+    };
+    let window = config.batch.window;
+    let max_batch = config.batch.max_batch;
+    let handle = match Server::spawn(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", o.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("fmm_serve listening on {}", handle.addr());
+    println!(
+        "micro-batching: window {:?}, max batch {max_batch}, queue capacity {}, tuned {}",
+        window, o.queue, o.tuned
+    );
+    let metrics = handle.metrics_arc();
+    handle.wait();
+    print!("{}", metrics.snapshot().render());
+    println!("fmm_serve: shutdown complete");
+}
+
+fn connect(o: &Options) -> Client {
+    match Client::connect(&o.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", o.addr);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_ping(o: &Options) {
+    let mut client = connect(o);
+    for i in 0..o.count.max(1) {
+        match client.ping() {
+            Ok(rtt) => {
+                println!("pong {} from {}: {:.3} ms", i + 1, o.addr, rtt.as_secs_f64() * 1e3)
+            }
+            Err(e) => {
+                eprintln!("ping failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_stats(o: &Options) {
+    let mut client = connect(o);
+    match client.stats() {
+        Ok(body) => print!("{body}"),
+        Err(e) => {
+            eprintln!("stats failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_shutdown(o: &Options) {
+    let mut client = connect(o);
+    match client.shutdown() {
+        Ok(()) => println!("shutdown acknowledged by {}", o.addr),
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The network loadgen: `threads` clients × `requests` square problems
+/// each. Throughput is wall-clock over all completed requests; latency is
+/// client-observed (send → response decoded), summarized at p50/p99.
+fn cmd_bench(o: &Options) {
+    assert!(o.dtype == "f64" || o.dtype == "f32", "--dtype takes f64 or f32");
+    let n = o.size;
+    println!(
+        "bench: {} threads x {} requests, {}^3 {}, against {}",
+        o.threads, o.requests, n, o.dtype, o.addr
+    );
+
+    // Warmup (and connectivity check): one request outside the timed
+    // region so the server's decision/plan/arena caches are hot.
+    {
+        let mut client = connect(o);
+        run_requests(&mut client, o, 1, 0);
+    }
+
+    let t0 = Instant::now();
+    let all_latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..o.threads.max(1))
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = connect(o);
+                    run_requests(&mut client, o, o.requests, t as u64)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench thread panicked")).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let latencies_secs: Vec<f64> = all_latencies.into_iter().flatten().collect();
+    let total = latencies_secs.len();
+    let summary = fmm_serve::metrics::summarize(&latencies_secs);
+    let flops = 2.0 * (n as f64).powi(3) * total as f64;
+    println!(
+        "{total} requests in {wall:.3} s: {:.1} req/s, {:.2} GFLOP/s aggregate",
+        total as f64 / wall,
+        flops / wall / 1e9
+    );
+    println!(
+        "latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+        summary.mean_ms, summary.p50_ms, summary.p99_ms
+    );
+}
+
+/// Issue `count` requests on one connection; returns per-request client
+/// latencies in seconds. With `--verify`, the first response is checked
+/// against the local blocked-GEMM reference.
+fn run_requests(client: &mut Client, o: &Options, count: usize, seed: u64) -> Vec<f64> {
+    let n = o.size;
+    let mut latencies = Vec::with_capacity(count);
+    if o.dtype == "f32" {
+        let a = fill::bench_workload_t::<f32>(n, n, 2 * seed + 1);
+        let b = fill::bench_workload_t::<f32>(n, n, 2 * seed + 2);
+        for i in 0..count {
+            let t0 = Instant::now();
+            let c = client.multiply(&a, &b).unwrap_or_else(|e| {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            });
+            latencies.push(t0.elapsed().as_secs_f64());
+            if o.verify && i == 0 {
+                verify_f32(&a, &b, &c);
+            }
+        }
+    } else {
+        let a = fill::bench_workload(n, n, 2 * seed + 1);
+        let b = fill::bench_workload(n, n, 2 * seed + 2);
+        for i in 0..count {
+            let t0 = Instant::now();
+            let c = client.multiply(&a, &b).unwrap_or_else(|e| {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            });
+            latencies.push(t0.elapsed().as_secs_f64());
+            if o.verify && i == 0 {
+                let mut c_ref = Matrix::zeros(n, n);
+                fmm_gemm::gemm(c_ref.as_mut(), a.as_ref(), b.as_ref());
+                let err = norms::rel_error(c.as_ref(), c_ref.as_ref());
+                assert!(err < 1e-9, "served result diverges from blocked GEMM: {err}");
+            }
+        }
+    }
+    latencies
+}
+
+fn verify_f32(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) {
+    let mut c_ref = Matrix::<f32>::zeros(a.rows(), b.cols());
+    fmm_gemm::gemm(c_ref.as_mut(), a.as_ref(), b.as_ref());
+    let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.cast::<f64>().as_ref());
+    let bound = <f32 as fmm_dense::Scalar>::accuracy_bound(a.cols(), 2);
+    assert!(err < bound, "served f32 result diverges from blocked GEMM: {err} (bound {bound})");
+}

@@ -1,0 +1,170 @@
+//! Blocking client for the `fmm-serve` protocol — the library the e2e
+//! tests, the `fmm_serve` CLI, and the `serve_smoke` loadgen all drive.
+//!
+//! One [`Client`] owns one connection and is strictly request/response:
+//! each call writes a frame, flushes, and blocks for the reply. Hold one
+//! client per thread for concurrency (the server batches across
+//! connections — that is the whole point).
+
+use crate::protocol::{
+    self, decode_error, decode_response, encode_request, ErrorCode, Frame, FrameError, FrameKind,
+    WireScalar,
+};
+use fmm_dense::Matrix;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including a server that hung up).
+    Io(io::Error),
+    /// The server answered, but not with a frame this call expects.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The error code.
+        code: ErrorCode,
+        /// The server's human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Server { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => Self::Io(io),
+            other => Self::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl ClientError {
+    /// True when the server refused the request with `Busy` — the typed
+    /// backpressure signal callers may retry on.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Self::Server { code: ErrorCode::Busy, .. })
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_payload_bytes: usize,
+}
+
+impl Client {
+    /// Connect with the default (64 MiB) reply-payload cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_cap(addr, 64 << 20)
+    }
+
+    /// Connect, capping accepted reply payloads at `max_payload_bytes`.
+    pub fn connect_with_cap(
+        addr: impl ToSocketAddrs,
+        max_payload_bytes: usize,
+    ) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream), max_payload_bytes })
+    }
+
+    /// Send one frame and block for the next reply frame.
+    pub fn roundtrip(&mut self, kind: FrameKind, payload: &[u8]) -> Result<Frame, ClientError> {
+        protocol::write_frame(&mut self.writer, kind, payload)?;
+        self.writer.flush()?;
+        Ok(protocol::read_frame(&mut self.reader, self.max_payload_bytes)?)
+    }
+
+    /// `C = A·B` on the server. Dtype follows the matrix scalar; the
+    /// result is the full `m × n` product (the server computes into a
+    /// zeroed destination).
+    pub fn multiply<T: WireScalar>(
+        &mut self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+    ) -> Result<Matrix<T>, ClientError> {
+        if a.cols() != b.rows() {
+            return Err(ClientError::Protocol(format!(
+                "A is {}x{} but B is {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            )));
+        }
+        let reply = self.roundtrip(FrameKind::Request, &encode_request(a, b))?;
+        match reply.kind {
+            FrameKind::Response => {
+                let c = decode_response::<T>(&reply.payload).map_err(ClientError::Protocol)?;
+                if (c.rows(), c.cols()) != (a.rows(), b.cols()) {
+                    return Err(ClientError::Protocol(format!(
+                        "server answered a {}x{} matrix for a {}x{} problem",
+                        c.rows(),
+                        c.cols(),
+                        a.rows(),
+                        b.cols()
+                    )));
+                }
+                Ok(c)
+            }
+            FrameKind::Error => {
+                let (code, message) = decode_error(&reply.payload);
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
+    /// Liveness probe; returns the round-trip time.
+    pub fn ping(&mut self) -> Result<Duration, ClientError> {
+        let t0 = Instant::now();
+        let reply = self.roundtrip(FrameKind::Ping, b"fmm")?;
+        match reply.kind {
+            FrameKind::Pong if reply.payload == b"fmm" => Ok(t0.elapsed()),
+            FrameKind::Pong => Err(ClientError::Protocol("pong payload mismatch".into())),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
+    /// Fetch the server's plaintext stats snapshot.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.roundtrip(FrameKind::StatsRequest, b"")?;
+        match reply.kind {
+            FrameKind::StatsReply => String::from_utf8(reply.payload)
+                .map_err(|_| ClientError::Protocol("stats body is not UTF-8".into())),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
+    /// Ask the daemon to shut down (acknowledged before it stops
+    /// accepting; in-flight requests drain).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let reply = self.roundtrip(FrameKind::Shutdown, b"")?;
+        match reply.kind {
+            FrameKind::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! The micro-batching dispatcher: a bounded admission queue per dtype and
+//! the drain loop that coalesces concurrent requests into one
+//! `FmmEngine::multiply_batch` call.
+//!
+//! The policy is window/size based, the standard cross-request batching
+//! compromise: the dispatcher blocks for the *first* pending request, then
+//! keeps admitting stragglers until either [`BatchPolicy::max_batch`] is
+//! reached or [`BatchPolicy::window`] has elapsed since the batch opened.
+//! Under saturation the window never actually waits (the queue is
+//! non-empty, so every pop returns immediately) and throughput is bounded
+//! by the engine; at low load a request pays at most one window of extra
+//! latency in exchange for the chance to share a fan-out with its
+//! neighbors — which is exactly how `multiply_batch` realizes the
+//! Benson–Ballard-style inter-problem parallelism on small problems.
+//!
+//! Admission control lives in the queue itself: [`BatchQueue::try_push`]
+//! refuses beyond [`BatchQueue::capacity`], and the connection layer turns
+//! that refusal into a typed `Busy` error frame instead of letting pending
+//! matrices grow without bound.
+
+use crate::metrics::Metrics;
+use fmm_dense::Matrix;
+use fmm_engine::{BatchItem, FmmEngine};
+use fmm_gemm::GemmScalar;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cross-request coalescing policy.
+///
+/// A batch closes at the earliest of: `max_batch` reached, `window`
+/// elapsed since the batch opened, or `straggler_gap` elapsed since the
+/// last arrival. The gap bound is what keeps the window honest under
+/// closed-loop load: when every in-flight client is already waiting on a
+/// reply, no further request *can* arrive, and without the gap the
+/// dispatcher would idle out the whole window anyway — pure wasted
+/// latency and, on a saturated machine, lost throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Longest a freshly opened batch waits for stragglers in total. `0`
+    /// disables waiting: only requests already queued are coalesced.
+    pub window: Duration,
+    /// Most requests one `multiply_batch` call may coalesce. `1` disables
+    /// batching entirely (one-request-at-a-time dispatch).
+    pub max_batch: usize,
+    /// Longest the open batch waits for the *next* straggler. Set it to
+    /// `window` (or larger) to always wait out the full window.
+    pub straggler_gap: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_millis(2),
+            max_batch: 32,
+            straggler_gap: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One admitted request: operands, the reply channel back to the
+/// connection thread, and the admission timestamp for service-latency
+/// accounting.
+pub struct Job<T> {
+    /// Left operand (`m × k`).
+    pub a: Matrix<T>,
+    /// Right operand (`k × n`).
+    pub b: Matrix<T>,
+    /// Reply channel; the connection thread blocks on the paired receiver.
+    pub reply: mpsc::Sender<Matrix<T>>,
+    /// When admission control accepted the job.
+    pub enqueued: Instant,
+}
+
+/// Why [`BatchQueue::try_push`] refused a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refusal {
+    /// The queue is at capacity — transient backpressure; retry later.
+    Full,
+    /// The queue is closed (shutdown) — no retry will ever succeed here.
+    Closed,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<Job<T>>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue with batch-friendly consumption. The
+/// capacity bound is the serving daemon's admission control: producers
+/// that find it full are refused immediately (`try_push`), never blocked.
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// Queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending jobs right now (racy, for stats only).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Admit a job, or hand it back with the refusal reason — a full
+    /// queue is retryable backpressure (`Busy` on the wire), a closed one
+    /// is shutdown (`ShuttingDown`, not retryable). The caller owns the
+    /// refused job.
+    // Returning the whole Job in Err is the point: the refused operands go
+    // back to the caller without a drop/reparse cycle, and admission is
+    // not a hot path once the queue is full.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(&self, job: Job<T>) -> Result<(), (Job<T>, Refusal)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err((job, Refusal::Closed));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err((job, Refusal::Full));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (opening a new batch) or the queue
+    /// is closed *and* drained — the dispatcher's exit condition.
+    pub fn pop_first(&self) -> Option<Job<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Pop one job, waiting no later than `deadline` — the straggler
+    /// admission path while a batch's window is open. `None` means the
+    /// window elapsed (or the queue closed) with nothing available.
+    pub fn pop_until(&self, deadline: Instant) -> Option<Job<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timeout) =
+                self.ready.wait_timeout(state, deadline - now).expect("queue poisoned");
+            state = next;
+            if timeout.timed_out() && state.jobs.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Close the queue: further `try_push` calls are refused, and
+    /// dispatchers exit once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Drain `queue` until it closes: form micro-batches under `policy`,
+/// execute each through `engine.multiply_batch`, and hand every result
+/// back on its job's reply channel. Runs on a dedicated thread per dtype;
+/// returns when the queue is closed and fully drained, so in-flight
+/// requests complete across a shutdown.
+pub fn run_dispatcher<T: GemmScalar>(
+    queue: &BatchQueue<T>,
+    engine: &FmmEngine<T>,
+    policy: BatchPolicy,
+    metrics: &Arc<Metrics>,
+) {
+    let max_batch = policy.max_batch.max(1);
+    while let Some(first) = queue.pop_first() {
+        let mut jobs = Vec::with_capacity(max_batch.min(64));
+        jobs.push(first);
+        if !policy.window.is_zero() {
+            let window_closes = Instant::now() + policy.window;
+            while jobs.len() < max_batch {
+                // Wait for the next straggler, but no further than the
+                // window; a gap with no arrival closes the batch early
+                // (see BatchPolicy docs).
+                let deadline = window_closes.min(Instant::now() + policy.straggler_gap);
+                match queue.pop_until(deadline) {
+                    Some(job) => jobs.push(job),
+                    None => break,
+                }
+            }
+        } else {
+            // Zero window: opportunistic only — coalesce what is already
+            // queued, never wait.
+            let already = Instant::now();
+            while jobs.len() < max_batch {
+                match queue.pop_until(already) {
+                    Some(job) => jobs.push(job),
+                    None => break,
+                }
+            }
+        }
+
+        // One result buffer per job; the BatchItem views borrow them for
+        // the duration of the fan-out.
+        let mut results: Vec<Matrix<T>> =
+            jobs.iter().map(|job| Matrix::zeros(job.a.rows(), job.b.cols())).collect();
+        {
+            let mut items: Vec<BatchItem<'_, T>> = results
+                .iter_mut()
+                .zip(jobs.iter())
+                .map(|(c, job)| BatchItem::new(c.as_mut(), job.a.as_ref(), job.b.as_ref()))
+                .collect();
+            engine.multiply_batch(&mut items);
+        }
+        metrics.record_batch(jobs.len());
+        for (job, result) in jobs.into_iter().zip(results) {
+            metrics.record_latency(job.enqueued.elapsed());
+            // A dropped receiver (client hung up mid-flight) is not an
+            // error worth dying for; the work is simply discarded.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_engine::{EngineConfig, Routing};
+    use fmm_gemm::BlockingParams;
+    use std::thread;
+
+    fn job(n: usize, seed: u64) -> (Job<f64>, mpsc::Receiver<Matrix<f64>>) {
+        let (tx, rx) = mpsc::channel();
+        let a = fmm_dense::fill::bench_workload(n, n, seed);
+        let b = fmm_dense::fill::bench_workload(n, n, seed + 1);
+        (Job { a, b, reply: tx, enqueued: Instant::now() }, rx)
+    }
+
+    #[test]
+    fn queue_refuses_beyond_capacity_and_after_close() {
+        let q = BatchQueue::<f64>::new(2);
+        let (j1, _r1) = job(4, 1);
+        let (j2, _r2) = job(4, 3);
+        let (j3, _r3) = job(4, 5);
+        assert!(q.try_push(j1).is_ok());
+        assert!(q.try_push(j2).is_ok());
+        let (refused, why) = match q.try_push(j3) {
+            Err(refusal) => refusal,
+            Ok(()) => panic!("full queue must refuse"),
+        };
+        assert_eq!(why, Refusal::Full, "capacity refusal is the retryable kind");
+        assert_eq!(q.depth(), 2);
+        q.close();
+        match q.try_push(refused) {
+            Err((_, Refusal::Closed)) => {}
+            Err((_, why)) => panic!("closed queue must refuse as Closed, got {why:?}"),
+            Ok(()) => panic!("closed queue must refuse"),
+        }
+        // Drain still works after close…
+        assert!(q.pop_first().is_some());
+        assert!(q.pop_first().is_some());
+        // …and then signals exit.
+        assert!(q.pop_first().is_none());
+    }
+
+    #[test]
+    fn pop_until_times_out_without_jobs() {
+        let q = BatchQueue::<f64>::new(4);
+        let t0 = Instant::now();
+        assert!(q.pop_until(t0 + Duration::from_millis(20)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn dispatcher_coalesces_queued_jobs_and_answers_each() {
+        let engine = FmmEngine::<f64>::new(EngineConfig {
+            params: BlockingParams::tiny(),
+            routing: Routing::Model,
+            ..EngineConfig::default()
+        });
+        let metrics = Arc::new(Metrics::default());
+        let queue = BatchQueue::new(16);
+        let mut receivers = Vec::new();
+        let mut expected = Vec::new();
+        for seed in 0..6u64 {
+            let (j, rx) = job(24, seed * 2 + 1);
+            expected.push(fmm_gemm::reference::matmul(j.a.as_ref(), j.b.as_ref()));
+            assert!(queue.try_push(j).is_ok());
+            receivers.push(rx);
+        }
+        queue.close(); // dispatcher drains the backlog then exits
+
+        let policy = BatchPolicy {
+            window: Duration::from_millis(50),
+            max_batch: 8,
+            straggler_gap: Duration::from_millis(50),
+        };
+        thread::scope(|s| {
+            s.spawn(|| run_dispatcher(&queue, &engine, policy, &metrics));
+        });
+
+        for (rx, want) in receivers.iter().zip(&expected) {
+            let got = rx.recv().expect("dispatcher replied");
+            assert!(fmm_dense::norms::rel_error(got.as_ref(), want.as_ref()) < 1e-9);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batched_items, 6);
+        assert!(snap.max_occupancy > 1, "queued jobs were coalesced: {snap:?}");
+        assert_eq!(snap.latency.count, 6);
+    }
+
+    #[test]
+    fn max_batch_one_dispatches_one_at_a_time() {
+        let engine = FmmEngine::<f64>::new(EngineConfig {
+            params: BlockingParams::tiny(),
+            ..EngineConfig::default()
+        });
+        let metrics = Arc::new(Metrics::default());
+        let queue = BatchQueue::new(16);
+        let mut receivers = Vec::new();
+        for seed in 0..3u64 {
+            let (j, rx) = job(16, seed * 2 + 20);
+            assert!(queue.try_push(j).is_ok());
+            receivers.push(rx);
+        }
+        queue.close();
+        let policy =
+            BatchPolicy { window: Duration::ZERO, max_batch: 1, straggler_gap: Duration::ZERO };
+        thread::scope(|s| {
+            s.spawn(|| run_dispatcher(&queue, &engine, policy, &metrics));
+        });
+        for rx in &receivers {
+            rx.recv().expect("reply");
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.max_occupancy, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! `fmm-serve` — a multi-client serving daemon for the FMM engine stack.
+//!
+//! Everything below this crate computes; this crate *serves*. It closes
+//! the gap between `FmmEngine::multiply_batch` — which already fans many
+//! independent problems out over a worker pool, the way the
+//! Benson–Ballard parallel-FMM framework schedules them — and actual
+//! network clients that arrive one problem at a time:
+//!
+//! * a **length-prefixed binary frame protocol** over TCP
+//!   ([`protocol`]): magic + version + kind + length header, row-major
+//!   little-endian matrix payloads tagged with dtype and `m/k/n`,
+//!   defensively decoded (malformed input degrades to typed error
+//!   frames, never a panic or a hang);
+//! * a **micro-batching dispatcher** ([`dispatch`]): concurrent in-flight
+//!   requests are coalesced under a window/size policy into one
+//!   `multiply_batch` call per dtype, so unrelated clients share a
+//!   fan-out;
+//! * **admission control**: a bounded pending queue per dtype; when it is
+//!   full, requests are refused immediately with a `Busy` error frame —
+//!   backpressure instead of unbounded memory growth;
+//! * **live metrics** ([`metrics`]): request/batch/reject counters, batch
+//!   occupancy, p50/p99 service latency, and per-dtype `EngineStats`
+//!   snapshots, served as a plaintext stats frame;
+//! * a **blocking client library** ([`client`]) and the `fmm_serve` CLI
+//!   (`serve` / `ping` / `stats` / `bench` / `shutdown`).
+//!
+//! # Example
+//!
+//! ```
+//! use fmm_dense::{fill, Matrix};
+//! use fmm_engine::{ArchSource, EngineConfig, FmmEngine};
+//! use fmm_gemm::BlockingParams;
+//! use fmm_model::ArchParams;
+//! use fmm_serve::{Client, ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! // Spawn on a free loopback port. Tests pin small blocking parameters
+//! // and the paper arch to stay fast and deterministic; production uses
+//! // `ServeConfig::default()` (tuned routing, calibrated arch).
+//! let config = EngineConfig {
+//!     parallel: true,
+//!     params: BlockingParams::tiny(),
+//!     arch: ArchSource::Fixed(ArchParams::paper_machine()),
+//!     ..EngineConfig::default()
+//! };
+//! let handle = Server::spawn_with_engines(
+//!     ServeConfig { params: BlockingParams::tiny(), ..ServeConfig::default() },
+//!     Arc::new(FmmEngine::<f64>::new(config.clone())),
+//!     Arc::new(FmmEngine::<f32>::new(config)),
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let a = fill::bench_workload(48, 32, 1);
+//! let b = fill::bench_workload(32, 40, 2);
+//! let c = client.multiply(&a, &b).unwrap();
+//!
+//! let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+//! assert!(fmm_dense::norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
+//! client.shutdown().unwrap();
+//! handle.wait();
+//! ```
+
+pub mod client;
+pub mod dispatch;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use dispatch::{BatchPolicy, BatchQueue, Job, Refusal};
+pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
+pub use protocol::{Dtype, ErrorCode, Frame, FrameError, FrameKind, WireScalar};
+pub use server::{ServeConfig, Server, ServerHandle};

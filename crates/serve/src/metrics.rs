@@ -1,0 +1,242 @@
+//! Live serving metrics: lock-free counters, batch-occupancy tracking,
+//! and a bounded service-latency window for p50/p99.
+//!
+//! One [`Metrics`] value is shared by every connection thread and both
+//! dtype dispatchers. The counters are plain relaxed atomics (a stats
+//! snapshot is advisory, not a synchronization point); the latency window
+//! is a mutex-guarded ring of the most recent samples, so percentiles
+//! reflect current service behavior rather than the whole process
+//! lifetime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent service-latency samples the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared serving counters. All counts are cumulative since server start
+/// except the latency percentiles, which cover the last
+/// [`LATENCY_WINDOW`] responses.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests admitted into a dispatch queue.
+    pub requests: AtomicU64,
+    /// Result frames sent.
+    pub responses: AtomicU64,
+    /// Requests refused with [`crate::protocol::ErrorCode::Busy`] by
+    /// admission control.
+    pub rejects_busy: AtomicU64,
+    /// Error frames sent for malformed or oversized input.
+    pub rejects_malformed: AtomicU64,
+    /// Ping frames answered.
+    pub pings: AtomicU64,
+    /// `multiply_batch` dispatches performed (batches formed).
+    pub batches: AtomicU64,
+    /// Requests executed across all batches.
+    pub batched_items: AtomicU64,
+    /// Largest single-batch occupancy observed.
+    pub max_occupancy: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, secs: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(secs);
+        } else {
+            self.samples[self.next] = secs;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+}
+
+/// Service-latency summary over the recent window, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples currently in the window.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+/// Point-in-time copy of every counter plus derived values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::responses`].
+    pub responses: u64,
+    /// See [`Metrics::rejects_busy`].
+    pub rejects_busy: u64,
+    /// See [`Metrics::rejects_malformed`].
+    pub rejects_malformed: u64,
+    /// See [`Metrics::pings`].
+    pub pings: u64,
+    /// See [`Metrics::batches`].
+    pub batches: u64,
+    /// See [`Metrics::batched_items`].
+    pub batched_items: u64,
+    /// See [`Metrics::max_occupancy`].
+    pub max_occupancy: u64,
+    /// `batched_items / batches` — how many requests the average
+    /// `multiply_batch` call coalesced. `0` before the first batch.
+    pub mean_occupancy: f64,
+    /// Service latency (admission to response hand-off) over the recent
+    /// window.
+    pub latency: LatencyStats,
+}
+
+impl Metrics {
+    /// Record one formed batch of `occupancy` requests.
+    pub fn record_batch(&self, occupancy: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_items.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.max_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+    }
+
+    /// Record one request's service latency (admission → response ready).
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.latencies.lock().expect("latency ring poisoned").push(elapsed.as_secs_f64());
+    }
+
+    /// Snapshot every counter and compute derived values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_items = self.batched_items.load(Ordering::Relaxed);
+        let latency = {
+            let ring = self.latencies.lock().expect("latency ring poisoned");
+            summarize(&ring.samples)
+        };
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            rejects_busy: self.rejects_busy.load(Ordering::Relaxed),
+            rejects_malformed: self.rejects_malformed.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            batches,
+            batched_items,
+            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            mean_occupancy: if batches > 0 { batched_items as f64 / batches as f64 } else { 0.0 },
+            latency,
+        }
+    }
+}
+
+/// Summarize latency samples (seconds in, milliseconds out). Percentiles
+/// use the nearest-rank method over a sorted copy.
+pub fn summarize(samples_secs: &[f64]) -> LatencyStats {
+    if samples_secs.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted: Vec<f64> = samples_secs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = |p: f64| -> f64 {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx] * 1e3
+    };
+    LatencyStats {
+        count: sorted.len(),
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64 * 1e3,
+        p50_ms: rank(0.50),
+        p99_ms: rank(0.99),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render the plaintext stats body (one `name value` pair per line,
+    /// `fmm_serve_` prefixed) the [`crate::protocol::FrameKind::StatsReply`]
+    /// frame carries. Engine counters are appended by the server, which
+    /// owns the engines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |name: &str, value: String| {
+            out.push_str("fmm_serve_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        line("requests_total", self.requests.to_string());
+        line("responses_total", self.responses.to_string());
+        line("rejects_busy_total", self.rejects_busy.to_string());
+        line("rejects_malformed_total", self.rejects_malformed.to_string());
+        line("pings_total", self.pings.to_string());
+        line("batches_total", self.batches.to_string());
+        line("batched_items_total", self.batched_items.to_string());
+        line("batch_occupancy_max", self.max_occupancy.to_string());
+        line("batch_occupancy_mean", format!("{:.3}", self.mean_occupancy));
+        line("latency_window_count", self.latency.count.to_string());
+        line("latency_mean_ms", format!("{:.3}", self.latency.mean_ms));
+        line("latency_p50_ms", format!("{:.3}", self.latency.p50_ms));
+        line("latency_p99_ms", format!("{:.3}", self.latency.p99_ms));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_latency_aggregate() {
+        let m = Metrics::default();
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_latency(Duration::from_millis(2));
+        m.record_latency(Duration::from_millis(4));
+        let snap = m.snapshot();
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batched_items, 4);
+        assert_eq!(snap.max_occupancy, 3);
+        assert!((snap.mean_occupancy - 2.0).abs() < 1e-12);
+        assert_eq!(snap.latency.count, 2);
+        assert!(snap.latency.p99_ms >= snap.latency.p50_ms);
+        assert!(snap.latency.mean_ms > 2.0 && snap.latency.mean_ms < 4.0);
+    }
+
+    #[test]
+    fn summarize_uses_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 1e3).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_ms - 50.0).abs() < 1e-9);
+        assert!((s.p99_ms - 99.0).abs() < 1e-9);
+        assert_eq!(summarize(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn render_lists_every_counter() {
+        let m = Metrics::default();
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.record_batch(2);
+        let text = m.snapshot().render();
+        for key in [
+            "fmm_serve_requests_total 5",
+            "fmm_serve_batches_total 1",
+            "fmm_serve_batch_occupancy_max 2",
+            "fmm_serve_latency_p99_ms",
+        ] {
+            assert!(text.contains(key), "missing {key:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let m = Metrics::default();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.record_latency(Duration::from_micros(i as u64));
+        }
+        assert_eq!(m.snapshot().latency.count, LATENCY_WINDOW);
+    }
+}

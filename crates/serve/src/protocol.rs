@@ -1,0 +1,644 @@
+//! The `fmm-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a fixed 10-byte header followed by `payload_len` bytes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"FMMS"
+//!      4     1  version (1)
+//!      5     1  kind    (FrameKind)
+//!      6     4  payload_len, u32 little-endian
+//! ```
+//!
+//! A `Request` payload is `dtype(u8) m(u32) k(u32) n(u32)` followed by the
+//! `A` (`m*k`) and `B` (`k*n`) elements, **row-major**, little-endian, at
+//! the dtype's width; a `Response` payload is `dtype(u8) m(u32) n(u32)`
+//! followed by `C` row-major. `Error` payloads are `code(u8)` plus a UTF-8
+//! message. All multi-byte integers are little-endian.
+//!
+//! Parsing is defensive by contract: a frame from the network is untrusted
+//! input, so every decode path returns `Err` on malformed bytes — no
+//! panic, no unchecked multiplication, no allocation before the declared
+//! length has been validated against the configured cap.
+
+use fmm_dense::Matrix;
+use fmm_gemm::GemmScalar;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"FMMS";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 10;
+
+/// Request-payload prelude size: dtype + m + k + n.
+pub const REQUEST_PRELUDE: usize = 1 + 4 + 4 + 4;
+
+/// Response-payload prelude size: dtype + m + n.
+pub const RESPONSE_PRELUDE: usize = 1 + 4 + 4;
+
+/// Frame discriminator (header byte 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: one `C = A·B` problem.
+    Request = 1,
+    /// Server → client: the result matrix for one `Request`.
+    Response = 2,
+    /// Server → client: a typed error (see [`ErrorCode`]).
+    Error = 3,
+    /// Client → server: liveness probe; the payload is echoed back.
+    Ping = 4,
+    /// Server → client: `Ping` echo, and the `Shutdown` acknowledgement.
+    Pong = 5,
+    /// Client → server: request the plaintext stats snapshot.
+    StatsRequest = 6,
+    /// Server → client: the stats snapshot (UTF-8 payload).
+    StatsReply = 7,
+    /// Client → server: stop the daemon after in-flight work drains.
+    Shutdown = 8,
+}
+
+impl FrameKind {
+    /// Decode a header kind byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::Request),
+            2 => Some(Self::Response),
+            3 => Some(Self::Error),
+            4 => Some(Self::Ping),
+            5 => Some(Self::Pong),
+            6 => Some(Self::StatsRequest),
+            7 => Some(Self::StatsReply),
+            8 => Some(Self::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Typed error codes carried by [`FrameKind::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame or payload could not be decoded (bad magic, unknown
+    /// kind/dtype, length/dimension mismatch, …).
+    Malformed = 1,
+    /// The frame's version byte is not one this server speaks.
+    UnsupportedVersion = 2,
+    /// The declared payload length exceeds the server's frame cap.
+    Oversized = 3,
+    /// Admission control: the pending queue is full; retry later.
+    Busy = 4,
+    /// The server failed internally while handling the request.
+    Internal = 5,
+    /// The daemon is shutting down and accepts no new work. Unlike
+    /// [`ErrorCode::Busy`] this is not retryable against this process.
+    ShuttingDown = 6,
+}
+
+impl ErrorCode {
+    /// Decode an error-code byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::Malformed),
+            2 => Some(Self::UnsupportedVersion),
+            3 => Some(Self::Oversized),
+            4 => Some(Self::Busy),
+            5 => Some(Self::Internal),
+            6 => Some(Self::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::Malformed => "malformed",
+            Self::UnsupportedVersion => "unsupported-version",
+            Self::Oversized => "oversized",
+            Self::Busy => "busy",
+            Self::Internal => "internal",
+            Self::ShuttingDown => "shutting-down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Element dtype of a request/response payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Dtype {
+    /// IEEE-754 binary64.
+    F64 = 1,
+    /// IEEE-754 binary32.
+    F32 = 2,
+}
+
+impl Dtype {
+    /// Decode a dtype byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::F64),
+            2 => Some(Self::F32),
+            _ => None,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Self::F64 => 8,
+            Self::F32 => 4,
+        }
+    }
+
+    /// Human-readable name (matches `Scalar::NAME`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::F64 => "f64",
+            Self::F32 => "f32",
+        }
+    }
+}
+
+/// A scalar that can cross the wire: ties a [`Dtype`] tag to fixed-width
+/// little-endian encode/decode. Implemented for `f64` and `f32`; the
+/// client and server matrix codecs are generic over it.
+pub trait WireScalar: GemmScalar {
+    /// The dtype tag requests/responses of this scalar carry.
+    const DTYPE: Dtype;
+    /// Append the little-endian bytes of `v`.
+    fn write_le(v: Self, out: &mut Vec<u8>);
+    /// Read one element from exactly `size_of::<Self>()` bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl WireScalar for f64 {
+    const DTYPE: Dtype = Dtype::F64;
+
+    fn write_le(v: Self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().expect("8-byte chunk"))
+    }
+}
+
+impl WireScalar for f32 {
+    const DTYPE: Dtype = Dtype::F32;
+
+    fn write_le(v: Self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes.try_into().expect("4-byte chunk"))
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug)]
+pub struct Frame {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why [`read_frame`] could not produce a [`Frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Transport failure (includes mid-frame EOF).
+    Io(io::Error),
+    /// The magic bytes are wrong — the stream is not speaking this
+    /// protocol, so framing is unrecoverable.
+    BadMagic([u8; 4]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Declared payload length exceeds the configured cap. Recovery would
+    /// require skipping the body, which is exactly the memory/time the cap
+    /// exists to refuse — the connection should be answered and closed.
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+        /// The enforced cap.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic(m) => write!(f, "bad magic {m:?}"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::Oversized { declared, cap } => {
+                write!(f, "declared payload of {declared} bytes exceeds the {cap}-byte cap")
+            }
+        }
+    }
+}
+
+/// Write one frame (header + payload). The caller flushes.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    // Hard error, not a debug_assert: silently wrapping the u32 length
+    // field in release builds would desynchronize the stream.
+    if payload.len() > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the u32 length field", payload.len()),
+        ));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind as u8;
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Read one frame, enforcing `max_payload` before any payload allocation.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish a clean close (EOF before any header byte) from a
+    // truncated frame.
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if header[0..4] != MAGIC {
+        return Err(FrameError::BadMagic(header[0..4].try_into().expect("4 bytes")));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let kind = FrameKind::from_u8(header[5]).ok_or(FrameError::BadKind(header[5]))?;
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_all(&mut payload)?;
+    Ok(Frame { kind, payload })
+}
+
+/// `read_exact` that maps errors into [`FrameError`].
+trait ReadAll: Read {
+    fn read_all(&mut self, buf: &mut [u8]) -> Result<(), FrameError> {
+        self.read_exact(buf).map_err(FrameError::Io)
+    }
+}
+
+impl<R: Read> ReadAll for R {}
+
+/// Encode an [`FrameKind::Error`] payload.
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(code as u8);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decode an [`FrameKind::Error`] payload.
+pub fn decode_error(payload: &[u8]) -> (ErrorCode, String) {
+    let code = payload.first().and_then(|&b| ErrorCode::from_u8(b)).unwrap_or(ErrorCode::Internal);
+    let message = String::from_utf8_lossy(payload.get(1..).unwrap_or(&[])).into_owned();
+    (code, message)
+}
+
+/// Encode a request payload from two operand matrices (row-major on the
+/// wire; the column-major transposition happens element-wise here).
+pub fn encode_request<T: WireScalar>(a: &Matrix<T>, b: &Matrix<T>) -> Vec<u8> {
+    assert_eq!(a.cols(), b.rows(), "A/B inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let elems = m * k + k * n;
+    let mut out = Vec::with_capacity(REQUEST_PRELUDE + elems * std::mem::size_of::<T>());
+    out.push(T::DTYPE as u8);
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_matrix(&mut out, a);
+    write_matrix(&mut out, b);
+    out
+}
+
+/// Encode a response payload from a result matrix.
+pub fn encode_response<T: WireScalar>(c: &Matrix<T>) -> Vec<u8> {
+    let (m, n) = (c.rows(), c.cols());
+    let mut out = Vec::with_capacity(RESPONSE_PRELUDE + m * n * std::mem::size_of::<T>());
+    out.push(T::DTYPE as u8);
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    write_matrix(&mut out, c);
+    out
+}
+
+fn write_matrix<T: WireScalar>(out: &mut Vec<u8>, mat: &Matrix<T>) {
+    for i in 0..mat.rows() {
+        for j in 0..mat.cols() {
+            T::write_le(mat.get(i, j), out);
+        }
+    }
+}
+
+fn read_matrix<T: WireScalar>(bytes: &[u8], rows: usize, cols: usize) -> Matrix<T> {
+    let w = std::mem::size_of::<T>();
+    debug_assert_eq!(bytes.len(), rows * cols * w, "validated by the caller");
+    Matrix::from_fn(rows, cols, |i, j| {
+        let at = (i * cols + j) * w;
+        T::read_le(&bytes[at..at + w])
+    })
+}
+
+/// A decoded request: operand matrices of one of the served dtypes.
+pub enum DecodedRequest {
+    /// A double-precision problem.
+    F64 {
+        /// Left operand (`m × k`).
+        a: Matrix<f64>,
+        /// Right operand (`k × n`).
+        b: Matrix<f64>,
+    },
+    /// A single-precision problem.
+    F32 {
+        /// Left operand (`m × k`).
+        a: Matrix<f32>,
+        /// Right operand (`k × n`).
+        b: Matrix<f32>,
+    },
+}
+
+/// Decode and validate a request payload. The payload has already passed
+/// the frame-level size cap, so the dimension check here is about internal
+/// consistency (declared dims must account for every payload byte), not
+/// resource exhaustion.
+/// `max_response_bytes` additionally bounds the *output*: the operand
+/// payload alone does not limit `m × n` (consider `k = 0` — a 23-byte
+/// frame may declare a result of `u32::MAX × u32::MAX`), so the encoded
+/// response size is checked here, before the dispatcher allocates
+/// anything. Servers pass their frame cap; both directions then honor
+/// one bound.
+pub fn decode_request(payload: &[u8], max_response_bytes: usize) -> Result<DecodedRequest, String> {
+    if payload.len() < REQUEST_PRELUDE {
+        return Err(format!(
+            "request payload of {} bytes is shorter than the {REQUEST_PRELUDE}-byte prelude",
+            payload.len()
+        ));
+    }
+    let dtype =
+        Dtype::from_u8(payload[0]).ok_or_else(|| format!("unknown dtype {}", payload[0]))?;
+    let m = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as u64;
+    let k = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as u64;
+    let n = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes")) as u64;
+    let elems = m
+        .checked_mul(k)
+        .and_then(|ab| ab.checked_add(k.checked_mul(n)?))
+        .ok_or_else(|| format!("dimension product m={m} k={k} n={n} overflows"))?;
+    let expected = elems
+        .checked_mul(dtype.elem_bytes() as u64)
+        .and_then(|b| b.checked_add(REQUEST_PRELUDE as u64))
+        .ok_or_else(|| format!("payload size for m={m} k={k} n={n} overflows"))?;
+    if expected != payload.len() as u64 {
+        return Err(format!(
+            "declared dims m={m} k={k} n={n} ({dtype:?}) need {expected} payload bytes, got {}",
+            payload.len()
+        ));
+    }
+    let response_bytes = m
+        .checked_mul(n)
+        .and_then(|e| e.checked_mul(dtype.elem_bytes() as u64))
+        .and_then(|b| b.checked_add(RESPONSE_PRELUDE as u64))
+        .ok_or_else(|| format!("response size for m={m} n={n} overflows"))?;
+    if response_bytes > max_response_bytes as u64 {
+        return Err(format!(
+            "an m={m} n={n} result needs a {response_bytes}-byte response, beyond the \
+             {max_response_bytes}-byte cap"
+        ));
+    }
+    let (m, k, n) = (m as usize, k as usize, n as usize);
+    let body = &payload[REQUEST_PRELUDE..];
+    let a_bytes = m * k * dtype.elem_bytes();
+    Ok(match dtype {
+        Dtype::F64 => DecodedRequest::F64 {
+            a: read_matrix(&body[..a_bytes], m, k),
+            b: read_matrix(&body[a_bytes..], k, n),
+        },
+        Dtype::F32 => DecodedRequest::F32 {
+            a: read_matrix(&body[..a_bytes], m, k),
+            b: read_matrix(&body[a_bytes..], k, n),
+        },
+    })
+}
+
+/// Decode and validate a response payload into the expected dtype.
+pub fn decode_response<T: WireScalar>(payload: &[u8]) -> Result<Matrix<T>, String> {
+    if payload.len() < RESPONSE_PRELUDE {
+        return Err(format!(
+            "response payload of {} bytes is shorter than the {RESPONSE_PRELUDE}-byte prelude",
+            payload.len()
+        ));
+    }
+    let dtype =
+        Dtype::from_u8(payload[0]).ok_or_else(|| format!("unknown dtype {}", payload[0]))?;
+    if dtype != T::DTYPE {
+        return Err(format!("expected {:?} response, got {dtype:?}", T::DTYPE));
+    }
+    let m = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as u64;
+    let n = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as u64;
+    let expected = m
+        .checked_mul(n)
+        .and_then(|e| e.checked_mul(dtype.elem_bytes() as u64))
+        .and_then(|b| b.checked_add(RESPONSE_PRELUDE as u64))
+        .ok_or_else(|| format!("response size for m={m} n={n} overflows"))?;
+    if expected != payload.len() as u64 {
+        return Err(format!(
+            "declared dims m={m} n={n} need {expected} payload bytes, got {}",
+            payload.len()
+        ));
+    }
+    Ok(read_matrix(&payload[RESPONSE_PRELUDE..], m as usize, n as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_dense::fill;
+
+    #[test]
+    fn request_roundtrip_is_bit_exact_for_both_dtypes() {
+        let a = fill::bench_workload_t::<f64>(3, 5, 1);
+        let b = fill::bench_workload_t::<f64>(5, 2, 2);
+        let payload = encode_request(&a, &b);
+        match decode_request(&payload, 1 << 20).unwrap() {
+            DecodedRequest::F64 { a: da, b: db } => {
+                assert_eq!(da, a);
+                assert_eq!(db, b);
+            }
+            DecodedRequest::F32 { .. } => panic!("wrong dtype"),
+        }
+
+        let a = fill::bench_workload_t::<f32>(4, 1, 3);
+        let b = fill::bench_workload_t::<f32>(1, 7, 4);
+        let payload = encode_request(&a, &b);
+        match decode_request(&payload, 1 << 20).unwrap() {
+            DecodedRequest::F32 { a: da, b: db } => {
+                assert_eq!(da, a);
+                assert_eq!(db, b);
+            }
+            DecodedRequest::F64 { .. } => panic!("wrong dtype"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_is_bit_exact() {
+        let c = fill::bench_workload_t::<f64>(6, 3, 9);
+        let payload = encode_response(&c);
+        assert_eq!(decode_response::<f64>(&payload).unwrap(), c);
+        assert!(decode_response::<f32>(&payload).is_err(), "dtype mismatch is an error");
+    }
+
+    #[test]
+    fn frame_roundtrip_through_a_byte_pipe() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Ping, b"hello").unwrap();
+        write_frame(&mut wire, FrameKind::Shutdown, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let f1 = read_frame(&mut cursor, 1024).unwrap();
+        assert_eq!(f1.kind, FrameKind::Ping);
+        assert_eq!(f1.payload, b"hello");
+        let f2 = read_frame(&mut cursor, 1024).unwrap();
+        assert_eq!(f2.kind, FrameKind::Shutdown);
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn read_frame_rejects_bad_magic_version_kind_and_oversize() {
+        let mut bad_magic = Vec::new();
+        write_frame(&mut bad_magic, FrameKind::Ping, b"").unwrap();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bad_magic), 1024),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut bad_version = Vec::new();
+        write_frame(&mut bad_version, FrameKind::Ping, b"").unwrap();
+        bad_version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bad_version), 1024),
+            Err(FrameError::BadVersion(9))
+        ));
+
+        let mut bad_kind = Vec::new();
+        write_frame(&mut bad_kind, FrameKind::Ping, b"").unwrap();
+        bad_kind[5] = 200;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(bad_kind), 1024),
+            Err(FrameError::BadKind(200))
+        ));
+
+        let mut oversized = Vec::new();
+        write_frame(&mut oversized, FrameKind::Request, &[0u8; 64]).unwrap();
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(oversized), 16),
+            Err(FrameError::Oversized { declared: 64, cap: 16 })
+        ));
+    }
+
+    #[test]
+    fn decode_request_rejects_malformed_payloads() {
+        // Too short for the prelude.
+        assert!(decode_request(&[1, 0, 0], 1 << 20).is_err());
+        // Unknown dtype.
+        let mut p = vec![7u8];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&[0u8; 16]);
+        assert!(decode_request(&p, 1 << 20).is_err());
+        // Dims that do not match the payload length.
+        let a = fill::bench_workload_t::<f64>(2, 2, 1);
+        let b = fill::bench_workload_t::<f64>(2, 2, 2);
+        let mut payload = encode_request(&a, &b);
+        payload.truncate(payload.len() - 8);
+        assert!(decode_request(&payload, 1 << 20).is_err());
+        // Dims whose element count overflows u64 arithmetic.
+        let mut huge = vec![1u8];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&huge, 1 << 20).is_err());
+        // Degenerate dims are fine (the engine supports empty problems).
+        let payload = encode_request(&Matrix::<f64>::zeros(0, 3), &Matrix::<f64>::zeros(3, 0));
+        assert!(decode_request(&payload, 1 << 20).is_ok());
+        // The k=0 hostile frame: a tiny payload whose operands are empty
+        // but whose declared *result* is astronomically large. The
+        // response-side cap must refuse it before anything allocates.
+        let mut outer = vec![1u8];
+        outer.extend_from_slice(&u32::MAX.to_le_bytes()); // m
+        outer.extend_from_slice(&0u32.to_le_bytes()); // k
+        outer.extend_from_slice(&u32::MAX.to_le_bytes()); // n
+        let err = match decode_request(&outer, 1 << 20) {
+            Err(e) => e,
+            Ok(_) => panic!("k=0 frame with a huge declared result must be refused"),
+        };
+        // Either refusal is acceptable: u64 overflow of the response
+        // size, or the explicit response cap.
+        assert!(err.contains("response"), "{err}");
+        // Same shape at modest-but-over-cap result size.
+        let mut outer = vec![1u8];
+        outer.extend_from_slice(&100_000u32.to_le_bytes());
+        outer.extend_from_slice(&0u32.to_le_bytes());
+        outer.extend_from_slice(&100_000u32.to_le_bytes());
+        assert!(decode_request(&outer, 1 << 20).is_err());
+        // An in-cap empty-k problem still decodes.
+        let payload = encode_request(&Matrix::<f64>::zeros(4, 0), &Matrix::<f64>::zeros(0, 5));
+        assert!(decode_request(&payload, 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn truncated_and_mutated_frames_never_panic() {
+        let a = fill::bench_workload_t::<f64>(3, 4, 5);
+        let b = fill::bench_workload_t::<f64>(4, 2, 6);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Request, &encode_request(&a, &b)).unwrap();
+        for cut in 0..wire.len() {
+            let _ = read_frame(&mut io::Cursor::new(&wire[..cut]), 1 << 20);
+        }
+        let mut state: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mut mutated = wire.clone();
+            let pos = state as usize % mutated.len();
+            mutated[pos] = (state >> 32) as u8;
+            if let Ok(frame) = read_frame(&mut io::Cursor::new(mutated), 1 << 20) {
+                let _ = decode_request(&frame.payload, 1 << 20);
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The serving daemon: TCP accept loop, per-connection frame handling,
+//! admission control, and lifecycle (spawn → serve → drain → join).
+//!
+//! Threading model: one accept thread, one detached thread per client
+//! connection, and one micro-batching dispatcher thread per dtype. The
+//! connection thread owns its socket end-to-end (decode, admit, block on
+//! the reply channel, encode) so no two threads ever interleave writes on
+//! one stream; the dispatchers own the engines' batched execution. All of
+//! it is `std::net`/`std::thread` — the daemon adds no dependencies to
+//! the workspace.
+//!
+//! Error policy, per the protocol contract: malformed payloads on an
+//! intact frame stream are answered with a typed error frame and the
+//! connection continues; framing-level corruption (bad magic/version,
+//! oversized declaration) is answered with an error frame and the
+//! connection closes, because the byte stream can no longer be trusted.
+//! The daemon itself never panics on client input.
+
+use crate::dispatch::{run_dispatcher, BatchPolicy, BatchQueue, Job, Refusal};
+use crate::metrics::Metrics;
+use crate::protocol::{self, DecodedRequest, ErrorCode, Frame, FrameError, FrameKind, WireScalar};
+use fmm_engine::{ArchSource, EngineConfig, EngineStats, FmmEngine, Routing};
+use fmm_gemm::BlockingParams;
+use fmm_tune::TuneStore;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Construction-time configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`ServerHandle::addr`] for the resolved one).
+    pub addr: String,
+    /// Cross-request micro-batching policy.
+    pub batch: BatchPolicy,
+    /// Admission bound: pending requests per dtype queue beyond which
+    /// new work is refused with a `Busy` error frame.
+    pub queue_capacity: usize,
+    /// Largest frame payload accepted, in bytes. Bounds per-request
+    /// memory *before* any allocation happens.
+    pub max_payload_bytes: usize,
+    /// Worker count for the engines' batched fan-out (`0` = the rayon
+    /// pool width).
+    pub workers: usize,
+    /// Route through the persistent tune store
+    /// (`TuneStore::load_default`), falling back to model routing per
+    /// shape on any miss — the production default. `false` keeps routing
+    /// purely model-based.
+    pub tuned: bool,
+    /// Blocking parameters for the engines.
+    pub params: BlockingParams,
+    /// Architecture parameters for the engines' model routing.
+    pub arch: ArchSource,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchPolicy::default(),
+            queue_capacity: 256,
+            max_payload_bytes: 64 << 20,
+            workers: 0,
+            tuned: true,
+            params: BlockingParams::default(),
+            arch: ArchSource::Calibrated,
+        }
+    }
+}
+
+struct Lifecycle {
+    stopping: Mutex<bool>,
+    stopped: Condvar,
+}
+
+/// Everything the accept loop, connection threads, and dispatchers share.
+struct Shared {
+    config: ServeConfig,
+    metrics: Arc<Metrics>,
+    queue_f64: BatchQueue<f64>,
+    queue_f32: BatchQueue<f32>,
+    engine_f64: Arc<FmmEngine<f64>>,
+    engine_f32: Arc<FmmEngine<f32>>,
+    stop: AtomicBool,
+    /// Requests admitted whose reply frame has not been flushed yet.
+    /// Shutdown joins the dispatchers (which drain the queues) and then
+    /// waits for this to reach zero, so "in-flight requests drain" covers
+    /// the socket write too, not just the computation.
+    in_flight: AtomicU64,
+    lifecycle: Lifecycle,
+}
+
+impl Shared {
+    /// Flip the daemon into shutdown: refuse new work, wake the accept
+    /// loop and both dispatchers (which drain their backlogs first).
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue_f64.close();
+        self.queue_f32.close();
+        let mut stopping = self.lifecycle.stopping.lock().expect("lifecycle poisoned");
+        *stopping = true;
+        self.lifecycle.stopped.notify_all();
+    }
+
+    /// The full plaintext stats body: serving counters plus one line per
+    /// dtype engine (rendered via `EngineStats::fields`).
+    fn render_stats(&self) -> String {
+        let mut out = self.metrics.snapshot().render();
+        out.push_str(&format!(
+            "fmm_serve_queue_depth_f64 {}\nfmm_serve_queue_depth_f32 {}\n",
+            self.queue_f64.depth(),
+            self.queue_f32.depth()
+        ));
+        out.push_str(&format!("engine_f64 {}\n", self.engine_f64.stats()));
+        out.push_str(&format!("engine_f32 {}\n", self.engine_f32.stats()));
+        out
+    }
+}
+
+/// A running serving daemon. Obtained from [`Server::spawn`]; dropping the
+/// handle does *not* stop the daemon — use [`ServerHandle::shutdown`] (or
+/// a client `Shutdown` frame plus [`ServerHandle::wait`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for constructing the daemon.
+pub struct Server;
+
+impl Server {
+    /// Bind, construct engines per `config`, and start serving on
+    /// background threads. Returns once the listener is live.
+    pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
+        let engine_f64 = Arc::new(build_engine::<f64>(&config));
+        let engine_f32 = Arc::new(build_engine::<f32>(&config));
+        Self::spawn_with_engines(config, engine_f64, engine_f32)
+    }
+
+    /// [`Server::spawn`] with caller-provided engines — the seam tests
+    /// and benchmarks use to pin routing/arch, or to share warm engines
+    /// across server configurations.
+    pub fn spawn_with_engines(
+        config: ServeConfig,
+        engine_f64: Arc<FmmEngine<f64>>,
+        engine_f32: Arc<FmmEngine<f32>>,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept + short sleeps: std has no cancellable
+        // blocking accept, and a stuck accept would hang shutdown.
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            queue_f64: BatchQueue::new(config.queue_capacity),
+            queue_f32: BatchQueue::new(config.queue_capacity),
+            metrics: Arc::new(Metrics::default()),
+            engine_f64,
+            engine_f32,
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            lifecycle: Lifecycle { stopping: Mutex::new(false), stopped: Condvar::new() },
+            config,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = shared.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("fmm-serve-accept".into())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .expect("spawn accept thread"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("fmm-serve-dispatch-f64".into())
+                    .spawn(move || {
+                        run_dispatcher(
+                            &shared.queue_f64,
+                            &shared.engine_f64,
+                            shared.config.batch,
+                            &shared.metrics,
+                        )
+                    })
+                    .expect("spawn f64 dispatcher"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name("fmm-serve-dispatch-f32".into())
+                    .spawn(move || {
+                        run_dispatcher(
+                            &shared.queue_f32,
+                            &shared.engine_f32,
+                            shared.config.batch,
+                            &shared.metrics,
+                        )
+                    })
+                    .expect("spawn f32 dispatcher"),
+            );
+        }
+        Ok(ServerHandle { addr, shared, threads })
+    }
+}
+
+/// Build one dtype engine per the serve configuration. Engines are always
+/// parallel: the whole point of the dispatcher is handing coalesced
+/// batches to `multiply_batch`'s worker fan-out (a 1-thread rayon pool
+/// degrades gracefully to in-place execution).
+fn build_engine<T: fmm_gemm::GemmScalar>(config: &ServeConfig) -> FmmEngine<T> {
+    let routing = if config.tuned {
+        Routing::Tuned { store: Arc::new(TuneStore::load_default()) }
+    } else {
+        Routing::Model
+    };
+    FmmEngine::new(EngineConfig {
+        parallel: true,
+        workers: config.workers,
+        routing,
+        params: config.params,
+        arch: config.arch.clone(),
+        ..EngineConfig::default()
+    })
+}
+
+impl ServerHandle {
+    /// The resolved listen address (the actual port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving metrics (shared with the daemon threads).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// An owning handle to the metrics, for reading final counts after
+    /// [`ServerHandle::wait`]/[`ServerHandle::shutdown`] consume `self`.
+    pub fn metrics_arc(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Per-dtype engine counter snapshots.
+    pub fn engine_stats(&self) -> (EngineStats, EngineStats) {
+        (self.shared.engine_f64.stats(), self.shared.engine_f32.stats())
+    }
+
+    /// The full plaintext stats body a `StatsRequest` frame would return.
+    pub fn render_stats(&self) -> String {
+        self.shared.render_stats()
+    }
+
+    /// True once shutdown has been requested (by [`ServerHandle::shutdown`]
+    /// or a client `Shutdown` frame).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, then join the accept loop and
+    /// dispatchers (in-flight requests drain first). This is the daemon
+    /// main loop: `Server::spawn(cfg)?.wait()`.
+    pub fn wait(self) {
+        {
+            let mut stopping = self.shared.lifecycle.stopping.lock().expect("lifecycle poisoned");
+            while !*stopping {
+                stopping =
+                    self.shared.lifecycle.stopped.wait(stopping).expect("lifecycle poisoned");
+            }
+        }
+        self.join();
+    }
+
+    /// Request shutdown and join the daemon threads. Idempotent with a
+    /// client-initiated `Shutdown` frame.
+    pub fn shutdown(self) {
+        self.shared.request_stop();
+        self.join();
+    }
+
+    fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // The dispatchers have drained their queues, but connection
+        // threads are detached — give every admitted request's reply
+        // frame time to reach the socket before the caller (e.g. the
+        // daemon main) exits the process. Bounded: a client that stops
+        // reading must not hold shutdown hostage.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                // Detached: connection threads end when their peer hangs
+                // up (or the process exits); joining them would let one
+                // idle client stall shutdown.
+                let _ = thread::Builder::new()
+                    .name("fmm-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        match protocol::read_frame(&mut reader, shared.config.max_payload_bytes) {
+            Ok(frame) => {
+                let keep_going = handle_frame(frame, &mut writer, shared);
+                if writer.flush().is_err() || !keep_going {
+                    return;
+                }
+            }
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(err) => {
+                // Framing-level failure: answer with a typed error frame,
+                // then drop the connection — after a bad header the byte
+                // stream has no trustworthy frame boundary to resume at.
+                shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
+                let code = match err {
+                    FrameError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                    FrameError::Oversized { .. } => ErrorCode::Oversized,
+                    _ => ErrorCode::Malformed,
+                };
+                let payload = protocol::encode_error(code, &err.to_string());
+                let _ = protocol::write_frame(&mut writer, FrameKind::Error, &payload);
+                let _ = writer.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// Handle one well-framed message. Returns `false` when the connection
+/// should close (shutdown acknowledged).
+fn handle_frame(frame: Frame, writer: &mut impl Write, shared: &Arc<Shared>) -> bool {
+    match frame.kind {
+        FrameKind::Ping => {
+            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+            let _ = protocol::write_frame(writer, FrameKind::Pong, &frame.payload);
+            true
+        }
+        FrameKind::StatsRequest => {
+            let body = shared.render_stats();
+            let _ = protocol::write_frame(writer, FrameKind::StatsReply, body.as_bytes());
+            true
+        }
+        FrameKind::Shutdown => {
+            let _ = protocol::write_frame(writer, FrameKind::Pong, b"");
+            shared.request_stop();
+            false
+        }
+        FrameKind::Request => {
+            handle_request(&frame.payload, writer, shared);
+            true
+        }
+        // Server-to-client kinds arriving at the server are protocol
+        // misuse on an intact frame stream: answer, keep serving.
+        FrameKind::Response | FrameKind::Error | FrameKind::Pong | FrameKind::StatsReply => {
+            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
+            let payload = protocol::encode_error(
+                ErrorCode::Malformed,
+                &format!("frame kind {:?} is not a client request", frame.kind),
+            );
+            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
+            true
+        }
+    }
+}
+
+fn handle_request(payload: &[u8], writer: &mut impl Write, shared: &Arc<Shared>) {
+    // The frame cap bounds the response side too: decode refuses dims
+    // whose result matrix would exceed it (e.g. k = 0 with huge m·n),
+    // before anything is allocated.
+    match protocol::decode_request(payload, shared.config.max_payload_bytes) {
+        Err(message) => {
+            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
+            let payload = protocol::encode_error(ErrorCode::Malformed, &message);
+            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
+        }
+        Ok(DecodedRequest::F64 { a, b }) => {
+            serve_problem(a, b, &shared.queue_f64, writer, shared);
+        }
+        Ok(DecodedRequest::F32 { a, b }) => {
+            serve_problem(a, b, &shared.queue_f32, writer, shared);
+        }
+    }
+}
+
+/// Admit one decoded problem, block for its result, and write the reply.
+fn serve_problem<T: WireScalar>(
+    a: fmm_dense::Matrix<T>,
+    b: fmm_dense::Matrix<T>,
+    queue: &BatchQueue<T>,
+    writer: &mut impl Write,
+    shared: &Arc<Shared>,
+) {
+    let (reply, result) = mpsc::channel();
+    let job = Job { a, b, reply, enqueued: Instant::now() };
+    match queue.try_push(job) {
+        Ok(()) => {}
+        Err((_, Refusal::Full)) => {
+            shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+            let payload = protocol::encode_error(
+                ErrorCode::Busy,
+                &format!("pending queue is full ({} requests)", queue.capacity()),
+            );
+            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
+            return;
+        }
+        Err((_, Refusal::Closed)) => {
+            // Not Busy: nothing about this daemon will ever accept the
+            // retry a Busy signal invites.
+            let payload = protocol::encode_error(
+                ErrorCode::ShuttingDown,
+                "daemon is shutting down and accepts no new work",
+            );
+            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
+            return;
+        }
+    }
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    // From admission to the flushed reply this request is draining state
+    // the daemon must not exit under; see ServerHandle::join.
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    match result.recv() {
+        Ok(c) => {
+            shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
+            let payload = protocol::encode_response(&c);
+            // Flush here, not in the connection loop: the in-flight
+            // guard below must not release until the bytes left the
+            // process (a drained shutdown covers the socket write).
+            let _ = protocol::write_frame(writer, FrameKind::Response, &payload)
+                .and_then(|()| writer.flush());
+        }
+        // The dispatcher dropped the reply sender without answering —
+        // only possible if it exited mid-drain, which request_stop's
+        // close-then-drain ordering is designed to prevent.
+        Err(_) => {
+            let payload =
+                protocol::encode_error(ErrorCode::Internal, "dispatcher dropped the request");
+            let _ = protocol::write_frame(writer, FrameKind::Error, &payload)
+                .and_then(|()| writer.flush());
+        }
+    }
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+}

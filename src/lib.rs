@@ -27,6 +27,11 @@
 //!   persistent per-machine decision store behind [`engine_tuned()`];
 //! * [`engine`] — the long-lived, cached, model-routed execution engine
 //!   with the batched [`multiply_batch`] entry point;
+//! * [`serve`] — the multi-client TCP serving daemon: a length-prefixed
+//!   binary frame protocol, a cross-request micro-batching dispatcher
+//!   over [`FmmEngine::multiply_batch`], bounded-queue admission control
+//!   with typed backpressure, live metrics, a client library, and the
+//!   `fmm_serve` CLI;
 //! * [`search`] — ALS / annealing / flip-graph discovery of new algorithms;
 //! * [`gen`] — the source-code generator for specialized implementations.
 //!
@@ -69,6 +74,7 @@ pub use fmm_gen as gen;
 pub use fmm_model as model;
 pub use fmm_sched as sched;
 pub use fmm_search as search;
+pub use fmm_serve as serve;
 pub use fmm_tune as tune;
 
 pub use fmm_core::Strategy;

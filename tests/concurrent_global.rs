@@ -1,0 +1,137 @@
+//! Concurrency acceptance for the process-global engines: many threads
+//! hammering `fmm::multiply` / `fmm::multiply_batch` (and the `f32`
+//! twins) at once must (a) match the blocked-GEMM reference on every
+//! result and (b) leave the shared `EngineStats` coherent — every call
+//! accounted for, no counter lost to a race.
+//!
+//! Each dtype gets its own `#[test]` and its own process-global engine
+//! (`fmm::engine()` / `fmm::engine_f32()`), so within this binary the
+//! deltas asserted below are exact, not lower bounds.
+
+use fmm_dense::{fill, norms, Matrix, Scalar};
+use fmm_engine::BatchItem;
+use std::thread;
+
+const THREADS: usize = 8;
+/// Per thread: this many single multiplies plus one batch of
+/// [`BATCH_ITEMS`].
+const SINGLE_CALLS: usize = 3;
+const BATCH_ITEMS: usize = 4;
+
+#[test]
+fn f64_global_engine_survives_concurrent_hammering_with_coherent_stats() {
+    let before = fmm::engine().stats();
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                // A thread-private shape (decision-cache growth under
+                // contention) and a shape every thread shares (hit-path
+                // contention on one LRU entry).
+                let shapes = [(24 + t, 17 + t, 31 + t), (48, 32, 40), (24 + t, 17 + t, 31 + t)];
+                for (i, &(m, k, n)) in shapes.iter().take(SINGLE_CALLS).enumerate() {
+                    let a = fill::bench_workload(m, k, (10 * t + i) as u64 + 1);
+                    let b = fill::bench_workload(k, n, (10 * t + i) as u64 + 2);
+                    let mut c = Matrix::zeros(m, n);
+                    fmm::multiply(c.as_mut(), a.as_ref(), b.as_ref());
+                    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+                    assert!(
+                        norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9,
+                        "thread {t} shape {m}x{k}x{n} diverged under concurrency"
+                    );
+                }
+
+                let a = fill::bench_workload(37, 29, 100 + t as u64);
+                let b = fill::bench_workload(29, 41, 200 + t as u64);
+                let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+                let mut cs: Vec<Matrix> = (0..BATCH_ITEMS).map(|_| Matrix::zeros(37, 41)).collect();
+                {
+                    let mut items: Vec<BatchItem<'_>> = cs
+                        .iter_mut()
+                        .map(|c| BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref()))
+                        .collect();
+                    fmm::multiply_batch(&mut items);
+                }
+                for c in &cs {
+                    assert!(
+                        norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9,
+                        "thread {t} batch item diverged under concurrency"
+                    );
+                }
+            });
+        }
+    });
+
+    let after = fmm::engine().stats();
+    let calls = (THREADS * (SINGLE_CALLS + BATCH_ITEMS)) as u64;
+    assert_eq!(after.executions - before.executions, calls, "every call counted exactly once");
+    assert_eq!(after.batches - before.batches, THREADS as u64);
+    assert_eq!(after.batch_items - before.batch_items, (THREADS * BATCH_ITEMS) as u64);
+    // Every execution resolves exactly one routing decision; hits and
+    // misses must partition them even under cache contention.
+    assert_eq!(
+        (after.decision_hits - before.decision_hits)
+            + (after.decision_misses - before.decision_misses),
+        calls,
+        "decision lookups partition executions"
+    );
+    // Ranking only ever happens on a miss (threads may race the same cold
+    // shape, so equality with distinct-shape count is not guaranteed).
+    assert!(after.rankings - before.rankings <= after.decision_misses - before.decision_misses);
+}
+
+#[test]
+fn f32_global_engine_survives_concurrent_hammering_with_coherent_stats() {
+    let before = fmm::engine_f32().stats();
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..SINGLE_CALLS {
+                    let (m, k, n) = (20 + t, 26, 22 + t);
+                    let a = fill::bench_workload_t::<f32>(m, k, (10 * t + i) as u64 + 1);
+                    let b = fill::bench_workload_t::<f32>(k, n, (10 * t + i) as u64 + 2);
+                    let mut c = Matrix::<f32>::zeros(m, n);
+                    fmm::multiply_f32(c.as_mut(), a.as_ref(), b.as_ref());
+                    let c_ref = fmm_gemm::reference::matmul(
+                        a.cast::<f64>().as_ref(),
+                        b.cast::<f64>().as_ref(),
+                    );
+                    let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.as_ref());
+                    let bound = <f32 as Scalar>::accuracy_bound(k, 2);
+                    assert!(err < bound, "thread {t}: f32 err {err} exceeds {bound}");
+                }
+
+                let a = fill::bench_workload_t::<f32>(33, 28, 300 + t as u64);
+                let b = fill::bench_workload_t::<f32>(28, 35, 400 + t as u64);
+                let c_ref =
+                    fmm_gemm::reference::matmul(a.cast::<f64>().as_ref(), b.cast::<f64>().as_ref());
+                let bound = <f32 as Scalar>::accuracy_bound(28, 2);
+                let mut cs: Vec<Matrix<f32>> =
+                    (0..BATCH_ITEMS).map(|_| Matrix::<f32>::zeros(33, 35)).collect();
+                {
+                    let mut items: Vec<BatchItem<'_, f32>> = cs
+                        .iter_mut()
+                        .map(|c| BatchItem::new(c.as_mut(), a.as_ref(), b.as_ref()))
+                        .collect();
+                    fmm::multiply_batch_f32(&mut items);
+                }
+                for c in &cs {
+                    let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.as_ref());
+                    assert!(err < bound, "thread {t}: f32 batch err {err} exceeds {bound}");
+                }
+            });
+        }
+    });
+
+    let after = fmm::engine_f32().stats();
+    let calls = (THREADS * (SINGLE_CALLS + BATCH_ITEMS)) as u64;
+    assert_eq!(after.executions - before.executions, calls);
+    assert_eq!(after.batches - before.batches, THREADS as u64);
+    assert_eq!(after.batch_items - before.batch_items, (THREADS * BATCH_ITEMS) as u64);
+    assert_eq!(
+        (after.decision_hits - before.decision_hits)
+            + (after.decision_misses - before.decision_misses),
+        calls,
+    );
+}
