@@ -5,24 +5,29 @@
 //! ```sh
 //! cargo run --release -p fmm-bench --bin serve_smoke \
 //!     [-- --threads 8 --requests 60 --size 64 --window-us 0 \
-//!         --gap-us 200 --max-batch 16 --out BENCH_serve.json]
+//!         --gap-us 200 --max-batch 16 --pipeline 8 --out BENCH_serve.json]
 //! ```
 //!
-//! Two daemons run in-process on loopback ports, sharing one warm engine
-//! pair so the comparison isolates the *dispatch policy*: first
-//! `max_batch = 1` (every request is its own `multiply_batch` call —
-//! what a naive thread-per-request server would do), then the
-//! window/size micro-batching policy. Each mode serves N client threads
-//! × M requests over real TCP connections. The report carries aggregate
-//! throughput, client-observed latency percentiles, and the server-side
-//! occupancy metrics that prove requests actually coalesced; the first
-//! response of every thread is verified against the blocked-GEMM
-//! reference so a serving bug cannot masquerade as a speedup.
+//! Three daemons run in-process on loopback ports, sharing one warm
+//! engine pair so the comparison isolates the *dispatch policy*: first
+//! `max_batch = 1` with blocking clients (every request is its own
+//! `multiply_batch` call — what a naive thread-per-request server would
+//! do), then the window/size micro-batching policy under the same
+//! blocking clients, then the same policy under protocol-v2 *pipelined*
+//! clients each keeping `--pipeline` requests in flight per connection.
+//! Each mode serves N client threads × M requests over real TCP
+//! connections. The report carries aggregate throughput, client-observed
+//! latency percentiles, and the server-side occupancy metrics that prove
+//! requests actually coalesced; the first response of every thread is
+//! verified against the blocked-GEMM reference so a serving bug cannot
+//! masquerade as a speedup.
 
 use fmm_bench::report::{int, latency_fields, num, object, text, Report};
-use fmm_dense::{fill, norms};
+use fmm_dense::{fill, norms, Matrix};
 use fmm_engine::{ArchSource, EngineConfig, FmmEngine};
-use fmm_serve::{BatchPolicy, Client, MetricsSnapshot, ServeConfig, Server};
+use fmm_serve::{BatchPolicy, Client, MetricsSnapshot, PipelinedClient, ServeConfig, Server};
+use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,17 +38,23 @@ struct Args {
     window_us: u64,
     gap_us: u64,
     max_batch: usize,
+    pipeline: usize,
     out: String,
 }
 
 fn parse_args() -> Args {
+    // Defaults sized for the overhead-dominated regime where dispatch
+    // policy is visible on a single core: at 32^3 the per-request frame +
+    // wakeup cost rivals the compute, so coalescing and pipelining show
+    // up as throughput rather than disappearing under the GEMM.
     let mut args = Args {
         threads: 8,
-        requests: 60,
-        size: 64,
+        requests: 120,
+        size: 32,
         window_us: 0,
         gap_us: 200,
         max_batch: 16,
+        pipeline: 16,
         out: "BENCH_serve.json".to_string(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +85,10 @@ fn parse_args() -> Args {
                 args.max_batch = argv[i + 1].parse().expect("--max-batch takes an integer");
                 i += 2;
             }
+            "--pipeline" => {
+                args.pipeline = argv[i + 1].parse().expect("--pipeline takes an integer");
+                i += 2;
+            }
             "--out" => {
                 args.out = argv[i + 1].clone();
                 i += 2;
@@ -91,13 +106,82 @@ struct ModeResult {
     metrics: MetricsSnapshot,
 }
 
+fn verify_first(a: &Matrix<f64>, b: &Matrix<f64>, c: &Matrix<f64>) {
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    let err = norms::rel_error(c.as_ref(), c_ref.as_ref());
+    assert!(err < 1e-9, "served result diverged: {err}");
+}
+
+/// One blocking client's share of the load: `requests` round-trips on one
+/// v1 connection, first response verified.
+fn drive_blocking(addr: SocketAddr, n: usize, requests: usize, seed: u64) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("connect");
+    let a = fill::bench_workload(n, n, 2 * seed + 1);
+    let b = fill::bench_workload(n, n, 2 * seed + 2);
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let t0 = Instant::now();
+        let c = client.multiply(&a, &b).expect("served");
+        samples.push(t0.elapsed().as_secs_f64());
+        if i == 0 {
+            verify_first(&a, &b, &c);
+        }
+    }
+    samples
+}
+
+/// One pipelined client's share: a single protocol-v2 connection keeping
+/// up to `depth` requests in flight, responses matched by request id.
+/// Latency is send → matched response; `Busy` refusals re-send without
+/// resetting the clock.
+fn drive_pipelined(
+    addr: SocketAddr,
+    n: usize,
+    requests: usize,
+    seed: u64,
+    depth: usize,
+) -> Vec<f64> {
+    let mut client = PipelinedClient::connect(addr).expect("connect");
+    let a = fill::bench_workload(n, n, 2 * seed + 1);
+    let b = fill::bench_workload(n, n, 2 * seed + 2);
+    let mut samples = Vec::with_capacity(requests);
+    let mut window: VecDeque<(u64, Instant)> = VecDeque::with_capacity(depth);
+    let mut sent = 0usize;
+    let mut verified = false;
+    while samples.len() < requests {
+        while sent < requests && window.len() < depth {
+            let t0 = Instant::now();
+            window.push_back((client.send(&a, &b).expect("send"), t0));
+            sent += 1;
+        }
+        let (id, t0) = window.pop_front().expect("in-flight window empty");
+        match client.recv::<f64>(id) {
+            Ok(c) => {
+                samples.push(t0.elapsed().as_secs_f64());
+                if !verified {
+                    verified = true;
+                    verify_first(&a, &b, &c);
+                }
+            }
+            Err(e) if e.is_busy() => {
+                std::thread::sleep(Duration::from_micros(200));
+                window.push_back((client.send(&a, &b).expect("re-send"), t0));
+            }
+            Err(e) => panic!("pipelined request failed: {e}"),
+        }
+    }
+    samples
+}
+
 /// Serve one mode: spawn a daemon with `policy` over the shared engines,
-/// drive it with `threads × requests` clients, shut it down, and return
+/// drive it with `threads × requests` clients (blocking when `depth` is
+/// 0, pipelined `depth`-deep otherwise), shut it down, and return
 /// throughput + latency + the server's own metrics.
 fn run_mode(
     policy: BatchPolicy,
     args: &Args,
     engines: &(Arc<FmmEngine<f64>>, Arc<FmmEngine<f32>>),
+    depth: usize,
 ) -> ModeResult {
     let handle = Server::spawn_with_engines(
         ServeConfig { batch: policy, ..ServeConfig::default() },
@@ -123,21 +207,11 @@ fn run_mode(
         let handles: Vec<_> = (0..args.threads)
             .map(|t| {
                 s.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let a = fill::bench_workload(n, n, 2 * t as u64 + 1);
-                    let b = fill::bench_workload(n, n, 2 * t as u64 + 2);
-                    let mut samples = Vec::with_capacity(args.requests);
-                    for i in 0..args.requests {
-                        let t0 = Instant::now();
-                        let c = client.multiply(&a, &b).expect("served");
-                        samples.push(t0.elapsed().as_secs_f64());
-                        if i == 0 {
-                            let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
-                            let err = norms::rel_error(c.as_ref(), c_ref.as_ref());
-                            assert!(err < 1e-9, "served result diverged: {err}");
-                        }
+                    if depth == 0 {
+                        drive_blocking(addr, n, args.requests, t as u64)
+                    } else {
+                        drive_pipelined(addr, n, args.requests, t as u64, depth)
                     }
-                    samples
                 })
             })
             .collect();
@@ -175,8 +249,15 @@ fn main() {
         (Arc::new(FmmEngine::<f64>::new(config.clone())), Arc::new(FmmEngine::<f32>::new(config)));
 
     println!(
-        "serve_smoke: {} threads x {} requests, {}^3 f64, window {} us (gap {} us), max batch {}",
-        args.threads, args.requests, args.size, args.window_us, args.gap_us, args.max_batch
+        "serve_smoke: {} threads x {} requests, {}^3 f64, window {} us (gap {} us), \
+         max batch {}, pipeline {}",
+        args.threads,
+        args.requests,
+        args.size,
+        args.window_us,
+        args.gap_us,
+        args.max_batch,
+        args.pipeline
     );
 
     // Mode 1: one-request-at-a-time dispatch (the baseline a serving
@@ -185,22 +266,20 @@ fn main() {
         BatchPolicy { window: Duration::ZERO, max_batch: 1, straggler_gap: Duration::ZERO },
         &args,
         &engines,
+        0,
     );
     println!(
         "unbatched: {:7.1} req/s  {:6.2} GFLOP/s  (occupancy mean {:.2})",
         unbatched.rps, unbatched.gflops, unbatched.metrics.mean_occupancy
     );
 
-    // Mode 2: cross-request micro-batching.
-    let batched = run_mode(
-        BatchPolicy {
-            window: Duration::from_micros(args.window_us),
-            max_batch: args.max_batch.max(1),
-            straggler_gap: Duration::from_micros(args.gap_us),
-        },
-        &args,
-        &engines,
-    );
+    // Mode 2: cross-request micro-batching under blocking clients.
+    let policy = BatchPolicy {
+        window: Duration::from_micros(args.window_us),
+        max_batch: args.max_batch.max(1),
+        straggler_gap: Duration::from_micros(args.gap_us),
+    };
+    let batched = run_mode(policy, &args, &engines, 0);
     println!(
         "batched:   {:7.1} req/s  {:6.2} GFLOP/s  (occupancy mean {:.2}, max {}, {} batches)",
         batched.rps,
@@ -209,11 +288,31 @@ fn main() {
         batched.metrics.max_occupancy,
         batched.metrics.batches
     );
+
+    // Mode 3: the same micro-batching policy under pipelined v2 clients —
+    // each connection keeps `--pipeline` requests in flight, so the batch
+    // window fills without needing one blocked OS thread per in-flight
+    // request.
+    let pipelined = run_mode(policy, &args, &engines, args.pipeline.max(1));
+    println!(
+        "pipelined: {:7.1} req/s  {:6.2} GFLOP/s  (occupancy mean {:.2}, max {}, {} batches)",
+        pipelined.rps,
+        pipelined.gflops,
+        pipelined.metrics.mean_occupancy,
+        pipelined.metrics.max_occupancy,
+        pipelined.metrics.batches
+    );
     let speedup = batched.rps / unbatched.rps;
-    println!("batched/unbatched throughput: {speedup:.2}x");
+    let pipelined_speedup = pipelined.rps / unbatched.rps;
+    println!("batched/unbatched throughput:   {speedup:.2}x");
+    println!("pipelined/unbatched throughput: {pipelined_speedup:.2}x");
     assert!(
         batched.metrics.max_occupancy > 1,
         "micro-batching never coalesced — policy or load misconfigured"
+    );
+    assert!(
+        pipelined.metrics.max_occupancy > 1,
+        "pipelined clients never coalesced — policy or load misconfigured"
     );
 
     let mut report = Report::new("serve_smoke");
@@ -223,8 +322,12 @@ fn main() {
         .field("window_us", int(args.window_us as i64))
         .field("gap_us", int(args.gap_us as i64))
         .field("max_batch", int(args.max_batch as i64))
-        .field("batched_speedup", num(speedup));
-    for (mode, result) in [("unbatched", &unbatched), ("batched", &batched)] {
+        .field("pipeline_depth", int(args.pipeline as i64))
+        .field("batched_speedup", num(speedup))
+        .field("pipelined_speedup", num(pipelined_speedup));
+    for (mode, result) in
+        [("unbatched", &unbatched), ("batched", &batched), ("pipelined", &pipelined)]
+    {
         let mut entries = vec![
             ("size", int(args.size as i64)),
             ("gflops", num(result.gflops)),

@@ -3,10 +3,11 @@
 //! ```sh
 //! fmm_serve serve [--addr 127.0.0.1:7117] [--window-us 2000] [--gap-us 200]
 //!                 [--max-batch 32] [--queue 256] [--workers 0] [--no-tuned]
+//!                 [--event-threads 2]
 //! fmm_serve ping --addr HOST:PORT [--count 3]
 //! fmm_serve stats --addr HOST:PORT
 //! fmm_serve bench --addr HOST:PORT [--threads 4] [--requests 32]
-//!                 [--size 96] [--dtype f64|f32] [--verify]
+//!                 [--size 96] [--dtype f64|f32] [--pipeline 0] [--verify]
 //! fmm_serve shutdown --addr HOST:PORT
 //! ```
 //!
@@ -14,11 +15,16 @@
 //! in-flight work, prints a final stats snapshot, and exits 0 — the clean
 //! shutdown CI asserts. `bench` is the network loadgen: N client threads
 //! each issuing M requests over their own connection, reporting aggregate
-//! throughput and client-observed latency percentiles (the in-process
-//! batched-vs-unbatched comparison lives in `fmm-bench`'s `serve_smoke`).
+//! throughput and client-observed latency percentiles. `--pipeline D`
+//! switches each thread to the protocol-v2 [`PipelinedClient`] holding a
+//! window of D requests in flight per connection; `0` (the default) keeps
+//! the blocking v1 client, whose `Busy` refusals are retried with
+//! [`retry_busy`] backoff. (The in-process batched-vs-unbatched
+//! comparison lives in `fmm-bench`'s `serve_smoke`.)
 
 use fmm_dense::{fill, norms, Matrix};
-use fmm_serve::{BatchPolicy, Client, ServeConfig, Server};
+use fmm_serve::{retry_busy, BatchPolicy, Client, PipelinedClient, ServeConfig, Server};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -57,6 +63,8 @@ struct Options {
     dtype: String,
     count: usize,
     verify: bool,
+    event_threads: usize,
+    pipeline: usize,
 }
 
 impl Options {
@@ -75,6 +83,8 @@ impl Options {
             dtype: "f64".to_string(),
             count: 3,
             verify: false,
+            event_threads: 2,
+            pipeline: 0,
         };
         let mut i = 0;
         let value = |argv: &[String], i: usize, flag: &str| -> String {
@@ -134,6 +144,15 @@ impl Options {
                     o.verify = true;
                     i += 1;
                 }
+                "--event-threads" => {
+                    o.event_threads =
+                        value(argv, i, "--event-threads").parse().expect("--event-threads: int");
+                    i += 2;
+                }
+                "--pipeline" => {
+                    o.pipeline = value(argv, i, "--pipeline").parse().expect("--pipeline: int");
+                    i += 2;
+                }
                 other => {
                     eprintln!("unknown flag {other}");
                     std::process::exit(2);
@@ -155,6 +174,7 @@ fn cmd_serve(o: &Options) {
         queue_capacity: o.queue,
         workers: o.workers,
         tuned: o.tuned,
+        event_threads: o.event_threads.max(1),
         ..ServeConfig::default()
     };
     let window = config.batch.window;
@@ -168,8 +188,12 @@ fn cmd_serve(o: &Options) {
     };
     println!("fmm_serve listening on {}", handle.addr());
     println!(
-        "micro-batching: window {:?}, max batch {max_batch}, queue capacity {}, tuned {}",
-        window, o.queue, o.tuned
+        "micro-batching: window {:?}, max batch {max_batch}, queue capacity {}, tuned {}, \
+         event threads {}",
+        window,
+        o.queue,
+        o.tuned,
+        o.event_threads.max(1)
     );
     let metrics = handle.metrics_arc();
     handle.wait();
@@ -230,8 +254,10 @@ fn cmd_shutdown(o: &Options) {
 fn cmd_bench(o: &Options) {
     assert!(o.dtype == "f64" || o.dtype == "f32", "--dtype takes f64 or f32");
     let n = o.size;
+    let mode =
+        if o.pipeline > 0 { format!("pipelined x{}", o.pipeline) } else { "blocking".to_string() };
     println!(
-        "bench: {} threads x {} requests, {}^3 {}, against {}",
+        "bench: {} threads x {} requests, {}^3 {}, {mode}, against {}",
         o.threads, o.requests, n, o.dtype, o.addr
     );
 
@@ -247,8 +273,16 @@ fn cmd_bench(o: &Options) {
         let handles: Vec<_> = (0..o.threads.max(1))
             .map(|t| {
                 s.spawn(move || {
-                    let mut client = connect(o);
-                    run_requests(&mut client, o, o.requests, t as u64)
+                    if o.pipeline > 0 {
+                        if o.dtype == "f32" {
+                            run_pipelined::<f32>(o, o.requests, t as u64, o.pipeline)
+                        } else {
+                            run_pipelined::<f64>(o, o.requests, t as u64, o.pipeline)
+                        }
+                    } else {
+                        let mut client = connect(o);
+                        run_requests(&mut client, o, o.requests, t as u64)
+                    }
                 })
             })
             .collect();
@@ -271,9 +305,17 @@ fn cmd_bench(o: &Options) {
     );
 }
 
+/// How patiently the loadgen rides out `Busy` refusals: up to 8 tries
+/// with backoff starting at 1 ms. Enough to survive a saturated queue
+/// window; a server that refuses for this long is a real result.
+const BUSY_ATTEMPTS: usize = 8;
+const BUSY_BASE_DELAY: Duration = Duration::from_millis(1);
+
 /// Issue `count` requests on one connection; returns per-request client
-/// latencies in seconds. With `--verify`, the first response is checked
-/// against the local blocked-GEMM reference.
+/// latencies in seconds. `Busy` refusals are retried with backoff (the
+/// latency clock keeps running across retries, so refusals show up as
+/// tail latency, not as missing samples). With `--verify`, the first
+/// response is checked against the local blocked-GEMM reference.
 fn run_requests(client: &mut Client, o: &Options, count: usize, seed: u64) -> Vec<f64> {
     let n = o.size;
     let mut latencies = Vec::with_capacity(count);
@@ -282,13 +324,16 @@ fn run_requests(client: &mut Client, o: &Options, count: usize, seed: u64) -> Ve
         let b = fill::bench_workload_t::<f32>(n, n, 2 * seed + 2);
         for i in 0..count {
             let t0 = Instant::now();
-            let c = client.multiply(&a, &b).unwrap_or_else(|e| {
+            let c = retry_busy(BUSY_ATTEMPTS, BUSY_BASE_DELAY, seed ^ i as u64, || {
+                client.multiply(&a, &b)
+            })
+            .unwrap_or_else(|e| {
                 eprintln!("request failed: {e}");
                 std::process::exit(1);
             });
             latencies.push(t0.elapsed().as_secs_f64());
             if o.verify && i == 0 {
-                verify_f32(&a, &b, &c);
+                verify_against_reference(&a, &b, &c);
             }
         }
     } else {
@@ -296,26 +341,80 @@ fn run_requests(client: &mut Client, o: &Options, count: usize, seed: u64) -> Ve
         let b = fill::bench_workload(n, n, 2 * seed + 2);
         for i in 0..count {
             let t0 = Instant::now();
-            let c = client.multiply(&a, &b).unwrap_or_else(|e| {
+            let c = retry_busy(BUSY_ATTEMPTS, BUSY_BASE_DELAY, seed ^ i as u64, || {
+                client.multiply(&a, &b)
+            })
+            .unwrap_or_else(|e| {
                 eprintln!("request failed: {e}");
                 std::process::exit(1);
             });
             latencies.push(t0.elapsed().as_secs_f64());
             if o.verify && i == 0 {
-                let mut c_ref = Matrix::zeros(n, n);
-                fmm_gemm::gemm(c_ref.as_mut(), a.as_ref(), b.as_ref());
-                let err = norms::rel_error(c.as_ref(), c_ref.as_ref());
-                assert!(err < 1e-9, "served result diverges from blocked GEMM: {err}");
+                verify_against_reference(&a, &b, &c);
             }
         }
     }
     latencies
 }
 
-fn verify_f32(a: &Matrix<f32>, b: &Matrix<f32>, c: &Matrix<f32>) {
-    let mut c_ref = Matrix::<f32>::zeros(a.rows(), b.cols());
+/// Pipelined loadgen body: one protocol-v2 [`PipelinedClient`] keeping up
+/// to `depth` requests in flight on a single connection; returns
+/// per-request latencies (send → matched response) in seconds. A `Busy`
+/// refusal re-sends the same problem after a short pause without
+/// resetting that request's latency clock.
+fn run_pipelined<T>(o: &Options, count: usize, seed: u64, depth: usize) -> Vec<f64>
+where
+    T: fmm_serve::WireScalar + fmm_gemm::GemmScalar,
+{
+    let n = o.size;
+    let a = fill::bench_workload_t::<T>(n, n, 2 * seed + 1);
+    let b = fill::bench_workload_t::<T>(n, n, 2 * seed + 2);
+    let mut client = PipelinedClient::connect(&o.addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {}: {e}", o.addr);
+        std::process::exit(1);
+    });
+    let send = |client: &mut PipelinedClient| {
+        client.send(&a, &b).unwrap_or_else(|e| {
+            eprintln!("send failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut latencies = Vec::with_capacity(count);
+    let mut window: VecDeque<(u64, Instant)> = VecDeque::with_capacity(depth);
+    let mut sent = 0usize;
+    let mut verified = !o.verify;
+    while latencies.len() < count {
+        while sent < count && window.len() < depth {
+            let t0 = Instant::now();
+            window.push_back((send(&mut client), t0));
+            sent += 1;
+        }
+        let (id, t0) = window.pop_front().expect("in-flight window empty");
+        match client.recv::<T>(id) {
+            Ok(c) => {
+                latencies.push(t0.elapsed().as_secs_f64());
+                if !verified {
+                    verified = true;
+                    verify_against_reference(&a, &b, &c);
+                }
+            }
+            Err(e) if e.is_busy() => {
+                std::thread::sleep(BUSY_BASE_DELAY);
+                window.push_back((send(&mut client), t0));
+            }
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    latencies
+}
+
+fn verify_against_reference<T: fmm_gemm::GemmScalar>(a: &Matrix<T>, b: &Matrix<T>, c: &Matrix<T>) {
+    let mut c_ref = Matrix::<T>::zeros(a.rows(), b.cols());
     fmm_gemm::gemm(c_ref.as_mut(), a.as_ref(), b.as_ref());
     let err = norms::rel_error(c.cast::<f64>().as_ref(), c_ref.cast::<f64>().as_ref());
-    let bound = <f32 as fmm_dense::Scalar>::accuracy_bound(a.cols(), 2);
-    assert!(err < bound, "served f32 result diverges from blocked GEMM: {err} (bound {bound})");
+    let bound = T::accuracy_bound(a.cols(), 2).max(1e-9);
+    assert!(err < bound, "served result diverges from blocked GEMM: {err} (bound {bound})");
 }

@@ -18,12 +18,11 @@
 //! that refusal into a typed `Busy` error frame instead of letting pending
 //! matrices grow without bound.
 
+use crate::buffers::{BufferPool, PooledBuf, WireBuf};
 use crate::metrics::Metrics;
-use fmm_dense::Matrix;
 use fmm_engine::{BatchItem, FmmEngine};
 use fmm_gemm::GemmScalar;
 use std::collections::VecDeque;
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,16 +58,72 @@ impl Default for BatchPolicy {
     }
 }
 
-/// One admitted request: operands, the reply channel back to the
-/// connection thread, and the admission timestamp for service-latency
-/// accounting.
+/// Where a finished request lives: the event loop that owns its
+/// connection, addressed by slot + generation so completions for
+/// connections that died mid-flight are recognized and dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnAddr {
+    /// The owning event loop's slot index for the connection.
+    pub slot: u32,
+    /// The slot's generation at admission time; a completion whose
+    /// generation no longer matches belongs to a dead connection.
+    pub generation: u32,
+}
+
+/// A finished request on its way back to the event loop: the pooled
+/// result buffer (already in wire byte order) plus everything needed to
+/// frame and route the response.
+pub struct Completion {
+    /// The connection the response belongs to.
+    pub addr: ConnAddr,
+    /// The request id to echo (0 for v1).
+    pub request_id: u64,
+    /// The wire version to answer in.
+    pub version: u8,
+    /// Result rows.
+    pub m: usize,
+    /// Result columns.
+    pub n: usize,
+    /// The result bytes, row-major little-endian, pooled.
+    pub result: WireBuf,
+}
+
+/// Where dispatchers deliver completions: one sink per event loop,
+/// implemented by the server (push to the loop's completion queue, then
+/// wake its poller).
+pub trait CompletionSink: Send + Sync {
+    /// Deliver one completion.
+    fn complete(&self, completion: Completion);
+}
+
+/// The reply route of one admitted request.
+pub struct ReplySink {
+    /// The owning event loop's completion sink.
+    pub sink: Arc<dyn CompletionSink>,
+    /// The connection's address on that loop.
+    pub addr: ConnAddr,
+    /// The request id to echo.
+    pub request_id: u64,
+    /// The wire version to answer in.
+    pub version: u8,
+}
+
+/// One admitted request: pooled wire-order operands, dimensions, the
+/// completion route back to the event loop, and the admission timestamp
+/// for latency accounting.
 pub struct Job<T> {
-    /// Left operand (`m × k`).
-    pub a: Matrix<T>,
-    /// Right operand (`k × n`).
-    pub b: Matrix<T>,
-    /// Reply channel; the connection thread blocks on the paired receiver.
-    pub reply: mpsc::Sender<Matrix<T>>,
+    /// Left operand (`m × k`, row-major in the pooled buffer).
+    pub a: PooledBuf<T>,
+    /// Right operand (`k × n`, row-major).
+    pub b: PooledBuf<T>,
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+    /// Completion route.
+    pub reply: ReplySink,
     /// When admission control accepted the job.
     pub enqueued: Instant,
 }
@@ -187,16 +242,20 @@ impl<T> BatchQueue<T> {
 }
 
 /// Drain `queue` until it closes: form micro-batches under `policy`,
-/// execute each through `engine.multiply_batch`, and hand every result
-/// back on its job's reply channel. Runs on a dedicated thread per dtype;
-/// returns when the queue is closed and fully drained, so in-flight
-/// requests complete across a shutdown.
+/// execute each through `engine.multiply_batch` over strided views of the
+/// pooled wire buffers (no transpose copy, no intermediate `Vec`), and
+/// deliver every result to its reply sink as a pooled wire-order buffer.
+/// Runs on a dedicated thread per dtype; returns when the queue is closed
+/// and fully drained, so in-flight requests complete across a shutdown.
 pub fn run_dispatcher<T: GemmScalar>(
     queue: &BatchQueue<T>,
     engine: &FmmEngine<T>,
+    pool: &BufferPool<T>,
     policy: BatchPolicy,
     metrics: &Arc<Metrics>,
-) {
+) where
+    WireBuf: From<PooledBuf<T>>,
+{
     let max_batch = policy.max_batch.max(1);
     while let Some(first) = queue.pop_first() {
         let mut jobs = Vec::with_capacity(max_batch.min(64));
@@ -225,24 +284,55 @@ pub fn run_dispatcher<T: GemmScalar>(
             }
         }
 
-        // One result buffer per job; the BatchItem views borrow them for
-        // the duration of the fan-out.
-        let mut results: Vec<Matrix<T>> =
-            jobs.iter().map(|job| Matrix::zeros(job.a.rows(), job.b.cols())).collect();
+        let exec_start = Instant::now();
+        for job in &jobs {
+            metrics.record_queue_wait(exec_start - job.enqueued);
+        }
+        // One pooled result buffer per job, zeroed because the engine
+        // accumulates (`C += A·B`); the BatchItem views borrow the wire
+        // buffers directly for the duration of the fan-out.
+        let mut results: Vec<PooledBuf<T>> = jobs
+            .iter()
+            .map(|job| {
+                let mut c = pool.acquire(job.m * job.n);
+                c.zero();
+                c
+            })
+            .collect();
         {
             let mut items: Vec<BatchItem<'_, T>> = results
                 .iter_mut()
                 .zip(jobs.iter())
-                .map(|(c, job)| BatchItem::new(c.as_mut(), job.a.as_ref(), job.b.as_ref()))
+                .map(|(c, job)| {
+                    BatchItem::new(
+                        c.mat_mut(job.m, job.n),
+                        job.a.mat_ref(job.m, job.k),
+                        job.b.mat_ref(job.k, job.n),
+                    )
+                })
                 .collect();
             engine.multiply_batch(&mut items);
         }
         metrics.record_batch(jobs.len());
-        for (job, result) in jobs.into_iter().zip(results) {
+        let service = exec_start.elapsed();
+        for (job, mut result) in jobs.into_iter().zip(results) {
+            metrics.record_service(service);
             metrics.record_latency(job.enqueued.elapsed());
-            // A dropped receiver (client hung up mid-flight) is not an
-            // error worth dying for; the work is simply discarded.
-            let _ = job.reply.send(result);
+            result.host_to_wire();
+            let Job { a, b, m, n, reply, .. } = job;
+            // Operands must be back in the pool *before* the completion
+            // wakes the event loop: the client's next request can race
+            // the tail of this iteration and must find them idle.
+            drop(a);
+            drop(b);
+            reply.sink.complete(Completion {
+                addr: reply.addr,
+                request_id: reply.request_id,
+                version: reply.version,
+                m,
+                n,
+                result: result.into(),
+            });
         }
     }
 }
@@ -250,23 +340,85 @@ pub fn run_dispatcher<T: GemmScalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffers::IngestPools;
+    use crate::protocol::WireScalar;
+    use fmm_dense::Matrix;
     use fmm_engine::{EngineConfig, Routing};
     use fmm_gemm::BlockingParams;
     use std::thread;
 
-    fn job(n: usize, seed: u64) -> (Job<f64>, mpsc::Receiver<Matrix<f64>>) {
-        let (tx, rx) = mpsc::channel();
+    /// Test sink: collects completions and wakes waiters.
+    #[derive(Default)]
+    struct Collector {
+        done: Mutex<Vec<Completion>>,
+        ready: Condvar,
+    }
+
+    impl CompletionSink for Collector {
+        fn complete(&self, completion: Completion) {
+            self.done.lock().expect("collector poisoned").push(completion);
+            self.ready.notify_all();
+        }
+    }
+
+    impl Collector {
+        fn wait_for(&self, count: usize) -> Vec<(u64, Matrix<f64>)> {
+            let mut done = self.done.lock().expect("collector poisoned");
+            while done.len() < count {
+                let (next, timeout) = self
+                    .ready
+                    .wait_timeout(done, Duration::from_secs(20))
+                    .expect("collector poisoned");
+                done = next;
+                assert!(!timeout.timed_out(), "dispatcher never completed {count} jobs");
+            }
+            done.iter()
+                .map(|c| {
+                    let bytes = c.result.bytes();
+                    let w = std::mem::size_of::<f64>();
+                    let mat = Matrix::from_fn(c.m, c.n, |i, j| {
+                        f64::read_le(&bytes[(i * c.n + j) * w..(i * c.n + j) * w + w])
+                    });
+                    (c.request_id, mat)
+                })
+                .collect()
+        }
+    }
+
+    fn job(
+        pools: &IngestPools,
+        sink: &Arc<Collector>,
+        n: usize,
+        seed: u64,
+        request_id: u64,
+    ) -> (Job<f64>, Matrix<f64>, Matrix<f64>) {
         let a = fmm_dense::fill::bench_workload(n, n, seed);
         let b = fmm_dense::fill::bench_workload(n, n, seed + 1);
-        (Job { a, b, reply: tx, enqueued: Instant::now() }, rx)
+        let mut pa = pools.f64.acquire(n * n);
+        let mut pb = pools.f64.acquire(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                pa.as_mut_slice()[i * n + j] = a.get(i, j);
+                pb.as_mut_slice()[i * n + j] = b.get(i, j);
+            }
+        }
+        let reply = ReplySink {
+            sink: sink.clone() as Arc<dyn CompletionSink>,
+            addr: ConnAddr { slot: 0, generation: 0 },
+            request_id,
+            version: 2,
+        };
+        (Job { a: pa, b: pb, m: n, k: n, n, reply, enqueued: Instant::now() }, a, b)
     }
 
     #[test]
     fn queue_refuses_beyond_capacity_and_after_close() {
+        let pools = IngestPools::new(8);
+        let sink = Arc::new(Collector::default());
         let q = BatchQueue::<f64>::new(2);
-        let (j1, _r1) = job(4, 1);
-        let (j2, _r2) = job(4, 3);
-        let (j3, _r3) = job(4, 5);
+        let (j1, _, _) = job(&pools, &sink, 4, 1, 1);
+        let (j2, _, _) = job(&pools, &sink, 4, 3, 2);
+        let (j3, _, _) = job(&pools, &sink, 4, 5, 3);
         assert!(q.try_push(j1).is_ok());
         assert!(q.try_push(j2).is_ok());
         let (refused, why) = match q.try_push(j3) {
@@ -297,21 +449,21 @@ mod tests {
     }
 
     #[test]
-    fn dispatcher_coalesces_queued_jobs_and_answers_each() {
+    fn dispatcher_coalesces_queued_jobs_and_completes_each_by_id() {
         let engine = FmmEngine::<f64>::new(EngineConfig {
             params: BlockingParams::tiny(),
             routing: Routing::Model,
             ..EngineConfig::default()
         });
+        let pools = IngestPools::new(16);
+        let sink = Arc::new(Collector::default());
         let metrics = Arc::new(Metrics::default());
         let queue = BatchQueue::new(16);
-        let mut receivers = Vec::new();
         let mut expected = Vec::new();
         for seed in 0..6u64 {
-            let (j, rx) = job(24, seed * 2 + 1);
-            expected.push(fmm_gemm::reference::matmul(j.a.as_ref(), j.b.as_ref()));
+            let (j, a, b) = job(&pools, &sink, 24, seed * 2 + 1, 100 + seed);
+            expected.push((100 + seed, fmm_gemm::reference::matmul(a.as_ref(), b.as_ref())));
             assert!(queue.try_push(j).is_ok());
-            receivers.push(rx);
         }
         queue.close(); // dispatcher drains the backlog then exits
 
@@ -321,17 +473,21 @@ mod tests {
             straggler_gap: Duration::from_millis(50),
         };
         thread::scope(|s| {
-            s.spawn(|| run_dispatcher(&queue, &engine, policy, &metrics));
+            s.spawn(|| run_dispatcher(&queue, &engine, &pools.f64, policy, &metrics));
         });
 
-        for (rx, want) in receivers.iter().zip(&expected) {
-            let got = rx.recv().expect("dispatcher replied");
-            assert!(fmm_dense::norms::rel_error(got.as_ref(), want.as_ref()) < 1e-9);
+        let mut got = sink.wait_for(6);
+        got.sort_by_key(|(id, _)| *id);
+        for ((id, mat), (want_id, want)) in got.iter().zip(&expected) {
+            assert_eq!(id, want_id, "completion routed by request id");
+            assert!(fmm_dense::norms::rel_error(mat.as_ref(), want.as_ref()) < 1e-9);
         }
         let snap = metrics.snapshot();
         assert_eq!(snap.batched_items, 6);
         assert!(snap.max_occupancy > 1, "queued jobs were coalesced: {snap:?}");
         assert_eq!(snap.latency.count, 6);
+        assert_eq!(snap.queue_wait.count, 6, "queue-wait split recorded per job");
+        assert_eq!(snap.service.count, 6, "service split recorded per job");
     }
 
     #[test]
@@ -340,25 +496,67 @@ mod tests {
             params: BlockingParams::tiny(),
             ..EngineConfig::default()
         });
+        let pools = IngestPools::new(16);
+        let sink = Arc::new(Collector::default());
         let metrics = Arc::new(Metrics::default());
         let queue = BatchQueue::new(16);
-        let mut receivers = Vec::new();
         for seed in 0..3u64 {
-            let (j, rx) = job(16, seed * 2 + 20);
+            let (j, _, _) = job(&pools, &sink, 16, seed * 2 + 20, seed);
             assert!(queue.try_push(j).is_ok());
-            receivers.push(rx);
         }
         queue.close();
         let policy =
             BatchPolicy { window: Duration::ZERO, max_batch: 1, straggler_gap: Duration::ZERO };
         thread::scope(|s| {
-            s.spawn(|| run_dispatcher(&queue, &engine, policy, &metrics));
+            s.spawn(|| run_dispatcher(&queue, &engine, &pools.f64, policy, &metrics));
         });
-        for rx in &receivers {
-            rx.recv().expect("reply");
-        }
+        sink.wait_for(3);
         let snap = metrics.snapshot();
         assert_eq!(snap.batches, 3);
         assert_eq!(snap.max_occupancy, 1);
+    }
+
+    #[test]
+    fn warm_dispatch_hits_the_result_pool() {
+        let engine = FmmEngine::<f64>::new(EngineConfig {
+            params: BlockingParams::tiny(),
+            ..EngineConfig::default()
+        });
+        let pools = IngestPools::new(16);
+        let sink = Arc::new(Collector::default());
+        let metrics = Arc::new(Metrics::default());
+        // Two rounds of the same shape: round 1 warms the pool, round 2
+        // must be all hits for the result buffers.
+        for round in 0..2 {
+            let queue = BatchQueue::new(4);
+            let (j, _, _) = job(&pools, &sink, 8, 50 + round, round);
+            assert!(queue.try_push(j).is_ok());
+            queue.close();
+            let policy =
+                BatchPolicy { window: Duration::ZERO, max_batch: 4, straggler_gap: Duration::ZERO };
+            thread::scope(|s| {
+                s.spawn(|| run_dispatcher(&queue, &engine, &pools.f64, policy, &metrics));
+            });
+        }
+        sink.wait_for(2);
+        let misses_after_warm = pools.f64.stats().misses;
+        // Drop the collected results back to the pool, then run a third
+        // warm round: zero new allocations end to end.
+        sink.done.lock().expect("collector poisoned").clear();
+        let queue = BatchQueue::new(4);
+        let (j, _, _) = job(&pools, &sink, 8, 60, 9);
+        assert!(queue.try_push(j).is_ok());
+        queue.close();
+        let policy =
+            BatchPolicy { window: Duration::ZERO, max_batch: 4, straggler_gap: Duration::ZERO };
+        thread::scope(|s| {
+            s.spawn(|| run_dispatcher(&queue, &engine, &pools.f64, policy, &metrics));
+        });
+        sink.wait_for(1);
+        assert_eq!(
+            pools.f64.stats().misses,
+            misses_after_warm,
+            "warm-path dispatch allocated a payload buffer"
+        );
     }
 }

@@ -7,22 +7,35 @@
 //! network clients that arrive one problem at a time:
 //!
 //! * a **length-prefixed binary frame protocol** over TCP
-//!   ([`protocol`]): magic + version + kind + length header, row-major
-//!   little-endian matrix payloads tagged with dtype and `m/k/n`,
-//!   defensively decoded (malformed input degrades to typed error
-//!   frames, never a panic or a hang);
+//!   ([`protocol`]): magic + version + kind + length header (v2 adds a
+//!   per-frame `request_id` for pipelining), row-major little-endian
+//!   matrix payloads tagged with dtype and `m/k/n`, defensively decoded
+//!   (malformed input degrades to typed error frames, never a panic or a
+//!   hang);
+//! * a **readiness-loop serving core** ([`server`] over [`poller`] and
+//!   [`conn`]): every connection is multiplexed onto a small fixed set of
+//!   nonblocking event-loop threads (epoll on Linux, `poll(2)` on other
+//!   Unix), with request payloads decoded **straight into pooled aligned
+//!   buffers** ([`buffers`]) — one copy off the wire — and responses
+//!   written from a scatter list with partial-write continuation, so slow
+//!   readers cost backlog bytes, never a blocked thread;
 //! * a **micro-batching dispatcher** ([`dispatch`]): concurrent in-flight
 //!   requests are coalesced under a window/size policy into one
-//!   `multiply_batch` call per dtype, so unrelated clients share a
-//!   fan-out;
-//! * **admission control**: a bounded pending queue per dtype; when it is
-//!   full, requests are refused immediately with a `Busy` error frame —
-//!   backpressure instead of unbounded memory growth;
+//!   `multiply_batch` call per dtype over strided views of the pooled
+//!   wire buffers, so unrelated clients share a fan-out;
+//! * **admission control**: a bounded pending queue per dtype plus a
+//!   per-connection pipelining bound; over either, requests are refused
+//!   immediately with a `Busy` error frame — backpressure instead of
+//!   unbounded memory growth;
 //! * **live metrics** ([`metrics`]): request/batch/reject counters, batch
-//!   occupancy, p50/p99 service latency, and per-dtype `EngineStats`
+//!   occupancy, per-connection pipelining depth, queue-wait vs service
+//!   latency splits, ingest-pool occupancy, and per-dtype `EngineStats`
 //!   snapshots, served as a plaintext stats frame;
-//! * a **blocking client library** ([`client`]) and the `fmm_serve` CLI
-//!   (`serve` / `ping` / `stats` / `bench` / `shutdown`).
+//! * **client libraries** ([`client`]): the blocking v1 [`Client`], the
+//!   pipelined v2 [`PipelinedClient`] (out-of-order responses matched by
+//!   request id), the [`client::retry_busy`] backoff helper, and the
+//!   `fmm_serve` CLI (`serve` / `ping` / `stats` / `bench` /
+//!   `shutdown`).
 //!
 //! # Example
 //!
@@ -61,14 +74,20 @@
 //! handle.wait();
 //! ```
 
+pub mod buffers;
 pub mod client;
+pub mod conn;
 pub mod dispatch;
 pub mod metrics;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use dispatch::{BatchPolicy, BatchQueue, Job, Refusal};
+pub use buffers::{BufferPool, IngestPools, OperandStage, PoolStats, PooledBuf, WireBuf};
+pub use client::{retry_busy, Client, ClientError, PipelinedClient};
+pub use dispatch::{
+    BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr, Job, Refusal, ReplySink,
+};
 pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
-pub use protocol::{Dtype, ErrorCode, Frame, FrameError, FrameKind, WireScalar};
+pub use protocol::{Dtype, ErrorCode, Frame, FrameError, FrameKind, FrameV, WireScalar};
 pub use server::{ServeConfig, Server, ServerHandle};

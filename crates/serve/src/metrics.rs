@@ -37,7 +37,18 @@ pub struct Metrics {
     pub batched_items: AtomicU64,
     /// Largest single-batch occupancy observed.
     pub max_occupancy: AtomicU64,
+    /// Requests admitted whose response has not been queued yet (gauge).
+    pub inflight: AtomicU64,
+    /// Largest in-flight count observed on any single connection — the
+    /// pipelining-depth gauge (1 for strict request/response v1 traffic).
+    pub inflight_per_conn_max: AtomicU64,
+    /// Connections currently open (gauge).
+    pub connections: AtomicU64,
+    /// Connections accepted since start.
+    pub connections_total: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    queue_waits: Mutex<LatencyRing>,
+    services: Mutex<LatencyRing>,
 }
 
 #[derive(Default)]
@@ -92,9 +103,23 @@ pub struct MetricsSnapshot {
     /// `batched_items / batches` — how many requests the average
     /// `multiply_batch` call coalesced. `0` before the first batch.
     pub mean_occupancy: f64,
+    /// See [`Metrics::inflight`].
+    pub inflight: u64,
+    /// See [`Metrics::inflight_per_conn_max`].
+    pub inflight_per_conn_max: u64,
+    /// See [`Metrics::connections`].
+    pub connections: u64,
+    /// See [`Metrics::connections_total`].
+    pub connections_total: u64,
     /// Service latency (admission to response hand-off) over the recent
     /// window.
     pub latency: LatencyStats,
+    /// Queue wait (admission to batch execution start) over the recent
+    /// window — the half of latency the dispatcher policy owns.
+    pub queue_wait: LatencyStats,
+    /// Service time (batch execution start to response hand-off) over the
+    /// recent window — the half the engine owns.
+    pub service: LatencyStats,
 }
 
 impl Metrics {
@@ -110,12 +135,36 @@ impl Metrics {
         self.latencies.lock().expect("latency ring poisoned").push(elapsed.as_secs_f64());
     }
 
+    /// Record one request's queue wait (admission → batch start).
+    pub fn record_queue_wait(&self, elapsed: Duration) {
+        self.queue_waits.lock().expect("queue-wait ring poisoned").push(elapsed.as_secs_f64());
+    }
+
+    /// Record one request's pure service time (batch start → done).
+    pub fn record_service(&self, elapsed: Duration) {
+        self.services.lock().expect("service ring poisoned").push(elapsed.as_secs_f64());
+    }
+
+    /// Record a connection's in-flight depth after an admission — keeps
+    /// the pipelining-depth high-water mark.
+    pub fn record_conn_inflight(&self, depth: u64) {
+        self.inflight_per_conn_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Snapshot every counter and compute derived values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_items = self.batched_items.load(Ordering::Relaxed);
         let latency = {
             let ring = self.latencies.lock().expect("latency ring poisoned");
+            summarize(&ring.samples)
+        };
+        let queue_wait = {
+            let ring = self.queue_waits.lock().expect("queue-wait ring poisoned");
+            summarize(&ring.samples)
+        };
+        let service = {
+            let ring = self.services.lock().expect("service ring poisoned");
             summarize(&ring.samples)
         };
         MetricsSnapshot {
@@ -128,7 +177,13 @@ impl Metrics {
             batched_items,
             max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
             mean_occupancy: if batches > 0 { batched_items as f64 / batches as f64 } else { 0.0 },
+            inflight: self.inflight.load(Ordering::Relaxed),
+            inflight_per_conn_max: self.inflight_per_conn_max.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
             latency,
+            queue_wait,
+            service,
         }
     }
 }
@@ -180,6 +235,16 @@ impl MetricsSnapshot {
         line("latency_mean_ms", format!("{:.3}", self.latency.mean_ms));
         line("latency_p50_ms", format!("{:.3}", self.latency.p50_ms));
         line("latency_p99_ms", format!("{:.3}", self.latency.p99_ms));
+        line("queue_wait_mean_ms", format!("{:.3}", self.queue_wait.mean_ms));
+        line("queue_wait_p50_ms", format!("{:.3}", self.queue_wait.p50_ms));
+        line("queue_wait_p99_ms", format!("{:.3}", self.queue_wait.p99_ms));
+        line("service_mean_ms", format!("{:.3}", self.service.mean_ms));
+        line("service_p50_ms", format!("{:.3}", self.service.p50_ms));
+        line("service_p99_ms", format!("{:.3}", self.service.p99_ms));
+        line("inflight_current", self.inflight.to_string());
+        line("inflight_per_conn_max", self.inflight_per_conn_max.to_string());
+        line("connections_current", self.connections.to_string());
+        line("connections_total", self.connections_total.to_string());
         out
     }
 }

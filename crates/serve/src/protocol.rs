@@ -1,6 +1,8 @@
-//! The `fmm-serve` wire protocol: length-prefixed binary frames.
+//! The `fmm-serve` wire protocol: length-prefixed binary frames, in two
+//! versions the server speaks side by side.
 //!
-//! Every frame is a fixed 10-byte header followed by `payload_len` bytes:
+//! A **v1** frame is a fixed 10-byte header followed by `payload_len`
+//! bytes:
 //!
 //! ```text
 //! offset  size  field
@@ -9,6 +11,23 @@
 //!      5     1  kind    (FrameKind)
 //!      6     4  payload_len, u32 little-endian
 //! ```
+//!
+//! A **v2** frame extends the header to 18 bytes with a per-frame
+//! `request_id`, which is what lets one connection pipeline many in-flight
+//! requests and receive the responses out of order:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"FMMS"
+//!      4     1  version (2)
+//!      5     1  kind    (FrameKind)
+//!      6     4  payload_len, u32 little-endian
+//!     10     8  request_id, u64 little-endian
+//! ```
+//!
+//! The server echoes each frame's version and (for v2) `request_id` in
+//! its reply, so v1 clients keep their strict request/response semantics
+//! against a v2 server, while v2 clients match replies by id.
 //!
 //! A `Request` payload is `dtype(u8) m(u32) k(u32) n(u32)` followed by the
 //! `A` (`m*k`) and `B` (`k*n`) elements, **row-major**, little-endian, at
@@ -28,11 +47,19 @@ use std::io::{self, Read, Write};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"FMMS";
 
-/// Protocol version this build speaks.
+/// The original protocol version: one blocking request in flight per
+/// connection, no request ids. Still fully served.
 pub const VERSION: u8 = 1;
 
-/// Fixed frame-header size in bytes.
+/// The pipelined protocol version: every frame carries a `request_id`.
+pub const VERSION_V2: u8 = 2;
+
+/// Fixed v1 frame-header size in bytes (also the prefix every v2 header
+/// starts with).
 pub const HEADER_LEN: usize = 10;
+
+/// Full v2 frame-header size in bytes (v1 header + u64 request id).
+pub const HEADER_LEN_V2: usize = 18;
 
 /// Request-payload prelude size: dtype + m + k + n.
 pub const REQUEST_PRELUDE: usize = 1 + 4 + 4 + 4;
@@ -241,7 +268,9 @@ impl std::fmt::Display for FrameError {
             Self::Closed => write!(f, "connection closed"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::BadMagic(m) => write!(f, "bad magic {m:?}"),
-            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks v1 and v2)")
+            }
             Self::BadKind(k) => write!(f, "unknown frame kind {k}"),
             Self::Oversized { declared, cap } => {
                 write!(f, "declared payload of {declared} bytes exceeds the {cap}-byte cap")
@@ -305,6 +334,100 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, FrameE
     Ok(Frame { kind, payload })
 }
 
+/// One decoded frame together with its wire version and (for v2 frames)
+/// request id — what version-agnostic readers produce.
+#[derive(Debug)]
+pub struct FrameV {
+    /// The wire version the frame arrived in ([`VERSION`] or
+    /// [`VERSION_V2`]).
+    pub version: u8,
+    /// The frame's request id (`0` for v1 frames, which carry none).
+    pub request_id: u64,
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encode a frame header for `version` into `out`. v1 headers are 10
+/// bytes; v2 headers append the little-endian `request_id`.
+pub fn encode_header(version: u8, kind: FrameKind, payload_len: u32, request_id: u64) -> Vec<u8> {
+    debug_assert!(version == VERSION || version == VERSION_V2, "unknown header version");
+    let mut header = Vec::with_capacity(HEADER_LEN_V2);
+    header.extend_from_slice(&MAGIC);
+    header.push(version);
+    header.push(kind as u8);
+    header.extend_from_slice(&payload_len.to_le_bytes());
+    if version == VERSION_V2 {
+        header.extend_from_slice(&request_id.to_le_bytes());
+    }
+    header
+}
+
+/// Write one frame in the given wire version (v1 ignores `request_id`).
+/// The caller flushes.
+pub fn write_frame_v(
+    w: &mut impl Write,
+    version: u8,
+    request_id: u64,
+    kind: FrameKind,
+    payload: &[u8],
+) -> io::Result<()> {
+    if payload.len() > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the u32 length field", payload.len()),
+        ));
+    }
+    w.write_all(&encode_header(version, kind, payload.len() as u32, request_id))?;
+    w.write_all(payload)
+}
+
+/// Read one frame of either protocol version, enforcing `max_payload`
+/// before any payload allocation. This is the version-agnostic reader the
+/// pipelined client uses; servers decode incrementally instead (see
+/// `conn`).
+pub fn read_frame_any(r: &mut impl Read, max_payload: usize) -> Result<FrameV, FrameError> {
+    let mut header = [0u8; HEADER_LEN_V2];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..HEADER_LEN]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if header[0..4] != MAGIC {
+        return Err(FrameError::BadMagic(header[0..4].try_into().expect("4 bytes")));
+    }
+    let version = header[4];
+    if version != VERSION && version != VERSION_V2 {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = FrameKind::from_u8(header[5]).ok_or(FrameError::BadKind(header[5]))?;
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
+    }
+    let request_id = if version == VERSION_V2 {
+        let mut ext = [0u8; 8];
+        r.read_all(&mut ext)?;
+        u64::from_le_bytes(ext)
+    } else {
+        0
+    };
+    let mut payload = vec![0u8; len];
+    r.read_all(&mut payload)?;
+    Ok(FrameV { version, request_id, kind, payload })
+}
+
 /// `read_exact` that maps errors into [`FrameError`].
 trait ReadAll: Read {
     fn read_all(&mut self, buf: &mut [u8]) -> Result<(), FrameError> {
@@ -313,6 +436,123 @@ trait ReadAll: Read {
 }
 
 impl<R: Read> ReadAll for R {}
+
+/// A parsed frame-header prefix (the first [`HEADER_LEN`] bytes, common
+/// to both versions). For a v2 frame the caller still owes the 8-byte
+/// request id before the payload starts.
+#[derive(Clone, Copy, Debug)]
+pub struct HeaderInfo {
+    /// Wire version ([`VERSION`] or [`VERSION_V2`]).
+    pub version: u8,
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// Declared payload length in bytes (already cap-checked).
+    pub payload_len: usize,
+}
+
+/// Parse and validate the 10-byte header prefix shared by v1 and v2
+/// frames, enforcing `max_payload` before anything is allocated. The
+/// error classification (magic → version → kind → cap, in that order) is
+/// the protocol contract servers answer typed error frames from.
+pub fn parse_header_prefix(
+    bytes: &[u8; HEADER_LEN],
+    max_payload: usize,
+) -> Result<HeaderInfo, FrameError> {
+    if bytes[0..4] != MAGIC {
+        return Err(FrameError::BadMagic(bytes[0..4].try_into().expect("4 bytes")));
+    }
+    let version = bytes[4];
+    if version != VERSION && version != VERSION_V2 {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = FrameKind::from_u8(bytes[5]).ok_or(FrameError::BadKind(bytes[5]))?;
+    let len = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
+    }
+    Ok(HeaderInfo { version, kind, payload_len: len })
+}
+
+/// The validated dimensions of a request payload, parsed from its
+/// [`REQUEST_PRELUDE`]-byte prefix before the operand bytes arrive — the
+/// contract the server's streaming ingest needs to size pooled buffers
+/// from without buffering the whole payload first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestDims {
+    /// Element dtype.
+    pub dtype: Dtype,
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+}
+
+impl RequestDims {
+    /// Bytes of the `A` operand on the wire.
+    pub fn a_bytes(&self) -> usize {
+        self.m * self.k * self.dtype.elem_bytes()
+    }
+
+    /// Bytes of the `B` operand on the wire.
+    pub fn b_bytes(&self) -> usize {
+        self.k * self.n * self.dtype.elem_bytes()
+    }
+}
+
+/// Parse and validate a request prelude against the frame's declared
+/// payload length and the server's response-size cap. Every byte of the
+/// payload must be accounted for by the declared dims, and the *result*
+/// size is bounded here too (`k = 0` lets a tiny payload declare an
+/// astronomical `m × n` output).
+pub fn decode_request_prelude(
+    prelude: &[u8; REQUEST_PRELUDE],
+    payload_len: usize,
+    max_response_bytes: usize,
+) -> Result<RequestDims, String> {
+    let dtype =
+        Dtype::from_u8(prelude[0]).ok_or_else(|| format!("unknown dtype {}", prelude[0]))?;
+    let m = u32::from_le_bytes(prelude[1..5].try_into().expect("4 bytes")) as u64;
+    let k = u32::from_le_bytes(prelude[5..9].try_into().expect("4 bytes")) as u64;
+    let n = u32::from_le_bytes(prelude[9..13].try_into().expect("4 bytes")) as u64;
+    let elems = m
+        .checked_mul(k)
+        .and_then(|ab| ab.checked_add(k.checked_mul(n)?))
+        .ok_or_else(|| format!("dimension product m={m} k={k} n={n} overflows"))?;
+    let expected = elems
+        .checked_mul(dtype.elem_bytes() as u64)
+        .and_then(|b| b.checked_add(REQUEST_PRELUDE as u64))
+        .ok_or_else(|| format!("payload size for m={m} k={k} n={n} overflows"))?;
+    if expected != payload_len as u64 {
+        return Err(format!(
+            "declared dims m={m} k={k} n={n} ({dtype:?}) need {expected} payload bytes, got \
+             {payload_len}",
+        ));
+    }
+    let response_bytes = m
+        .checked_mul(n)
+        .and_then(|e| e.checked_mul(dtype.elem_bytes() as u64))
+        .and_then(|b| b.checked_add(RESPONSE_PRELUDE as u64))
+        .ok_or_else(|| format!("response size for m={m} n={n} overflows"))?;
+    if response_bytes > max_response_bytes as u64 {
+        return Err(format!(
+            "an m={m} n={n} result needs a {response_bytes}-byte response, beyond the \
+             {max_response_bytes}-byte cap"
+        ));
+    }
+    Ok(RequestDims { dtype, m: m as usize, k: k as usize, n: n as usize })
+}
+
+/// Encode a response prelude (`dtype m n`) — the header-adjacent part of
+/// a response the server writes ahead of the raw result bytes.
+pub fn encode_response_prelude(dtype: Dtype, m: usize, n: usize) -> [u8; RESPONSE_PRELUDE] {
+    let mut out = [0u8; RESPONSE_PRELUDE];
+    out[0] = dtype as u8;
+    out[1..5].copy_from_slice(&(m as u32).to_le_bytes());
+    out[5..9].copy_from_slice(&(n as u32).to_le_bytes());
+    out
+}
 
 /// Encode an [`FrameKind::Error`] payload.
 pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
@@ -408,39 +648,12 @@ pub fn decode_request(payload: &[u8], max_response_bytes: usize) -> Result<Decod
             payload.len()
         ));
     }
-    let dtype =
-        Dtype::from_u8(payload[0]).ok_or_else(|| format!("unknown dtype {}", payload[0]))?;
-    let m = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as u64;
-    let k = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as u64;
-    let n = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes")) as u64;
-    let elems = m
-        .checked_mul(k)
-        .and_then(|ab| ab.checked_add(k.checked_mul(n)?))
-        .ok_or_else(|| format!("dimension product m={m} k={k} n={n} overflows"))?;
-    let expected = elems
-        .checked_mul(dtype.elem_bytes() as u64)
-        .and_then(|b| b.checked_add(REQUEST_PRELUDE as u64))
-        .ok_or_else(|| format!("payload size for m={m} k={k} n={n} overflows"))?;
-    if expected != payload.len() as u64 {
-        return Err(format!(
-            "declared dims m={m} k={k} n={n} ({dtype:?}) need {expected} payload bytes, got {}",
-            payload.len()
-        ));
-    }
-    let response_bytes = m
-        .checked_mul(n)
-        .and_then(|e| e.checked_mul(dtype.elem_bytes() as u64))
-        .and_then(|b| b.checked_add(RESPONSE_PRELUDE as u64))
-        .ok_or_else(|| format!("response size for m={m} n={n} overflows"))?;
-    if response_bytes > max_response_bytes as u64 {
-        return Err(format!(
-            "an m={m} n={n} result needs a {response_bytes}-byte response, beyond the \
-             {max_response_bytes}-byte cap"
-        ));
-    }
-    let (m, k, n) = (m as usize, k as usize, n as usize);
+    let prelude: [u8; REQUEST_PRELUDE] =
+        payload[..REQUEST_PRELUDE].try_into().expect("length checked");
+    let dims = decode_request_prelude(&prelude, payload.len(), max_response_bytes)?;
+    let RequestDims { dtype, m, k, n } = dims;
     let body = &payload[REQUEST_PRELUDE..];
-    let a_bytes = m * k * dtype.elem_bytes();
+    let a_bytes = dims.a_bytes();
     Ok(match dtype {
         Dtype::F64 => DecodedRequest::F64 {
             a: read_matrix(&body[..a_bytes], m, k),

@@ -1,13 +1,23 @@
-//! The serving daemon: TCP accept loop, per-connection frame handling,
-//! admission control, and lifecycle (spawn → serve → drain → join).
+//! The serving daemon: a nonblocking readiness-loop core multiplexing
+//! every connection over a small fixed set of event-loop threads.
 //!
-//! Threading model: one accept thread, one detached thread per client
-//! connection, and one micro-batching dispatcher thread per dtype. The
-//! connection thread owns its socket end-to-end (decode, admit, block on
-//! the reply channel, encode) so no two threads ever interleave writes on
-//! one stream; the dispatchers own the engines' batched execution. All of
-//! it is `std::net`/`std::thread` — the daemon adds no dependencies to
-//! the workspace.
+//! Threading model: [`ServeConfig::event_threads`] event loops (loop 0
+//! also owns the listener and deals new connections round-robin) plus one
+//! micro-batching dispatcher thread per dtype. Each loop drives its
+//! connections with the [`crate::poller`] readiness API — epoll on Linux,
+//! `poll(2)` elsewhere on Unix — so a thousand idle or slow connections
+//! cost registrations, not threads. Request payloads are decoded by the
+//! incremental [`Decoder`] straight into pooled buffers (one copy off the
+//! wire); finished results come back from the dispatchers as
+//! [`Completion`]s through each loop's [`CompletionSink`] and are written
+//! from a scatter list with partial-write continuation, so a slow reader
+//! never blocks the loop or a dispatcher.
+//!
+//! Protocol: v1 clients keep their strict one-frame-at-a-time semantics
+//! (the loop pauses parsing a connection while its v1 request is in
+//! flight); v2 clients may pipeline up to
+//! [`ServeConfig::max_inflight_per_conn`] requests per connection and
+//! receive responses out of order, matched by `request_id`.
 //!
 //! Error policy, per the protocol contract: malformed payloads on an
 //! intact frame stream are answered with a typed error frame and the
@@ -16,19 +26,28 @@
 //! connection closes, because the byte stream can no longer be trusted.
 //! The daemon itself never panics on client input.
 
-use crate::dispatch::{run_dispatcher, BatchPolicy, BatchQueue, Job, Refusal};
+use crate::buffers::IngestPools;
+use crate::conn::{DecodeStep, Decoder, InEvent, WriteQueue};
+use crate::dispatch::{
+    run_dispatcher, BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr, Job, Refusal,
+    ReplySink,
+};
 use crate::metrics::Metrics;
-use crate::protocol::{self, DecodedRequest, ErrorCode, Frame, FrameError, FrameKind, WireScalar};
+use crate::poller::{Interest, Poller, SysFd, Waker, WAKE_TOKEN};
+use crate::protocol::{self, ErrorCode, FrameKind, RequestDims, RESPONSE_PRELUDE, VERSION};
 use fmm_engine::{ArchSource, EngineConfig, EngineStats, FmmEngine, Routing};
 use fmm_gemm::BlockingParams;
 use fmm_tune::TuneStore;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// The listener's registration token on loop 0 (`u64::MAX` is
+/// [`WAKE_TOKEN`]; connection tokens are small slot indices).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
 
 /// Construction-time configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -56,6 +75,18 @@ pub struct ServeConfig {
     pub params: BlockingParams,
     /// Architecture parameters for the engines' model routing.
     pub arch: ArchSource,
+    /// Event-loop threads multiplexing the connections (min 1). Loop 0
+    /// also owns the listener.
+    pub event_threads: usize,
+    /// Most requests one connection may have in flight before further
+    /// admissions are refused with `Busy` (v2 pipelining depth bound; v1
+    /// connections never exceed 1 by construction).
+    pub max_inflight_per_conn: usize,
+    /// Idle buffers the per-dtype ingest pools retain across requests.
+    pub pool_retain: usize,
+    /// Unwritten response bytes a connection may accumulate before the
+    /// loop stops reading new frames from it (slow-reader flow control).
+    pub max_conn_backlog_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +100,10 @@ impl Default for ServeConfig {
             tuned: true,
             params: BlockingParams::default(),
             arch: ArchSource::Calibrated,
+            event_threads: 2,
+            max_inflight_per_conn: 64,
+            pool_retain: 32,
+            max_conn_backlog_bytes: 64 << 20,
         }
     }
 }
@@ -78,37 +113,54 @@ struct Lifecycle {
     stopped: Condvar,
 }
 
-/// Everything the accept loop, connection threads, and dispatchers share.
+/// One event loop's cross-thread mailbox: completions from the
+/// dispatchers, freshly accepted connections dealt over from loop 0, and
+/// the waker that interrupts its poller.
+struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    injected: Mutex<Vec<TcpStream>>,
+    waker: Waker,
+}
+
+impl CompletionSink for LoopShared {
+    fn complete(&self, completion: Completion) {
+        self.completions.lock().expect("completion queue poisoned").push(completion);
+        self.waker.wake();
+    }
+}
+
+/// Everything the event loops and dispatchers share.
 struct Shared {
     config: ServeConfig,
     metrics: Arc<Metrics>,
+    pools: IngestPools,
     queue_f64: BatchQueue<f64>,
     queue_f32: BatchQueue<f32>,
     engine_f64: Arc<FmmEngine<f64>>,
     engine_f32: Arc<FmmEngine<f32>>,
     stop: AtomicBool,
-    /// Requests admitted whose reply frame has not been flushed yet.
-    /// Shutdown joins the dispatchers (which drain the queues) and then
-    /// waits for this to reach zero, so "in-flight requests drain" covers
-    /// the socket write too, not just the computation.
-    in_flight: AtomicU64,
+    loops: Vec<Arc<LoopShared>>,
     lifecycle: Lifecycle,
 }
 
 impl Shared {
-    /// Flip the daemon into shutdown: refuse new work, wake the accept
-    /// loop and both dispatchers (which drain their backlogs first).
+    /// Flip the daemon into shutdown: refuse new work, close the dtype
+    /// queues (dispatchers drain their backlogs first), and wake every
+    /// event loop so it notices.
     fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.queue_f64.close();
         self.queue_f32.close();
+        for l in &self.loops {
+            l.waker.wake();
+        }
         let mut stopping = self.lifecycle.stopping.lock().expect("lifecycle poisoned");
         *stopping = true;
         self.lifecycle.stopped.notify_all();
     }
 
-    /// The full plaintext stats body: serving counters plus one line per
-    /// dtype engine (rendered via `EngineStats::fields`).
+    /// The full plaintext stats body: serving counters, queue depths,
+    /// ingest-pool occupancy, and one line per dtype engine.
     fn render_stats(&self) -> String {
         let mut out = self.metrics.snapshot().render();
         out.push_str(&format!(
@@ -116,6 +168,12 @@ impl Shared {
             self.queue_f64.depth(),
             self.queue_f32.depth()
         ));
+        for (name, stats) in [("f64", self.pools.f64.stats()), ("f32", self.pools.f32.stats())] {
+            out.push_str(&format!(
+                "fmm_serve_pool_{name}_hits {}\nfmm_serve_pool_{name}_misses {}\nfmm_serve_pool_{name}_retained {}\n",
+                stats.hits, stats.misses, stats.retained
+            ));
+        }
         out.push_str(&format!("engine_f64 {}\n", self.engine_f64.stats()));
         out.push_str(&format!("engine_f32 {}\n", self.engine_f32.stats()));
         out
@@ -153,30 +211,48 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        // Nonblocking accept + short sleeps: std has no cancellable
-        // blocking accept, and a stuck accept would hang shutdown.
         listener.set_nonblocking(true)?;
+
+        // Build each loop's poller + waker on this thread (the waker must
+        // live in the shared mailbox before the loop thread starts); the
+        // pollers move into their threads below.
+        let n_loops = config.event_threads.max(1);
+        let mut pollers = Vec::with_capacity(n_loops);
+        let mut loops = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            let mut poller = Poller::new()?;
+            let waker = Waker::new(&mut poller)?;
+            pollers.push(poller);
+            loops.push(Arc::new(LoopShared {
+                completions: Mutex::new(Vec::new()),
+                injected: Mutex::new(Vec::new()),
+                waker,
+            }));
+        }
 
         let shared = Arc::new(Shared {
             queue_f64: BatchQueue::new(config.queue_capacity),
             queue_f32: BatchQueue::new(config.queue_capacity),
             metrics: Arc::new(Metrics::default()),
+            pools: IngestPools::new(config.pool_retain),
             engine_f64,
             engine_f32,
             stop: AtomicBool::new(false),
-            in_flight: AtomicU64::new(0),
+            loops,
             lifecycle: Lifecycle { stopping: Mutex::new(false), stopped: Condvar::new() },
             config,
         });
 
         let mut threads = Vec::new();
-        {
+        let mut listener = Some(listener);
+        for (index, poller) in pollers.into_iter().enumerate() {
             let shared = shared.clone();
+            let listener = listener.take();
             threads.push(
                 thread::Builder::new()
-                    .name("fmm-serve-accept".into())
-                    .spawn(move || accept_loop(listener, &shared))
-                    .expect("spawn accept thread"),
+                    .name(format!("fmm-serve-loop-{index}"))
+                    .spawn(move || event_loop(&shared, index, poller, listener))
+                    .expect("spawn event loop"),
             );
         }
         {
@@ -188,6 +264,7 @@ impl Server {
                         run_dispatcher(
                             &shared.queue_f64,
                             &shared.engine_f64,
+                            &shared.pools.f64,
                             shared.config.batch,
                             &shared.metrics,
                         )
@@ -204,6 +281,7 @@ impl Server {
                         run_dispatcher(
                             &shared.queue_f32,
                             &shared.engine_f32,
+                            &shared.pools.f32,
                             shared.config.batch,
                             &shared.metrics,
                         )
@@ -268,7 +346,7 @@ impl ServerHandle {
         self.shared.stop.load(Ordering::SeqCst)
     }
 
-    /// Block until shutdown is requested, then join the accept loop and
+    /// Block until shutdown is requested, then join the event loops and
     /// dispatchers (in-flight requests drain first). This is the daemon
     /// main loop: `Server::spawn(cfg)?.wait()`.
     pub fn wait(self) {
@@ -290,189 +368,451 @@ impl ServerHandle {
     }
 
     fn join(self) {
+        // The event loops drain in-flight responses (bounded by their own
+        // 5 s deadline) before exiting; joining them is the whole drain.
         for t in self.threads {
             let _ = t.join();
         }
-        // The dispatchers have drained their queues, but connection
-        // threads are detached — give every admitted request's reply
-        // frame time to reach the socket before the caller (e.g. the
-        // daemon main) exits the process. Bounded: a client that stops
-        // reading must not hold shutdown hostage.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            thread::sleep(Duration::from_millis(2));
-        }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = shared.clone();
-                // Detached: connection threads end when their peer hangs
-                // up (or the process exits); joining them would let one
-                // idle client stall shutdown.
-                let _ = thread::Builder::new()
-                    .name("fmm-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &shared));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
-        }
-    }
+/// One multiplexed connection's state on its owning event loop.
+struct Conn {
+    stream: TcpStream,
+    decoder: Decoder,
+    out: WriteQueue,
+    /// Requests admitted on this connection whose response has not been
+    /// queued yet.
+    in_flight: usize,
+    /// A v1 request is outstanding: parsing is paused until its response
+    /// is queued (v1 clients get strict one-at-a-time semantics).
+    v1_wait: bool,
+    /// Close once the write queue drains (fatal error answered, shutdown
+    /// acknowledged, or peer EOF with responses still owed).
+    closing: bool,
+    /// The interest currently registered with the poller.
+    interest: Interest,
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = BufWriter::new(stream);
+/// One registration slot: its occupant (if any) plus a generation counter
+/// that survives occupants, so completions addressed to a dead connection
+/// are recognized and dropped.
+struct Slot {
+    conn: Option<Conn>,
+    generation: u32,
+}
+
+#[cfg(unix)]
+fn sys_fd<F: std::os::fd::AsRawFd>(f: &F) -> SysFd {
+    f.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn sys_fd<F>(_f: &F) -> SysFd {
+    0
+}
+
+/// The per-loop serving core. Loop 0 additionally owns the listener and
+/// deals accepted connections round-robin over all loops.
+fn event_loop(
+    shared: &Arc<Shared>,
+    index: usize,
+    mut poller: Poller,
+    mut listener: Option<TcpListener>,
+) {
+    let me = shared.loops[index].clone();
+    if let Some(l) = &listener {
+        if poller.register(sys_fd(l), LISTENER_TOKEN, Interest::READ).is_err() {
+            return;
+        }
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut events = Vec::new();
+    let mut next_loop = 0usize;
+    // Once stop is observed, responses still owed get this long to reach
+    // their sockets; a peer that stops reading must not hold shutdown
+    // hostage.
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
-        match protocol::read_frame(&mut reader, shared.config.max_payload_bytes) {
-            Ok(frame) => {
-                let keep_going = handle_frame(frame, &mut writer, shared);
-                if writer.flush().is_err() || !keep_going {
-                    return;
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(100)));
+        me.waker.drain();
+
+        // Adopt connections dealt over from the accept loop.
+        let adopted: Vec<TcpStream> =
+            std::mem::take(&mut *me.injected.lock().expect("injected queue poisoned"));
+        for stream in adopted {
+            install_conn(shared, &mut poller, &mut slots, stream);
+        }
+
+        for event in events.drain(..) {
+            match event.token {
+                WAKE_TOKEN => {}
+                LISTENER_TOKEN => {
+                    if let Some(l) = &listener {
+                        accept_ready(shared, l, &mut poller, &mut slots, &mut next_loop);
+                    }
+                }
+                token => {
+                    let slot = token as usize;
+                    if slot >= slots.len() || slots[slot].conn.is_none() {
+                        continue; // stale readiness for a freed slot
+                    }
+                    if event.readable {
+                        drive_read(shared, &me, &mut slots, slot);
+                    }
+                    // Writable readiness needs no dedicated driver: the
+                    // round finisher below flushes either way.
+                    finish_conn_round(shared, &mut poller, &mut slots, slot);
                 }
             }
-            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
-            Err(err) => {
-                // Framing-level failure: answer with a typed error frame,
-                // then drop the connection — after a bad header the byte
-                // stream has no trustworthy frame boundary to resume at.
-                shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
-                let code = match err {
-                    FrameError::BadVersion(_) => ErrorCode::UnsupportedVersion,
-                    FrameError::Oversized { .. } => ErrorCode::Oversized,
-                    _ => ErrorCode::Malformed,
-                };
-                let payload = protocol::encode_error(code, &err.to_string());
-                let _ = protocol::write_frame(&mut writer, FrameKind::Error, &payload);
-                let _ = writer.flush();
+        }
+
+        // Deliver completed results to their connections.
+        let done: Vec<Completion> =
+            std::mem::take(&mut *me.completions.lock().expect("completion queue poisoned"));
+        for completion in done {
+            apply_completion(shared, &me, &mut poller, &mut slots, completion);
+        }
+
+        if shared.stop.load(Ordering::SeqCst) {
+            if let Some(l) = listener.take() {
+                // Refuse new connections immediately; in-flight work keeps
+                // draining below.
+                let _ = poller.deregister(LISTENER_TOKEN);
+                drop(l);
+            }
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            let owed = shared.metrics.inflight.load(Ordering::SeqCst) > 0
+                || !me.completions.lock().expect("completion queue poisoned").is_empty()
+                || slots.iter().any(|s| s.conn.as_ref().is_some_and(|c| !c.out.is_empty()));
+            if !owed || Instant::now() >= deadline {
+                for slot in 0..slots.len() {
+                    drop_conn(shared, &mut poller, &mut slots, slot);
+                }
                 return;
             }
         }
     }
 }
 
-/// Handle one well-framed message. Returns `false` when the connection
-/// should close (shutdown acknowledged).
-fn handle_frame(frame: Frame, writer: &mut impl Write, shared: &Arc<Shared>) -> bool {
-    match frame.kind {
-        FrameKind::Ping => {
-            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
-            let _ = protocol::write_frame(writer, FrameKind::Pong, &frame.payload);
-            true
-        }
-        FrameKind::StatsRequest => {
-            let body = shared.render_stats();
-            let _ = protocol::write_frame(writer, FrameKind::StatsReply, body.as_bytes());
-            true
-        }
-        FrameKind::Shutdown => {
-            let _ = protocol::write_frame(writer, FrameKind::Pong, b"");
-            shared.request_stop();
-            false
-        }
-        FrameKind::Request => {
-            handle_request(&frame.payload, writer, shared);
-            true
-        }
-        // Server-to-client kinds arriving at the server are protocol
-        // misuse on an intact frame stream: answer, keep serving.
-        FrameKind::Response | FrameKind::Error | FrameKind::Pong | FrameKind::StatsReply => {
-            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
-            let payload = protocol::encode_error(
-                ErrorCode::Malformed,
-                &format!("frame kind {:?} is not a client request", frame.kind),
-            );
-            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
-            true
-        }
-    }
-}
-
-fn handle_request(payload: &[u8], writer: &mut impl Write, shared: &Arc<Shared>) {
-    // The frame cap bounds the response side too: decode refuses dims
-    // whose result matrix would exceed it (e.g. k = 0 with huge m·n),
-    // before anything is allocated.
-    match protocol::decode_request(payload, shared.config.max_payload_bytes) {
-        Err(message) => {
-            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
-            let payload = protocol::encode_error(ErrorCode::Malformed, &message);
-            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
-        }
-        Ok(DecodedRequest::F64 { a, b }) => {
-            serve_problem(a, b, &shared.queue_f64, writer, shared);
-        }
-        Ok(DecodedRequest::F32 { a, b }) => {
-            serve_problem(a, b, &shared.queue_f32, writer, shared);
-        }
-    }
-}
-
-/// Admit one decoded problem, block for its result, and write the reply.
-fn serve_problem<T: WireScalar>(
-    a: fmm_dense::Matrix<T>,
-    b: fmm_dense::Matrix<T>,
-    queue: &BatchQueue<T>,
-    writer: &mut impl Write,
+/// Accept until the listener would block, dealing connections round-robin
+/// over every event loop (this loop installs its own share directly).
+fn accept_ready(
     shared: &Arc<Shared>,
+    listener: &TcpListener,
+    poller: &mut Poller,
+    slots: &mut Vec<Slot>,
+    next_loop: &mut usize,
 ) {
-    let (reply, result) = mpsc::channel();
-    let job = Job { a, b, reply, enqueued: Instant::now() };
-    match queue.try_push(job) {
-        Ok(()) => {}
-        Err((_, Refusal::Full)) => {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let target = *next_loop % shared.loops.len();
+                *next_loop = next_loop.wrapping_add(1);
+                if target == 0 {
+                    install_conn(shared, poller, slots, stream);
+                } else {
+                    let mailbox = &shared.loops[target];
+                    mailbox.injected.lock().expect("injected queue poisoned").push(stream);
+                    mailbox.waker.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Register a fresh connection in the lowest free slot of this loop.
+fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>, s: TcpStream) {
+    if s.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = s.set_nodelay(true);
+    let slot = match slots.iter().position(|s| s.conn.is_none()) {
+        Some(free) => free,
+        None => {
+            slots.push(Slot { conn: None, generation: 0 });
+            slots.len() - 1
+        }
+    };
+    if poller.register(sys_fd(&s), slot as u64, Interest::READ).is_err() {
+        return;
+    }
+    slots[slot].conn = Some(Conn {
+        stream: s,
+        decoder: Decoder::new(shared.config.max_payload_bytes),
+        out: WriteQueue::default(),
+        in_flight: 0,
+        v1_wait: false,
+        closing: false,
+        interest: Interest::READ,
+    });
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read and decode as many frames as the socket and flow control allow,
+/// handling each decoded event inline.
+fn drive_read(shared: &Arc<Shared>, me: &Arc<LoopShared>, slots: &mut [Slot], slot: usize) {
+    let generation = slots[slot].generation;
+    let mut events = Vec::new();
+    loop {
+        let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+        if conn.closing
+            || conn.v1_wait
+            || conn.decoder.is_broken()
+            || conn.out.backlog() > shared.config.max_conn_backlog_bytes
+        {
+            return; // paused; interest update happens in finish_conn_round
+        }
+        let step = {
+            let Conn { stream, decoder, .. } = conn;
+            decoder.step(stream, &shared.pools, &mut events)
+        };
+        match step {
+            DecodeStep::Frame => {
+                for event in events.drain(..) {
+                    handle_in_event(shared, me, slots, slot, generation, event);
+                }
+            }
+            DecodeStep::NeedMore => return,
+            DecodeStep::Closed => {
+                // Peer EOF: no further requests, but responses already
+                // owed still go out before the slot is reclaimed.
+                let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+                conn.closing = true;
+                return;
+            }
+            DecodeStep::Broken => return,
+        }
+    }
+}
+
+/// Act on one decoded inbound frame.
+fn handle_in_event(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopShared>,
+    slots: &mut [Slot],
+    slot: usize,
+    generation: u32,
+    event: InEvent,
+) {
+    match event {
+        InEvent::Request { head, dims, operands } => {
+            admit_request(
+                shared,
+                me,
+                slots,
+                slot,
+                generation,
+                head.version,
+                head.request_id,
+                dims,
+                operands,
+            );
+        }
+        InEvent::Ping { head, payload } => {
+            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::Pong, &payload);
+        }
+        InEvent::Stats { head } => {
+            let body = shared.render_stats();
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::StatsReply, body.as_bytes());
+        }
+        InEvent::Shutdown { head } => {
+            // Stop *before* the Pong is queued: by the time the client
+            // reads the acknowledgement, `is_stopping()` is already true.
+            shared.request_stop();
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::Pong, b"");
+            conn.closing = true;
+        }
+        InEvent::Bad { version, request_id, code, message, fatal } => {
+            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            let payload = protocol::encode_error(code, &message);
+            push_reply(conn, version, request_id, FrameKind::Error, &payload);
+            if fatal {
+                conn.closing = true;
+            }
+        }
+    }
+}
+
+/// Admission control for one decoded request: per-connection pipelining
+/// bound, then the dtype queue's capacity bound. Refusals answer with a
+/// typed error frame; admissions route the completion back here.
+#[allow(clippy::too_many_arguments)]
+fn admit_request(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopShared>,
+    slots: &mut [Slot],
+    slot: usize,
+    generation: u32,
+    version: u8,
+    request_id: u64,
+    dims: RequestDims,
+    operands: crate::buffers::OperandStage,
+) {
+    let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+    if conn.in_flight >= shared.config.max_inflight_per_conn {
+        shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+        let payload = protocol::encode_error(
+            ErrorCode::Busy,
+            &format!(
+                "connection already has {} requests in flight",
+                shared.config.max_inflight_per_conn
+            ),
+        );
+        push_reply(conn, version, request_id, FrameKind::Error, &payload);
+        return;
+    }
+    let reply = ReplySink {
+        sink: me.clone() as Arc<dyn CompletionSink>,
+        addr: ConnAddr { slot: slot as u32, generation },
+        request_id,
+        version,
+    };
+    let refused = match operands {
+        crate::buffers::OperandStage::F64 { a, b } => {
+            let job =
+                Job { a, b, m: dims.m, k: dims.k, n: dims.n, reply, enqueued: Instant::now() };
+            shared.queue_f64.try_push(job).err().map(|(_, why)| why)
+        }
+        crate::buffers::OperandStage::F32 { a, b } => {
+            let job =
+                Job { a, b, m: dims.m, k: dims.k, n: dims.n, reply, enqueued: Instant::now() };
+            shared.queue_f32.try_push(job).err().map(|(_, why)| why)
+        }
+    };
+    let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+    match refused {
+        None => {
+            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.inflight.fetch_add(1, Ordering::SeqCst);
+            conn.in_flight += 1;
+            shared.metrics.record_conn_inflight(conn.in_flight as u64);
+            if version == VERSION {
+                conn.v1_wait = true;
+            }
+        }
+        Some(Refusal::Full) => {
             shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+            let capacity = shared.config.queue_capacity;
             let payload = protocol::encode_error(
                 ErrorCode::Busy,
-                &format!("pending queue is full ({} requests)", queue.capacity()),
+                &format!("pending queue is full ({capacity} requests)"),
             );
-            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
-            return;
+            push_reply(conn, version, request_id, FrameKind::Error, &payload);
         }
-        Err((_, Refusal::Closed)) => {
+        Some(Refusal::Closed) => {
             // Not Busy: nothing about this daemon will ever accept the
             // retry a Busy signal invites.
             let payload = protocol::encode_error(
                 ErrorCode::ShuttingDown,
                 "daemon is shutting down and accepts no new work",
             );
-            let _ = protocol::write_frame(writer, FrameKind::Error, &payload);
-            return;
+            push_reply(conn, version, request_id, FrameKind::Error, &payload);
         }
     }
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    // From admission to the flushed reply this request is draining state
-    // the daemon must not exit under; see ServerHandle::join.
-    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-    match result.recv() {
-        Ok(c) => {
-            shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
-            let payload = protocol::encode_response(&c);
-            // Flush here, not in the connection loop: the in-flight
-            // guard below must not release until the bytes left the
-            // process (a drained shutdown covers the socket write).
-            let _ = protocol::write_frame(writer, FrameKind::Response, &payload)
-                .and_then(|()| writer.flush());
-        }
-        // The dispatcher dropped the reply sender without answering —
-        // only possible if it exited mid-drain, which request_stop's
-        // close-then-drain ordering is designed to prevent.
-        Err(_) => {
-            let payload =
-                protocol::encode_error(ErrorCode::Internal, "dispatcher dropped the request");
-            let _ = protocol::write_frame(writer, FrameKind::Error, &payload)
-                .and_then(|()| writer.flush());
-        }
+}
+
+/// Queue one small (fully owned) reply frame in the peer's wire version.
+fn push_reply(conn: &mut Conn, version: u8, request_id: u64, kind: FrameKind, payload: &[u8]) {
+    let mut bytes = protocol::encode_header(version, kind, payload.len() as u32, request_id);
+    bytes.extend_from_slice(payload);
+    conn.out.push_bytes(bytes);
+}
+
+/// Route one finished request back to its connection: frame the response
+/// as header ‖ prelude (owned) followed by the pooled result buffer
+/// (scatter segment), or drop it if the connection died mid-flight.
+fn apply_completion(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopShared>,
+    poller: &mut Poller,
+    slots: &mut [Slot],
+    completion: Completion,
+) {
+    // The admitted request is no longer in flight whether or not its
+    // connection survived to read the answer.
+    shared.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+    let slot = completion.addr.slot as usize;
+    if slot >= slots.len()
+        || slots[slot].generation != completion.addr.generation
+        || slots[slot].conn.is_none()
+    {
+        return; // the connection died; the result buffer returns to its pool
     }
-    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    let conn = slots[slot].conn.as_mut().expect("checked above");
+    conn.in_flight = conn.in_flight.saturating_sub(1);
+    if completion.version == VERSION {
+        conn.v1_wait = false;
+    }
+    shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
+    let payload_len = RESPONSE_PRELUDE + completion.result.bytes().len();
+    let mut head = protocol::encode_header(
+        completion.version,
+        FrameKind::Response,
+        payload_len as u32,
+        completion.request_id,
+    );
+    head.extend_from_slice(&protocol::encode_response_prelude(
+        completion.result.dtype(),
+        completion.m,
+        completion.n,
+    ));
+    conn.out.push_bytes(head);
+    conn.out.push_buf(completion.result);
+    // A v1 connection resumes parsing now; data may already be buffered,
+    // so eagerly decode before waiting for the next readiness report.
+    if !conn.v1_wait {
+        drive_read(shared, me, slots, slot);
+    }
+    finish_conn_round(shared, poller, slots, slot);
+}
+
+/// After any activity on a slot: flush what the socket will take, reclaim
+/// the slot if the connection is done, and otherwise reconcile the poller
+/// interest with what the connection now needs.
+fn finish_conn_round(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Slot], slot: usize) {
+    let Some(conn) = slots[slot].conn.as_mut() else { return };
+    // Optimistic flush: most replies fit the socket buffer, so they leave
+    // now instead of after a poll round-trip. An error means the peer is
+    // gone — nothing further can be delivered, closing or not.
+    if !conn.out.is_empty() && conn.out.flush(&mut conn.stream).is_err() {
+        drop_conn(shared, poller, slots, slot);
+        return;
+    }
+    let conn = slots[slot].conn.as_mut().expect("flush kept the slot occupied");
+    if conn.closing && conn.out.is_empty() {
+        drop_conn(shared, poller, slots, slot);
+        return;
+    }
+    let want = Interest {
+        read: !conn.closing
+            && !conn.v1_wait
+            && !conn.decoder.is_broken()
+            && conn.out.backlog() <= shared.config.max_conn_backlog_bytes,
+        write: !conn.out.is_empty(),
+    };
+    if want != conn.interest {
+        conn.interest = want;
+        let _ = poller.modify(slot as u64, want);
+    }
+}
+
+/// Deregister and drop a connection, bumping the slot generation so
+/// completions still in flight for it are recognized as stale.
+fn drop_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Slot], slot: usize) {
+    if slots[slot].conn.take().is_some() {
+        let _ = poller.deregister(slot as u64);
+        slots[slot].generation = slots[slot].generation.wrapping_add(1);
+        shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+    }
 }

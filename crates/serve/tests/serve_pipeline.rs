@@ -1,0 +1,311 @@
+//! Integration tests for the protocol-v2 pipelined serving path: many
+//! requests in flight on one connection with out-of-order completion
+//! matched by request id, slow-loris resistance of the readiness loops,
+//! the zero-allocation warm ingest path, version negotiation, and the
+//! `retry_busy` backoff helper against real backpressure.
+
+use fmm_dense::{fill, norms, Matrix};
+use fmm_engine::{ArchSource, EngineConfig, FmmEngine, Routing};
+use fmm_model::ArchParams;
+use fmm_serve::protocol::{self, FrameKind, HEADER_LEN, VERSION, VERSION_V2};
+use fmm_serve::{retry_busy, BatchPolicy, Client, ErrorCode, PipelinedClient};
+use fmm_serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Engine pair pinned to the deterministic blocked-GEMM fallback route,
+/// so served results are bitwise comparable to the local reference.
+fn pinned_engines() -> (Arc<FmmEngine<f64>>, Arc<FmmEngine<f32>>) {
+    let config = EngineConfig {
+        parallel: true,
+        arch: ArchSource::Fixed(ArchParams::paper_machine()),
+        routing: Routing::Pinned {
+            dims: (9, 9, 9),
+            levels: 1,
+            variant: fmm_engine::Variant::Naive,
+        },
+        ..EngineConfig::default()
+    };
+    (Arc::new(FmmEngine::<f64>::new(config.clone())), Arc::new(FmmEngine::<f32>::new(config)))
+}
+
+fn spawn_pinned(config: ServeConfig) -> ServerHandle {
+    let (e64, e32) = pinned_engines();
+    Server::spawn_with_engines(config, e64, e32).expect("bind loopback")
+}
+
+/// Pipeline a window of requests on ONE connection and collect responses
+/// in an order shuffled away from submission order; every result must be
+/// bitwise identical to the local blocked GEMM.
+fn pipeline_shuffled_roundtrip(event_threads: usize) {
+    let handle = spawn_pinned(ServeConfig {
+        batch: BatchPolicy {
+            window: Duration::from_millis(5),
+            max_batch: 16,
+            straggler_gap: Duration::from_millis(5),
+        },
+        event_threads,
+        ..ServeConfig::default()
+    });
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+
+    let n = 12;
+    let mut problems = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let a = fill::bench_workload(20 + i, 16, 2 * i as u64 + 1);
+        let b = fill::bench_workload(16, 24, 2 * i as u64 + 2);
+        ids.push(client.send(&a, &b).expect("send"));
+        problems.push((a, b));
+    }
+    // Receive in an order decorrelated from submission: middle-out.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (i as i64 - n as i64 / 2).abs());
+    for &i in &order {
+        let c: Matrix<f64> = client.recv(ids[i]).expect("recv");
+        let (a, b) = &problems[i];
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert_eq!((c.rows(), c.cols()), (20 + i, 24));
+        assert!(
+            norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12,
+            "request {i} answered with the wrong matrix"
+        );
+    }
+
+    let snap = handle.metrics().snapshot();
+    assert_eq!(snap.responses, n as u64);
+    assert!(
+        snap.inflight_per_conn_max > 1,
+        "pipelining depth gauge saw concurrent requests: {snap:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_responses_match_by_id_on_one_event_thread() {
+    pipeline_shuffled_roundtrip(1);
+}
+
+#[test]
+fn pipelined_responses_match_by_id_on_four_event_threads() {
+    pipeline_shuffled_roundtrip(4);
+}
+
+#[test]
+fn pipelined_dtypes_interleave_on_one_connection() {
+    let handle = spawn_pinned(ServeConfig::default());
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+
+    let a64 = fill::bench_workload(10, 8, 1);
+    let b64 = fill::bench_workload(8, 12, 2);
+    let a32 = fill::bench_workload_t::<f32>(6, 5, 3);
+    let b32 = fill::bench_workload_t::<f32>(5, 7, 4);
+
+    // f64 and f32 requests ride the same connection but route to
+    // different dispatchers — completion order is up for grabs, ids
+    // disambiguate.
+    let id64 = client.send(&a64, &b64).expect("send f64");
+    let id32 = client.send(&a32, &b32).expect("send f32");
+    let c32: Matrix<f32> = client.recv(id32).expect("recv f32");
+    let c64: Matrix<f64> = client.recv(id64).expect("recv f64");
+
+    let r64 = fmm_gemm::reference::matmul(a64.as_ref(), b64.as_ref());
+    let r32 = fmm_gemm::reference::matmul(a32.as_ref(), b32.as_ref());
+    assert!(norms::rel_error(c64.as_ref(), r64.as_ref()) < 1e-12);
+    assert!(norms::rel_error(c32.as_ref(), r32.as_ref()) < 1e-5);
+    handle.shutdown();
+}
+
+#[test]
+fn per_connection_inflight_cap_refuses_with_busy() {
+    // A long batch window holds the first request in flight; with a
+    // per-connection cap of 1, the second admission on the same
+    // connection must be refused Busy while the first is pending.
+    let handle = spawn_pinned(ServeConfig {
+        batch: BatchPolicy {
+            window: Duration::from_millis(300),
+            max_batch: 8,
+            straggler_gap: Duration::from_millis(300),
+        },
+        max_inflight_per_conn: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+    let a = fill::bench_workload(8, 8, 1);
+    let b = fill::bench_workload(8, 8, 2);
+    let first = client.send(&a, &b).expect("send first");
+    let second = client.send(&a, &b).expect("send second");
+    // The refusal answers immediately (out of order, before the held
+    // first response).
+    let err = client.recv::<f64>(second).expect_err("second refused");
+    assert!(err.is_busy(), "expected Busy, got {err}");
+    let c: Matrix<f64> = client.recv(first).expect("first served");
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    assert_eq!(handle.metrics().snapshot().rejects_busy, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_writer_does_not_stall_other_connections() {
+    let handle = spawn_pinned(ServeConfig::default());
+    let addr = handle.addr();
+
+    // The attacker trickles a valid v2 request one byte at a time and
+    // reads its response in 3-byte sips.
+    let a = fill::bench_workload(6, 4, 11);
+    let b = fill::bench_workload(4, 5, 12);
+    let payload = protocol::encode_request(&a, &b);
+    let mut wire = Vec::new();
+    protocol::write_frame_v(&mut wire, VERSION_V2, 77, FrameKind::Request, &payload)
+        .expect("encode");
+
+    let loris = thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).expect("connect loris");
+        for byte in wire {
+            s.write_all(&[byte]).expect("dribble");
+            s.flush().expect("flush");
+            thread::sleep(Duration::from_micros(300));
+        }
+        // Read the full response in tiny chunks.
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 3];
+        let want = protocol::HEADER_LEN_V2 + protocol::RESPONSE_PRELUDE + 6 * 5 * 8;
+        while got.len() < want {
+            let n = s.read(&mut chunk).expect("sip");
+            assert!(n > 0, "server hung up mid-response");
+            got.extend_from_slice(&chunk[..n]);
+        }
+        got
+    });
+
+    // Meanwhile this connection must keep being served bit-exactly.
+    let mut client = Client::connect(addr).expect("connect victim");
+    for i in 0..8u64 {
+        let a = fill::bench_workload(12, 10, 100 + i);
+        let b = fill::bench_workload(10, 9, 200 + i);
+        let c = client.multiply(&a, &b).expect("service while loris drips");
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    }
+
+    let response = loris.join().expect("loris thread");
+    // The trickled request itself was answered correctly: v2 header
+    // echoing id 77, then the exact product bytes.
+    assert_eq!(&response[..4], protocol::MAGIC.as_slice());
+    assert_eq!(response[4], VERSION_V2);
+    assert_eq!(response[5], FrameKind::Response as u8);
+    let id = u64::from_le_bytes(response[HEADER_LEN..protocol::HEADER_LEN_V2].try_into().unwrap());
+    assert_eq!(id, 77);
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    let body = &response[protocol::HEADER_LEN_V2..];
+    let c = protocol::decode_response::<f64>(body).expect("decode trickled response");
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    handle.shutdown();
+}
+
+#[test]
+fn warm_path_serves_requests_without_allocating_payload_buffers() {
+    let handle = spawn_pinned(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let a = fill::bench_workload(16, 12, 5);
+    let b = fill::bench_workload(12, 14, 6);
+
+    let misses = |stats: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix("fmm_serve_pool_f64_misses "))
+            .expect("pool miss counter rendered")
+            .parse()
+            .expect("counter is a number")
+    };
+
+    // Warm the pool: the first request allocates A, B, and C buffers.
+    client.multiply(&a, &b).expect("warm-up");
+    let cold_misses = misses(&handle.render_stats());
+    assert!(cold_misses >= 3, "cold path allocated operands and result: {cold_misses}");
+
+    // Steady state: same shape, every buffer comes from the pool — the
+    // miss counter must not move, which proves zero heap allocations per
+    // request for payload buffers.
+    for _ in 0..10 {
+        let c = client.multiply(&a, &b).expect("warm request");
+        let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+        assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    }
+    let warm_misses = misses(&handle.render_stats());
+    assert_eq!(
+        warm_misses, cold_misses,
+        "warm-path requests allocated payload buffers (pool misses grew)"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn v2_server_answers_v1_clients_in_v1_frames() {
+    let handle = spawn_pinned(ServeConfig::default());
+    let addr = handle.addr();
+
+    // Raw v1 ping: the reply header must be a 10-byte v1 header (version
+    // byte 1), NOT a v2 header — a v1 client reads it unmodified.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    protocol::write_frame(&mut raw, FrameKind::Ping, b"negotiate").expect("v1 ping");
+    let mut header = [0u8; HEADER_LEN];
+    raw.read_exact(&mut header).expect("v1 reply header");
+    assert_eq!(&header[..4], protocol::MAGIC.as_slice());
+    assert_eq!(header[4], VERSION, "v1 request answered with a v1 frame");
+    assert_eq!(header[5], FrameKind::Pong as u8);
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+    assert_eq!(len, b"negotiate".len());
+    let mut payload = vec![0u8; len];
+    raw.read_exact(&mut payload).expect("v1 reply payload");
+    assert_eq!(payload, b"negotiate");
+
+    // An unknown version byte gets the typed UnsupportedVersion error
+    // naming both supported versions.
+    let mut bad = TcpStream::connect(addr).expect("connect");
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&protocol::MAGIC);
+    header[4] = 9;
+    header[5] = FrameKind::Ping as u8;
+    bad.write_all(&header).expect("bad version header");
+    let frame = protocol::read_frame(&mut bad, 1 << 16).expect("typed error back");
+    assert_eq!(frame.kind, FrameKind::Error);
+    let (code, message) = protocol::decode_error(&frame.payload);
+    assert_eq!(code, ErrorCode::UnsupportedVersion);
+    assert!(message.contains("v1 and v2"), "{message}");
+    handle.shutdown();
+}
+
+#[test]
+fn retry_busy_rides_out_real_backpressure() {
+    // A 1-deep queue with one-at-a-time dispatch: a concurrent flood
+    // must see Busy refusals, and retry_busy must carry every request
+    // through anyway.
+    let handle = spawn_pinned(ServeConfig {
+        batch: BatchPolicy { window: Duration::ZERO, max_batch: 1, straggler_gap: Duration::ZERO },
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let flood = 8;
+    thread::scope(|s| {
+        for t in 0..flood {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let a = fill::bench_workload(40, 40, 1000 + t);
+                let b = fill::bench_workload(40, 40, 2000 + t);
+                let c = retry_busy(12, Duration::from_millis(2), t, || client.multiply(&a, &b))
+                    .expect("retries exhausted while the queue stayed full");
+                let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+                assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+            });
+        }
+    });
+    let snap = handle.metrics().snapshot();
+    assert_eq!(snap.responses, flood, "every flooded request eventually served: {snap:?}");
+    handle.shutdown();
+}
