@@ -10,10 +10,13 @@
 //! order, so the response writes straight from it with no intermediate
 //! `Vec`.
 //!
-//! The pool is bounded: at most [`IngestPool::retain`] buffers per dtype
-//! are kept across requests, and the hit/miss counters make the warm-path
-//! "zero allocations per request" property testable (a pool hit reuses an
-//! existing allocation; only misses allocate).
+//! The pool is bounded two ways: at most `retain` idle buffers per dtype
+//! are kept across requests, and their summed capacity may not exceed
+//! `retain_bytes` — so a burst of max-size requests cannot leave
+//! gigabytes parked in an idle pool after load subsides. The hit/miss
+//! counters make the warm-path "zero allocations per request" property
+//! testable (a pool hit reuses an existing allocation; only misses
+//! allocate).
 
 use crate::protocol::{Dtype, RequestDims, WireScalar};
 use fmm_dense::{AlignedBuf, MatMut, MatRef, Scalar};
@@ -31,15 +34,27 @@ pub struct PoolStats {
     pub misses: u64,
     /// Buffers currently retained and idle.
     pub retained: u64,
+    /// Summed allocated capacity of the retained buffers, in bytes.
+    pub retained_bytes: u64,
+}
+
+/// The idle set and its summed capacity, kept consistent under one lock.
+struct IdleSet<T> {
+    /// Idle buffers, each remembering its allocated capacity in elements.
+    bufs: Vec<AlignedBuf<T>>,
+    /// Summed allocated capacity of `bufs`, in bytes.
+    bytes: usize,
 }
 
 struct PoolInner<T> {
-    /// Idle buffers, each remembering its allocated capacity in elements.
-    idle: Mutex<Vec<AlignedBuf<T>>>,
+    idle: Mutex<IdleSet<T>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Most idle buffers kept; beyond this, released buffers are dropped.
     retain: usize,
+    /// Most idle *bytes* kept; a released buffer that would push the idle
+    /// set past this is dropped no matter how short the set is.
+    retain_bytes: usize,
 }
 
 /// A bounded pool of aligned buffers for one scalar type.
@@ -54,14 +69,16 @@ impl<T> Clone for BufferPool<T> {
 }
 
 impl<T: Scalar> BufferPool<T> {
-    /// A pool retaining at most `retain` idle buffers.
-    pub fn new(retain: usize) -> Self {
+    /// A pool retaining at most `retain` idle buffers totalling at most
+    /// `retain_bytes` of capacity.
+    pub fn new(retain: usize, retain_bytes: usize) -> Self {
         Self {
             inner: Arc::new(PoolInner {
-                idle: Mutex::new(Vec::new()),
+                idle: Mutex::new(IdleSet { bufs: Vec::new(), bytes: 0 }),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 retain,
+                retain_bytes,
             }),
         }
     }
@@ -78,12 +95,17 @@ impl<T: Scalar> BufferPool<T> {
             // the one big buffer on a small need and then re-allocate the
             // big one every round. Ties take the most recently released
             // (warmest) buffer.
-            idle.iter()
+            idle.bufs
+                .iter()
                 .enumerate()
                 .filter(|(_, buf)| buf.len() >= elems)
                 .min_by_key(|(at, buf)| (buf.len(), usize::MAX - at))
                 .map(|(at, _)| at)
-                .map(|at| idle.swap_remove(at))
+                .map(|at| {
+                    let buf = idle.bufs.swap_remove(at);
+                    idle.bytes -= buf.len() * std::mem::size_of::<T>();
+                    buf
+                })
         };
         let buf = match reused {
             Some(buf) => {
@@ -95,15 +117,23 @@ impl<T: Scalar> BufferPool<T> {
                 AlignedBuf::zeroed(elems)
             }
         };
-        PooledBuf { buf: ManuallyDrop::new(buf), elems, pool: Arc::downgrade(&self.inner) }
+        let cap_bytes = buf.len() * std::mem::size_of::<T>();
+        PooledBuf {
+            buf: ManuallyDrop::new(buf),
+            elems,
+            cap_bytes,
+            pool: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
+        let idle = self.inner.idle.lock().expect("buffer pool poisoned");
         PoolStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
-            retained: self.inner.idle.lock().expect("buffer pool poisoned").len() as u64,
+            retained: idle.bufs.len() as u64,
+            retained_bytes: idle.bytes as u64,
         }
     }
 }
@@ -116,6 +146,9 @@ pub struct PooledBuf<T> {
     /// the pool without swapping a placeholder allocation in.
     buf: ManuallyDrop<AlignedBuf<T>>,
     elems: usize,
+    /// Allocated capacity in bytes — what the pool's byte budget charges
+    /// on return (recorded here because `Drop` cannot ask the buffer).
+    cap_bytes: usize,
     pool: std::sync::Weak<PoolInner<T>>,
 }
 
@@ -216,9 +249,11 @@ impl<T> Drop for PooledBuf<T> {
         // SAFETY: `buf` is taken exactly once, here; no use after this.
         let buf = unsafe { ManuallyDrop::take(&mut self.buf) };
         if let Some(pool) = self.pool.upgrade() {
+            let bytes = self.cap_bytes;
             let mut idle = pool.idle.lock().expect("buffer pool poisoned");
-            if idle.len() < pool.retain {
-                idle.push(buf);
+            if idle.bufs.len() < pool.retain && idle.bytes + bytes <= pool.retain_bytes {
+                idle.bytes += bytes;
+                idle.bufs.push(buf);
                 return;
             }
         }
@@ -352,9 +387,13 @@ pub struct IngestPools {
 }
 
 impl IngestPools {
-    /// Pools retaining at most `retain` idle buffers per dtype.
-    pub fn new(retain: usize) -> Self {
-        Self { f64: BufferPool::new(retain), f32: BufferPool::new(retain) }
+    /// Pools retaining at most `retain` idle buffers and `retain_bytes`
+    /// idle bytes per dtype.
+    pub fn new(retain: usize, retain_bytes: usize) -> Self {
+        Self {
+            f64: BufferPool::new(retain, retain_bytes),
+            f32: BufferPool::new(retain, retain_bytes),
+        }
     }
 
     /// The pool serving `T`'s dtype.
@@ -390,7 +429,7 @@ mod tests {
 
     #[test]
     fn pool_reuses_buffers_and_counts_hits() {
-        let pool = BufferPool::<f64>::new(4);
+        let pool = BufferPool::<f64>::new(4, usize::MAX);
         {
             let mut a = pool.acquire(64);
             a.as_mut_slice()[0] = 7.0;
@@ -410,15 +449,34 @@ mod tests {
 
     #[test]
     fn pool_retention_is_bounded() {
-        let pool = BufferPool::<f32>::new(2);
+        let pool = BufferPool::<f32>::new(2, usize::MAX);
         let bufs: Vec<_> = (0..5).map(|_| pool.acquire(16)).collect();
         drop(bufs);
         assert_eq!(pool.stats().retained, 2, "idle set bounded by retain");
     }
 
     #[test]
+    fn pool_retention_is_bounded_by_bytes() {
+        // Budget fits two 64-element f64 buffers (1024 bytes); a third
+        // release must be dropped even though the count bound (8) has
+        // plenty of room left.
+        let pool = BufferPool::<f64>::new(8, 1024);
+        let bufs: Vec<_> = (0..3).map(|_| pool.acquire(64)).collect();
+        drop(bufs);
+        let stats = pool.stats();
+        assert_eq!(stats.retained, 2, "byte budget capped the idle set");
+        assert_eq!(stats.retained_bytes, 1024);
+        // Reacquiring frees budget: release-after-acquire is retained again.
+        {
+            let _held = pool.acquire(64);
+            assert_eq!(pool.stats().retained_bytes, 512, "checkout released its bytes");
+        }
+        assert_eq!(pool.stats().retained_bytes, 1024, "returned buffer recharged the budget");
+    }
+
+    #[test]
     fn row_major_views_see_wire_order() {
-        let pool = BufferPool::<f64>::new(2);
+        let pool = BufferPool::<f64>::new(2, usize::MAX);
         let mut buf = pool.acquire(6);
         // Wire order for a 2x3 row-major matrix: [r0c0 r0c1 r0c2 r1c0 ...]
         buf.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
@@ -430,7 +488,7 @@ mod tests {
 
     #[test]
     fn bytes_roundtrip_through_wire_view() {
-        let pool = BufferPool::<f64>::new(2);
+        let pool = BufferPool::<f64>::new(2, usize::MAX);
         let mut buf = pool.acquire(2);
         let vals = [1.5f64, -2.25];
         let mut wire = Vec::new();
@@ -446,7 +504,7 @@ mod tests {
 
     #[test]
     fn zero_is_a_memset_not_an_allocation() {
-        let pool = BufferPool::<f64>::new(2);
+        let pool = BufferPool::<f64>::new(2, usize::MAX);
         let mut buf = pool.acquire(32);
         buf.as_mut_slice().fill(3.0);
         buf.zero();

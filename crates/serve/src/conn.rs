@@ -488,7 +488,7 @@ mod tests {
         let a = fill::bench_workload(5, 3, 1);
         let b = fill::bench_workload(3, 4, 2);
         let mut src = Trickle { bytes: request_wire(VERSION_V2, 42, &a, &b), at: 0, burst: 1 };
-        let pools = IngestPools::new(8);
+        let pools = IngestPools::new(8, usize::MAX);
         let mut dec = Decoder::new(1 << 20);
         let mut events = Vec::new();
         loop {
@@ -530,7 +530,7 @@ mod tests {
         protocol::write_frame_v(&mut ping, VERSION_V2, 9, FrameKind::Ping, b"hi").unwrap();
         wire.extend_from_slice(&ping);
 
-        let pools = IngestPools::new(8);
+        let pools = IngestPools::new(8, usize::MAX);
         let mut dec = Decoder::new(1 << 20);
         let mut events = Vec::new();
         let mut cursor = Cursor::new(wire);
@@ -565,7 +565,7 @@ mod tests {
         protocol::write_frame_v(&mut wire, VERSION_V2, 5, FrameKind::Request, &payload).unwrap();
         protocol::write_frame_v(&mut wire, VERSION_V2, 6, FrameKind::Ping, b"ok").unwrap();
 
-        let pools = IngestPools::new(8);
+        let pools = IngestPools::new(8, usize::MAX);
         let mut dec = Decoder::new(1 << 20);
         let mut events = Vec::new();
         let mut cursor = Cursor::new(wire);
@@ -590,7 +590,7 @@ mod tests {
     fn bad_magic_is_fatal_and_stops_parsing() {
         let mut wire = vec![b'X', b'Y', b'Z', b'W'];
         wire.extend_from_slice(&[0u8; 20]);
-        let pools = IngestPools::new(8);
+        let pools = IngestPools::new(8, usize::MAX);
         let mut dec = Decoder::new(1 << 20);
         let mut events = Vec::new();
         let mut cursor = Cursor::new(wire);
@@ -623,7 +623,7 @@ mod tests {
             }
         }
 
-        let pools = IngestPools::new(4);
+        let pools = IngestPools::new(4, usize::MAX);
         let mut result = pools.f64.acquire(3);
         result.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
         let mut expected = b"HDR".to_vec();

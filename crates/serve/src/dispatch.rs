@@ -413,7 +413,7 @@ mod tests {
 
     #[test]
     fn queue_refuses_beyond_capacity_and_after_close() {
-        let pools = IngestPools::new(8);
+        let pools = IngestPools::new(8, usize::MAX);
         let sink = Arc::new(Collector::default());
         let q = BatchQueue::<f64>::new(2);
         let (j1, _, _) = job(&pools, &sink, 4, 1, 1);
@@ -455,7 +455,7 @@ mod tests {
             routing: Routing::Model,
             ..EngineConfig::default()
         });
-        let pools = IngestPools::new(16);
+        let pools = IngestPools::new(16, usize::MAX);
         let sink = Arc::new(Collector::default());
         let metrics = Arc::new(Metrics::default());
         let queue = BatchQueue::new(16);
@@ -496,7 +496,7 @@ mod tests {
             params: BlockingParams::tiny(),
             ..EngineConfig::default()
         });
-        let pools = IngestPools::new(16);
+        let pools = IngestPools::new(16, usize::MAX);
         let sink = Arc::new(Collector::default());
         let metrics = Arc::new(Metrics::default());
         let queue = BatchQueue::new(16);
@@ -522,7 +522,7 @@ mod tests {
             params: BlockingParams::tiny(),
             ..EngineConfig::default()
         });
-        let pools = IngestPools::new(16);
+        let pools = IngestPools::new(16, usize::MAX);
         let sink = Arc::new(Collector::default());
         let metrics = Arc::new(Metrics::default());
         // Two rounds of the same shape: round 1 warms the pool, round 2

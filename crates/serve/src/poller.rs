@@ -64,8 +64,8 @@ pub type SysFd = u64;
 
 #[cfg(target_os = "linux")]
 mod sys {
-    //! Thin epoll + pipe FFI. Constants are the x86-64/AArch64 Linux ABI
-    //! values (identical across modern Linux targets for these calls).
+    //! Thin epoll + pipe FFI. Constants are the Linux ABI values shared
+    //! by x86-64, AArch64, and RISC-V (the asm-generic UAPI numbers).
     #![allow(non_camel_case_types)]
 
     pub const EPOLL_CTL_ADD: i32 = 1;
@@ -80,13 +80,25 @@ mod sys {
     pub const O_NONBLOCK: i32 = 0x800;
     pub const O_CLOEXEC: i32 = 0x80000;
 
-    /// `struct epoll_event`; packed on x86-64 per the kernel ABI.
-    #[repr(C, packed)]
+    /// `struct epoll_event`. The kernel packs this struct **only on
+    /// x86/x86-64** (UAPI `EPOLL_PACKED` is defined solely there, for
+    /// 32/64-bit compat); every other architecture uses natural C layout
+    /// — 16 bytes with `data` at offset 8 on aarch64/riscv64. Packing it
+    /// unconditionally would make `epoll_wait` scribble past the event
+    /// array on those targets.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct epoll_event {
         pub events: u32,
         pub data: u64,
     }
+
+    /// Layout guard: 12 bytes where the kernel packs, 16 elsewhere.
+    const _: () = assert!(
+        std::mem::size_of::<epoll_event>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) { 12 } else { 16 }
+    );
 
     extern "C" {
         pub fn epoll_create1(flags: i32) -> i32;
@@ -313,9 +325,17 @@ impl Drop for Poller {
 
 #[cfg(target_os = "linux")]
 fn epoll_bits(interest: Interest) -> u32 {
-    let mut bits = sys::EPOLLRDHUP;
+    // RDHUP rides with read interest only: a read-paused connection
+    // (v1 one-at-a-time wait, backlog flow control) cannot act on a
+    // peer's half-close, and the level-triggered hangup would re-fire
+    // every wait with no progress possible — a busy spin until read
+    // interest returns. Masking it is safe: the EOF is still sitting in
+    // the socket and is observed the moment reads resume. Full hangups
+    // (EPOLLHUP/EPOLLERR) are unmaskable by design, and those tear the
+    // connection down through the write-error path instead.
+    let mut bits = 0;
     if interest.read {
-        bits |= sys::EPOLLIN;
+        bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
     }
     if interest.write {
         bits |= sys::EPOLLOUT;

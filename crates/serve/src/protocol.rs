@@ -499,6 +499,13 @@ impl RequestDims {
     pub fn b_bytes(&self) -> usize {
         self.k * self.n * self.dtype.elem_bytes()
     }
+
+    /// Bytes of the `C` result the response will carry — known the moment
+    /// the prelude decodes, which is what lets admission control charge a
+    /// request's response cost *before* any result exists.
+    pub fn c_bytes(&self) -> usize {
+        self.m * self.n * self.dtype.elem_bytes()
+    }
 }
 
 /// Parse and validate a request prelude against the frame's declared

@@ -34,7 +34,9 @@ use crate::dispatch::{
 };
 use crate::metrics::Metrics;
 use crate::poller::{Interest, Poller, SysFd, Waker, WAKE_TOKEN};
-use crate::protocol::{self, ErrorCode, FrameKind, RequestDims, RESPONSE_PRELUDE, VERSION};
+use crate::protocol::{
+    self, ErrorCode, FrameKind, RequestDims, HEADER_LEN, HEADER_LEN_V2, RESPONSE_PRELUDE, VERSION,
+};
 use fmm_engine::{ArchSource, EngineConfig, EngineStats, FmmEngine, Routing};
 use fmm_gemm::BlockingParams;
 use fmm_tune::TuneStore;
@@ -84,8 +86,17 @@ pub struct ServeConfig {
     pub max_inflight_per_conn: usize,
     /// Idle buffers the per-dtype ingest pools retain across requests.
     pub pool_retain: usize,
-    /// Unwritten response bytes a connection may accumulate before the
-    /// loop stops reading new frames from it (slow-reader flow control).
+    /// Idle bytes the per-dtype ingest pools retain across requests — a
+    /// burst of max-size requests must not leave gigabytes parked in the
+    /// pools after load subsides.
+    pub pool_retain_bytes: usize,
+    /// Response bytes a connection may have outstanding — queued in its
+    /// write backlog *or* promised by admitted-but-unfinished requests —
+    /// before further admissions are refused with `Busy` and the loop
+    /// stops reading new frames from it. Charging the declared response
+    /// size at admission (it is known from the request prelude) keeps a
+    /// pipelining client from pinning `max_inflight_per_conn × max
+    /// response` of pooled memory off a few hundred input bytes.
     pub max_conn_backlog_bytes: usize,
 }
 
@@ -103,6 +114,7 @@ impl Default for ServeConfig {
             event_threads: 2,
             max_inflight_per_conn: 64,
             pool_retain: 32,
+            pool_retain_bytes: 256 << 20,
             max_conn_backlog_bytes: 64 << 20,
         }
     }
@@ -170,8 +182,8 @@ impl Shared {
         ));
         for (name, stats) in [("f64", self.pools.f64.stats()), ("f32", self.pools.f32.stats())] {
             out.push_str(&format!(
-                "fmm_serve_pool_{name}_hits {}\nfmm_serve_pool_{name}_misses {}\nfmm_serve_pool_{name}_retained {}\n",
-                stats.hits, stats.misses, stats.retained
+                "fmm_serve_pool_{name}_hits {}\nfmm_serve_pool_{name}_misses {}\nfmm_serve_pool_{name}_retained {}\nfmm_serve_pool_{name}_retained_bytes {}\n",
+                stats.hits, stats.misses, stats.retained, stats.retained_bytes
             ));
         }
         out.push_str(&format!("engine_f64 {}\n", self.engine_f64.stats()));
@@ -209,6 +221,20 @@ impl Server {
         engine_f64: Arc<FmmEngine<f64>>,
         engine_f32: Arc<FmmEngine<f32>>,
     ) -> io::Result<ServerHandle> {
+        // The frame header carries payload lengths as u32; a cap beyond
+        // that would let `encode_header`'s `as u32` silently truncate and
+        // desynchronize the stream. Refuse the misconfiguration up front.
+        if config.max_payload_bytes > u32::MAX as usize - HEADER_LEN_V2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "max_payload_bytes {} exceeds the wire format's u32 payload-length field \
+                     (cap is {})",
+                    config.max_payload_bytes,
+                    u32::MAX as usize - HEADER_LEN_V2
+                ),
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -234,7 +260,7 @@ impl Server {
             queue_f64: BatchQueue::new(config.queue_capacity),
             queue_f32: BatchQueue::new(config.queue_capacity),
             metrics: Arc::new(Metrics::default()),
-            pools: IngestPools::new(config.pool_retain),
+            pools: IngestPools::new(config.pool_retain, config.pool_retain_bytes),
             engine_f64,
             engine_f32,
             stop: AtomicBool::new(false),
@@ -384,6 +410,13 @@ struct Conn {
     /// Requests admitted on this connection whose response has not been
     /// queued yet.
     in_flight: usize,
+    /// Wire bytes the responses to those admitted requests will occupy
+    /// once queued (header + prelude + declared `m×n` result). Charged at
+    /// admission, released when the completion's frame enters the write
+    /// queue — together with `out.backlog()` this is the connection's
+    /// whole response-memory exposure, bounded by
+    /// [`ServeConfig::max_conn_backlog_bytes`].
+    pending_response_bytes: usize,
     /// A v1 request is outstanding: parsing is paused until its response
     /// is queued (v1 clients get strict one-at-a-time semantics).
     v1_wait: bool,
@@ -546,6 +579,7 @@ fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>
         decoder: Decoder::new(shared.config.max_payload_bytes),
         out: WriteQueue::default(),
         in_flight: 0,
+        pending_response_bytes: 0,
         v1_wait: false,
         closing: false,
         interest: Interest::READ,
@@ -672,6 +706,29 @@ fn admit_request(
         push_reply(conn, version, request_id, FrameKind::Error, &payload);
         return;
     }
+    // Byte-level admission: the response's size is declared by the
+    // request prelude, so its memory cost is charged *now*, before any
+    // result buffer exists — a k=0 request is ~30 bytes of input but can
+    // declare a cap-sized output, and counting requests alone would let
+    // one connection pin `max_inflight × max response` of pooled memory.
+    // A request arriving on an otherwise idle connection (nothing queued,
+    // nothing promised) is always admitted, so progress never deadlocks
+    // on an operator setting the backlog cap below one max response.
+    let response_bytes = response_frame_bytes(version, dims);
+    let outstanding = conn.pending_response_bytes + conn.out.backlog();
+    if outstanding > 0 && outstanding + response_bytes > shared.config.max_conn_backlog_bytes {
+        shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+        let payload = protocol::encode_error(
+            ErrorCode::Busy,
+            &format!(
+                "connection has {outstanding} response bytes outstanding; another \
+                 {response_bytes} would exceed the {}-byte cap",
+                shared.config.max_conn_backlog_bytes
+            ),
+        );
+        push_reply(conn, version, request_id, FrameKind::Error, &payload);
+        return;
+    }
     let reply = ReplySink {
         sink: me.clone() as Arc<dyn CompletionSink>,
         addr: ConnAddr { slot: slot as u32, generation },
@@ -696,6 +753,7 @@ fn admit_request(
             shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
             shared.metrics.inflight.fetch_add(1, Ordering::SeqCst);
             conn.in_flight += 1;
+            conn.pending_response_bytes += response_bytes;
             shared.metrics.record_conn_inflight(conn.in_flight as u64);
             if version == VERSION {
                 conn.v1_wait = true;
@@ -720,6 +778,14 @@ fn admit_request(
             push_reply(conn, version, request_id, FrameKind::Error, &payload);
         }
     }
+}
+
+/// Wire bytes the response to an admitted request will occupy once
+/// queued: header (in the peer's wire version), response prelude, and the
+/// declared `m×n` result.
+fn response_frame_bytes(version: u8, dims: RequestDims) -> usize {
+    let header = if version == VERSION { HEADER_LEN } else { HEADER_LEN_V2 };
+    header + RESPONSE_PRELUDE + dims.c_bytes()
 }
 
 /// Queue one small (fully owned) reply frame in the peer's wire version.
@@ -756,6 +822,12 @@ fn apply_completion(
     }
     shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
     let payload_len = RESPONSE_PRELUDE + completion.result.bytes().len();
+    // Release the bytes charged at admission: the promise now materializes
+    // as actual write-queue backlog (the result length equals the `m×n`
+    // size the prelude declared).
+    let header_len = if completion.version == VERSION { HEADER_LEN } else { HEADER_LEN_V2 };
+    conn.pending_response_bytes =
+        conn.pending_response_bytes.saturating_sub(header_len + payload_len);
     let mut head = protocol::encode_header(
         completion.version,
         FrameKind::Response,

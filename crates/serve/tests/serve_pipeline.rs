@@ -150,6 +150,91 @@ fn per_connection_inflight_cap_refuses_with_busy() {
 }
 
 #[test]
+fn per_connection_response_budget_refuses_with_busy() {
+    // Admission charges the *declared* response size, so a pipelining
+    // connection cannot pin unbounded result memory before any response
+    // exists. Each 8×8 f64 response costs 18 + 9 + 512 = 539 bytes; with
+    // a 1024-byte cap the first request is admitted (idle connections
+    // always make progress) and the second must be refused Busy while the
+    // first is still being computed.
+    let handle = spawn_pinned(ServeConfig {
+        batch: BatchPolicy {
+            window: Duration::from_millis(300),
+            max_batch: 8,
+            straggler_gap: Duration::from_millis(300),
+        },
+        max_conn_backlog_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let mut client = PipelinedClient::connect(handle.addr()).expect("connect");
+    let a = fill::bench_workload(8, 8, 31);
+    let b = fill::bench_workload(8, 8, 32);
+    let first = client.send(&a, &b).expect("send first");
+    let second = client.send(&a, &b).expect("send second");
+    let err = client.recv::<f64>(second).expect_err("second refused on byte budget");
+    assert!(err.is_busy(), "expected Busy, got {err}");
+    let c: Matrix<f64> = client.recv(first).expect("first served");
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    assert_eq!(handle.metrics().snapshot().rejects_busy, 1);
+
+    // The budget is released with the response: the same connection gets
+    // served again afterwards.
+    let third = client.send(&a, &b).expect("send third");
+    let c: Matrix<f64> = client.recv(third).expect("third served after budget release");
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_payload_cap_is_rejected_at_spawn() {
+    // The wire header carries payload lengths as u32: a cap the header
+    // cannot represent must be refused at spawn, not silently truncated
+    // into stream desync at response time.
+    let (e64, e32) = pinned_engines();
+    let spawned = Server::spawn_with_engines(
+        ServeConfig { max_payload_bytes: u32::MAX as usize, ..ServeConfig::default() },
+        e64,
+        e32,
+    );
+    match spawned {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(handle) => {
+            handle.shutdown();
+            panic!("u32-overflowing payload cap must not spawn");
+        }
+    }
+}
+
+#[test]
+fn half_closed_peer_still_receives_inflight_response() {
+    // A v1 peer that sends one request and immediately half-closes its
+    // write side (shutdown(SHUT_WR)) while the request is held in a long
+    // batch window: the read-paused connection must neither be torn down
+    // nor spin the loop on the hangup — the response still arrives.
+    let handle = spawn_pinned(ServeConfig {
+        batch: BatchPolicy {
+            window: Duration::from_millis(100),
+            max_batch: 8,
+            straggler_gap: Duration::from_millis(100),
+        },
+        ..ServeConfig::default()
+    });
+    let a = fill::bench_workload(6, 4, 21);
+    let b = fill::bench_workload(4, 5, 22);
+    let payload = protocol::encode_request(&a, &b);
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    protocol::write_frame(&mut s, FrameKind::Request, &payload).expect("send request");
+    s.shutdown(std::net::Shutdown::Write).expect("half-close write side");
+    let frame = protocol::read_frame(&mut s, 1 << 20).expect("response after half-close");
+    assert_eq!(frame.kind, FrameKind::Response);
+    let c = protocol::decode_response::<f64>(&frame.payload).expect("decode response");
+    let c_ref = fmm_gemm::reference::matmul(a.as_ref(), b.as_ref());
+    assert!(norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-12);
+    handle.shutdown();
+}
+
+#[test]
 fn slow_loris_writer_does_not_stall_other_connections() {
     let handle = spawn_pinned(ServeConfig::default());
     let addr = handle.addr();
