@@ -5,7 +5,8 @@
 //! ```sh
 //! cargo run --release -p fmm-bench --bin serve_smoke \
 //!     [-- --threads 8 --requests 60 --size 64 --window-us 0 \
-//!         --gap-us 200 --max-batch 16 --pipeline 8 --out BENCH_serve.json]
+//!         --gap-us 200 --max-batch 16 --pipeline 8 --out BENCH_serve.json \
+//!         --baseline OLD_BENCH_serve.json]
 //! ```
 //!
 //! Three daemons run in-process on loopback ports, sharing one warm
@@ -23,6 +24,7 @@
 //! masquerade as a speedup.
 
 use fmm_bench::report::{int, latency_fields, num, object, text, Report};
+use fmm_core::json::{self, Value};
 use fmm_dense::{fill, norms, Matrix};
 use fmm_engine::{ArchSource, EngineConfig, FmmEngine};
 use fmm_serve::{BatchPolicy, Client, MetricsSnapshot, PipelinedClient, ServeConfig, Server};
@@ -40,6 +42,7 @@ struct Args {
     max_batch: usize,
     pipeline: usize,
     out: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +59,7 @@ fn parse_args() -> Args {
         max_batch: 16,
         pipeline: 16,
         out: "BENCH_serve.json".to_string(),
+        baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +97,10 @@ fn parse_args() -> Args {
                 args.out = argv[i + 1].clone();
                 i += 2;
             }
+            "--baseline" => {
+                args.baseline = Some(argv[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -104,6 +112,7 @@ struct ModeResult {
     gflops: f64,
     samples_secs: Vec<f64>,
     metrics: MetricsSnapshot,
+    registry: Value,
 }
 
 fn verify_first(a: &Matrix<f64>, b: &Matrix<f64>, c: &Matrix<f64>) {
@@ -220,6 +229,9 @@ fn run_mode(
     let wall = t0.elapsed().as_secs_f64();
 
     let metrics = handle.metrics().snapshot();
+    // Full registry snapshot (counters, gauges, per-phase histograms) —
+    // the same body `fmm_serve stats --json` serves over the wire.
+    let registry = handle.stats_json();
     handle.shutdown();
 
     let samples_secs: Vec<f64> = per_thread.into_iter().flatten().collect();
@@ -234,7 +246,47 @@ fn run_mode(
     } else {
         0.0
     };
-    ModeResult { rps: total as f64 / wall, gflops: flops / wall / 1e9, samples_secs, metrics }
+    ModeResult {
+        rps: total as f64 / wall,
+        gflops: flops / wall / 1e9,
+        samples_secs,
+        metrics,
+        registry,
+    }
+}
+
+/// Regression guard against a previous report: compare this run's
+/// pipelined throughput to the `mode == "pipelined"` row of an earlier
+/// `BENCH_serve.json`. The floor is deliberately lenient — it exists to
+/// catch structural regressions (e.g. instrumentation on the hot path),
+/// not run-to-run noise.
+fn check_baseline(path: &str, pipelined_rps: f64) {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--baseline {path}: unreadable: {e}"));
+    let old = json::parse(&body).unwrap_or_else(|e| panic!("--baseline {path}: bad JSON: {e}"));
+    let Value::Object(root) = &old else { panic!("--baseline {path}: not an object") };
+    let Some(Value::Array(rows)) = root.get("rows") else {
+        panic!("--baseline {path}: no rows array")
+    };
+    let old_rps = rows
+        .iter()
+        .find_map(|row| {
+            let Value::Object(row) = row else { return None };
+            match (row.get("mode"), row.get("requests_per_sec")) {
+                (Some(Value::String(mode)), Some(Value::Number(rps))) if mode == "pipelined" => {
+                    Some(*rps)
+                }
+                _ => None,
+            }
+        })
+        .unwrap_or_else(|| panic!("--baseline {path}: no pipelined row with requests_per_sec"));
+    let ratio = pipelined_rps / old_rps;
+    println!("pipelined vs baseline {path}: {pipelined_rps:.1} / {old_rps:.1} = {ratio:.2}x");
+    assert!(
+        ratio >= 0.7,
+        "pipelined throughput regressed to {ratio:.2}x of the baseline ({pipelined_rps:.1} \
+         req/s vs {old_rps:.1} req/s in {path})"
+    );
 }
 
 fn main() {
@@ -314,6 +366,9 @@ fn main() {
         pipelined.metrics.max_occupancy > 1,
         "pipelined clients never coalesced — policy or load misconfigured"
     );
+    if let Some(baseline) = &args.baseline {
+        check_baseline(baseline, pipelined.rps);
+    }
 
     let mut report = Report::new("serve_smoke");
     report
@@ -351,5 +406,9 @@ fn main() {
             ("rankings", int(s64.rankings as i64)),
         ]),
     );
+    // The pipelined mode's full registry snapshot rides along in the
+    // report, so trajectory tooling sees the per-phase histograms
+    // (queue-wait, service, pack, kernel) without a live daemon.
+    report.field("registry", pipelined.registry);
     report.write(&args.out);
 }

@@ -352,12 +352,22 @@ pub struct BatchItem<'a, T = f64> {
     pub a: MatRef<'a, T>,
     /// Right operand.
     pub b: MatRef<'a, T>,
+    /// Caller-chosen tag carried into tracing spans (the serving layer
+    /// passes the wire request id; 0 = untagged).
+    pub tag: u64,
 }
 
 impl<'a, T: GemmScalar> BatchItem<'a, T> {
     /// Package one problem.
     pub fn new(c: MatMut<'a, T>, a: MatRef<'a, T>, b: MatRef<'a, T>) -> Self {
-        Self { c, a, b }
+        Self { c, a, b, tag: 0 }
+    }
+
+    /// Tag this item so spans recorded while it executes (scheduler
+    /// tasks, GEMM pack/kernel phases) carry `tag` as their request id.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
     }
 }
 
@@ -557,6 +567,9 @@ impl<T: GemmScalar> FmmEngine<T> {
                 // so every `BatchItem` is mutably borrowed by at most one
                 // thread, and the borrow in `items` outlives the fan-out.
                 let item = unsafe { items_ptr.item(i) };
+                // Lower layers (sched tasks, gemm pack/kernel) stamp their
+                // spans with this thread's current request id.
+                let prev_tag = fmm_obs::trace::set_current_request(item.tag);
                 match &decisions[i] {
                     Decision::Gemm => {
                         fmm_gemm::gemm_with_params(
@@ -584,6 +597,7 @@ impl<T: GemmScalar> FmmEngine<T> {
                             .fetch_add(ctx.grow_count() - grows_before, Ordering::Relaxed);
                     }
                 }
+                fmm_obs::trace::set_current_request(prev_tag);
             },
         );
     }
@@ -637,7 +651,13 @@ impl<T: GemmScalar> FmmEngine<T> {
             return hit;
         }
         self.counters.decision_misses.fetch_add(1, Ordering::Relaxed);
+        let span = fmm_obs::trace::start();
         let decision = self.compute_decision(m, k, n);
+        fmm_obs::trace::finish(
+            fmm_obs::SpanKind::EngineDecision,
+            fmm_obs::trace::current_request(),
+            span,
+        );
         self.decisions.lock().insert((m, k, n), decision.clone());
         decision
     }
@@ -772,7 +792,13 @@ impl<T: GemmScalar> FmmEngine<T> {
             return plan;
         }
         self.counters.plan_compositions.fetch_add(1, Ordering::Relaxed);
+        let span = fmm_obs::trace::start();
         let plan = Arc::new(FmmPlan::from_arcs(vec![algo.clone(); levels]));
+        fmm_obs::trace::finish(
+            fmm_obs::SpanKind::PlanCompose,
+            fmm_obs::trace::current_request(),
+            span,
+        );
         self.plans.lock().insert(key, plan.clone());
         plan
     }

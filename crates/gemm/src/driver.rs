@@ -149,7 +149,9 @@ fn gemm_sums_impl<T: GemmScalar>(
             // Loop 4 body: pack (the sum of) B into B̃.
             let b_slices: Vec<(T, MatRef<'_, T>)> =
                 b_terms.iter().map(|(g, b)| (*g, b.submatrix(pc, jc, kb, nb))).collect();
+            let t_pack = crate::obs_hooks::phase_start();
             pack::pack_b_sum(&mut ws.bbuf, &b_slices, params.nr);
+            crate::obs_hooks::pack_done(t_pack);
             // First k-panel overwrites if requested; later panels accumulate.
             let store = overwrite && pc == 0;
 
@@ -159,9 +161,13 @@ fn gemm_sums_impl<T: GemmScalar>(
                 // Loop 3 body: pack (the sum of) A into Ã.
                 let a_slices: Vec<(T, MatRef<'_, T>)> =
                     a_terms.iter().map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb))).collect();
+                let t_pack = crate::obs_hooks::phase_start();
                 pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
+                crate::obs_hooks::pack_done(t_pack);
 
+                let t_kernel = crate::obs_hooks::phase_start();
                 macro_kernel(&mut raw, &ws.abuf, &ws.bbuf, ic, jc, mb, nb, kb, ukr, store);
+                crate::obs_hooks::kernel_done(t_kernel);
                 ic += params.mc;
             }
             pc += params.kc;

@@ -48,6 +48,7 @@
 
 pub mod driver;
 pub mod kernel;
+mod obs_hooks;
 pub mod pack;
 pub mod parallel;
 pub mod params;

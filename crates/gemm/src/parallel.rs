@@ -81,7 +81,9 @@ fn gemm_sums_parallel_impl<T: GemmScalar>(
             let kb = params.kc.min(k - pc);
             let b_slices: Vec<(T, MatRef<'_, T>)> =
                 b_terms.iter().map(|(g, b)| (*g, b.submatrix(pc, jc, kb, nb))).collect();
+            let t_pack = crate::obs_hooks::phase_start();
             pack::pack_b_sum(bbuf, &b_slices, params.nr);
+            crate::obs_hooks::pack_done(t_pack);
             let store = overwrite && pc == 0;
             let bshared: &[T] = bbuf;
 
@@ -94,12 +96,16 @@ fn gemm_sums_parallel_impl<T: GemmScalar>(
                     let mb = params.mc.min(m - ic);
                     let a_slices: Vec<(T, MatRef<'_, T>)> =
                         a_terms.iter().map(|(g, a)| (*g, a.submatrix(ic, pc, mb, kb))).collect();
+                    let t_pack = crate::obs_hooks::phase_start();
                     pack::pack_a_sum(&mut ws.abuf, &a_slices, params.mr);
+                    crate::obs_hooks::pack_done(t_pack);
                     // Each task owns rows [ic, ic + mb) of every
                     // destination; tasks are disjoint in `ic`, so the
                     // writes through RawDest cannot race.
                     let mut local = raw.clone();
+                    let t_kernel = crate::obs_hooks::phase_start();
                     macro_kernel(&mut local, &ws.abuf, bshared, ic, jc, mb, nb, kb, ukr, store);
+                    crate::obs_hooks::kernel_done(t_kernel);
                 },
             );
             pc += params.kc;

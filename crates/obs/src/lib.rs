@@ -1,0 +1,31 @@
+//! Std-only observability core for the FMM serving stack.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`hist`] — fixed-footprint log-bucketed histograms. Base-2 buckets
+//!   with 8 sub-buckets per octave (≤ 12.5% relative error), relaxed
+//!   atomic counters, mergeable across threads, percentiles computed
+//!   over **all** samples ever recorded rather than a sliding window.
+//! * [`registry`] — named counters / gauges / histograms behind
+//!   `Arc` handles. Lookup takes a lock once; the handle is then
+//!   lock-free on the hot path. A process-global registry
+//!   ([`global`]) serves layers (gemm, sched) that have no
+//!   server object to hang metrics off.
+//! * [`trace`] — a runtime-toggleable span recorder: per-thread
+//!   bounded rings of typed [`trace::SpanEvent`]s carrying a request
+//!   id and monotonic nanosecond timestamps. The disabled path is a
+//!   single relaxed atomic load and a branch; the enabled warm path
+//!   performs no heap allocation (rings are preallocated at first use
+//!   and overwritten in place).
+//!
+//! This crate depends on nothing but `std` so every layer of the stack
+//! — including the GEMM substrate at the bottom — can record into it
+//! without creating dependency cycles.
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use registry::{global, Counter, Gauge, Registry, Snapshot};
+pub use trace::{SpanEvent, SpanKind};

@@ -55,8 +55,22 @@ use fmm_dense::{ops, MatMut, MatRef};
 use fmm_gemm::{BlockingParams, DestTile, GemmScalar, WorkspacePool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 pub use fmm_core::tasks::Strategy;
+
+/// Gauge counting workers currently inside a [`fan_out`] — the live
+/// busy-worker view exported through the process-global obs registry.
+fn busy_gauge() -> &'static Arc<fmm_obs::Gauge> {
+    static G: OnceLock<Arc<fmm_obs::Gauge>> = OnceLock::new();
+    G.get_or_init(|| fmm_obs::global().gauge("fmm_sched_workers_busy"))
+}
+
+/// Histogram of per-task execution time across both task strategies.
+fn task_hist() -> &'static Arc<fmm_obs::Histogram> {
+    static H: OnceLock<Arc<fmm_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| fmm_obs::global().histogram("fmm_sched_task_nanos"))
+}
 
 /// Monotonic counters exposing the scheduler's behavior; snapshot via
 /// [`SchedContext::stats`] and difference to assert warm-path properties.
@@ -275,17 +289,21 @@ where
         return;
     }
     let workers = resolve_workers(workers).clamp(1, tasks);
+    let busy = busy_gauge();
     if workers == 1 {
+        busy.add(1);
         let mut state = init();
         for i in 0..tasks {
             body(&mut state, i);
         }
+        busy.sub(1);
         return;
     }
     let next = AtomicUsize::new(0);
     rayon::scope(|sc| {
         for _ in 0..workers {
             sc.spawn(|_| {
+                busy.add(1);
                 let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -294,6 +312,7 @@ where
                     }
                     body(&mut state, i);
                 }
+                busy.sub(1);
             });
         }
     });
@@ -412,7 +431,19 @@ fn bfs_core<T: GemmScalar>(
             let views = unsafe { slots.views(r) };
             let a_terms = gather_terms(plan.u(), r, &a_blocks);
             let b_terms = gather_terms(plan.v(), r, &b_blocks);
+            let t0 = fmm_obs::trace::now_nanos();
             compute_product(views, variant, &a_terms, &b_terms, &task_params, ws);
+            let t1 = fmm_obs::trace::now_nanos();
+            task_hist().record(t1.saturating_sub(t0));
+            if fmm_obs::trace::enabled() {
+                fmm_obs::trace::record(fmm_obs::SpanEvent {
+                    kind: fmm_obs::SpanKind::TaskExec,
+                    request_id: fmm_obs::trace::current_request(),
+                    start_nanos: t0,
+                    end_nanos: t1,
+                    thread: 0,
+                });
+            }
         },
     );
 
@@ -425,11 +456,17 @@ fn bfs_core<T: GemmScalar>(
         |(), p| {
             // SAFETY: distinct p -> disjoint C blocks; phase 1 finished,
             // so the M_r reads cannot race a writer.
+            let span = fmm_obs::trace::start();
             let mut dest = unsafe { c_blocks.get(p) };
             for (r, w) in plan.w().row_nonzeros(p) {
                 let mr = unsafe { slots.mr(r) };
                 ops::axpy(dest.reborrow(), T::from_f64(w), mr).expect("block shapes agree");
             }
+            fmm_obs::trace::finish(
+                fmm_obs::SpanKind::Merge,
+                fmm_obs::trace::current_request(),
+                span,
+            );
         },
     );
 
@@ -568,12 +605,24 @@ fn hybrid_core<T: GemmScalar>(
             let ArenaViews { mut ta, mut tb, mut mr } = unsafe { slots.views(r) };
             let a_terms = gather_terms(outer.u(), r, &a_blocks);
             let b_terms = gather_terms(outer.v(), r, &b_blocks);
+            let t0 = fmm_obs::trace::now_nanos();
             ops::linear_combination(ta.reborrow(), &a_terms).expect("A block shapes agree");
             ops::linear_combination(tb.reborrow(), &b_terms).expect("B block shapes agree");
             // The executors accumulate; the task region is reused, so
             // clear M_r before descending.
             mr.fill(T::ZERO);
             fmm_execute(mr, ta.as_ref(), tb.as_ref(), &inner, variant, ictx.ctx());
+            let t1 = fmm_obs::trace::now_nanos();
+            task_hist().record(t1.saturating_sub(t0));
+            if fmm_obs::trace::enabled() {
+                fmm_obs::trace::record(fmm_obs::SpanEvent {
+                    kind: fmm_obs::SpanKind::TaskExec,
+                    request_id: fmm_obs::trace::current_request(),
+                    start_nanos: t0,
+                    end_nanos: t1,
+                    thread: 0,
+                });
+            }
         },
     );
 

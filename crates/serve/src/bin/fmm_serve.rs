@@ -3,9 +3,10 @@
 //! ```sh
 //! fmm_serve serve [--addr 127.0.0.1:7117] [--window-us 2000] [--gap-us 200]
 //!                 [--max-batch 32] [--queue 256] [--workers 0] [--no-tuned]
-//!                 [--event-threads 2]
+//!                 [--event-threads 2] [--trace]
 //! fmm_serve ping --addr HOST:PORT [--count 3]
-//! fmm_serve stats --addr HOST:PORT
+//! fmm_serve stats --addr HOST:PORT [--json | --prom]
+//! fmm_serve trace --addr HOST:PORT [--last N] [--chrome FILE]
 //! fmm_serve bench --addr HOST:PORT [--threads 4] [--requests 32]
 //!                 [--size 96] [--dtype f64|f32] [--pipeline 0] [--verify]
 //! fmm_serve shutdown --addr HOST:PORT
@@ -21,6 +22,13 @@
 //! the blocking v1 client, whose `Busy` refusals are retried with
 //! [`retry_busy`] backoff. (The in-process batched-vs-unbatched
 //! comparison lives in `fmm-bench`'s `serve_smoke`.)
+//!
+//! `stats --json` fetches the full observability registry (counters,
+//! gauges, per-phase latency histograms) as JSON; `--prom` fetches the
+//! same registry as Prometheus plaintext. `trace` dumps recent request
+//! phase spans from a server running with `--trace` (or `FMM_TRACE=1`) as
+//! a per-request timeline, or as a chrome://tracing JSON file with
+//! `--chrome FILE`.
 
 use fmm_dense::{fill, norms, Matrix};
 use fmm_serve::{retry_busy, BatchPolicy, Client, PipelinedClient, ServeConfig, Server};
@@ -30,7 +38,7 @@ use std::time::{Duration, Instant};
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
-        eprintln!("usage: fmm_serve <serve|ping|stats|bench|shutdown> [options]");
+        eprintln!("usage: fmm_serve <serve|ping|stats|trace|bench|shutdown> [options]");
         std::process::exit(2);
     };
     let opts = Options::parse(&argv[1..]);
@@ -38,10 +46,11 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "ping" => cmd_ping(&opts),
         "stats" => cmd_stats(&opts),
+        "trace" => cmd_trace(&opts),
         "bench" => cmd_bench(&opts),
         "shutdown" => cmd_shutdown(&opts),
         other => {
-            eprintln!("unknown command {other:?} (serve|ping|stats|bench|shutdown)");
+            eprintln!("unknown command {other:?} (serve|ping|stats|trace|bench|shutdown)");
             std::process::exit(2);
         }
     }
@@ -65,6 +74,11 @@ struct Options {
     verify: bool,
     event_threads: usize,
     pipeline: usize,
+    trace: bool,
+    json: bool,
+    prom: bool,
+    last: u64,
+    chrome: Option<String>,
 }
 
 impl Options {
@@ -85,6 +99,11 @@ impl Options {
             verify: false,
             event_threads: 2,
             pipeline: 0,
+            trace: false,
+            json: false,
+            prom: false,
+            last: 0,
+            chrome: None,
         };
         let mut i = 0;
         let value = |argv: &[String], i: usize, flag: &str| -> String {
@@ -153,6 +172,26 @@ impl Options {
                     o.pipeline = value(argv, i, "--pipeline").parse().expect("--pipeline: int");
                     i += 2;
                 }
+                "--trace" => {
+                    o.trace = true;
+                    i += 1;
+                }
+                "--json" => {
+                    o.json = true;
+                    i += 1;
+                }
+                "--prom" => {
+                    o.prom = true;
+                    i += 1;
+                }
+                "--last" => {
+                    o.last = value(argv, i, "--last").parse().expect("--last: int");
+                    i += 2;
+                }
+                "--chrome" => {
+                    o.chrome = Some(value(argv, i, "--chrome"));
+                    i += 2;
+                }
                 other => {
                     eprintln!("unknown flag {other}");
                     std::process::exit(2);
@@ -177,6 +216,9 @@ fn cmd_serve(o: &Options) {
         event_threads: o.event_threads.max(1),
         ..ServeConfig::default()
     };
+    // `--trace` turns tracing on; its absence defers to the FMM_TRACE
+    // environment default already resolved by `ServeConfig::default()`.
+    let config = ServeConfig { trace: config.trace || o.trace, ..config };
     let window = config.batch.window;
     let max_batch = config.batch.max_batch;
     let handle = match Server::spawn(config) {
@@ -228,11 +270,113 @@ fn cmd_ping(o: &Options) {
 
 fn cmd_stats(o: &Options) {
     let mut client = connect(o);
-    match client.stats() {
-        Ok(body) => print!("{body}"),
+    let result = if o.prom {
+        client.stats_prometheus()
+    } else if o.json {
+        client.stats_json()
+    } else {
+        client.stats()
+    };
+    match result {
+        Ok(body) => {
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+        }
         Err(e) => {
             eprintln!("stats failed: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Fetch recent tracing spans and render them as per-request phase
+/// timelines (or a chrome://tracing JSON file with `--chrome`).
+fn cmd_trace(o: &Options) {
+    let mut client = connect(o);
+    let body = client.trace(o.last).unwrap_or_else(|e| {
+        eprintln!("trace failed: {e}");
+        std::process::exit(1);
+    });
+    let value = fmm_core::json::parse(&body).unwrap_or_else(|e| {
+        eprintln!("trace reply is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let events = decode_trace_events(&value);
+    if events.is_empty() {
+        println!("no spans recorded (is the server running with --trace / FMM_TRACE=1?)");
+        return;
+    }
+    if let Some(path) = &o.chrome {
+        let json = fmm_obs::trace::chrome_trace(&events);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("{} spans written to {path} (chrome://tracing format)", events.len());
+        return;
+    }
+    print_timelines(&events);
+}
+
+/// Rebuild typed span events from the wire JSON (inverse of the server's
+/// `trace_json` rendering). Unknown kinds are skipped so a newer server
+/// stays readable.
+fn decode_trace_events(value: &fmm_core::json::Value) -> Vec<fmm_obs::SpanEvent> {
+    use fmm_core::json::Value;
+    let Value::Array(items) = value else { return Vec::new() };
+    let field = |obj: &std::collections::BTreeMap<String, Value>, key: &str| -> u64 {
+        match obj.get(key) {
+            Some(Value::Int(v)) => *v as u64,
+            _ => 0,
+        }
+    };
+    items
+        .iter()
+        .filter_map(|item| {
+            let Value::Object(obj) = item else { return None };
+            let Some(Value::String(kind_name)) = obj.get("kind") else { return None };
+            let kind = fmm_obs::SpanKind::from_name(kind_name)?;
+            Some(fmm_obs::SpanEvent {
+                kind,
+                request_id: field(obj, "request_id"),
+                start_nanos: field(obj, "start_nanos"),
+                end_nanos: field(obj, "end_nanos"),
+                thread: field(obj, "thread") as u32,
+            })
+        })
+        .collect()
+}
+
+/// Group spans by request id and print each request's phases in start
+/// order, timestamps relative to the earliest span in the dump.
+fn print_timelines(events: &[fmm_obs::SpanEvent]) {
+    let epoch = events.iter().map(|e| e.start_nanos).min().unwrap_or(0);
+    let mut by_request: std::collections::BTreeMap<u64, Vec<&fmm_obs::SpanEvent>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        by_request.entry(e.request_id).or_default().push(e);
+    }
+    for (request_id, mut spans) in by_request {
+        spans.sort_by_key(|e| (e.start_nanos, e.end_nanos));
+        if request_id == 0 {
+            println!("untagged spans (no request id):");
+        } else {
+            println!("request {request_id}:");
+        }
+        for e in spans {
+            let at_ms = (e.start_nanos - epoch) as f64 / 1e6;
+            let dur_us = e.end_nanos.saturating_sub(e.start_nanos) as f64 / 1e3;
+            if dur_us == 0.0 {
+                println!("  {:<14} @ {at_ms:>10.3} ms  (thread {})", e.kind.name(), e.thread);
+            } else {
+                println!(
+                    "  {:<14} @ {at_ms:>10.3} ms  +{dur_us:>9.1} us  (thread {})",
+                    e.kind.name(),
+                    e.thread
+                );
+            }
         }
     }
 }

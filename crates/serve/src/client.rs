@@ -168,6 +168,49 @@ impl Client {
         }
     }
 
+    /// Fetch the server's full registry snapshot as JSON (counters,
+    /// gauges, and per-phase histograms; see the README's Observability
+    /// section for the schema).
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        self.stats_export(b"json")
+    }
+
+    /// Fetch the same registry snapshot as Prometheus-style plaintext
+    /// exposition.
+    pub fn stats_prometheus(&mut self) -> Result<String, ClientError> {
+        self.stats_export(b"prometheus")
+    }
+
+    fn stats_export(&mut self, format: &[u8]) -> Result<String, ClientError> {
+        let reply = self.roundtrip(FrameKind::StatsJson, format)?;
+        match reply.kind {
+            FrameKind::StatsJson => String::from_utf8(reply.payload)
+                .map_err(|_| ClientError::Protocol("stats export body is not UTF-8".into())),
+            FrameKind::Error => {
+                let (code, message) = decode_error(&reply.payload);
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
+    /// Fetch the most recent `last` tracing spans as a JSON array (`0` =
+    /// everything the per-thread rings retain). Empty unless the server
+    /// runs with tracing enabled (`--trace` / `FMM_TRACE=1`).
+    pub fn trace(&mut self, last: u64) -> Result<String, ClientError> {
+        let payload = if last == 0 { Vec::new() } else { last.to_le_bytes().to_vec() };
+        let reply = self.roundtrip(FrameKind::Trace, &payload)?;
+        match reply.kind {
+            FrameKind::Trace => String::from_utf8(reply.payload)
+                .map_err(|_| ClientError::Protocol("trace body is not UTF-8".into())),
+            FrameKind::Error => {
+                let (code, message) = decode_error(&reply.payload);
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
     /// Ask the daemon to shut down (acknowledged before it stops
     /// accepting; in-flight requests drain).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

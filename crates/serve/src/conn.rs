@@ -64,6 +64,21 @@ pub enum InEvent {
         /// Frame metadata.
         head: FrameHead,
     },
+    /// A registry-snapshot export request.
+    StatsJson {
+        /// Frame metadata.
+        head: FrameHead,
+        /// Render Prometheus plaintext instead of JSON (payload said
+        /// `prometheus`).
+        prometheus: bool,
+    },
+    /// A tracing-span dump request.
+    Trace {
+        /// Frame metadata.
+        head: FrameHead,
+        /// Most-recent event budget (0 = all retained events).
+        last: u64,
+    },
     /// A shutdown request.
     Shutdown {
         /// Frame metadata.
@@ -318,6 +333,39 @@ fn small_frame_event(head: FrameHead, payload: Vec<u8>) -> InEvent {
     match head.kind {
         FrameKind::Ping => InEvent::Ping { head, payload },
         FrameKind::StatsRequest => InEvent::Stats { head },
+        FrameKind::StatsJson => {
+            // Payload selects the exposition format: empty or `json` for
+            // the JSON snapshot, `prometheus` for plaintext exposition.
+            match payload.as_slice() {
+                b"" | b"json" => InEvent::StatsJson { head, prometheus: false },
+                b"prometheus" => InEvent::StatsJson { head, prometheus: true },
+                _ => InEvent::Bad {
+                    version: head.version,
+                    request_id: head.request_id,
+                    code: ErrorCode::Malformed,
+                    message: "stats-json payload must be empty, `json`, or `prometheus`"
+                        .to_string(),
+                    fatal: false,
+                },
+            }
+        }
+        FrameKind::Trace => {
+            // Payload: optional 8-byte LE "last N events" bound.
+            let last = match payload.len() {
+                0 => 0,
+                8 => u64::from_le_bytes(payload.try_into().expect("length checked")),
+                n => {
+                    return InEvent::Bad {
+                        version: head.version,
+                        request_id: head.request_id,
+                        code: ErrorCode::Malformed,
+                        message: format!("trace payload must be 0 or 8 bytes, got {n}"),
+                        fatal: false,
+                    }
+                }
+            };
+            InEvent::Trace { head, last }
+        }
         FrameKind::Shutdown => InEvent::Shutdown { head },
         FrameKind::Request => InEvent::Bad {
             version: head.version,

@@ -258,6 +258,10 @@ pub fn run_dispatcher<T: GemmScalar>(
 {
     let max_batch = policy.max_batch.max(1);
     while let Some(first) = queue.pop_first() {
+        // Spans the whole coalescing window, from the job that opened the
+        // batch to execution start; tagged with the opener's request id.
+        let batch_open = fmm_obs::trace::start();
+        let opener_id = first.reply.request_id;
         let mut jobs = Vec::with_capacity(max_batch.min(64));
         jobs.push(first);
         if !policy.window.is_zero() {
@@ -285,8 +289,24 @@ pub fn run_dispatcher<T: GemmScalar>(
         }
 
         let exec_start = Instant::now();
+        let batch_formed = fmm_obs::trace::now_nanos();
+        fmm_obs::trace::finish(fmm_obs::SpanKind::BatchForm, opener_id, batch_open);
         for job in &jobs {
-            metrics.record_queue_wait(exec_start - job.enqueued);
+            let wait = exec_start - job.enqueued;
+            metrics.record_queue_wait(wait);
+            if fmm_obs::trace::enabled() {
+                // The wait span ends where the batch starts executing;
+                // its start is reconstructed from the measured wait so no
+                // clock read happens on the admission path.
+                let wait_nanos = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+                fmm_obs::trace::record(fmm_obs::SpanEvent {
+                    kind: fmm_obs::SpanKind::QueueWait,
+                    request_id: job.reply.request_id,
+                    start_nanos: batch_formed.saturating_sub(wait_nanos).max(1),
+                    end_nanos: batch_formed,
+                    thread: 0,
+                });
+            }
         }
         // One pooled result buffer per job, zeroed because the engine
         // accumulates (`C += A·B`); the BatchItem views borrow the wire
@@ -309,6 +329,7 @@ pub fn run_dispatcher<T: GemmScalar>(
                         job.a.mat_ref(job.m, job.k),
                         job.b.mat_ref(job.k, job.n),
                     )
+                    .with_tag(job.reply.request_id)
                 })
                 .collect();
             engine.multiply_batch(&mut items);

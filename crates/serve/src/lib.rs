@@ -27,14 +27,19 @@
 //!   per-connection pipelining bound; over either, requests are refused
 //!   immediately with a `Busy` error frame — backpressure instead of
 //!   unbounded memory growth;
-//! * **live metrics** ([`metrics`]): request/batch/reject counters, batch
-//!   occupancy, per-connection pipelining depth, queue-wait vs service
-//!   latency splits, ingest-pool occupancy, and per-dtype `EngineStats`
-//!   snapshots, served as a plaintext stats frame;
+//! * **observability** ([`metrics`], backed by `fmm-obs`):
+//!   request/batch/reject counters, batch occupancy, per-connection
+//!   pipelining depth, and lock-free log-bucketed latency histograms
+//!   (queue-wait vs service splits over *every* sample since start), plus
+//!   ingest-pool occupancy and per-dtype `EngineStats` snapshots — served
+//!   as the historical plaintext stats frame, a JSON registry snapshot
+//!   (`StatsJson`), or Prometheus plaintext exposition; with tracing
+//!   enabled ([`ServeConfig::trace`] / `FMM_TRACE=1`), every request
+//!   phase records a span retrievable over the wire (`Trace`);
 //! * **client libraries** ([`client`]): the blocking v1 [`Client`], the
 //!   pipelined v2 [`PipelinedClient`] (out-of-order responses matched by
 //!   request id), the [`client::retry_busy`] backoff helper, and the
-//!   `fmm_serve` CLI (`serve` / `ping` / `stats` / `bench` /
+//!   `fmm_serve` CLI (`serve` / `ping` / `stats` / `trace` / `bench` /
 //!   `shutdown`).
 //!
 //! # Example

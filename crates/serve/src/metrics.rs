@@ -1,84 +1,108 @@
-//! Live serving metrics: lock-free counters, batch-occupancy tracking,
-//! and a bounded service-latency window for p50/p99.
+//! Live serving metrics, backed by the `fmm-obs` registry.
 //!
 //! One [`Metrics`] value is shared by every connection thread and both
-//! dtype dispatchers. The counters are plain relaxed atomics (a stats
-//! snapshot is advisory, not a synchronization point); the latency window
-//! is a mutex-guarded ring of the most recent samples, so percentiles
-//! reflect current service behavior rather than the whole process
-//! lifetime.
+//! dtype dispatchers. Counters and gauges are relaxed-atomic handles
+//! into a per-server [`fmm_obs::Registry`]; the three latency series
+//! (total latency, queue wait, service time) are lock-free log-bucketed
+//! [`fmm_obs::Histogram`]s. Unlike the mutex-guarded 4096-sample ring
+//! this replaces, percentiles cover **every** sample since server start
+//! (and the hot path takes no lock at all — the poisoned-ring `.expect`
+//! calls died with the rings).
+//!
+//! The plaintext stats body keeps its historical byte format, including
+//! the `latency_window_count` key — the "window" is now the whole
+//! process lifetime.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use fmm_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// How many recent service-latency samples the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
-
-/// Shared serving counters. All counts are cumulative since server start
-/// except the latency percentiles, which cover the last
-/// [`LATENCY_WINDOW`] responses.
-#[derive(Default)]
+/// Shared serving instruments. All counts are cumulative since server
+/// start, latency percentiles included.
 pub struct Metrics {
+    registry: Arc<Registry>,
     /// Requests admitted into a dispatch queue.
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Result frames sent.
-    pub responses: AtomicU64,
+    pub responses: Arc<Counter>,
     /// Requests refused with [`crate::protocol::ErrorCode::Busy`] by
     /// admission control.
-    pub rejects_busy: AtomicU64,
+    pub rejects_busy: Arc<Counter>,
     /// Error frames sent for malformed or oversized input.
-    pub rejects_malformed: AtomicU64,
+    pub rejects_malformed: Arc<Counter>,
     /// Ping frames answered.
-    pub pings: AtomicU64,
+    pub pings: Arc<Counter>,
     /// `multiply_batch` dispatches performed (batches formed).
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Requests executed across all batches.
-    pub batched_items: AtomicU64,
+    pub batched_items: Arc<Counter>,
     /// Largest single-batch occupancy observed.
-    pub max_occupancy: AtomicU64,
+    pub max_occupancy: Arc<Counter>,
     /// Requests admitted whose response has not been queued yet (gauge).
-    pub inflight: AtomicU64,
+    pub inflight: Arc<Gauge>,
     /// Largest in-flight count observed on any single connection — the
     /// pipelining-depth gauge (1 for strict request/response v1 traffic).
-    pub inflight_per_conn_max: AtomicU64,
+    pub inflight_per_conn_max: Arc<Counter>,
     /// Connections currently open (gauge).
-    pub connections: AtomicU64,
+    pub connections: Arc<Gauge>,
     /// Connections accepted since start.
-    pub connections_total: AtomicU64,
-    latencies: Mutex<LatencyRing>,
-    queue_waits: Mutex<LatencyRing>,
-    services: Mutex<LatencyRing>,
+    pub connections_total: Arc<Counter>,
+    latency: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    service: Arc<Histogram>,
 }
 
-#[derive(Default)]
-struct LatencyRing {
-    samples: Vec<f64>,
-    next: usize,
-}
-
-impl LatencyRing {
-    fn push(&mut self, secs: f64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(secs);
-        } else {
-            self.samples[self.next] = secs;
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        Metrics {
+            requests: registry.counter("fmm_serve_requests_total"),
+            responses: registry.counter("fmm_serve_responses_total"),
+            rejects_busy: registry.counter("fmm_serve_rejects_busy_total"),
+            rejects_malformed: registry.counter("fmm_serve_rejects_malformed_total"),
+            pings: registry.counter("fmm_serve_pings_total"),
+            batches: registry.counter("fmm_serve_batches_total"),
+            batched_items: registry.counter("fmm_serve_batched_items_total"),
+            max_occupancy: registry.counter("fmm_serve_batch_occupancy_max"),
+            inflight: registry.gauge("fmm_serve_inflight"),
+            inflight_per_conn_max: registry.counter("fmm_serve_inflight_per_conn_max"),
+            connections: registry.gauge("fmm_serve_connections"),
+            connections_total: registry.counter("fmm_serve_connections_total"),
+            latency: registry.histogram("fmm_serve_latency_nanos"),
+            queue_wait: registry.histogram("fmm_serve_queue_wait_nanos"),
+            service: registry.histogram("fmm_serve_service_nanos"),
+            registry,
         }
-        self.next = (self.next + 1) % LATENCY_WINDOW;
     }
 }
 
-/// Service-latency summary over the recent window, in milliseconds.
+/// Latency summary in milliseconds, derived from a histogram covering
+/// every sample since server start.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
-    /// Samples currently in the window.
+    /// Samples recorded (lifetime).
     pub count: usize,
-    /// Arithmetic mean.
+    /// Arithmetic mean (exact — sums are kept outside the buckets).
     pub mean_ms: f64,
-    /// Median.
+    /// Median (bucket upper bound, within +12.5% of exact).
     pub p50_ms: f64,
-    /// 99th percentile.
+    /// 99th percentile (same bound).
     pub p99_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_hist(h: &Histogram) -> Self {
+        let snap = h.snapshot();
+        if snap.count == 0 {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: snap.count as usize,
+            mean_ms: snap.mean() / 1e6,
+            p50_ms: snap.p50() as f64 / 1e6,
+            p99_ms: snap.p99() as f64 / 1e6,
+        }
+    }
 }
 
 /// Point-in-time copy of every counter plus derived values.
@@ -111,85 +135,80 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// See [`Metrics::connections_total`].
     pub connections_total: u64,
-    /// Service latency (admission to response hand-off) over the recent
-    /// window.
+    /// Service latency (admission to response hand-off), lifetime.
     pub latency: LatencyStats,
-    /// Queue wait (admission to batch execution start) over the recent
-    /// window — the half of latency the dispatcher policy owns.
+    /// Queue wait (admission to batch execution start), lifetime — the
+    /// half of latency the dispatcher policy owns.
     pub queue_wait: LatencyStats,
-    /// Service time (batch execution start to response hand-off) over the
-    /// recent window — the half the engine owns.
+    /// Service time (batch execution start to response hand-off),
+    /// lifetime — the half the engine owns.
     pub service: LatencyStats,
 }
 
 impl Metrics {
+    /// The registry holding every serve-side instrument; the `StatsJson`
+    /// frame and the Prometheus exposition render from it.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// Record one formed batch of `occupancy` requests.
     pub fn record_batch(&self, occupancy: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_items.fetch_add(occupancy as u64, Ordering::Relaxed);
-        self.max_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_items.add(occupancy as u64);
+        self.max_occupancy.record_max(occupancy as u64);
     }
 
     /// Record one request's service latency (admission → response ready).
     pub fn record_latency(&self, elapsed: Duration) {
-        self.latencies.lock().expect("latency ring poisoned").push(elapsed.as_secs_f64());
+        self.latency.record_duration(elapsed);
     }
 
     /// Record one request's queue wait (admission → batch start).
     pub fn record_queue_wait(&self, elapsed: Duration) {
-        self.queue_waits.lock().expect("queue-wait ring poisoned").push(elapsed.as_secs_f64());
+        self.queue_wait.record_duration(elapsed);
     }
 
     /// Record one request's pure service time (batch start → done).
     pub fn record_service(&self, elapsed: Duration) {
-        self.services.lock().expect("service ring poisoned").push(elapsed.as_secs_f64());
+        self.service.record_duration(elapsed);
     }
 
     /// Record a connection's in-flight depth after an admission — keeps
     /// the pipelining-depth high-water mark.
     pub fn record_conn_inflight(&self, depth: u64) {
-        self.inflight_per_conn_max.fetch_max(depth, Ordering::Relaxed);
+        self.inflight_per_conn_max.record_max(depth);
     }
 
     /// Snapshot every counter and compute derived values.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_items = self.batched_items.load(Ordering::Relaxed);
-        let latency = {
-            let ring = self.latencies.lock().expect("latency ring poisoned");
-            summarize(&ring.samples)
-        };
-        let queue_wait = {
-            let ring = self.queue_waits.lock().expect("queue-wait ring poisoned");
-            summarize(&ring.samples)
-        };
-        let service = {
-            let ring = self.services.lock().expect("service ring poisoned");
-            summarize(&ring.samples)
-        };
+        let batches = self.batches.get();
+        let batched_items = self.batched_items.get();
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            responses: self.responses.load(Ordering::Relaxed),
-            rejects_busy: self.rejects_busy.load(Ordering::Relaxed),
-            rejects_malformed: self.rejects_malformed.load(Ordering::Relaxed),
-            pings: self.pings.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            responses: self.responses.get(),
+            rejects_busy: self.rejects_busy.get(),
+            rejects_malformed: self.rejects_malformed.get(),
+            pings: self.pings.get(),
             batches,
             batched_items,
-            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            max_occupancy: self.max_occupancy.get(),
             mean_occupancy: if batches > 0 { batched_items as f64 / batches as f64 } else { 0.0 },
-            inflight: self.inflight.load(Ordering::Relaxed),
-            inflight_per_conn_max: self.inflight_per_conn_max.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
-            connections_total: self.connections_total.load(Ordering::Relaxed),
-            latency,
-            queue_wait,
-            service,
+            inflight: self.inflight.get().max(0) as u64,
+            inflight_per_conn_max: self.inflight_per_conn_max.get(),
+            connections: self.connections.get().max(0) as u64,
+            connections_total: self.connections_total.get(),
+            latency: LatencyStats::from_hist(&self.latency),
+            queue_wait: LatencyStats::from_hist(&self.queue_wait),
+            service: LatencyStats::from_hist(&self.service),
         }
     }
 }
 
 /// Summarize latency samples (seconds in, milliseconds out). Percentiles
-/// use the nearest-rank method over a sorted copy.
+/// use the nearest-rank method over a sorted copy. This is the exact
+/// client-side summarizer `fmm_serve bench` applies to its own samples
+/// (and the oracle the histogram percentiles are tested against).
 pub fn summarize(samples_secs: &[f64]) -> LatencyStats {
     if samples_secs.is_empty() {
         return LatencyStats::default();
@@ -211,8 +230,9 @@ pub fn summarize(samples_secs: &[f64]) -> LatencyStats {
 impl MetricsSnapshot {
     /// Render the plaintext stats body (one `name value` pair per line,
     /// `fmm_serve_` prefixed) the [`crate::protocol::FrameKind::StatsReply`]
-    /// frame carries. Engine counters are appended by the server, which
-    /// owns the engines.
+    /// frame carries. The key set and format are byte-stable across
+    /// server versions (`latency_window_count` now counts the lifetime).
+    /// Engine counters are appended by the server, which owns the engines.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let mut line = |name: &str, value: String| {
@@ -283,7 +303,7 @@ mod tests {
     #[test]
     fn render_lists_every_counter() {
         let m = Metrics::default();
-        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.requests.add(5);
         m.record_batch(2);
         let text = m.snapshot().render();
         for key in [
@@ -297,11 +317,59 @@ mod tests {
     }
 
     #[test]
-    fn latency_ring_is_bounded() {
+    fn percentiles_cover_all_samples_not_a_window() {
+        // The old ring forgot everything but the last 4096 samples; the
+        // histogram must keep counting past that.
         let m = Metrics::default();
-        for i in 0..(LATENCY_WINDOW + 100) {
-            m.record_latency(Duration::from_micros(i as u64));
+        for i in 0..5000u64 {
+            m.record_latency(Duration::from_micros(i));
         }
-        assert_eq!(m.snapshot().latency.count, LATENCY_WINDOW);
+        assert_eq!(m.snapshot().latency.count, 5000);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_exact_sort_oracle() {
+        // The same samples through the histogram and through the exact
+        // nearest-rank summarizer the bench path uses: the histogram may
+        // only err upward, by at most one sub-bucket (12.5%).
+        let m = Metrics::default();
+        let mut secs = Vec::new();
+        let mut state = 0x243F6A8885A308D3u64;
+        for _ in 0..20_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let micros = 50 + state % 200_000; // 50µs .. 200ms
+            m.record_latency(Duration::from_micros(micros));
+            m.record_queue_wait(Duration::from_micros(micros / 4));
+            m.record_service(Duration::from_micros(micros / 2));
+            secs.push(micros as f64 / 1e6);
+        }
+        let exact = summarize(&secs);
+        let snap = m.snapshot();
+        for (h, x, label) in
+            [(snap.latency.p50_ms, exact.p50_ms, "p50"), (snap.latency.p99_ms, exact.p99_ms, "p99")]
+        {
+            assert!(h >= x * 0.999 && h <= x * 1.125 + 1e-3, "{label}: hist={h} exact={x}");
+        }
+        assert!((snap.latency.mean_ms - exact.mean_ms).abs() / exact.mean_ms < 1e-3);
+        assert_eq!(snap.queue_wait.count, 20_000);
+        assert_eq!(snap.service.count, 20_000);
+    }
+
+    #[test]
+    fn registry_exposes_serve_instruments() {
+        let m = Metrics::default();
+        m.requests.inc();
+        m.record_latency(Duration::from_millis(1));
+        let snap = m.registry().snapshot();
+        let counters: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(counters.contains(&"fmm_serve_requests_total"));
+        let hists: Vec<&str> = snap.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(hists.contains(&"fmm_serve_latency_nanos"));
+        assert!(hists.contains(&"fmm_serve_queue_wait_nanos"));
+        assert!(hists.contains(&"fmm_serve_service_nanos"));
+        let text = m.registry().render_prometheus();
+        assert!(text.contains("fmm_serve_latency_nanos{quantile=\"0.99\"}"));
     }
 }

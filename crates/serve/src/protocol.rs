@@ -87,6 +87,15 @@ pub enum FrameKind {
     StatsReply = 7,
     /// Client → server: stop the daemon after in-flight work drains.
     Shutdown = 8,
+    /// Both directions: client sends an empty payload, server replies
+    /// with the full observability-registry snapshot as UTF-8 JSON.
+    /// Servers that predate this kind reject it with a typed
+    /// [`ErrorCode::Malformed`] error frame (unknown kind byte).
+    StatsJson = 9,
+    /// Both directions: client payload is an optional 8-byte LE count
+    /// ("last N events", 0/absent = all retained); server replies with
+    /// recent tracing span events as UTF-8 JSON.
+    Trace = 10,
 }
 
 impl FrameKind {
@@ -101,6 +110,8 @@ impl FrameKind {
             6 => Some(Self::StatsRequest),
             7 => Some(Self::StatsReply),
             8 => Some(Self::Shutdown),
+            9 => Some(Self::StatsJson),
+            10 => Some(Self::Trace),
             _ => None,
         }
     }

@@ -37,8 +37,10 @@ use crate::poller::{Interest, Poller, SysFd, Waker, WAKE_TOKEN};
 use crate::protocol::{
     self, ErrorCode, FrameKind, RequestDims, HEADER_LEN, HEADER_LEN_V2, RESPONSE_PRELUDE, VERSION,
 };
+use fmm_core::json;
 use fmm_engine::{ArchSource, EngineConfig, EngineStats, FmmEngine, Routing};
 use fmm_gemm::BlockingParams;
+use fmm_obs::SpanKind;
 use fmm_tune::TuneStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -98,6 +100,13 @@ pub struct ServeConfig {
     /// pipelining client from pinning `max_inflight_per_conn × max
     /// response` of pooled memory off a few hundred input bytes.
     pub max_conn_backlog_bytes: usize,
+    /// Enable tracing spans (`fmm_obs::trace`) for every request phase.
+    /// The default honors the `FMM_TRACE` environment variable (`1` or
+    /// `true`). Tracing is a process-global switch: spawning a server
+    /// with `trace: true` turns it on; spawning one with `trace: false`
+    /// leaves the current state alone (so a tracing server and a plain
+    /// one can coexist in one process, as the benchmarks do).
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +125,9 @@ impl Default for ServeConfig {
             pool_retain: 32,
             pool_retain_bytes: 256 << 20,
             max_conn_backlog_bytes: 64 << 20,
+            trace: std::env::var("FMM_TRACE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
         }
     }
 }
@@ -190,6 +202,120 @@ impl Shared {
         out.push_str(&format!("engine_f32 {}\n", self.engine_f32.stats()));
         out
     }
+
+    /// Mirror everything that lives outside the registry proper into it:
+    /// engine counters (via the `EngineStats::fields()` reflection),
+    /// dtype queue depths, and ingest-pool occupancy. Called on every
+    /// export so registry snapshots are complete without the hot path
+    /// double-counting into two homes.
+    fn mirror_into_registry(&self) {
+        let registry = self.metrics.registry();
+        for (prefix, stats) in [
+            ("fmm_engine_f64_", self.engine_f64.stats()),
+            ("fmm_engine_f32_", self.engine_f32.stats()),
+        ] {
+            for (name, value) in stats.fields() {
+                registry.set_counter(&format!("{prefix}{name}"), value);
+            }
+        }
+        registry.gauge("fmm_serve_queue_depth_f64").set(self.queue_f64.depth() as i64);
+        registry.gauge("fmm_serve_queue_depth_f32").set(self.queue_f32.depth() as i64);
+        for (name, stats) in [("f64", self.pools.f64.stats()), ("f32", self.pools.f32.stats())] {
+            registry.set_counter(&format!("fmm_serve_pool_{name}_hits"), stats.hits);
+            registry.set_counter(&format!("fmm_serve_pool_{name}_misses"), stats.misses);
+            registry.set_counter(&format!("fmm_serve_pool_{name}_retained"), stats.retained);
+            registry.set_counter(
+                &format!("fmm_serve_pool_{name}_retained_bytes"),
+                stats.retained_bytes,
+            );
+        }
+    }
+
+    /// The full registry snapshot — this server's instruments merged with
+    /// the process-global registry (gemm pack/kernel split, sched tasks) —
+    /// as an `fmm_core::json` value. The `StatsJson` frame body.
+    fn stats_json(&self) -> json::Value {
+        self.mirror_into_registry();
+        let mut counters = std::collections::BTreeMap::new();
+        let mut gauges = std::collections::BTreeMap::new();
+        let mut histograms = std::collections::BTreeMap::new();
+        for snap in [self.metrics.registry().snapshot(), fmm_obs::global().snapshot()] {
+            for (name, v) in snap.counters {
+                counters.insert(name, json::Value::Int(v as i64));
+            }
+            for (name, v) in snap.gauges {
+                gauges.insert(name, json::Value::Int(v));
+            }
+            for (name, h) in snap.histograms {
+                histograms.insert(name, hist_json(&h));
+            }
+        }
+        json::Value::Object(
+            [
+                ("counters".to_string(), json::Value::Object(counters)),
+                ("gauges".to_string(), json::Value::Object(gauges)),
+                ("histograms".to_string(), json::Value::Object(histograms)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// Prometheus-style plaintext exposition of the same merged registry
+    /// contents `stats_json` exports.
+    fn render_prometheus(&self) -> String {
+        self.mirror_into_registry();
+        let mut out = self.metrics.registry().render_prometheus();
+        out.push_str(&fmm_obs::global().render_prometheus());
+        out
+    }
+}
+
+/// One histogram snapshot as JSON: lifetime totals, nearest-rank
+/// percentiles over all samples, and the non-empty `[lo, hi, count]`
+/// buckets.
+fn hist_json(h: &fmm_obs::HistSnapshot) -> json::Value {
+    let int = |v: u64| json::Value::Int(v as i64);
+    let buckets: Vec<json::Value> =
+        h.buckets().map(|(lo, hi, n)| json::Value::Array(vec![int(lo), int(hi), int(n)])).collect();
+    json::Value::Object(
+        [
+            ("count".to_string(), int(h.count)),
+            ("sum_nanos".to_string(), int(h.sum)),
+            ("max_nanos".to_string(), int(h.max)),
+            ("mean_nanos".to_string(), json::Value::Number(h.mean())),
+            ("p50_nanos".to_string(), int(h.p50())),
+            ("p90_nanos".to_string(), int(h.p90())),
+            ("p99_nanos".to_string(), int(h.p99())),
+            ("buckets".to_string(), json::Value::Array(buckets)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+/// Recent tracing spans as a JSON array (newest last), the `Trace` frame
+/// body: `{kind, request_id, start_nanos, end_nanos, thread}` per event.
+fn trace_json(limit: usize) -> json::Value {
+    let events = fmm_obs::trace::recent(limit);
+    json::Value::Array(
+        events
+            .iter()
+            .map(|e| {
+                json::Value::Object(
+                    [
+                        ("kind".to_string(), json::Value::String(e.kind.name().to_string())),
+                        ("request_id".to_string(), json::Value::Int(e.request_id as i64)),
+                        ("start_nanos".to_string(), json::Value::Int(e.start_nanos as i64)),
+                        ("end_nanos".to_string(), json::Value::Int(e.end_nanos as i64)),
+                        ("thread".to_string(), json::Value::Int(e.thread as i64)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect(),
+    )
 }
 
 /// A running serving daemon. Obtained from [`Server::spawn`]; dropping the
@@ -234,6 +360,9 @@ impl Server {
                     u32::MAX as usize - HEADER_LEN_V2
                 ),
             ));
+        }
+        if config.trace {
+            fmm_obs::trace::set_enabled(true);
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -364,6 +493,18 @@ impl ServerHandle {
     /// The full plaintext stats body a `StatsRequest` frame would return.
     pub fn render_stats(&self) -> String {
         self.shared.render_stats()
+    }
+
+    /// The merged registry snapshot a `StatsJson` frame would return, as
+    /// a JSON value — the seam `serve_smoke` uses to embed the registry
+    /// in its benchmark report.
+    pub fn stats_json(&self) -> json::Value {
+        self.shared.stats_json()
+    }
+
+    /// The Prometheus plaintext exposition of the merged registries.
+    pub fn render_prometheus(&self) -> String {
+        self.shared.render_prometheus()
     }
 
     /// True once shutdown has been requested (by [`ServerHandle::shutdown`]
@@ -517,7 +658,7 @@ fn event_loop(
             }
             let deadline =
                 *drain_deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
-            let owed = shared.metrics.inflight.load(Ordering::SeqCst) > 0
+            let owed = shared.metrics.inflight.get() > 0
                 || !me.completions.lock().expect("completion queue poisoned").is_empty()
                 || slots.iter().any(|s| s.conn.as_ref().is_some_and(|c| !c.out.is_empty()));
             if !owed || Instant::now() >= deadline {
@@ -584,8 +725,8 @@ fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>
         closing: false,
         interest: Interest::READ,
     });
-    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.connections.add(1);
+    shared.metrics.connections_total.inc();
 }
 
 /// Read and decode as many frames as the socket and flow control allow,
@@ -636,6 +777,7 @@ fn handle_in_event(
 ) {
     match event {
         InEvent::Request { head, dims, operands } => {
+            fmm_obs::trace::mark(SpanKind::RequestRecv, head.request_id);
             admit_request(
                 shared,
                 me,
@@ -649,7 +791,7 @@ fn handle_in_event(
             );
         }
         InEvent::Ping { head, payload } => {
-            shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.pings.inc();
             let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
             push_reply(conn, head.version, head.request_id, FrameKind::Pong, &payload);
         }
@@ -657,6 +799,20 @@ fn handle_in_event(
             let body = shared.render_stats();
             let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
             push_reply(conn, head.version, head.request_id, FrameKind::StatsReply, body.as_bytes());
+        }
+        InEvent::StatsJson { head, prometheus } => {
+            let body = if prometheus {
+                shared.render_prometheus()
+            } else {
+                json::to_string_pretty(&shared.stats_json())
+            };
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::StatsJson, body.as_bytes());
+        }
+        InEvent::Trace { head, last } => {
+            let body = json::to_string_pretty(&trace_json(last as usize));
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::Trace, body.as_bytes());
         }
         InEvent::Shutdown { head } => {
             // Stop *before* the Pong is queued: by the time the client
@@ -667,7 +823,7 @@ fn handle_in_event(
             conn.closing = true;
         }
         InEvent::Bad { version, request_id, code, message, fatal } => {
-            shared.metrics.rejects_malformed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejects_malformed.inc();
             let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
             let payload = protocol::encode_error(code, &message);
             push_reply(conn, version, request_id, FrameKind::Error, &payload);
@@ -695,7 +851,7 @@ fn admit_request(
 ) {
     let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
     if conn.in_flight >= shared.config.max_inflight_per_conn {
-        shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejects_busy.inc();
         let payload = protocol::encode_error(
             ErrorCode::Busy,
             &format!(
@@ -717,7 +873,7 @@ fn admit_request(
     let response_bytes = response_frame_bytes(version, dims);
     let outstanding = conn.pending_response_bytes + conn.out.backlog();
     if outstanding > 0 && outstanding + response_bytes > shared.config.max_conn_backlog_bytes {
-        shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejects_busy.inc();
         let payload = protocol::encode_error(
             ErrorCode::Busy,
             &format!(
@@ -750,8 +906,9 @@ fn admit_request(
     let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
     match refused {
         None => {
-            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-            shared.metrics.inflight.fetch_add(1, Ordering::SeqCst);
+            fmm_obs::trace::mark(SpanKind::Admission, request_id);
+            shared.metrics.requests.inc();
+            shared.metrics.inflight.add(1);
             conn.in_flight += 1;
             conn.pending_response_bytes += response_bytes;
             shared.metrics.record_conn_inflight(conn.in_flight as u64);
@@ -760,7 +917,7 @@ fn admit_request(
             }
         }
         Some(Refusal::Full) => {
-            shared.metrics.rejects_busy.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejects_busy.inc();
             let capacity = shared.config.queue_capacity;
             let payload = protocol::encode_error(
                 ErrorCode::Busy,
@@ -807,7 +964,7 @@ fn apply_completion(
 ) {
     // The admitted request is no longer in flight whether or not its
     // connection survived to read the answer.
-    shared.metrics.inflight.fetch_sub(1, Ordering::SeqCst);
+    shared.metrics.inflight.sub(1);
     let slot = completion.addr.slot as usize;
     if slot >= slots.len()
         || slots[slot].generation != completion.addr.generation
@@ -820,7 +977,7 @@ fn apply_completion(
     if completion.version == VERSION {
         conn.v1_wait = false;
     }
-    shared.metrics.responses.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.responses.inc();
     let payload_len = RESPONSE_PRELUDE + completion.result.bytes().len();
     // Release the bytes charged at admission: the promise now materializes
     // as actual write-queue backlog (the result length equals the `m×n`
@@ -841,6 +998,7 @@ fn apply_completion(
     ));
     conn.out.push_bytes(head);
     conn.out.push_buf(completion.result);
+    fmm_obs::trace::mark(SpanKind::ReplyFlush, completion.request_id);
     // A v1 connection resumes parsing now; data may already be buffered,
     // so eagerly decode before waiting for the next readiness report.
     if !conn.v1_wait {
@@ -885,6 +1043,6 @@ fn drop_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Slot], slot
     if slots[slot].conn.take().is_some() {
         let _ = poller.deregister(slot as u64);
         slots[slot].generation = slots[slot].generation.wrapping_add(1);
-        shared.metrics.connections.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.connections.sub(1);
     }
 }
