@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks for the GEMM substrate: micro-kernel,
 //! and small blocked GEMM.
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fmm_dense::fill;
 use fmm_gemm::kernel::{self, Acc, MR, NR};

@@ -1,0 +1,451 @@
+//! A small lossless Rust lexer.
+//!
+//! `fmm-check` needs exactly enough lexical fidelity to never mistake the
+//! contents of a comment or string literal for code (and vice versa):
+//! line comments, nested block comments, doc comments, raw strings with
+//! arbitrary `#` fences, byte and raw-byte strings, char literals vs
+//! lifetimes, and raw identifiers. Tokens carry their 1-based line so
+//! rules can reason about adjacency ("is there a `// SAFETY:` comment
+//! directly above this `unsafe`?") without a full parse.
+
+/// Kind of a lexed token. Comments are not tokens — they are collected
+/// separately in [`LexFile::comments`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, with the `r#`
+    /// prefix stripped).
+    Ident,
+    /// Lifetime (`'a`, `'static`), including the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation. `::` is a single token; everything else is one char.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based line span.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// First line of the comment.
+    pub line: u32,
+    /// Last line of the comment (equal to `line` for line comments).
+    pub end_line: u32,
+    /// True if code tokens precede the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// Lexed file: token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct LexFile {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl LexFile {
+    /// Line number of the first token, if any.
+    pub fn first_code_line(&self) -> Option<u32> {
+        self.tokens.first().map(|t| t.line)
+    }
+
+    /// Line of the first token strictly after `line`, if any.
+    pub fn next_code_line_after(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().find(|t| t.line > line).map(|t| t.line)
+    }
+
+    /// True if any token sits on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs consume the rest of the input, which is the useful
+/// behaviour for a diagnostics tool.
+pub fn lex(src: &str) -> LexFile {
+    let b = src.as_bytes();
+    let mut out = LexFile::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether the current source line has produced a token yet,
+    // so comments can be classified as trailing or standalone.
+    let mut line_of_last_tok: u32 = 0;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                    trailing: line_of_last_tok == line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    end_line: line,
+                    trailing: line_of_last_tok == start_line,
+                });
+            }
+            b'r' | b'b' if starts_rawish_literal(b, i) => {
+                let (tok, ni, nl) = lex_rawish(src, i, line);
+                line_of_last_tok = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(src, i, line, TokKind::Str);
+                line_of_last_tok = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (tok, ni, nl) = lex_quote(src, i, line);
+                line_of_last_tok = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                line_of_last_tok = line;
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d == b'_' || d == b'.' || d.is_ascii_alphanumeric() {
+                        // Exponent sign: `1e-3` / `1E+5`.
+                        if (d == b'e' || d == b'E')
+                            && i + 1 < b.len()
+                            && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                            && i + 2 < b.len()
+                            && b[i + 2].is_ascii_digit()
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                line_of_last_tok = line;
+                out.tokens.push(Tok { kind: TokKind::Num, text: src[start..i].to_string(), line });
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                line_of_last_tok = line;
+                out.tokens.push(Tok { kind: TokKind::Punct, text: "::".to_string(), line });
+                i += 2;
+            }
+            _ => {
+                line_of_last_tok = line;
+                out.tokens.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` starts a raw string, byte string, raw byte
+/// string, byte char, or raw identifier — anything beginning `r`/`b`
+/// that must not be lexed as a plain identifier.
+fn starts_rawish_literal(b: &[u8], i: usize) -> bool {
+    // Preceded by an identifier character → `i` is mid-identifier
+    // (e.g. the `r` in `var"` cannot happen, but `xr"..."` could).
+    if i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
+        return false;
+    }
+    let rest = &b[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'b', b'"', ..] | [b'b', b'\'', ..] => true,
+        [b'r', b'#', ..] => true, // raw string `r#"` or raw ident `r#ident`
+        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => true,
+        _ => false,
+    }
+}
+
+/// Lex a construct starting with `r`/`b`: raw strings, byte strings,
+/// byte chars, raw identifiers.
+fn lex_rawish(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    // Raw identifier: `r#` followed by an identifier character.
+    if b[i] == b'r'
+        && i + 2 < b.len()
+        && b[i + 1] == b'#'
+        && (b[i + 2] == b'_' || b[i + 2].is_ascii_alphabetic())
+    {
+        let mut j = i + 2;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        return (Tok { kind: TokKind::Ident, text: src[i + 2..j].to_string(), line }, j, line);
+    }
+    // Byte char: `b'…'`.
+    if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+        let (mut tok, ni, nl) = lex_quote(src, i + 1, line);
+        tok.text.insert(0, 'b');
+        return (tok, ni, nl);
+    }
+    // Skip the `b`/`r`/`br` prefix to the `"` or `#` fence.
+    let mut j = i;
+    while j < b.len() && (b[j] == b'b' || b[j] == b'r') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        // `r#` not followed by `"`: treat the prefix as punctuation-ish
+        // identifier and move on (malformed source).
+        return (Tok { kind: TokKind::Ident, text: src[i..j].to_string(), line }, j, line);
+    }
+    if hashes == 0 && b[i] == b'b' && b[i + 1] == b'"' {
+        // Plain byte string `b"…"`: escapes apply.
+        let (tok, ni, nl) = lex_string(src, i + 1, line, TokKind::Str);
+        return (tok, ni, nl);
+    }
+    // Raw (byte) string: no escapes; ends at `"` followed by `hashes` #s.
+    j += 1; // past the opening quote
+    let mut l = line;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            l += 1;
+            j += 1;
+        } else if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (Tok { kind: TokKind::Str, text: src[i..k].to_string(), line }, k, l);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (Tok { kind: TokKind::Str, text: src[i..].to_string(), line }, b.len(), l)
+}
+
+/// Lex a `"`-delimited string with escape handling, starting at the
+/// opening quote.
+fn lex_string(src: &str, i: usize, line: u32, kind: TokKind) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let start = i;
+    let mut j = i + 1;
+    let mut l = line;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                l += 1;
+                j += 1;
+            }
+            b'"' => {
+                j += 1;
+                return (Tok { kind, text: src[start..j].to_string(), line }, j, l);
+            }
+            _ => j += 1,
+        }
+    }
+    (Tok { kind, text: src[start..].to_string(), line }, b.len(), l)
+}
+
+/// Lex from a `'`: either a char literal or a lifetime.
+fn lex_quote(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    // Escaped char literal: `'\…'`.
+    if i + 1 < b.len() && b[i + 1] == b'\\' {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += if b[j] == b'\\' { 2 } else { 1 };
+        }
+        let end = (j + 1).min(b.len());
+        return (Tok { kind: TokKind::Char, text: src[i..end].to_string(), line }, end, line);
+    }
+    // `'x'` (any single char, incl. `'''`? no — that's malformed; `'\''` is
+    // handled above): char literal iff the char after next is `'`.
+    if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+        return (Tok { kind: TokKind::Char, text: src[i..i + 3].to_string(), line }, i + 3, line);
+    }
+    // Lifetime: `'` + identifier.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    (Tok { kind: TokKind::Lifetime, text: src[i..j].to_string(), line }, j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unsafe_is_not_code() {
+        let src = r####"let s = r#"unsafe { Ordering::SeqCst }"#; let t = s;"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"SeqCst".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unsafe"));
+        let ids: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(ids, ["fn", "f"]);
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string_literal_is_data() {
+        let src = "let url = \"http://example.com\"; unsafe { x() }";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "// inside a string is not a comment");
+        assert!(lexed.tokens.iter().any(|t| t.text == "unsafe"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "he said \"unsafe\""; let x = 1;"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn quote_comment_quote_is_char_literal() {
+        // `'//'` must not start a comment.
+        let src = "let c = '/'; // real comment";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].text, "// real comment");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_literals() {
+        let src = r###"let a = b"unsafe"; let b = br#"SeqCst"#; let c = b'u';"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"SeqCst".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#unsafe = 1;";
+        let ids = idents(src);
+        assert!(ids.contains(&"unsafe".to_string()), "raw ident text is kept (marker stripped)");
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_lines() {
+        let src = "let s = r\"line1\nline2\nline3\";\nfn f() {}";
+        let lexed = lex(src);
+        let f = lexed.tokens.iter().find(|t| t.text == "fn").expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// # Safety\n/// caller checks bounds\nunsafe fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.tokens[0].text, "unsafe");
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let src = "Ordering::SeqCst";
+        let lexed = lex(src);
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Ordering", "::", "SeqCst"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! `fmm-check`: a std-only, dependency-free static-analysis pass over
+//! the workspace's own Rust sources.
+//!
+//! The serving stack's three classic sources of silent wrongness —
+//! hand-written SIMD/FFI `unsafe`, lock-free atomics, and prose-only
+//! contracts ("panic-free", "the warm path allocates nothing") — are
+//! turned into machine-checked invariants:
+//!
+//! * [`rules`] documents and implements the five rules;
+//! * [`pragma`] documents the `// fmm-check: allow(...)` /
+//!   `// fmm-check: contract(...)` suppression and opt-in syntax;
+//! * [`lexer`] is the lossless tokenizer underneath (comments, raw
+//!   strings, char literals, `#[cfg(test)]` regions).
+//!
+//! Run it as `cargo run -p fmm-check --release -- --workspace`; CI
+//! treats any diagnostic as a hard failure.
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+
+use rules::FileReport;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Result of checking a set of files.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// `(path, report)` for every file with findings or suppressions.
+    pub files: Vec<(PathBuf, FileReport)>,
+    /// Total files scanned.
+    pub scanned: usize,
+}
+
+impl RunReport {
+    /// Total diagnostics that fail the run.
+    pub fn failures(&self) -> usize {
+        self.files.iter().map(|(_, r)| r.diagnostics.len()).sum()
+    }
+
+    /// `file:line rule message` lines, ready to print.
+    pub fn diagnostic_lines(&self, root: &Path) -> Vec<String> {
+        let mut out = Vec::new();
+        for (path, report) in &self.files {
+            let rel = path.strip_prefix(root).unwrap_or(path);
+            for d in &report.diagnostics {
+                out.push(format!("{}:{} {} {}", rel.display(), d.line, d.rule, d.message));
+            }
+        }
+        out
+    }
+
+    /// Per-rule `(fired, allowed)` counts, every known rule included.
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut counts: BTreeMap<&'static str, (usize, usize)> =
+            rules::RULE_NAMES.iter().map(|r| (*r, (0, 0))).collect();
+        for (_, report) in &self.files {
+            for d in &report.diagnostics {
+                counts.entry(d.rule).or_insert((0, 0)).0 += 1;
+            }
+            for d in &report.suppressed {
+                counts.entry(d.rule).or_insert((0, 0)).1 += 1;
+            }
+        }
+        counts
+    }
+
+    /// The rule summary table CI prints.
+    pub fn summary_table(&self) -> String {
+        let counts = self.rule_counts();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<22} {:>6} {:>8}", "rule", "fired", "allowed");
+        for (rule, (fired, allowed)) in counts {
+            let _ = writeln!(out, "{rule:<22} {fired:>6} {allowed:>8}");
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>8}   ({} files scanned)",
+            "total",
+            self.files.iter().map(|(_, r)| r.diagnostics.len()).sum::<usize>(),
+            self.files.iter().map(|(_, r)| r.suppressed.len()).sum::<usize>(),
+            self.scanned
+        );
+        out
+    }
+}
+
+/// Check the given files.
+pub fn run(files: &[scan::SourceFile]) -> RunReport {
+    let mut out = RunReport { files: Vec::new(), scanned: files.len() };
+    for f in files {
+        let src = match std::fs::read_to_string(&f.path) {
+            Ok(s) => s,
+            Err(e) => {
+                let report = FileReport {
+                    diagnostics: vec![rules::Diagnostic {
+                        line: 0,
+                        rule: "bad-pragma",
+                        message: format!("unreadable source file: {e}"),
+                    }],
+                    suppressed: Vec::new(),
+                };
+                out.files.push((f.path.clone(), report));
+                continue;
+            }
+        };
+        let report = rules::check_source(&src, f.all_test);
+        if !report.diagnostics.is_empty() || !report.suppressed.is_empty() {
+            out.files.push((f.path.clone(), report));
+        }
+    }
+    out
+}

@@ -1,0 +1,83 @@
+//! The `fmm-check` binary: `fmm-check --workspace | --self | FILES...`.
+//!
+//! Prints machine-readable `file:line rule message` diagnostics followed
+//! by a per-rule summary table, and exits nonzero if any diagnostic
+//! fired. See the crate docs for rules and pragma syntax.
+
+use fmm_check::scan;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope_workspace = false;
+    let mut scope_self = false;
+    let mut explicit: Vec<PathBuf> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => scope_workspace = true,
+            "--self" => scope_self = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fmm-check [--workspace] [--self] [FILES...]\n\n\
+                     --workspace  check every workspace source (crates/, src/, tests/, examples/)\n\
+                     --self       check crates/check itself\n\
+                     FILES        check explicit .rs files (paths containing /tests/, /benches/\n\
+                     \x20            or /examples/ are classified as test code)\n\n\
+                     Exits 0 iff no diagnostic fired. See README \"Static analysis\"."
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("fmm-check: unknown flag {flag} (try --help)");
+                return ExitCode::from(2);
+            }
+            path => explicit.push(PathBuf::from(path)),
+        }
+    }
+    if !scope_workspace && !scope_self && explicit.is_empty() {
+        scope_workspace = true;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fmm-check: cannot determine cwd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match scan::find_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!("fmm-check: no workspace root ([workspace] in Cargo.toml) above {cwd:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    if scope_workspace {
+        files.extend(scan::workspace_files(&root));
+    }
+    if scope_self {
+        files.extend(scan::self_files(&root));
+    }
+    for path in explicit {
+        let all_test = path.components().any(|c| {
+            matches!(c.as_os_str().to_string_lossy().as_ref(), "tests" | "benches" | "examples")
+        });
+        files.push(scan::SourceFile { path, all_test });
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    files.dedup_by(|a, b| a.path == b.path);
+
+    let report = fmm_check::run(&files);
+    for line in report.diagnostic_lines(&root) {
+        println!("{line}");
+    }
+    print!("{}", report.summary_table());
+    if report.failures() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,288 @@
+//! `fmm-check` pragma comments.
+//!
+//! Two directives, written anywhere a comment is legal:
+//!
+//! * `// fmm-check: allow(<rule>, reason = "...")` — suppress a rule.
+//!   The reason is mandatory. In the file header (before the first code
+//!   token) the allow covers the whole file; elsewhere it covers exactly
+//!   one line — its own line when trailing, otherwise the next code line.
+//! * `// fmm-check: contract(panic-free)` / `contract(warm-alloc-free)`
+//!   — opt a region into a contract rule. In the file header the
+//!   contract covers the whole file (minus `#[cfg(test)]` regions);
+//!   elsewhere it covers the next item (brace-matched, e.g. one `fn`).
+//!
+//! Malformed pragmas (unknown rule, unknown contract, missing or empty
+//! reason) are themselves diagnostics (`bad-pragma`): a suppression that
+//! silently fails to parse would be worse than no suppression at all.
+
+use crate::lexer::{Comment, LexFile};
+use crate::rules::RULE_NAMES;
+
+/// A contract a region can opt into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contract {
+    /// `deny-panic` applies: no unwrap/expect/panic!/unreachable!/indexing.
+    PanicFree,
+    /// `deny-alloc` applies: no allocating constructors on the warm path.
+    WarmAllocFree,
+}
+
+impl Contract {
+    pub fn name(self) -> &'static str {
+        match self {
+            Contract::PanicFree => "panic-free",
+            Contract::WarmAllocFree => "warm-alloc-free",
+        }
+    }
+}
+
+/// Scope a pragma resolved to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Whole file.
+    File,
+    /// An inclusive line range (single line for allows, an item's span
+    /// for contracts).
+    Lines(u32, u32),
+}
+
+impl Scope {
+    pub fn contains(&self, line: u32) -> bool {
+        match *self {
+            Scope::File => true,
+            Scope::Lines(a, b) => (a..=b).contains(&line),
+        }
+    }
+}
+
+/// A parsed `allow` pragma.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub rule: String,
+    #[allow(dead_code)]
+    pub reason: String,
+    pub scope: Scope,
+    /// Line the pragma itself sits on (for diagnostics).
+    pub line: u32,
+}
+
+/// A parsed `contract` pragma.
+#[derive(Clone, Debug)]
+pub struct ContractRegion {
+    pub contract: Contract,
+    pub scope: Scope,
+    pub line: u32,
+}
+
+/// A malformed pragma.
+#[derive(Clone, Debug)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+/// All pragmas of one file.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    pub allows: Vec<Allow>,
+    pub contracts: Vec<ContractRegion>,
+    pub bad: Vec<BadPragma>,
+}
+
+impl Pragmas {
+    /// True if `rule` is allowed at `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && a.scope.contains(line))
+    }
+
+    /// True if `contract` covers `line`.
+    pub fn in_contract(&self, contract: Contract, line: u32) -> bool {
+        self.contracts.iter().any(|c| c.contract == contract && c.scope.contains(line))
+    }
+}
+
+/// Extract pragmas from a lexed file. `item_span` resolves the line
+/// range of the item following a given line (supplied by the rules
+/// module, which owns brace matching).
+pub fn collect(lexed: &LexFile, item_span: impl Fn(u32) -> Option<(u32, u32)>) -> Pragmas {
+    let mut out = Pragmas::default();
+    let first_code = lexed.first_code_line().unwrap_or(u32::MAX);
+    for c in &lexed.comments {
+        let Some(directive) = pragma_text(c) else { continue };
+        match parse_directive(directive) {
+            Ok(Directive::Allow { rule, reason }) => {
+                let scope = if c.line < first_code && !c.trailing {
+                    Scope::File
+                } else if c.trailing {
+                    Scope::Lines(c.line, c.line)
+                } else {
+                    match lexed.next_code_line_after(c.end_line) {
+                        Some(l) => Scope::Lines(l, l),
+                        None => Scope::Lines(c.line, c.line),
+                    }
+                };
+                out.allows.push(Allow { rule, reason, scope, line: c.line });
+            }
+            Ok(Directive::Contract(contract)) => {
+                let scope = if c.line < first_code && !c.trailing {
+                    Scope::File
+                } else {
+                    match item_span(c.end_line) {
+                        Some((a, b)) => Scope::Lines(a, b),
+                        None => {
+                            out.bad.push(BadPragma {
+                                line: c.line,
+                                message: "contract pragma is not followed by an item".to_string(),
+                            });
+                            continue;
+                        }
+                    }
+                };
+                out.contracts.push(ContractRegion { contract, scope, line: c.line });
+            }
+            Err(msg) => out.bad.push(BadPragma { line: c.line, message: msg }),
+        }
+    }
+    out
+}
+
+/// If `c` is a pragma comment, return the directive text after the
+/// `fmm-check:` marker. Only plain `//` line comments whose content
+/// *starts* with the marker count: doc comments and prose that merely
+/// mention the syntax are not pragmas.
+fn pragma_text(c: &Comment) -> Option<&str> {
+    let text = c.text.as_str();
+    let rest = text.strip_prefix("//")?;
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None; // doc comment
+    }
+    rest.trim_start().strip_prefix("fmm-check:").map(str::trim)
+}
+
+enum Directive {
+    Allow { rule: String, reason: String },
+    Contract(Contract),
+}
+
+fn parse_directive(s: &str) -> Result<Directive, String> {
+    if let Some(body) = strip_call(s, "allow") {
+        let (rule, rest) = match body.find(',') {
+            Some(i) => (body[..i].trim(), body[i + 1..].trim()),
+            None => {
+                return Err(format!(
+                    "allow({}) is missing the mandatory `reason = \"...\"`",
+                    body.trim()
+                ))
+            }
+        };
+        if !RULE_NAMES.contains(&rule) {
+            return Err(format!("allow names unknown rule `{rule}`"));
+        }
+        let reason = rest
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .ok_or_else(|| format!("allow({rule}, ...) needs `reason = \"...\"`"))?;
+        let reason = reason
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("allow({rule}, ...): reason must be a quoted string"))?;
+        if reason.trim().is_empty() {
+            return Err(format!("allow({rule}, ...): reason must not be empty"));
+        }
+        return Ok(Directive::Allow { rule: rule.to_string(), reason: reason.to_string() });
+    }
+    if let Some(body) = strip_call(s, "contract") {
+        return match body.trim() {
+            "panic-free" => Ok(Directive::Contract(Contract::PanicFree)),
+            "warm-alloc-free" => Ok(Directive::Contract(Contract::WarmAllocFree)),
+            other => Err(format!("unknown contract `{other}`")),
+        };
+    }
+    Err(format!("unrecognized fmm-check directive `{s}`"))
+}
+
+/// For `name(body) [trailing text]`, return `body`. Text after the
+/// closing paren is ignored so pragmas can carry prose.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    let rest = s.strip_prefix(name)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    Some(&rest[..close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas(src: &str) -> Pragmas {
+        let lexed = lex(src);
+        collect(&lexed, |_| Some((0, 0)))
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let p = pragmas("// fmm-check: allow(deny-panic)\nfn f() {}");
+        assert!(p.allows.is_empty());
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn allow_rejects_empty_reason() {
+        let p = pragmas("// fmm-check: allow(deny-panic, reason = \"  \")\nfn f() {}");
+        assert!(p.allows.is_empty());
+        assert_eq!(p.bad.len(), 1);
+    }
+
+    #[test]
+    fn allow_rejects_unknown_rule() {
+        let p = pragmas("// fmm-check: allow(no-such-rule, reason = \"x\")\nfn f() {}");
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn header_allow_is_file_scoped() {
+        let p = pragmas("// fmm-check: allow(deny-panic, reason = \"test shim\")\nfn f() {}");
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].scope, Scope::File);
+        assert!(p.is_allowed("deny-panic", 999));
+    }
+
+    #[test]
+    fn body_allow_covers_next_code_line() {
+        let src =
+            "fn f() {\n    // fmm-check: allow(deny-panic, reason = \"len checked\")\n    x[0];\n}";
+        let p = pragmas(src);
+        assert_eq!(p.allows[0].scope, Scope::Lines(3, 3));
+        assert!(p.is_allowed("deny-panic", 3));
+        assert!(!p.is_allowed("deny-panic", 4));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src =
+            "fn f() {\n    x[0]; // fmm-check: allow(deny-panic, reason = \"len checked\")\n}";
+        let p = pragmas(src);
+        assert!(p.is_allowed("deny-panic", 2));
+    }
+
+    #[test]
+    fn contract_parses_both_kinds() {
+        let p = pragmas("// fmm-check: contract(panic-free)\nfn f() {}");
+        assert_eq!(p.contracts.len(), 1);
+        assert_eq!(p.contracts[0].contract, Contract::PanicFree);
+        let p = pragmas("// fmm-check: contract(warm-alloc-free)\nfn f() {}");
+        assert_eq!(p.contracts[0].contract, Contract::WarmAllocFree);
+    }
+
+    #[test]
+    fn unknown_contract_is_bad() {
+        let p = pragmas("// fmm-check: contract(lock-free)\nfn f() {}");
+        assert!(p.contracts.is_empty());
+        assert_eq!(p.bad.len(), 1);
+    }
+}

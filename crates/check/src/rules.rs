@@ -1,0 +1,685 @@
+//! The rule engine: five rules over the lexed token stream.
+//!
+//! | rule | fires on |
+//! |------|----------|
+//! | `undocumented-unsafe` | `unsafe` block/fn/impl/trait without an adjacent `// SAFETY:` (or `# Safety` doc section) |
+//! | `atomic-ordering` | `Ordering::SeqCst` anywhere (deny-by-default); `Acquire`/`Release`/`AcqRel` without an adjacent `// ORDERING:` comment |
+//! | `deny-panic` | `unwrap(`/`expect(`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`/`[` indexing inside `contract(panic-free)` regions |
+//! | `deny-alloc` | `Vec::new`/`vec!`/`to_vec`/`Box::new`/`String::from`/`format!`/… inside `contract(warm-alloc-free)` regions |
+//! | `ffi-layout` | `extern` blocks or `#[repr(C)]` types in files without a `const _: () = assert!(size_of::<…>() == …)` layout guard |
+//!
+//! Plus `bad-pragma` for malformed `// fmm-check:` directives, which is
+//! not suppressible. Contract rules skip `#[cfg(test)]` regions and
+//! test-only files; unsafe/ordering/layout hygiene applies everywhere.
+
+use crate::lexer::{lex, LexFile, Tok, TokKind};
+use crate::pragma::{self, Contract, Pragmas};
+use std::collections::BTreeSet;
+
+/// Every rule name a pragma may reference.
+pub const RULE_NAMES: &[&str] = &[
+    "undocumented-unsafe",
+    "atomic-ordering",
+    "deny-panic",
+    "deny-alloc",
+    "ffi-layout",
+    "bad-pragma",
+];
+
+/// One finding, before or after pragma filtering.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived pragma filtering — these fail the build.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by an `allow(...)` pragma, per rule.
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Check one file's source. `all_test` marks files whose every line is
+/// test code (integration tests, benches, examples).
+pub fn check_source(src: &str, all_test: bool) -> FileReport {
+    let lexed = lex(src);
+    let test_lines = if all_test { TestLines::All } else { TestLines::Set(cfg_test_lines(&lexed)) };
+    let pragmas = pragma::collect(&lexed, |line| item_span_after(&lexed, line));
+
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    rule_undocumented_unsafe(&lexed, &mut findings);
+    rule_atomic_ordering(&lexed, &mut findings);
+    rule_deny_panic(&lexed, &pragmas, &test_lines, &mut findings);
+    rule_deny_alloc(&lexed, &pragmas, &test_lines, &mut findings);
+    rule_ffi_layout(&lexed, &mut findings);
+
+    let mut report = FileReport::default();
+    for f in findings {
+        if pragmas.is_allowed(f.rule, f.line) {
+            report.suppressed.push(f);
+        } else {
+            report.diagnostics.push(f);
+        }
+    }
+    for bad in &pragmas.bad {
+        report.diagnostics.push(Diagnostic {
+            line: bad.line,
+            rule: "bad-pragma",
+            message: bad.message.clone(),
+        });
+    }
+    report.diagnostics.sort_by_key(|d| d.line);
+    report
+}
+
+enum TestLines {
+    All,
+    Set(BTreeSet<u32>),
+}
+
+impl TestLines {
+    fn contains(&self, line: u32) -> bool {
+        match self {
+            TestLines::All => true,
+            TestLines::Set(s) => s.contains(&line),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream geometry helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Index of the matching close delimiter for the open delimiter at
+/// `open_idx`, tracking all three bracket kinds.
+fn match_delim(toks: &[Tok], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Span (start token idx, end token idx) of the item starting at token
+/// `start`: ends at the first `;` at depth 0, or the `}` matching the
+/// first `{` at depth 0.
+fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return Some(j),
+                "{" if depth == 0 => return match_delim(toks, j),
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Line span of the first item whose first token is strictly after
+/// `line` — used to scope item-level contract pragmas.
+fn item_span_after(lexed: &LexFile, line: u32) -> Option<(u32, u32)> {
+    let start = lexed.tokens.iter().position(|t| t.line > line)?;
+    let end = item_end(&lexed.tokens, start)?;
+    Some((lexed.tokens[start].line, lexed.tokens[end].line))
+}
+
+/// Lines covered by `#[cfg(test)]` (or any `cfg` attribute mentioning
+/// `test`) items, including nested attribute lines.
+fn cfg_test_lines(lexed: &LexFile) -> BTreeSet<u32> {
+    let toks = &lexed.tokens;
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if is_punct(&toks[i], "#") && is_punct(&toks[i + 1], "[") {
+            let Some(close) = match_delim(toks, i + 1) else { break };
+            let attr = &toks[i + 1..close];
+            let is_test =
+                attr.iter().any(|t| is_ident(t, "cfg")) && attr.iter().any(|t| is_ident(t, "test"));
+            if is_test {
+                // Skip any further attributes between this one and the item.
+                let mut start = close + 1;
+                while start + 1 < toks.len()
+                    && is_punct(&toks[start], "#")
+                    && is_punct(&toks[start + 1], "[")
+                {
+                    match match_delim(toks, start + 1) {
+                        Some(c) => start = c + 1,
+                        None => break,
+                    }
+                }
+                if let Some(end) = item_end(toks, start) {
+                    for l in toks[i].line..=toks[end].line {
+                        out.insert(l);
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Line on which the statement containing token `idx` begins: walk
+/// backwards to the nearest `;`, `{` or `}` and take the next token's
+/// line.
+fn stmt_start_line(toks: &[Tok], idx: usize) -> u32 {
+    let mut j = idx;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        j -= 1;
+    }
+    toks[j].line
+}
+
+/// True if a justification comment containing one of `needles` sits
+/// adjacent to token `idx`: on any line of its statement, or in the
+/// contiguous comment/attribute block directly above the statement
+/// (single-line `unsafe impl`s in between do not break contiguity, so
+/// one comment can cover a `Send`/`Sync` pair).
+fn justified(lexed: &LexFile, idx: usize, needles: &[&str]) -> bool {
+    let toks = &lexed.tokens;
+    let start_line = stmt_start_line(toks, idx);
+    let tok_line = toks[idx].line;
+    let comment_on = |l: u32| {
+        lexed.comments.iter().filter(move |c| c.line <= l && l <= c.end_line).map(|c| &c.text)
+    };
+    let hit = |l: u32| comment_on(l).any(|t| needles.iter().any(|n| t.contains(n)));
+    for l in start_line..=tok_line {
+        if hit(l) {
+            return true;
+        }
+    }
+    let mut l = start_line.saturating_sub(1);
+    while l >= 1 {
+        if hit(l) {
+            return true;
+        }
+        if comment_on(l).next().is_some() {
+            // A comment without the needle: keep scanning the block.
+        } else if lexed.line_has_code(l) {
+            // Attribute lines and one-line `unsafe impl`s don't end the
+            // adjacency scan; any other code does.
+            let mut line_toks = toks.iter().filter(|t| t.line == l);
+            let first = line_toks.next();
+            let second = line_toks.next();
+            let is_attr = first.map(|t| is_punct(t, "#")).unwrap_or(false);
+            let is_unsafe_impl = first.map(|t| is_ident(t, "unsafe")).unwrap_or(false)
+                && second.map(|t| is_ident(t, "impl")).unwrap_or(false);
+            if !is_attr && !is_unsafe_impl {
+                return false;
+            }
+        } else {
+            // Blank line: the comment block above (if any) is not adjacent.
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+const SAFETY_NEEDLES: &[&str] = &["SAFETY:", "# Safety", "# SAFETY"];
+
+fn rule_undocumented_unsafe(lexed: &LexFile, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !is_ident(t, "unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if is_ident(n, "fn") || is_ident(n, "extern") => "fn",
+            Some(n) if is_ident(n, "impl") => "impl",
+            Some(n) if is_ident(n, "trait") => "trait",
+            Some(n) if is_punct(n, "{") => "block",
+            _ => "block",
+        };
+        if !justified(lexed, i, SAFETY_NEEDLES) {
+            out.push(Diagnostic {
+                line: t.line,
+                rule: "undocumented-unsafe",
+                message: format!(
+                    "unsafe {kind} without an adjacent `// SAFETY:` comment{}",
+                    if kind == "fn" { " or `# Safety` doc section" } else { "" }
+                ),
+            });
+        }
+    }
+}
+
+fn rule_atomic_ordering(lexed: &LexFile, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Only `Ordering::X` paths count: a bare `Release` ident could be
+        // any enum's variant.
+        let is_ordering_path =
+            i >= 2 && is_punct(&toks[i - 1], "::") && is_ident(&toks[i - 2], "Ordering");
+        if !is_ordering_path {
+            continue;
+        }
+        match t.text.as_str() {
+            "Relaxed" => {}
+            "SeqCst" => out.push(Diagnostic {
+                line: t.line,
+                rule: "atomic-ordering",
+                message: "Ordering::SeqCst is deny-by-default: downgrade to \
+                          Acquire/Release/Relaxed or add `// fmm-check: \
+                          allow(atomic-ordering, reason = ...)` explaining why \
+                          total order is load-bearing"
+                    .to_string(),
+            }),
+            "Acquire" | "Release" | "AcqRel" if !justified(lexed, i, &["ORDERING:"]) => {
+                out.push(Diagnostic {
+                    line: t.line,
+                    rule: "atomic-ordering",
+                    message: format!(
+                        "Ordering::{} without an adjacent `// ORDERING:` \
+                         comment justifying the non-Relaxed ordering",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that may legally precede a `[` without it being an index
+/// expression (slice patterns, array types after `->`, …).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "match", "if", "else", "move", "as", "dyn", "where",
+    "break", "const", "static", "type", "impl", "for", "fn",
+];
+
+fn rule_deny_panic(
+    lexed: &LexFile,
+    pragmas: &Pragmas,
+    test_lines: &TestLines,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !pragmas.in_contract(Contract::PanicFree, t.line) || test_lines.contains(t.line) {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).map(|n| is_punct(n, s)).unwrap_or(false);
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "unwrap" | "expect" if next_is("(") => out.push(Diagnostic {
+                    line: t.line,
+                    rule: "deny-panic",
+                    message: format!(
+                        "`{}()` in a contract(panic-free) region — propagate the \
+                         error or handle the None/Err case",
+                        t.text
+                    ),
+                }),
+                "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
+                    out.push(Diagnostic {
+                        line: t.line,
+                        rule: "deny-panic",
+                        message: format!("`{}!` in a contract(panic-free) region", t.text),
+                    })
+                }
+                _ => {}
+            }
+        } else if is_punct(t, "[") && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text.as_str()),
+                TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                _ => false,
+            };
+            if indexes {
+                out.push(Diagnostic {
+                    line: t.line,
+                    rule: "deny-panic",
+                    message: "`[...]` indexing in a contract(panic-free) region — \
+                              use `.get(..)` or justify bounds with an allow pragma"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `Type::method` pairs that allocate.
+const ALLOC_PATHS: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("Box", &["new", "new_uninit", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Arc", &["new", "from"]),
+    ("Rc", &["new", "from"]),
+    ("CString", &["new"]),
+];
+
+/// Method calls that allocate (flagged when called with `.`).
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect", "into_boxed_slice"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+fn rule_deny_alloc(
+    lexed: &LexFile,
+    pragmas: &Pragmas,
+    test_lines: &TestLines,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !pragmas.in_contract(Contract::WarmAllocFree, t.line)
+            || test_lines.contains(t.line)
+        {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).map(|n| is_punct(n, s)).unwrap_or(false);
+        let prev_is = |s: &str| i > 0 && is_punct(&toks[i - 1], s);
+        if ALLOC_MACROS.contains(&t.text.as_str()) && next_is("!") {
+            out.push(Diagnostic {
+                line: t.line,
+                rule: "deny-alloc",
+                message: format!("`{}!` allocates in a contract(warm-alloc-free) region", t.text),
+            });
+        } else if ALLOC_METHODS.contains(&t.text.as_str()) && next_is("(") && prev_is(".") {
+            out.push(Diagnostic {
+                line: t.line,
+                rule: "deny-alloc",
+                message: format!("`.{}()` allocates in a contract(warm-alloc-free) region", t.text),
+            });
+        } else if next_is("(") && i >= 2 && is_punct(&toks[i - 1], "::") {
+            // Resolve the path's base type, skipping a turbofish:
+            // `Vec::new`, `Vec::<u8>::new`, `Box::<T>::new`.
+            let mut j = i - 2;
+            if is_punct(&toks[j], ">") {
+                let mut depth = 0i64;
+                loop {
+                    if is_punct(&toks[j], ">") {
+                        depth += 1;
+                    } else if is_punct(&toks[j], "<") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                // Step over the `<` and an optional `::` before it.
+                j = j.saturating_sub(1);
+                if j > 0 && is_punct(&toks[j], "::") {
+                    j -= 1;
+                }
+            }
+            let ty = if toks[j].kind == TokKind::Ident { toks[j].text.as_str() } else { "" };
+            if ALLOC_PATHS.iter().any(|(t2, ms)| *t2 == ty && ms.contains(&t.text.as_str())) {
+                out.push(Diagnostic {
+                    line: t.line,
+                    rule: "deny-alloc",
+                    message: format!(
+                        "`{ty}::{}` allocates in a contract(warm-alloc-free) region",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_ffi_layout(lexed: &LexFile, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    // Does the file carry a layout guard? `const _ : ... assert! ...
+    // size_of/align_of ...` anywhere suffices.
+    let mut has_guard = false;
+    for (i, t) in toks.iter().enumerate() {
+        if is_ident(t, "const")
+            && toks.get(i + 1).map(|n| is_ident(n, "_")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| is_punct(n, ":")).unwrap_or(false)
+        {
+            if let Some(end) = item_end(toks, i) {
+                let body = &toks[i..=end];
+                let has = |s: &str| body.iter().any(|b| is_ident(b, s));
+                if has("assert") && (has("size_of") || has("align_of")) {
+                    has_guard = true;
+                    break;
+                }
+            }
+        }
+    }
+    let mut sites: Vec<(u32, String)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        // `extern "ABI" {` — a foreign-function block.
+        if is_ident(t, "extern") {
+            let mut j = i + 1;
+            if toks.get(j).map(|n| n.kind == TokKind::Str).unwrap_or(false) {
+                j += 1;
+            }
+            if toks.get(j).map(|n| is_punct(n, "{")).unwrap_or(false) {
+                sites.push((t.line, "extern block".to_string()));
+            }
+        }
+        // `#[repr(C…)]`.
+        if is_punct(t, "#") && toks.get(i + 1).map(|n| is_punct(n, "[")).unwrap_or(false) {
+            if let Some(close) = match_delim(toks, i + 1) {
+                let attr = &toks[i + 1..close];
+                if attr.iter().any(|a| is_ident(a, "repr")) && attr.iter().any(|a| is_ident(a, "C"))
+                {
+                    sites.push((t.line, "#[repr(C)] type".to_string()));
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if !has_guard {
+        for (line, what) in sites {
+            out.push(Diagnostic {
+                line,
+                rule: "ffi-layout",
+                message: format!(
+                    "{what} in a file without a compile-time layout guard \
+                     (`const _: () = assert!(size_of::<...>() == ...);`)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check_source(src, false).diagnostics
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        diags(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn documented_unsafe_block_passes() {
+        let src = "fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { g() }\n}";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_fires() {
+        let src = "fn f() {\n    unsafe { g() }\n}";
+        assert_eq!(rules_of(src), ["undocumented-unsafe"]);
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *const u8) {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn one_safety_comment_covers_send_sync_pair() {
+        let src =
+            "// SAFETY: plain integers.\nunsafe impl Send for W {}\nunsafe impl Sync for W {}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_adjacency() {
+        let src = "// SAFETY: stale comment.\n\nfn f() {\n    unsafe { g() }\n}";
+        assert_eq!(rules_of(src), ["undocumented-unsafe"]);
+    }
+
+    #[test]
+    fn unsafe_in_raw_string_is_ignored() {
+        let src = r####"fn f() { let _ = r#"unsafe { x }"#; }"####;
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_fires_even_with_ordering_comment() {
+        let src = "fn f(a: &AtomicBool) {\n    // ORDERING: we like it strong.\n    a.store(true, Ordering::SeqCst);\n}";
+        assert_eq!(rules_of(src), ["atomic-ordering"]);
+    }
+
+    #[test]
+    fn acquire_needs_ordering_comment() {
+        let bad = "fn f(a: &AtomicBool) -> bool {\n    a.load(Ordering::Acquire)\n}";
+        assert_eq!(rules_of(bad), ["atomic-ordering"]);
+        let good = "fn f(a: &AtomicBool) -> bool {\n    // ORDERING: pairs with the Release store in push().\n    a.load(Ordering::Acquire)\n}";
+        assert!(diags(good).is_empty());
+    }
+
+    #[test]
+    fn relaxed_is_always_fine() {
+        let src = "fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn non_ordering_release_ident_is_ignored() {
+        let src = "fn f() { let p = Profile::Release; }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn deny_panic_fires_only_in_contract_region() {
+        let free = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(diags(free).is_empty());
+        let src = "// fmm-check: contract(panic-free)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_of(src), ["deny-panic"]);
+    }
+
+    #[test]
+    fn deny_panic_catches_indexing_not_array_types() {
+        let src = "// fmm-check: contract(panic-free)\nfn f(b: &[u8; 4], i: usize) -> u8 { b[i] }";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn deny_panic_skips_cfg_test_regions() {
+        let src = "// fmm-check: contract(panic-free)\nfn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn item_scoped_contract_covers_only_that_item() {
+        let src = "fn a(x: Option<u8>) -> u8 { x.unwrap() }\n// fmm-check: contract(panic-free)\nfn b(x: Option<u8>) -> u8 { x.unwrap() }";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn deny_alloc_fires_on_listed_constructors() {
+        let src = "// fmm-check: contract(warm-alloc-free)\nfn f() {\n    let v = Vec::<u8>::new();\n    let b = Box::new(3);\n    let s = format!(\"x\");\n    let t = s.to_string();\n}";
+        let d = diags(src);
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "deny-alloc"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts() {
+        let src = "// fmm-check: contract(panic-free)\nfn f(x: Option<u8>) -> u8 {\n    // fmm-check: allow(deny-panic, reason = \"invariant: caller checked\")\n    x.unwrap()\n}";
+        let r = check_source(src, false);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_pragma_and_does_not_suppress() {
+        let src = "// fmm-check: contract(panic-free)\nfn f(x: Option<u8>) -> u8 {\n    // fmm-check: allow(deny-panic)\n    x.unwrap()\n}";
+        let r = check_source(src, false);
+        let rules: Vec<_> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"deny-panic"), "{rules:?}");
+        assert!(rules.contains(&"bad-pragma"));
+        assert!(r.suppressed.is_empty());
+    }
+
+    #[test]
+    fn extern_block_without_guard_fires() {
+        let src = "extern \"C\" {\n    fn close(fd: i32) -> i32;\n}";
+        assert_eq!(rules_of(src), ["ffi-layout"]);
+    }
+
+    #[test]
+    fn repr_c_with_guard_passes() {
+        let src = "#[repr(C)]\npub struct E { a: u32, b: u64 }\nconst _: () = assert!(std::mem::size_of::<E>() == 16);";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn all_test_files_skip_contract_rules() {
+        let src = "// fmm-check: contract(panic-free)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(check_source(src, true).diagnostics.is_empty());
+    }
+}

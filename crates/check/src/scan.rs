@@ -1,0 +1,75 @@
+//! Workspace file discovery.
+//!
+//! The pass runs over the workspace's *own* sources: everything under
+//! `crates/`, the umbrella crate's `src/`, and the workspace-level
+//! `tests/` and `examples/`. `vendor/` (offline stand-in crates),
+//! `target/`, and `crates/check`'s rule fixtures (deliberately-bad
+//! sources) are excluded. Files under a `tests/`, `benches/` or
+//! `examples/` directory are classified as test code: hygiene rules
+//! still apply there, contract rules do not.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One file to check.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub path: PathBuf,
+    /// True if every line counts as test code.
+    pub all_test: bool,
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collect the workspace's own sources under `root`.
+pub fn workspace_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect(&root.join(top), &mut out);
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+/// Collect `fmm-check`'s own sources (the `--self` run).
+pub fn self_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    collect(&root.join("crates/check"), &mut out);
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            let all_test = path.components().any(|c| {
+                matches!(c.as_os_str().to_string_lossy().as_ref(), "tests" | "benches" | "examples")
+            });
+            out.push(SourceFile { path, all_test });
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Clean fixture: the same violations as the known-bad files, each
+//! suppressed by a well-formed `allow(..., reason = ...)` pragma.
+//! Expected: zero diagnostics, 3 suppressed findings.
+
+// fmm-check: contract(panic-free)
+// fmm-check: contract(warm-alloc-free)
+
+pub fn justified(bytes: &[u8], scratch: &mut Vec<u8>) -> u8 {
+    // fmm-check: allow(deny-panic, reason = "caller validates non-empty input in decode()")
+    let first = bytes[0];
+    // fmm-check: allow(deny-alloc, reason = "one-time cold-path growth, reused afterwards")
+    scratch.extend(bytes.to_vec());
+    first
+}
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn total_order(flag: &AtomicBool) {
+    // fmm-check: allow(atomic-ordering, reason = "single-writer handoff audited in fixture form")
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: an `allow` pragma with no `reason` must not
+//! suppress anything and must itself be reported.
+//! Expected: `deny-panic` still fires, plus `bad-pragma`; zero suppressed.
+
+// fmm-check: contract(panic-free)
+
+pub fn unjustified(len: Option<usize>) -> usize {
+    // fmm-check: allow(deny-panic)
+    len.unwrap()
+}

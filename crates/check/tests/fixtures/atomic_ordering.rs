@@ -1,0 +1,14 @@
+//! Known-bad fixture: a SeqCst (always denied, even with an ORDERING
+//! comment) and an Acquire without an ORDERING comment.
+//! Expected: `atomic-ordering` fires 2 times, lines 8 and 12.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn stop(flag: &AtomicBool) {
+    // ORDERING: comments do not excuse SeqCst.
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn stopped(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: heap allocations inside a
+//! `contract(warm-alloc-free)` file.
+//! Expected: `deny-alloc` fires 4 times (Vec::new, vec!, .collect, format!).
+
+// fmm-check: contract(warm-alloc-free)
+
+pub fn warm_path(samples: &[u64]) -> (Vec<u64>, String) {
+    let mut out: Vec<u64> = Vec::new();
+    out.extend(vec![0u64; 4]);
+    let doubled: Vec<u64> = samples.iter().map(|s| s * 2).collect();
+    let label = format!("{} samples", doubled.len());
+    (doubled, label)
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: panics inside a `contract(panic-free)` file.
+//! Expected: `deny-panic` fires 4 times (unwrap, expect, panic!, indexing).
+
+// fmm-check: contract(panic-free)
+
+pub fn decode(bytes: &[u8], len: Option<usize>) -> u8 {
+    let n = len.unwrap();
+    let first = bytes.first().copied().expect("non-empty");
+    if n > bytes.len() {
+        panic!("length out of range");
+    }
+    first + bytes[n - 1]
+}

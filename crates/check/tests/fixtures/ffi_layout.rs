@@ -1,0 +1,12 @@
+//! Known-bad fixture: FFI surface without a compile-time layout guard.
+//! Expected: `ffi-layout` fires 2 times (repr(C) type, extern block).
+
+#[repr(C)]
+pub struct WireHeader {
+    pub magic: u32,
+    pub len: u64,
+}
+
+extern "C" {
+    pub fn close(fd: i32) -> i32;
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: every flavor of `unsafe` without a SAFETY comment.
+//! Expected: `undocumented-unsafe` fires 4 times (fn, impl, trait, block).
+
+pub unsafe fn missing_doc(p: *const u8) -> u8 {
+    // SAFETY: the read itself is documented; the `unsafe fn` above is not.
+    unsafe { *p }
+}
+
+pub struct W(u64);
+
+unsafe impl Send for W {}
+
+pub unsafe trait Marker {}
+
+pub fn block_site(p: *const u8) -> u8 {
+    unsafe { *p }
+}

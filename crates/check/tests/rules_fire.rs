@@ -1,0 +1,94 @@
+//! End-to-end rule checks over the deliberately-bad sources in
+//! `tests/fixtures/`. The fixtures directory is excluded from workspace
+//! and `--self` scans (see `scan::collect`), so these files can violate
+//! every rule without failing the real gate; here each one is fed
+//! through `check_source` the way the CLI does it and must produce
+//! exactly the findings its header comment promises.
+
+use fmm_check::rules::{check_source, Diagnostic, FileReport};
+use std::path::Path;
+
+fn check_fixture(name: &str) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    // `all_test = false`: fixtures model production sources, and the
+    // fixtures dir is exempt from the path-based test classification.
+    check_source(&src, false)
+}
+
+fn rules_of(report: &FileReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn undocumented_unsafe_fixture_fires_per_site() {
+    let r = check_fixture("undocumented_unsafe.rs");
+    assert_eq!(rules_of(&r), vec!["undocumented-unsafe"; 4], "{:?}", r.diagnostics);
+    // fn, impl, trait, block — one finding per site, none suppressed.
+    assert_eq!(lines_of(&r.diagnostics, "undocumented-unsafe"), [4, 11, 13, 16]);
+    assert!(r.suppressed.is_empty());
+}
+
+#[test]
+fn atomic_ordering_fixture_fires_on_seqcst_and_bare_acquire() {
+    let r = check_fixture("atomic_ordering.rs");
+    assert_eq!(rules_of(&r), vec!["atomic-ordering"; 2], "{:?}", r.diagnostics);
+    let lines = lines_of(&r.diagnostics, "atomic-ordering");
+    assert_eq!(lines, [9, 13]);
+    // The SeqCst finding must fire despite the adjacent ORDERING comment.
+    assert!(r.diagnostics[0].message.contains("SeqCst"));
+    assert!(r.diagnostics[1].message.contains("Acquire"));
+}
+
+#[test]
+fn deny_panic_fixture_fires_per_panic_site() {
+    let r = check_fixture("deny_panic.rs");
+    assert_eq!(rules_of(&r), vec!["deny-panic"; 4], "{:?}", r.diagnostics);
+    let msgs: Vec<&str> = r.diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs[0].contains("unwrap"));
+    assert!(msgs[1].contains("expect"));
+    assert!(msgs[2].contains("panic!"));
+    assert!(msgs[3].contains("indexing"));
+}
+
+#[test]
+fn deny_alloc_fixture_fires_per_allocation() {
+    let r = check_fixture("deny_alloc.rs");
+    assert_eq!(rules_of(&r), vec!["deny-alloc"; 4], "{:?}", r.diagnostics);
+    let msgs: Vec<&str> = r.diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs[0].contains("Vec::new"));
+    assert!(msgs[1].contains("vec!"));
+    assert!(msgs[2].contains("collect"));
+    assert!(msgs[3].contains("format!"));
+}
+
+#[test]
+fn ffi_layout_fixture_fires_without_guard() {
+    let r = check_fixture("ffi_layout.rs");
+    assert_eq!(rules_of(&r), vec!["ffi-layout"; 2], "{:?}", r.diagnostics);
+    assert!(r.diagnostics[0].message.contains("repr(C)"));
+    assert!(r.diagnostics[1].message.contains("extern block"));
+}
+
+#[test]
+fn allow_with_reason_suppresses_everything() {
+    let r = check_fixture("allow_with_reason.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    let mut suppressed: Vec<&str> = r.suppressed.iter().map(|d| d.rule).collect();
+    suppressed.sort_unstable();
+    assert_eq!(suppressed, ["atomic-ordering", "deny-alloc", "deny-panic"]);
+}
+
+#[test]
+fn allow_without_reason_does_not_suppress() {
+    let r = check_fixture("allow_without_reason.rs");
+    let rules = rules_of(&r);
+    assert!(rules.contains(&"deny-panic"), "{rules:?}");
+    assert!(rules.contains(&"bad-pragma"), "{rules:?}");
+    assert!(r.suppressed.is_empty(), "a reasonless allow must count for nothing");
+}

@@ -6,6 +6,11 @@
 //! the paper's model) for touching each `C_p` exactly once per non-zero.
 //! The paper shows this wins for large `k` where the rank-k accumulation
 //! through the micro-kernel would re-read `C` many times.
+//!
+//! Warm-path allocation contract: `fmm-check: contract(warm-alloc-free)`
+//! (see README § Static analysis) — `M_r` lives in the preplanned arena.
+
+// fmm-check: contract(warm-alloc-free)
 
 use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::{ArenaViews, GemmDispatch};

@@ -4,6 +4,12 @@
 //! routines and the micro-kernel epilogue adds the register tile of `M_r`
 //! into every destination `C_p` with coefficient `W[p, r]` — `M_r` never
 //! exists in memory.
+//!
+//! Warm-path allocation contract: `fmm-check: contract(warm-alloc-free)`
+//! (see README § Static analysis); the destination-tile list is the one
+//! allowed exception, justified inline.
+
+// fmm-check: contract(warm-alloc-free)
 
 use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::GemmDispatch;
@@ -26,6 +32,7 @@ pub(super) fn run<T: GemmScalar>(
             // SAFETY: `col_nonzeros` yields strictly increasing distinct
             // block indices, and distinct blocks are disjoint regions of C.
             .map(|(p, w)| DestTile::new(unsafe { c_blocks.get(p) }, T::from_f64(w)))
+            // fmm-check: allow(deny-alloc, reason = "per-product tile list bounded by plan nnz(W); fixed-capacity candidate if profiled hot")
             .collect();
         gemm.block_product(&mut dests, &a_terms, &b_terms, false);
     }

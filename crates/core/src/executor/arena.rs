@@ -167,6 +167,10 @@ pub struct TaskSlots<'a, T = f64> {
 unsafe impl<T: Scalar> Send for TaskSlots<'_, T> {}
 unsafe impl<T: Scalar> Sync for TaskSlots<'_, T> {}
 
+// The carve accessors below run inside warm task execution, so they carry
+// `fmm-check`'s allocation contract: pure pointer arithmetic, no heap
+// (growth happened once, in `WorkspaceArena::preplan_tasks`).
+// fmm-check: contract(warm-alloc-free)
 impl<'a, T: Scalar> TaskSlots<'a, T> {
     /// The per-task layout.
     pub fn layout(&self) -> &ArenaLayout {
@@ -195,13 +199,19 @@ impl<'a, T: Scalar> TaskSlots<'a, T> {
         let (ta_rows, ta_cols) = self.layout.ta;
         let (tb_rows, tb_cols) = self.layout.tb;
         let (mr_rows, mr_cols) = self.layout.mr;
-        let ta_ptr = self.base.add(r * self.stride);
-        let tb_ptr = ta_ptr.add(ta_rows * ta_cols);
-        let mr_ptr = tb_ptr.add(tb_rows * tb_cols);
-        ArenaViews {
-            ta: MatMut::from_raw_parts(ta_ptr, ta_rows, ta_cols, 1, ta_rows.max(1) as isize),
-            tb: MatMut::from_raw_parts(tb_ptr, tb_rows, tb_cols, 1, tb_rows.max(1) as isize),
-            mr: MatMut::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize),
+        // SAFETY: `r < self.tasks` (asserted above) keeps every offset inside
+        // the arena region carved by `preplan_tasks`; the three sub-regions
+        // are disjoint by construction of `stride`, and exclusivity per `r`
+        // is the caller's contract.
+        unsafe {
+            let ta_ptr = self.base.add(r * self.stride);
+            let tb_ptr = ta_ptr.add(ta_rows * ta_cols);
+            let mr_ptr = tb_ptr.add(tb_rows * tb_cols);
+            ArenaViews {
+                ta: MatMut::from_raw_parts(ta_ptr, ta_rows, ta_cols, 1, ta_rows.max(1) as isize),
+                tb: MatMut::from_raw_parts(tb_ptr, tb_rows, tb_cols, 1, tb_rows.max(1) as isize),
+                mr: MatMut::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize),
+            }
         }
     }
 
@@ -216,8 +226,13 @@ impl<'a, T: Scalar> TaskSlots<'a, T> {
         let (ta_rows, ta_cols) = self.layout.ta;
         let (tb_rows, tb_cols) = self.layout.tb;
         let (mr_rows, mr_cols) = self.layout.mr;
-        let mr_ptr = self.base.add(r * self.stride + ta_rows * ta_cols + tb_rows * tb_cols);
-        MatRef::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize)
+        // SAFETY: `r < self.tasks` (asserted above) keeps the offset inside
+        // the arena; no mutable view of task `r` is alive per the caller's
+        // contract, so a shared read view is sound.
+        unsafe {
+            let mr_ptr = self.base.add(r * self.stride + ta_rows * ta_cols + tb_rows * tb_cols);
+            MatRef::from_raw_parts(mr_ptr, mr_rows, mr_cols, 1, mr_rows.max(1) as isize)
+        }
     }
 }
 
@@ -304,10 +319,12 @@ mod tests {
             }
         });
         for r in 0..7 {
+            // SAFETY: the writer threads joined above; reads can't race.
             let views = unsafe { slots.views(r) };
             assert_eq!(views.ta.at(3, 3), r as f64);
             assert_eq!(views.tb.at(0, 0), 10.0 + r as f64);
             assert_eq!(views.mr.at(3, 0), 100.0 + r as f64);
+            // SAFETY: as above — no concurrent writer remains.
             let mr = unsafe { slots.mr(r) };
             assert_eq!(mr.at(3, 0), 100.0 + r as f64);
             assert_eq!((mr.rows(), mr.cols()), (4, 4));

@@ -1,5 +1,12 @@
 //! Shared executor machinery: operand block grids and destination grids.
 //! (Scratch temporaries live in the preplanned [`super::WorkspaceArena`].)
+//!
+//! This file carries `fmm-check`'s `contract(warm-alloc-free)` (see README
+//! § Static analysis). The grid/term collections below are the only
+//! remaining warm-path allocations; each is explicitly allowed with its
+//! justification so any new one must argue its case in review.
+
+// fmm-check: contract(warm-alloc-free)
 
 use crate::indexing::BlockGrid;
 use fmm_dense::{MatMut, MatRef, Scalar};
@@ -22,6 +29,7 @@ impl<'a, T: Scalar> OperandBlocks<'a, T> {
                 let (r, c) = grid.coords(flat);
                 op.submatrix(r * bm, c * bn, bm, bn)
             })
+            // fmm-check: allow(deny-alloc, reason = "per-execution grid setup, plan-rank bounded, not per-product")
             .collect();
         Self { blocks }
     }
@@ -71,6 +79,7 @@ impl<'a, T: Scalar> DestBlocks<'a, T> {
         assert_eq!(c.cols() % grid.cols(), 0, "C cols not divisible by grid");
         let bm = c.rows() / grid.rows();
         let bn = c.cols() / grid.cols();
+        // fmm-check: allow(deny-alloc, reason = "per-execution grid setup, plan-rank bounded, not per-product")
         let coords = (0..grid.len()).map(|flat| grid.coords(flat)).collect();
         Self {
             ptr: c.as_mut_ptr(),
@@ -96,9 +105,15 @@ impl<'a, T: Scalar> DestBlocks<'a, T> {
     /// same `p` at once, nor use a view beyond the parent borrow.
     pub unsafe fn get(&self, p: usize) -> MatMut<'a, T> {
         let (r, c) = self.coords[p];
-        let ptr =
-            self.ptr.offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
-        MatMut::from_raw_parts(ptr, self.bm, self.bn, self.rs, self.cs)
+        // SAFETY: `coords[p]` is a grid coordinate inside the parent view,
+        // so the offset and the `bm x bn` block stay in bounds; disjointness
+        // across distinct `p` is the caller's contract.
+        unsafe {
+            let ptr = self
+                .ptr
+                .offset((r * self.bm) as isize * self.rs + (c * self.bn) as isize * self.cs);
+            MatMut::from_raw_parts(ptr, self.bm, self.bn, self.rs, self.cs)
+        }
     }
 
     /// Number of blocks.
@@ -121,6 +136,7 @@ pub fn gather_terms<'a, T: Scalar>(
     r: usize,
     blocks: &OperandBlocks<'a, T>,
 ) -> Vec<(T, MatRef<'a, T>)> {
+    // fmm-check: allow(deny-alloc, reason = "per-product term list bounded by plan nnz; fold into a fixed-capacity buffer if it shows in profiles")
     coeffs.col_nonzeros(r).map(|(i, g)| (T::from_f64(g), blocks.get(i))).collect()
 }
 
@@ -166,6 +182,7 @@ mod tests {
             assert_eq!(dests.block_shape(), (2, 2));
             // SAFETY: distinct indices -> disjoint views.
             let mut b0 = unsafe { dests.get(0) };
+            // SAFETY: index 3 is disjoint from index 0.
             let mut b3 = unsafe { dests.get(3) };
             b0.fill(1.0);
             b3.fill(2.0);

@@ -7,6 +7,12 @@
 //! `C_p += W[p,r]·M_r`. Requires `m/M̃·k/K̃ + k/K̃·n/Ñ + m/M̃·n/Ñ` extra
 //! workspace and pays the extra memory traffic the paper's model charges
 //! via the `T^{A+}_m`, `T^{B+}_m`, `T^{C+}_m` terms.
+//!
+//! Warm-path allocation contract: `fmm-check: contract(warm-alloc-free)`
+//! (see README § Static analysis) — all three temporaries live in the
+//! preplanned arena.
+
+// fmm-check: contract(warm-alloc-free)
 
 use super::common::{gather_terms, DestBlocks, OperandBlocks};
 use super::{ArenaViews, GemmDispatch};

@@ -10,6 +10,13 @@
 //!   greppable;
 //! * parsing is strict: trailing garbage, malformed literals, and missing
 //!   keys are errors, never silently defaulted.
+//!
+//! Every consumer feeds this parser files and frames it did not write, so
+//! the whole module carries the machine-checked panic-freedom contract
+//! (`fmm-check`'s `deny-panic` rule — no `unwrap`/`expect`/`panic!`/`[]`
+//! indexing outside tests; see README § Static analysis).
+
+// fmm-check: contract(panic-free)
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -214,7 +221,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek()? == b {
             self.pos += 1;
             Ok(())
@@ -247,7 +254,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -260,7 +267,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let v = self.value()?;
             map.insert(key, v);
@@ -282,7 +289,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -312,7 +319,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = self.peek()?;
@@ -335,8 +342,11 @@ impl Parser<'_> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err("truncated \\u escape".into());
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "invalid \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
                             self.pos += 4;
@@ -359,8 +369,11 @@ impl Parser<'_> {
                     if end > self.bytes.len() {
                         return Err("truncated UTF-8 sequence".into());
                     }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| "invalid UTF-8 in string".to_string())?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -380,7 +393,13 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned range is ASCII by construction; the empty fallback
+        // degrades to the `invalid number` error below.
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or_default();
         if !text.contains(['.', 'e', 'E']) {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));

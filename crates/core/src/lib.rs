@@ -43,6 +43,8 @@
 //! assert!(fmm_dense::norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-10);
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 pub mod algorithm;
 pub mod brent;
 pub mod coeffs;

@@ -27,6 +27,8 @@
 //! assert_eq!(v.at(1, 1), 22.0);
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 pub mod aligned;
 pub mod errors;
 pub mod fill;

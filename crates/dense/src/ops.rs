@@ -106,6 +106,7 @@ pub fn linear_combination<T: Scalar>(
                     // SAFETY: shape checked above.
                     let mut acc = first.0 * unsafe { first.1.at_unchecked(i, j) };
                     for (a, t) in rest {
+                        // SAFETY: every term was shape-checked above.
                         acc = a.mul_add(unsafe { t.at_unchecked(i, j) }, acc);
                     }
                     dst.set(i, j, acc);

@@ -118,7 +118,9 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// `i < rows && j < cols`.
     #[inline]
     pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> T {
-        *self.ptr.offset(i as isize * self.rs + j as isize * self.cs)
+        // SAFETY: in-bounds by the caller's contract; the offset stays within
+        // the allocation the view was constructed over.
+        unsafe { *self.ptr.offset(i as isize * self.rs + j as isize * self.cs) }
     }
 
     /// Submatrix view: rows `[ri, ri+nrows)`, cols `[ci, ci+ncols)`.

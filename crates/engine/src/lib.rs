@@ -57,6 +57,8 @@
 //! assert_eq!(engine.stats().decision_hits, 1); // second call reused the routing
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 mod lru;
 
 pub use lru::LruCache;
@@ -878,7 +880,9 @@ impl<'a, T: GemmScalar> BatchItemsPtr<'a, T> {
     /// outlive it — both upheld by the fan-out index protocol.
     #[allow(clippy::mut_from_ref)]
     unsafe fn item(&self, i: usize) -> &mut BatchItem<'a, T> {
-        &mut *self.0.add(i)
+        // SAFETY: `i` indexes into the parent slice and no other borrow of
+        // it is live, per the caller's contract.
+        unsafe { &mut *self.0.add(i) }
     }
 }
 

@@ -238,26 +238,31 @@ unsafe fn apply_tile<T: GemmScalar>(
     let mr = T::MR;
     let w = d.coeff;
     for j in 0..nr_eff {
-        let colbase = d.ptr.offset((i0 as isize) * d.rs + (j0 + j) as isize * d.cs);
-        if d.rs == 1 {
-            let src = &acc[j * mr..j * mr + mr_eff];
-            if store {
-                for (i, &v) in src.iter().enumerate() {
-                    *colbase.add(i) = w * v;
+        // SAFETY: every offset below stays inside the `mr_eff x nr_eff`
+        // tile at `(i0, j0)`, in-bounds and exclusively owned per the
+        // caller's contract.
+        unsafe {
+            let colbase = d.ptr.offset((i0 as isize) * d.rs + (j0 + j) as isize * d.cs);
+            if d.rs == 1 {
+                let src = &acc[j * mr..j * mr + mr_eff];
+                if store {
+                    for (i, &v) in src.iter().enumerate() {
+                        *colbase.add(i) = w * v;
+                    }
+                } else {
+                    for (i, &v) in src.iter().enumerate() {
+                        *colbase.add(i) += w * v;
+                    }
                 }
             } else {
-                for (i, &v) in src.iter().enumerate() {
-                    *colbase.add(i) += w * v;
-                }
-            }
-        } else {
-            for i in 0..mr_eff {
-                let p = colbase.offset(i as isize * d.rs);
-                let v = w * acc[i + j * mr];
-                if store {
-                    *p = v;
-                } else {
-                    *p += v;
+                for i in 0..mr_eff {
+                    let p = colbase.offset(i as isize * d.rs);
+                    let v = w * acc[i + j * mr];
+                    if store {
+                        *p = v;
+                    } else {
+                        *p += v;
+                    }
                 }
             }
         }

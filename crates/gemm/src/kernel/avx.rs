@@ -17,56 +17,72 @@ use std::arch::x86_64::*;
 /// must only use this after confirming AVX2 and FMA support (the crate's
 /// [`super::select`] does so).
 pub unsafe fn kernel_8x4_avx2_entry(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
-    kernel_8x4_avx2(kc, a, b, acc)
+    // SAFETY: forwarded contract; the caller guarantees operand bounds and
+    // AVX2 + FMA availability.
+    unsafe { kernel_8x4_avx2(kc, a, b, acc) }
 }
 
+/// # Safety
+/// Same contract as [`kernel_8x4_avx2_entry`]: `a` points to `kc * MR`
+/// readable elements, `b` to `kc * NR`, and AVX2 + FMA must be available.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn kernel_8x4_avx2(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
     debug_assert_eq!(MR, 8);
     debug_assert_eq!(NR, 4);
-    let mut c00 = _mm256_setzero_pd(); // rows 0..4 of column 0
-    let mut c10 = _mm256_setzero_pd(); // rows 4..8 of column 0
-    let mut c01 = _mm256_setzero_pd();
-    let mut c11 = _mm256_setzero_pd();
-    let mut c02 = _mm256_setzero_pd();
-    let mut c12 = _mm256_setzero_pd();
-    let mut c03 = _mm256_setzero_pd();
-    let mut c13 = _mm256_setzero_pd();
+    // SAFETY: intrinsics require AVX2 + FMA (caller's contract); all pointer
+    // reads stay within the `kc * MR` / `kc * NR` packed panels and the
+    // MR*NR accumulator, per the documented bounds.
+    unsafe {
+        let mut c00 = _mm256_setzero_pd(); // rows 0..4 of column 0
+        let mut c10 = _mm256_setzero_pd(); // rows 4..8 of column 0
+        let mut c01 = _mm256_setzero_pd();
+        let mut c11 = _mm256_setzero_pd();
+        let mut c02 = _mm256_setzero_pd();
+        let mut c12 = _mm256_setzero_pd();
+        let mut c03 = _mm256_setzero_pd();
+        let mut c13 = _mm256_setzero_pd();
 
-    let mut ap = a;
-    let mut bp = b;
-    for _ in 0..kc {
-        let a0 = _mm256_loadu_pd(ap);
-        let a1 = _mm256_loadu_pd(ap.add(4));
-        let b0 = _mm256_broadcast_sd(&*bp);
-        c00 = _mm256_fmadd_pd(a0, b0, c00);
-        c10 = _mm256_fmadd_pd(a1, b0, c10);
-        let b1 = _mm256_broadcast_sd(&*bp.add(1));
-        c01 = _mm256_fmadd_pd(a0, b1, c01);
-        c11 = _mm256_fmadd_pd(a1, b1, c11);
-        let b2 = _mm256_broadcast_sd(&*bp.add(2));
-        c02 = _mm256_fmadd_pd(a0, b2, c02);
-        c12 = _mm256_fmadd_pd(a1, b2, c12);
-        let b3 = _mm256_broadcast_sd(&*bp.add(3));
-        c03 = _mm256_fmadd_pd(a0, b3, c03);
-        c13 = _mm256_fmadd_pd(a1, b3, c13);
-        ap = ap.add(MR);
-        bp = bp.add(NR);
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            let a0 = _mm256_loadu_pd(ap);
+            let a1 = _mm256_loadu_pd(ap.add(4));
+            let b0 = _mm256_broadcast_sd(&*bp);
+            c00 = _mm256_fmadd_pd(a0, b0, c00);
+            c10 = _mm256_fmadd_pd(a1, b0, c10);
+            let b1 = _mm256_broadcast_sd(&*bp.add(1));
+            c01 = _mm256_fmadd_pd(a0, b1, c01);
+            c11 = _mm256_fmadd_pd(a1, b1, c11);
+            let b2 = _mm256_broadcast_sd(&*bp.add(2));
+            c02 = _mm256_fmadd_pd(a0, b2, c02);
+            c12 = _mm256_fmadd_pd(a1, b2, c12);
+            let b3 = _mm256_broadcast_sd(&*bp.add(3));
+            c03 = _mm256_fmadd_pd(a0, b3, c03);
+            c13 = _mm256_fmadd_pd(a1, b3, c13);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+
+        let p = acc.as_mut_ptr();
+        add_store(p, c00);
+        add_store(p.add(4), c10);
+        add_store(p.add(8), c01);
+        add_store(p.add(12), c11);
+        add_store(p.add(16), c02);
+        add_store(p.add(20), c12);
+        add_store(p.add(24), c03);
+        add_store(p.add(28), c13);
     }
-
-    let p = acc.as_mut_ptr();
-    add_store(p, c00);
-    add_store(p.add(4), c10);
-    add_store(p.add(8), c01);
-    add_store(p.add(12), c11);
-    add_store(p.add(16), c02);
-    add_store(p.add(20), c12);
-    add_store(p.add(24), c03);
-    add_store(p.add(28), c13);
 }
 
+/// # Safety
+/// `dst` points to 4 readable+writable `f64`s; AVX2 must be available.
 #[target_feature(enable = "avx2")]
 unsafe fn add_store(dst: *mut f64, v: __m256d) {
-    let cur = _mm256_loadu_pd(dst);
-    _mm256_storeu_pd(dst, _mm256_add_pd(cur, v));
+    // SAFETY: `dst` covers 4 readable+writable f64s and AVX2 is available,
+    // per the caller's contract.
+    unsafe {
+        let cur = _mm256_loadu_pd(dst);
+        _mm256_storeu_pd(dst, _mm256_add_pd(cur, v));
+    }
 }

@@ -20,53 +20,69 @@ use std::arch::x86_64::*;
 /// `a` points to `kc * MR` readable elements, `b` to `kc * NR`. Caller must
 /// have confirmed AVX-512F support.
 pub unsafe fn kernel_8x4_avx512_entry(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
-    kernel_8x4_avx512(kc, a, b, acc)
+    // SAFETY: forwarded contract; the caller guarantees operand bounds and
+    // AVX-512F availability.
+    unsafe { kernel_8x4_avx512(kc, a, b, acc) }
 }
 
+/// # Safety
+/// Same contract as [`kernel_8x4_avx512_entry`]: `a` points to `kc * MR`
+/// readable elements, `b` to `kc * NR`, and AVX-512F must be available.
 #[target_feature(enable = "avx512f")]
 unsafe fn kernel_8x4_avx512(kc: usize, a: *const f64, b: *const f64, acc: &mut Acc) {
     debug_assert_eq!(MR, 8);
     debug_assert_eq!(NR, 4);
-    let mut c0 = _mm512_setzero_pd(); // rows 0..8 of column 0
-    let mut c1 = _mm512_setzero_pd();
-    let mut c2 = _mm512_setzero_pd();
-    let mut c3 = _mm512_setzero_pd();
+    // SAFETY: intrinsics require AVX-512F (caller's contract); all pointer
+    // reads stay within the `kc * MR` / `kc * NR` packed panels and the
+    // MR*NR accumulator, per the documented bounds.
+    unsafe {
+        let mut c0 = _mm512_setzero_pd(); // rows 0..8 of column 0
+        let mut c1 = _mm512_setzero_pd();
+        let mut c2 = _mm512_setzero_pd();
+        let mut c3 = _mm512_setzero_pd();
 
-    let mut ap = a;
-    let mut bp = b;
-    // Two-way unroll over the depth loop: cheap and hides broadcast latency.
-    let pairs = kc / 2;
-    for _ in 0..pairs {
-        let a0 = _mm512_loadu_pd(ap);
-        c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
-        c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
-        c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
-        c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
-        let a1 = _mm512_loadu_pd(ap.add(MR));
-        c0 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR)), c0);
-        c1 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 1)), c1);
-        c2 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 2)), c2);
-        c3 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 3)), c3);
-        ap = ap.add(2 * MR);
-        bp = bp.add(2 * NR);
-    }
-    if kc % 2 == 1 {
-        let a0 = _mm512_loadu_pd(ap);
-        c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
-        c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
-        c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
-        c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
-    }
+        let mut ap = a;
+        let mut bp = b;
+        // Two-way unroll over the depth loop: cheap and hides broadcast latency.
+        let pairs = kc / 2;
+        for _ in 0..pairs {
+            let a0 = _mm512_loadu_pd(ap);
+            c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
+            c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
+            c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
+            c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
+            let a1 = _mm512_loadu_pd(ap.add(MR));
+            c0 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR)), c0);
+            c1 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 1)), c1);
+            c2 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 2)), c2);
+            c3 = _mm512_fmadd_pd(a1, _mm512_set1_pd(*bp.add(NR + 3)), c3);
+            ap = ap.add(2 * MR);
+            bp = bp.add(2 * NR);
+        }
+        if kc % 2 == 1 {
+            let a0 = _mm512_loadu_pd(ap);
+            c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp), c0);
+            c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(1)), c1);
+            c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(2)), c2);
+            c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(*bp.add(3)), c3);
+        }
 
-    let p = acc.as_mut_ptr();
-    add_store(p, c0);
-    add_store(p.add(8), c1);
-    add_store(p.add(16), c2);
-    add_store(p.add(24), c3);
+        let p = acc.as_mut_ptr();
+        add_store(p, c0);
+        add_store(p.add(8), c1);
+        add_store(p.add(16), c2);
+        add_store(p.add(24), c3);
+    }
 }
 
+/// # Safety
+/// `dst` points to 8 readable+writable `f64`s; AVX-512F must be available.
 #[target_feature(enable = "avx512f")]
 unsafe fn add_store(dst: *mut f64, v: __m512d) {
-    let cur = _mm512_loadu_pd(dst);
-    _mm512_storeu_pd(dst, _mm512_add_pd(cur, v));
+    // SAFETY: `dst` covers 8 readable+writable f64s and AVX-512F is
+    // available, per the caller's contract.
+    unsafe {
+        let cur = _mm512_loadu_pd(dst);
+        _mm512_storeu_pd(dst, _mm512_add_pd(cur, v));
+    }
 }

@@ -19,55 +19,72 @@ use std::arch::x86_64::*;
 /// caller must only use this after confirming AVX2 and FMA support (the
 /// crate's [`super::select_f32`] does so).
 pub unsafe fn kernel_16x4_avx2_f32_entry(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
-    kernel_16x4_avx2_f32(kc, a, b, acc)
+    // SAFETY: forwarded contract; the caller guarantees operand bounds and
+    // AVX2 + FMA availability.
+    unsafe { kernel_16x4_avx2_f32(kc, a, b, acc) }
 }
 
+/// # Safety
+/// Same contract as [`kernel_16x4_avx2_f32_entry`]: `a` points to
+/// `kc * MR_F32` readable elements, `b` to `kc * NR_F32`, `acc` to
+/// `MR_F32 * NR_F32` writable ones, and AVX2 + FMA must be available.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn kernel_16x4_avx2_f32(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     debug_assert_eq!(MR_F32, 16);
     debug_assert_eq!(NR_F32, 4);
-    let mut c00 = _mm256_setzero_ps(); // rows 0..8 of column 0
-    let mut c10 = _mm256_setzero_ps(); // rows 8..16 of column 0
-    let mut c01 = _mm256_setzero_ps();
-    let mut c11 = _mm256_setzero_ps();
-    let mut c02 = _mm256_setzero_ps();
-    let mut c12 = _mm256_setzero_ps();
-    let mut c03 = _mm256_setzero_ps();
-    let mut c13 = _mm256_setzero_ps();
+    // SAFETY: intrinsics require AVX2 + FMA (caller's contract); all pointer
+    // reads stay within the `kc * MR_F32` / `kc * NR_F32` packed panels and
+    // the MR_F32*NR_F32 accumulator, per the documented bounds.
+    unsafe {
+        let mut c00 = _mm256_setzero_ps(); // rows 0..8 of column 0
+        let mut c10 = _mm256_setzero_ps(); // rows 8..16 of column 0
+        let mut c01 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c02 = _mm256_setzero_ps();
+        let mut c12 = _mm256_setzero_ps();
+        let mut c03 = _mm256_setzero_ps();
+        let mut c13 = _mm256_setzero_ps();
 
-    let mut ap = a;
-    let mut bp = b;
-    for _ in 0..kc {
-        let a0 = _mm256_loadu_ps(ap);
-        let a1 = _mm256_loadu_ps(ap.add(8));
-        let b0 = _mm256_broadcast_ss(&*bp);
-        c00 = _mm256_fmadd_ps(a0, b0, c00);
-        c10 = _mm256_fmadd_ps(a1, b0, c10);
-        let b1 = _mm256_broadcast_ss(&*bp.add(1));
-        c01 = _mm256_fmadd_ps(a0, b1, c01);
-        c11 = _mm256_fmadd_ps(a1, b1, c11);
-        let b2 = _mm256_broadcast_ss(&*bp.add(2));
-        c02 = _mm256_fmadd_ps(a0, b2, c02);
-        c12 = _mm256_fmadd_ps(a1, b2, c12);
-        let b3 = _mm256_broadcast_ss(&*bp.add(3));
-        c03 = _mm256_fmadd_ps(a0, b3, c03);
-        c13 = _mm256_fmadd_ps(a1, b3, c13);
-        ap = ap.add(MR_F32);
-        bp = bp.add(NR_F32);
+        let mut ap = a;
+        let mut bp = b;
+        for _ in 0..kc {
+            let a0 = _mm256_loadu_ps(ap);
+            let a1 = _mm256_loadu_ps(ap.add(8));
+            let b0 = _mm256_broadcast_ss(&*bp);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            let b1 = _mm256_broadcast_ss(&*bp.add(1));
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let b2 = _mm256_broadcast_ss(&*bp.add(2));
+            c02 = _mm256_fmadd_ps(a0, b2, c02);
+            c12 = _mm256_fmadd_ps(a1, b2, c12);
+            let b3 = _mm256_broadcast_ss(&*bp.add(3));
+            c03 = _mm256_fmadd_ps(a0, b3, c03);
+            c13 = _mm256_fmadd_ps(a1, b3, c13);
+            ap = ap.add(MR_F32);
+            bp = bp.add(NR_F32);
+        }
+
+        add_store(acc, c00);
+        add_store(acc.add(8), c10);
+        add_store(acc.add(16), c01);
+        add_store(acc.add(24), c11);
+        add_store(acc.add(32), c02);
+        add_store(acc.add(40), c12);
+        add_store(acc.add(48), c03);
+        add_store(acc.add(56), c13);
     }
-
-    add_store(acc, c00);
-    add_store(acc.add(8), c10);
-    add_store(acc.add(16), c01);
-    add_store(acc.add(24), c11);
-    add_store(acc.add(32), c02);
-    add_store(acc.add(40), c12);
-    add_store(acc.add(48), c03);
-    add_store(acc.add(56), c13);
 }
 
+/// # Safety
+/// `dst` points to 8 readable+writable `f32`s; AVX2 must be available.
 #[target_feature(enable = "avx2")]
 unsafe fn add_store(dst: *mut f32, v: __m256) {
-    let cur = _mm256_loadu_ps(dst);
-    _mm256_storeu_ps(dst, _mm256_add_ps(cur, v));
+    // SAFETY: `dst` covers 8 readable+writable f32s and AVX2 is available,
+    // per the caller's contract.
+    unsafe {
+        let cur = _mm256_loadu_ps(dst);
+        _mm256_storeu_ps(dst, _mm256_add_ps(cur, v));
+    }
 }

@@ -90,14 +90,24 @@ impl GemmScalar for f64 {
         // no per-tile `OnceLock` load.
         #[cfg(target_arch = "x86_64")]
         {
+            // SAFETY: (all three adapters) the caller upholds the
+            // `MicroKernelFn` contract — `acc` points to `MR * NR`
+            // writable elements, which is exactly `Acc`'s layout — and
+            // each adapter is only selected after `selected_name()`
+            // confirmed the matching CPU features at runtime.
             unsafe fn adapt_avx512(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
-                avx512::kernel_8x4_avx512_entry(kc, a, b, &mut *(acc as *mut Acc))
+                // SAFETY: forwarded `MicroKernelFn` contract (see above).
+                unsafe { avx512::kernel_8x4_avx512_entry(kc, a, b, &mut *(acc as *mut Acc)) }
             }
+            // SAFETY: as above.
             unsafe fn adapt_avx2(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
-                avx::kernel_8x4_avx2_entry(kc, a, b, &mut *(acc as *mut Acc))
+                // SAFETY: forwarded `MicroKernelFn` contract (see above).
+                unsafe { avx::kernel_8x4_avx2_entry(kc, a, b, &mut *(acc as *mut Acc)) }
             }
+            // SAFETY: as above (the portable kernel needs no CPU features).
             unsafe fn adapt_portable(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
-                portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc))
+                // SAFETY: forwarded `MicroKernelFn` contract (see above).
+                unsafe { portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc)) }
             }
             use std::sync::OnceLock;
             static CHOICE: OnceLock<MicroKernelFn<f64>> = OnceLock::new();
@@ -109,8 +119,13 @@ impl GemmScalar for f64 {
         }
         #[cfg(not(target_arch = "x86_64"))]
         {
+            // SAFETY: the caller upholds the `MicroKernelFn` contract —
+            // `acc` points to `MR * NR` writable elements, which is
+            // exactly `Acc`'s layout; the portable kernel needs no CPU
+            // features.
             unsafe fn adapt_portable(kc: usize, a: *const f64, b: *const f64, acc: *mut f64) {
-                portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc))
+                // SAFETY: forwarded `MicroKernelFn` contract (see above).
+                unsafe { portable::kernel_8x4_portable(kc, a, b, &mut *(acc as *mut Acc)) }
             }
             adapt_portable
         }

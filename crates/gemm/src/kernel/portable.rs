@@ -12,15 +12,18 @@ pub unsafe fn kernel_8x4_portable(kc: usize, a: *const f64, b: *const f64, acc: 
     // Local accumulator keeps the hot state in registers; written back once.
     let mut local = [0.0f64; MR * NR];
     for p in 0..kc {
-        let ap = a.add(p * MR);
-        let bp = b.add(p * NR);
+        // SAFETY: `p < kc`, so these panel reads stay within the caller's
+        // `kc * MR` / `kc * NR` bounds.
+        let (ap, bp) = unsafe { (a.add(p * MR), b.add(p * NR)) };
         // Read the A column once.
         let mut av = [0.0f64; MR];
         for (i, slot) in av.iter_mut().enumerate() {
-            *slot = *ap.add(i);
+            // SAFETY: `i < MR`, within the micro-panel column.
+            *slot = unsafe { *ap.add(i) };
         }
         for j in 0..NR {
-            let bj = *bp.add(j);
+            // SAFETY: `j < NR`, within the micro-panel row.
+            let bj = unsafe { *bp.add(j) };
             let col = &mut local[j * MR..(j + 1) * MR];
             for i in 0..MR {
                 col[i] += av[i] * bj;
@@ -41,14 +44,17 @@ pub unsafe fn kernel_16x4_portable_f32(kc: usize, a: *const f32, b: *const f32, 
     use super::{MR_F32, NR_F32};
     let mut local = [0.0f32; MR_F32 * NR_F32];
     for p in 0..kc {
-        let ap = a.add(p * MR_F32);
-        let bp = b.add(p * NR_F32);
+        // SAFETY: `p < kc`, so these panel reads stay within the caller's
+        // `kc * MR_F32` / `kc * NR_F32` bounds.
+        let (ap, bp) = unsafe { (a.add(p * MR_F32), b.add(p * NR_F32)) };
         let mut av = [0.0f32; MR_F32];
         for (i, slot) in av.iter_mut().enumerate() {
-            *slot = *ap.add(i);
+            // SAFETY: `i < MR_F32`, within the micro-panel column.
+            *slot = unsafe { *ap.add(i) };
         }
         for j in 0..NR_F32 {
-            let bj = *bp.add(j);
+            // SAFETY: `j < NR_F32`, within the micro-panel row.
+            let bj = unsafe { *bp.add(j) };
             let col = &mut local[j * MR_F32..(j + 1) * MR_F32];
             for i in 0..MR_F32 {
                 col[i] += av[i] * bj;
@@ -56,6 +62,7 @@ pub unsafe fn kernel_16x4_portable_f32(kc: usize, a: *const f32, b: *const f32, 
         }
     }
     for (i, src) in local.iter().enumerate() {
-        *acc.add(i) += *src;
+        // SAFETY: `i < MR_F32 * NR_F32`, within the caller's writable tile.
+        unsafe { *acc.add(i) += *src };
     }
 }

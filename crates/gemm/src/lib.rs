@@ -46,6 +46,8 @@
 //! assert!(fmm_dense::norms::max_abs_diff(c.as_ref(), c_ref.as_ref()) < 1e-12);
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 pub mod driver;
 pub mod kernel;
 mod obs_hooks;

@@ -13,6 +13,13 @@
 //! **B panel** (`kb x nb`, register columns `nr`): `ceil(nb/nr)` micro-panels;
 //! panel `q` holds columns `[q*nr, q*nr + nr)`, `p`-major with `nr`
 //! contiguous column values per depth index, zero-padded past `nb`.
+//!
+//! Packing runs on every warm request, so this file carries `fmm-check`'s
+//! `contract(warm-alloc-free)`: no `Vec::new`/`vec!`/`Box::new`/`format!`
+//! etc. outside tests (see README § Static analysis). Destinations are
+//! always caller-provided slices carved from pooled arenas.
+
+// fmm-check: contract(warm-alloc-free)
 
 use fmm_dense::{MatRef, Scalar};
 

@@ -16,6 +16,8 @@
 //! module against the interpreted executor (see `tests/` at the workspace
 //! root and the pre-generated copy under `src/generated/`).
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 pub mod emit;
 pub mod generated;
 

@@ -12,6 +12,10 @@
 //! are never evicted: p50/p99 summarize *every* sample since process
 //! start, and two histograms recorded on different threads merge by
 //! bucket-wise addition.
+//!
+//! The record/merge paths carry `fmm-check`'s `contract(warm-alloc-free)`
+//! (see README § Static analysis): recording a sample must never touch
+//! the heap. `snapshot` is the cold export path and may allocate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -77,6 +81,7 @@ impl Histogram {
     }
 
     /// Record one sample. Three relaxed RMWs plus a relaxed max.
+    // fmm-check: contract(warm-alloc-free)
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
@@ -86,6 +91,7 @@ impl Histogram {
     }
 
     /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    // fmm-check: contract(warm-alloc-free)
     #[inline]
     pub fn record_duration(&self, d: Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
@@ -97,6 +103,7 @@ impl Histogram {
     }
 
     /// Bucket-wise addition of `other` into `self` (cross-thread merge).
+    // fmm-check: contract(warm-alloc-free)
     pub fn merge_from(&self, other: &Histogram) {
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
             let n = src.load(Ordering::Relaxed);

@@ -21,6 +21,21 @@
 //! This crate depends on nothing but `std` so every layer of the stack
 //! — including the GEMM substrate at the bottom — can record into it
 //! without creating dependency cycles.
+//!
+//! # Atomic-ordering policy
+//!
+//! Every atomic in this crate uses `Ordering::Relaxed`, deliberately:
+//! the counters, histogram buckets, and trace switch are monotone
+//! monitoring state — nothing synchronizes-with them, and readers
+//! tolerate staleness by design. An earlier draft of the trace switch
+//! used `SeqCst` "to be safe"; that bought nothing (the enabled check
+//! guards no data published by the store) and put a full fence on the
+//! per-request warm path. `fmm-check`'s `atomic-ordering` rule now
+//! denies `SeqCst` workspace-wide so the regression cannot silently
+//! return — if an ordering stronger than `Relaxed` is ever truly
+//! needed here, use `Acquire`/`Release` with an adjacent `// ORDERING:`
+//! comment proving the happens-before edge (see README § Static
+//! analysis).
 
 pub mod hist;
 pub mod registry;

@@ -49,6 +49,8 @@
 //! assert!(fmm_dense::norms::rel_error(c.as_ref(), c_ref.as_ref()) < 1e-9);
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 use fmm_core::executor::{gather_terms, ArenaViews, DestBlocks, OperandBlocks, WorkspaceArena};
 use fmm_core::{fmm_execute, fmm_execute_parallel, peeling, tasks, FmmContext, FmmPlan, Variant};
 use fmm_dense::{ops, MatMut, MatRef};
@@ -454,11 +456,12 @@ fn bfs_core<T: GemmScalar>(
         workers,
         || (),
         |(), p| {
+            let span = fmm_obs::trace::start();
             // SAFETY: distinct p -> disjoint C blocks; phase 1 finished,
             // so the M_r reads cannot race a writer.
-            let span = fmm_obs::trace::start();
             let mut dest = unsafe { c_blocks.get(p) };
             for (r, w) in plan.w().row_nonzeros(p) {
+                // SAFETY: phase 1 finished — every M_r slot is immutable.
                 let mr = unsafe { slots.mr(r) };
                 ops::axpy(dest.reborrow(), T::from_f64(w), mr).expect("block shapes agree");
             }
@@ -635,6 +638,7 @@ fn hybrid_core<T: GemmScalar>(
             // SAFETY: distinct p -> disjoint C blocks; phase 1 finished.
             let mut dest = unsafe { c_blocks.get(p) };
             for (r, w) in outer.w().row_nonzeros(p) {
+                // SAFETY: phase 1 finished — every M_r slot is immutable.
                 let mr = unsafe { slots.mr(r) };
                 ops::axpy(dest.reborrow(), T::from_f64(w), mr).expect("block shapes agree");
             }
@@ -775,13 +779,15 @@ mod tests {
         fan_out(
             100,
             4,
-            || inits.fetch_add(1, Ordering::SeqCst),
+            // Relaxed everywhere: `fan_out` joins its workers before
+            // returning, so the loads below are ordered by the join.
+            || inits.fetch_add(1, Ordering::Relaxed),
             |_, i| {
-                hits[i].fetch_add(1, Ordering::SeqCst);
+                hits[i].fetch_add(1, Ordering::Relaxed);
             },
         );
-        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
-        assert!(inits.load(Ordering::SeqCst) <= 4, "at most one init per worker");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(inits.load(Ordering::Relaxed) <= 4, "at most one init per worker");
         fan_out(0, 4, || (), |(), _| panic!("no tasks, no calls"));
     }
 

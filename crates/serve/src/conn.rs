@@ -133,11 +133,18 @@ pub enum DecodeStep {
 }
 
 /// Incremental v1/v2 frame decoder for one connection.
+///
+/// The decode paths below parse untrusted network bytes, so they carry
+/// the same machine-checked panic-freedom contract as `protocol` (see
+/// README § Static analysis): the `fmm-check: contract(panic-free)`
+/// pragmas scope the `deny-panic` rule to this impl and the free
+/// functions it routes through.
 pub struct Decoder {
     state: DecodeState,
     max_payload: usize,
 }
 
+// fmm-check: contract(panic-free)
 impl Decoder {
     /// A decoder enforcing `max_payload` per frame.
     pub fn new(max_payload: usize) -> Self {
@@ -163,7 +170,10 @@ impl Decoder {
             let outcome = match &mut self.state {
                 DecodeState::Broken => return DecodeStep::Broken,
                 DecodeState::Header { buf, filled, need } => {
-                    match read_into(r, &mut buf[*filled..*need]) {
+                    // `filled < need <= buf.len()` is the state invariant;
+                    // `get_mut` keeps the path panic-free regardless.
+                    let dst = buf.get_mut(*filled..*need).unwrap_or(&mut []);
+                    match read_into(r, dst) {
                         ReadChunk::Data(n) => *filled += n,
                         ReadChunk::WouldBlock => return DecodeStep::NeedMore,
                         ReadChunk::Eof => return DecodeStep::Closed,
@@ -171,7 +181,8 @@ impl Decoder {
                     if *filled < *need {
                         continue;
                     }
-                    let prefix: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("10 bytes");
+                    let prefix: [u8; HEADER_LEN] =
+                        protocol::le_bytes(buf.as_slice(), 0).unwrap_or_default();
                     if *need == HEADER_LEN {
                         // The common prefix is complete: classify it.
                         match protocol::parse_header_prefix(&prefix, self.max_payload) {
@@ -211,11 +222,16 @@ impl Decoder {
                         }
                     }
                     // Full v2 header; the prefix was validated on the way
-                    // through `need == HEADER_LEN`.
-                    let info = protocol::parse_header_prefix(&prefix, self.max_payload)
-                        .expect("validated before extending");
-                    let request_id =
-                        u64::from_le_bytes(buf[HEADER_LEN..HEADER_LEN_V2].try_into().expect("8"));
+                    // through `need == HEADER_LEN`, so re-parsing cannot
+                    // fail — but a decoder bug breaks the stream rather
+                    // than panicking.
+                    let Ok(info) = protocol::parse_header_prefix(&prefix, self.max_payload) else {
+                        self.state = DecodeState::Broken;
+                        return DecodeStep::Broken;
+                    };
+                    let request_id = u64::from_le_bytes(
+                        protocol::le_bytes(buf.as_slice(), HEADER_LEN).unwrap_or_default(),
+                    );
                     self.state = next_payload_state(FrameHead {
                         version: info.version,
                         request_id,
@@ -226,7 +242,8 @@ impl Decoder {
                 }
                 DecodeState::Small { payload, filled, .. } => {
                     while *filled < payload.len() {
-                        match read_into(r, &mut payload[*filled..]) {
+                        let dst = payload.get_mut(*filled..).unwrap_or(&mut []);
+                        match read_into(r, dst) {
                             ReadChunk::Data(n) => *filled += n,
                             ReadChunk::WouldBlock => return DecodeStep::NeedMore,
                             ReadChunk::Eof => return DecodeStep::Closed,
@@ -236,7 +253,8 @@ impl Decoder {
                 }
                 DecodeState::Prelude { head, buf, filled } => {
                     while *filled < REQUEST_PRELUDE {
-                        match read_into(r, &mut buf[*filled..]) {
+                        let dst = buf.get_mut(*filled..).unwrap_or(&mut []);
+                        match read_into(r, dst) {
                             ReadChunk::Data(n) => *filled += n,
                             ReadChunk::WouldBlock => return DecodeStep::NeedMore,
                             ReadChunk::Eof => return DecodeStep::Closed,
@@ -281,7 +299,8 @@ impl Decoder {
                     let mut scratch = [0u8; 4096];
                     while *remaining > 0 {
                         let want = (*remaining).min(scratch.len());
-                        match read_into(r, &mut scratch[..want]) {
+                        let dst = scratch.get_mut(..want).unwrap_or(&mut []);
+                        match read_into(r, dst) {
                             ReadChunk::Data(n) => *remaining -= n,
                             ReadChunk::WouldBlock => return DecodeStep::NeedMore,
                             ReadChunk::Eof => return DecodeStep::Closed,
@@ -301,7 +320,13 @@ impl Decoder {
                     InEvent::Request { head, dims, operands: stage }
                 }
                 DecodeState::Skip { reply, .. } => *reply,
-                _ => unreachable!("only payload states complete frames"),
+                // Header/Prelude/Broken never produce `Complete::Frame`;
+                // a decoder bug lands here — break the stream rather than
+                // panic.
+                DecodeState::Header { .. } | DecodeState::Prelude { .. } | DecodeState::Broken => {
+                    self.state = DecodeState::Broken;
+                    return DecodeStep::Broken;
+                }
             };
             events.push(event);
             return DecodeStep::Frame;
@@ -320,6 +345,7 @@ enum Complete {
 }
 
 /// Route a completed header to its payload state.
+// fmm-check: contract(panic-free)
 fn next_payload_state(head: FrameHead) -> DecodeState {
     if head.kind == FrameKind::Request && head.payload_len >= REQUEST_PRELUDE {
         DecodeState::Prelude { head, buf: [0; REQUEST_PRELUDE], filled: 0 }
@@ -329,6 +355,7 @@ fn next_payload_state(head: FrameHead) -> DecodeState {
 }
 
 /// Classify a fully buffered small frame into its event.
+// fmm-check: contract(panic-free)
 fn small_frame_event(head: FrameHead, payload: Vec<u8>) -> InEvent {
     match head.kind {
         FrameKind::Ping => InEvent::Ping { head, payload },
@@ -353,7 +380,7 @@ fn small_frame_event(head: FrameHead, payload: Vec<u8>) -> InEvent {
             // Payload: optional 8-byte LE "last N events" bound.
             let last = match payload.len() {
                 0 => 0,
-                8 => u64::from_le_bytes(payload.try_into().expect("length checked")),
+                8 => u64::from_le_bytes(protocol::le_bytes(&payload, 0).unwrap_or_default()),
                 n => {
                     return InEvent::Bad {
                         version: head.version,
@@ -398,6 +425,7 @@ enum ReadChunk {
 }
 
 /// One nonblocking read into `target`, with `Interrupted` retried.
+// fmm-check: contract(panic-free)
 fn read_into(r: &mut impl Read, target: &mut [u8]) -> ReadChunk {
     if target.is_empty() {
         return ReadChunk::Data(0);

@@ -79,6 +79,8 @@
 //! handle.wait();
 //! ```
 
+#![forbid(unsafe_op_in_unsafe_fn)]
+
 pub mod buffers;
 pub mod client;
 pub mod conn;

@@ -39,6 +39,13 @@
 //! input, so every decode path returns `Err` on malformed bytes — no
 //! panic, no unchecked multiplication, no allocation before the declared
 //! length has been validated against the configured cap.
+//!
+//! That contract is machine-checked: the pragma below opts this whole
+//! file into `fmm-check`'s `deny-panic` rule (no `unwrap`/`expect`/
+//! `panic!`/`unreachable!`/`[]` indexing outside tests), and CI fails on
+//! any violation. See README § Static analysis.
+
+// fmm-check: contract(panic-free)
 
 use fmm_dense::Matrix;
 use fmm_gemm::GemmScalar;
@@ -66,6 +73,34 @@ pub const REQUEST_PRELUDE: usize = 1 + 4 + 4 + 4;
 
 /// Response-payload prelude size: dtype + m + n.
 pub const RESPONSE_PRELUDE: usize = 1 + 4 + 4;
+
+/// Read `N` bytes starting at `off`, or `None` if the slice is too short —
+/// the panic-free building block the decode paths here and in `conn`
+/// slice with (`fmm-check` forbids `[]` indexing in both).
+pub(crate) fn le_bytes<const N: usize>(b: &[u8], off: usize) -> Option<[u8; N]> {
+    let src = b.get(off..off.checked_add(N)?)?;
+    let mut out = [0u8; N];
+    for (d, s) in out.iter_mut().zip(src) {
+        *d = *s;
+    }
+    Some(out)
+}
+
+/// Read a little-endian `u32` at `off` (`None` when out of bounds).
+fn le_u32(b: &[u8], off: usize) -> Option<u32> {
+    le_bytes::<4>(b, off).map(u32::from_le_bytes)
+}
+
+/// Copy `src` into `dst` at `off`. Encode paths call this with statically
+/// sized buffers, so the bounds check can only fail on a local bug — it
+/// is asserted in debug builds and a no-op out of bounds in release.
+fn put(dst: &mut [u8], off: usize, src: &[u8]) {
+    let end = off.checked_add(src.len());
+    debug_assert!(end.is_some_and(|e| e <= dst.len()), "put out of bounds");
+    if let Some(d) = end.and_then(|e| dst.get_mut(off..e)) {
+        d.copy_from_slice(src);
+    }
+}
 
 /// Frame discriminator (header byte 5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -223,7 +258,8 @@ impl WireScalar for f64 {
     }
 
     fn read_le(bytes: &[u8]) -> Self {
-        f64::from_le_bytes(bytes.try_into().expect("8-byte chunk"))
+        debug_assert_eq!(bytes.len(), 8, "callers slice exactly one element");
+        f64::from_le_bytes(le_bytes(bytes, 0).unwrap_or_default())
     }
 }
 
@@ -235,7 +271,8 @@ impl WireScalar for f32 {
     }
 
     fn read_le(bytes: &[u8]) -> Self {
-        f32::from_le_bytes(bytes.try_into().expect("4-byte chunk"))
+        debug_assert_eq!(bytes.len(), 4, "callers slice exactly one element");
+        f32::from_le_bytes(le_bytes(bytes, 0).unwrap_or_default())
     }
 }
 
@@ -301,10 +338,9 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::R
         ));
     }
     let mut header = [0u8; HEADER_LEN];
-    header[0..4].copy_from_slice(&MAGIC);
-    header[4] = VERSION;
-    header[5] = kind as u8;
-    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    put(&mut header, 0, &MAGIC);
+    put(&mut header, 4, &[VERSION, kind as u8]);
+    put(&mut header, 6, &(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)
 }
@@ -316,7 +352,10 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, FrameE
     // truncated frame.
     let mut filled = 0;
     while filled < HEADER_LEN {
-        match r.read(&mut header[filled..]) {
+        // `filled < HEADER_LEN` makes the range valid; `get_mut` keeps the
+        // path panic-free regardless.
+        let dst = header.get_mut(filled..).unwrap_or(&mut []);
+        match r.read(dst) {
             Ok(0) if filled == 0 => return Err(FrameError::Closed),
             Ok(0) => {
                 return Err(FrameError::Io(io::Error::new(
@@ -329,14 +368,16 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Frame, FrameE
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    if header[0..4] != MAGIC {
-        return Err(FrameError::BadMagic(header[0..4].try_into().expect("4 bytes")));
+    let [m0, m1, m2, m3, version, kind_b, l0, l1, l2, l3] = header;
+    let magic = [m0, m1, m2, m3];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
     }
-    if header[4] != VERSION {
-        return Err(FrameError::BadVersion(header[4]));
+    if version != VERSION {
+        return Err(FrameError::BadVersion(version));
     }
-    let kind = FrameKind::from_u8(header[5]).ok_or(FrameError::BadKind(header[5]))?;
-    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    let kind = FrameKind::from_u8(kind_b).ok_or(FrameError::BadKind(kind_b))?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > max_payload {
         return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
     }
@@ -399,10 +440,15 @@ pub fn write_frame_v(
 /// pipelined client uses; servers decode incrementally instead (see
 /// `conn`).
 pub fn read_frame_any(r: &mut impl Read, max_payload: usize) -> Result<FrameV, FrameError> {
-    let mut header = [0u8; HEADER_LEN_V2];
+    // Only the 10 shared prefix bytes land here; a v2 frame's request id
+    // is read separately below.
+    let mut header = [0u8; HEADER_LEN];
     let mut filled = 0;
     while filled < HEADER_LEN {
-        match r.read(&mut header[filled..HEADER_LEN]) {
+        // `filled < HEADER_LEN` makes the range valid; `get_mut` keeps the
+        // path panic-free regardless.
+        let dst = header.get_mut(filled..).unwrap_or(&mut []);
+        match r.read(dst) {
             Ok(0) if filled == 0 => return Err(FrameError::Closed),
             Ok(0) => {
                 return Err(FrameError::Io(io::Error::new(
@@ -415,15 +461,16 @@ pub fn read_frame_any(r: &mut impl Read, max_payload: usize) -> Result<FrameV, F
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    if header[0..4] != MAGIC {
-        return Err(FrameError::BadMagic(header[0..4].try_into().expect("4 bytes")));
+    let [m0, m1, m2, m3, version, kind_b, l0, l1, l2, l3] = header;
+    let magic = [m0, m1, m2, m3];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
     }
-    let version = header[4];
     if version != VERSION && version != VERSION_V2 {
         return Err(FrameError::BadVersion(version));
     }
-    let kind = FrameKind::from_u8(header[5]).ok_or(FrameError::BadKind(header[5]))?;
-    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    let kind = FrameKind::from_u8(kind_b).ok_or(FrameError::BadKind(kind_b))?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > max_payload {
         return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
     }
@@ -469,15 +516,16 @@ pub fn parse_header_prefix(
     bytes: &[u8; HEADER_LEN],
     max_payload: usize,
 ) -> Result<HeaderInfo, FrameError> {
-    if bytes[0..4] != MAGIC {
-        return Err(FrameError::BadMagic(bytes[0..4].try_into().expect("4 bytes")));
+    let [m0, m1, m2, m3, version, kind_b, l0, l1, l2, l3] = *bytes;
+    let magic = [m0, m1, m2, m3];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
     }
-    let version = bytes[4];
     if version != VERSION && version != VERSION_V2 {
         return Err(FrameError::BadVersion(version));
     }
-    let kind = FrameKind::from_u8(bytes[5]).ok_or(FrameError::BadKind(bytes[5]))?;
-    let len = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    let kind = FrameKind::from_u8(kind_b).ok_or(FrameError::BadKind(kind_b))?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > max_payload {
         return Err(FrameError::Oversized { declared: len as u64, cap: max_payload as u64 });
     }
@@ -529,11 +577,11 @@ pub fn decode_request_prelude(
     payload_len: usize,
     max_response_bytes: usize,
 ) -> Result<RequestDims, String> {
-    let dtype =
-        Dtype::from_u8(prelude[0]).ok_or_else(|| format!("unknown dtype {}", prelude[0]))?;
-    let m = u32::from_le_bytes(prelude[1..5].try_into().expect("4 bytes")) as u64;
-    let k = u32::from_le_bytes(prelude[5..9].try_into().expect("4 bytes")) as u64;
-    let n = u32::from_le_bytes(prelude[9..13].try_into().expect("4 bytes")) as u64;
+    let [dtype_b, m0, m1, m2, m3, k0, k1, k2, k3, n0, n1, n2, n3] = *prelude;
+    let dtype = Dtype::from_u8(dtype_b).ok_or_else(|| format!("unknown dtype {dtype_b}"))?;
+    let m = u32::from_le_bytes([m0, m1, m2, m3]) as u64;
+    let k = u32::from_le_bytes([k0, k1, k2, k3]) as u64;
+    let n = u32::from_le_bytes([n0, n1, n2, n3]) as u64;
     let elems = m
         .checked_mul(k)
         .and_then(|ab| ab.checked_add(k.checked_mul(n)?))
@@ -566,9 +614,9 @@ pub fn decode_request_prelude(
 /// a response the server writes ahead of the raw result bytes.
 pub fn encode_response_prelude(dtype: Dtype, m: usize, n: usize) -> [u8; RESPONSE_PRELUDE] {
     let mut out = [0u8; RESPONSE_PRELUDE];
-    out[0] = dtype as u8;
-    out[1..5].copy_from_slice(&(m as u32).to_le_bytes());
-    out[5..9].copy_from_slice(&(n as u32).to_le_bytes());
+    put(&mut out, 0, &[dtype as u8]);
+    put(&mut out, 1, &(m as u32).to_le_bytes());
+    put(&mut out, 5, &(n as u32).to_le_bytes());
     out
 }
 
@@ -627,7 +675,7 @@ fn read_matrix<T: WireScalar>(bytes: &[u8], rows: usize, cols: usize) -> Matrix<
     debug_assert_eq!(bytes.len(), rows * cols * w, "validated by the caller");
     Matrix::from_fn(rows, cols, |i, j| {
         let at = (i * cols + j) * w;
-        T::read_le(&bytes[at..at + w])
+        T::read_le(bytes.get(at..at.wrapping_add(w)).unwrap_or(&[]))
     })
 }
 
@@ -666,21 +714,24 @@ pub fn decode_request(payload: &[u8], max_response_bytes: usize) -> Result<Decod
             payload.len()
         ));
     }
-    let prelude: [u8; REQUEST_PRELUDE] =
-        payload[..REQUEST_PRELUDE].try_into().expect("length checked");
+    let Some(prelude) = le_bytes::<REQUEST_PRELUDE>(payload, 0) else {
+        return Err("request payload shorter than its prelude".to_string());
+    };
     let dims = decode_request_prelude(&prelude, payload.len(), max_response_bytes)?;
     let RequestDims { dtype, m, k, n } = dims;
-    let body = &payload[REQUEST_PRELUDE..];
+    // The prelude check guarantees the payload accounts for every operand
+    // byte, so these `get`s cannot fail.
+    let body = payload.get(REQUEST_PRELUDE..).unwrap_or(&[]);
     let a_bytes = dims.a_bytes();
+    let a_body = body.get(..a_bytes).unwrap_or(&[]);
+    let b_body = body.get(a_bytes..).unwrap_or(&[]);
     Ok(match dtype {
-        Dtype::F64 => DecodedRequest::F64 {
-            a: read_matrix(&body[..a_bytes], m, k),
-            b: read_matrix(&body[a_bytes..], k, n),
-        },
-        Dtype::F32 => DecodedRequest::F32 {
-            a: read_matrix(&body[..a_bytes], m, k),
-            b: read_matrix(&body[a_bytes..], k, n),
-        },
+        Dtype::F64 => {
+            DecodedRequest::F64 { a: read_matrix(a_body, m, k), b: read_matrix(b_body, k, n) }
+        }
+        Dtype::F32 => {
+            DecodedRequest::F32 { a: read_matrix(a_body, m, k), b: read_matrix(b_body, k, n) }
+        }
     })
 }
 
@@ -692,13 +743,15 @@ pub fn decode_response<T: WireScalar>(payload: &[u8]) -> Result<Matrix<T>, Strin
             payload.len()
         ));
     }
-    let dtype =
-        Dtype::from_u8(payload[0]).ok_or_else(|| format!("unknown dtype {}", payload[0]))?;
+    // The length check above covers the whole prelude, so these reads
+    // cannot fail; the fallbacks keep the path panic-free.
+    let dtype_b = payload.first().copied().unwrap_or(0);
+    let dtype = Dtype::from_u8(dtype_b).ok_or_else(|| format!("unknown dtype {dtype_b}"))?;
     if dtype != T::DTYPE {
         return Err(format!("expected {:?} response, got {dtype:?}", T::DTYPE));
     }
-    let m = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as u64;
-    let n = u32::from_le_bytes(payload[5..9].try_into().expect("4 bytes")) as u64;
+    let m = le_u32(payload, 1).unwrap_or(0) as u64;
+    let n = le_u32(payload, 5).unwrap_or(0) as u64;
     let expected = m
         .checked_mul(n)
         .and_then(|e| e.checked_mul(dtype.elem_bytes() as u64))
@@ -710,7 +763,7 @@ pub fn decode_response<T: WireScalar>(payload: &[u8]) -> Result<Matrix<T>, Strin
             payload.len()
         ));
     }
-    Ok(read_matrix(&payload[RESPONSE_PRELUDE..], m as usize, n as usize))
+    Ok(read_matrix(payload.get(RESPONSE_PRELUDE..).unwrap_or(&[]), m as usize, n as usize))
 }
 
 #[cfg(test)]

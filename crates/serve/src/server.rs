@@ -172,7 +172,12 @@ impl Shared {
     /// queues (dispatchers drain their backlogs first), and wake every
     /// event loop so it notices.
     fn request_stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ORDERING: Release pairs with the Acquire loads in
+        // `is_stopping`/the event loops: a loop that observes `stop ==
+        // true` also observes everything the stopping thread did before
+        // requesting it. SeqCst would add nothing — with a single flag
+        // there is no multi-variable order to make total.
+        self.stop.store(true, Ordering::Release);
         self.queue_f64.close();
         self.queue_f32.close();
         for l in &self.loops {
@@ -510,7 +515,8 @@ impl ServerHandle {
     /// True once shutdown has been requested (by [`ServerHandle::shutdown`]
     /// or a client `Shutdown` frame).
     pub fn is_stopping(&self) -> bool {
-        self.shared.stop.load(Ordering::SeqCst)
+        // ORDERING: pairs with the Release store in `request_stop`.
+        self.shared.stop.load(Ordering::Acquire)
     }
 
     /// Block until shutdown is requested, then join the event loops and
@@ -649,7 +655,10 @@ fn event_loop(
             apply_completion(shared, &me, &mut poller, &mut slots, completion);
         }
 
-        if shared.stop.load(Ordering::SeqCst) {
+        // ORDERING: pairs with the Release store in `request_stop`; the
+        // loop was woken through the self-pipe, and on the wakeup pass
+        // this Acquire load makes the pre-stop writes visible.
+        if shared.stop.load(Ordering::Acquire) {
             if let Some(l) = listener.take() {
                 // Refuse new connections immediately; in-flight work keeps
                 // draining below.

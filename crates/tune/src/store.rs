@@ -19,6 +19,12 @@
 //!   ([`fmm_gemm::GemmScalar::micro_kernel_name`]); lookups supply the
 //!   current kernel and silently ignore entries measured on different
 //!   silicon. Worker count and dtype are part of the lookup key itself.
+//!
+//! The "no load path may panic" rule is machine-checked: this file carries
+//! `fmm-check`'s `contract(panic-free)` (no `unwrap`/`expect`/`panic!`/
+//! `[]` indexing outside tests; see README § Static analysis).
+
+// fmm-check: contract(panic-free)
 
 use fmm_core::json::{self, Value};
 use fmm_core::{Strategy, Variant};
@@ -351,10 +357,10 @@ fn parse_decision(v: &Value) -> Result<DecisionEntry, String> {
     let choice = match v.get("kind")?.as_str()? {
         "gemm" => TunedChoice::Gemm,
         "fmm" => {
-            let dims = v.get("dims")?.as_array()?;
-            if dims.len() != 3 {
-                return Err(format!("dims must have 3 entries, got {}", dims.len()));
-            }
+            let (d0, d1, d2) = match v.get("dims")?.as_array()? {
+                [a, b, c] => (a.as_usize()?, b.as_usize()?, c.as_usize()?),
+                other => return Err(format!("dims must have 3 entries, got {}", other.len())),
+            };
             let levels = v.get("levels")?.as_usize()?;
             // levels == 0 would panic plan composition; huge values would
             // request an exponential Kronecker product. Either way the
@@ -363,7 +369,7 @@ fn parse_decision(v: &Value) -> Result<DecisionEntry, String> {
                 return Err(format!("levels {levels} outside 1..={MAX_DECISION_LEVELS}"));
             }
             TunedChoice::Fmm {
-                dims: (dims[0].as_usize()?, dims[1].as_usize()?, dims[2].as_usize()?),
+                dims: (d0, d1, d2),
                 levels,
                 variant: variant_from_name(v.get("variant")?.as_str()?)?,
                 strategy: strategy_from_name(v.get("strategy")?.as_str()?)?,
