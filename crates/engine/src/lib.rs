@@ -75,11 +75,15 @@ pub use fmm_tune::{kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, Tuned
 use fmm_core::{fmm_execute, FmmPlan};
 use fmm_dense::{MatMut, MatRef};
 use fmm_gemm::{BlockingParams, GemmScalar};
-use fmm_model::{rank_candidates, rank_scheduled, ArchParams, Impl};
+use fmm_model::{
+    predict_gemm_parallel, predict_scheduled, rank_candidates, rank_scheduled, ArchParams, Impl,
+};
+use fmm_obs::audit::{AuditDtype, AuditSample, AuditSource};
 use fmm_sched::fan_out;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the engine chooses a `(plan, variant)` per shape.
 #[derive(Clone, Debug)]
@@ -186,21 +190,38 @@ impl Default for EngineConfig {
     }
 }
 
-/// What the engine decided to run for one shape.
+/// What the engine decided to run for one shape, plus the audit
+/// attribution that travels with it: where the decision came from and
+/// what the router predicted it would cost. Cached whole in the
+/// decision LRU so the warm path re-derives nothing.
 #[derive(Clone)]
-enum Decision {
+struct Decision {
+    choice: Choice,
+    /// Routing source for audit attribution. `Fallback` marks decisions
+    /// the configured route could not serve (pinned registry miss,
+    /// tuned-store miss) even when a model ranking picked the fallback.
+    source: AuditSource,
+    /// Predicted cost of one multiply of this shape, in nanoseconds
+    /// (model total, or re-derived from the tuned store's measured
+    /// GFLOP/s). 0 = unknown. When a strategy override rewrites the
+    /// schedule, the prediction still describes the ranked schedule.
+    predicted_nanos: u64,
+}
+
+#[derive(Clone)]
+enum Choice {
     Gemm,
     Fmm { plan: Arc<FmmPlan>, variant: Variant, strategy: Strategy },
 }
 
 impl Decision {
     fn describe(&self) -> String {
-        match self {
-            Decision::Gemm => "GEMM".to_string(),
-            Decision::Fmm { plan, variant, strategy: Strategy::Dfs } => {
+        match &self.choice {
+            Choice::Gemm => "GEMM".to_string(),
+            Choice::Fmm { plan, variant, strategy: Strategy::Dfs } => {
                 format!("{} {}", plan.describe(), variant.name())
             }
-            Decision::Fmm { plan, variant, strategy } => {
+            Choice::Fmm { plan, variant, strategy } => {
                 format!("{} {} {}", plan.describe(), variant.name(), strategy.name())
             }
         }
@@ -249,15 +270,23 @@ pub struct EngineStats {
     /// class, kernel-fingerprint mismatch, or an algorithm no longer in
     /// the registry) that fell back to model ranking.
     pub tuned_misses: u64,
+    /// Executed multiplies whose predicted-vs-measured sample landed in
+    /// the decision-audit table (`fmm_obs::audit`).
+    pub audit_samples: u64,
+    /// Audit samples dropped because the process-wide class table was
+    /// full (unseen (shape-class, dtype) beyond its capacity).
+    pub audit_drops: u64,
 }
 
 impl EngineStats {
     /// Every counter as a `(name, value)` row, in declaration order.
     /// This is the reflection surface consumers like `fmm-serve`'s stats
     /// channel and the smoke benchmarks render from, so a new counter
-    /// shows up everywhere by being added here once.
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
-        [
+    /// shows up everywhere by being added here once. Length-agnostic by
+    /// design: callers must iterate, never assume a fixed arity, so a
+    /// new counter cannot silently truncate the mirror.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
             ("executions", self.executions),
             ("decision_hits", self.decision_hits),
             ("decision_misses", self.decision_misses),
@@ -270,6 +299,8 @@ impl EngineStats {
             ("pinned_fallbacks", self.pinned_fallbacks),
             ("tuned_hits", self.tuned_hits),
             ("tuned_misses", self.tuned_misses),
+            ("audit_samples", self.audit_samples),
+            ("audit_drops", self.audit_drops),
         ]
     }
 }
@@ -302,6 +333,8 @@ struct Counters {
     pinned_fallbacks: AtomicU64,
     tuned_hits: AtomicU64,
     tuned_misses: AtomicU64,
+    audit_samples: AtomicU64,
+    audit_drops: AtomicU64,
 }
 
 impl Counters {
@@ -321,6 +354,8 @@ impl Counters {
         self.pinned_fallbacks.store(0, Ordering::Relaxed);
         self.tuned_hits.store(0, Ordering::Relaxed);
         self.tuned_misses.store(0, Ordering::Relaxed);
+        self.audit_samples.store(0, Ordering::Relaxed);
+        self.audit_drops.store(0, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> EngineStats {
@@ -337,6 +372,8 @@ impl Counters {
             pinned_fallbacks: self.pinned_fallbacks.load(Ordering::Relaxed),
             tuned_hits: self.tuned_hits.load(Ordering::Relaxed),
             tuned_misses: self.tuned_misses.load(Ordering::Relaxed),
+            audit_samples: self.audit_samples.load(Ordering::Relaxed),
+            audit_drops: self.audit_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -512,12 +549,15 @@ impl<T: GemmScalar> FmmEngine<T> {
         assert_eq!((c.rows(), c.cols()), (m, n), "C shape mismatch");
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
 
-        match self.route(m, k, n) {
-            Decision::Gemm => self.run_gemm(c, a, b),
-            Decision::Fmm { plan, variant, strategy } => {
-                self.run_fmm(c, a, b, &plan, variant, strategy);
+        let decision = self.route(m, k, n);
+        let start = Instant::now();
+        match &decision.choice {
+            Choice::Gemm => self.run_gemm(c, a, b),
+            Choice::Fmm { plan, variant, strategy } => {
+                self.run_fmm(c, a, b, plan, *variant, *strategy);
             }
         }
+        self.audit(m, k, n, &decision, start.elapsed());
     }
 
     /// Execute many independent problems through the scheduler at once:
@@ -572,8 +612,10 @@ impl<T: GemmScalar> FmmEngine<T> {
                 // Lower layers (sched tasks, gemm pack/kernel) stamp their
                 // spans with this thread's current request id.
                 let prev_tag = fmm_obs::trace::set_current_request(item.tag);
-                match &decisions[i] {
-                    Decision::Gemm => {
+                let (m, k, n) = (item.a.rows(), item.a.cols(), item.b.cols());
+                let start = Instant::now();
+                match &decisions[i].choice {
+                    Choice::Gemm => {
                         fmm_gemm::gemm_with_params(
                             item.c.reborrow(),
                             item.a,
@@ -581,7 +623,7 @@ impl<T: GemmScalar> FmmEngine<T> {
                             &batch_params,
                         );
                     }
-                    Decision::Fmm { plan, variant, .. } => {
+                    Choice::Fmm { plan, variant, .. } => {
                         let ctx = guard.ctx();
                         let grows_before = ctx.grow_count();
                         // Within a batch each problem runs depth-first and
@@ -599,9 +641,34 @@ impl<T: GemmScalar> FmmEngine<T> {
                             .fetch_add(ctx.grow_count() - grows_before, Ordering::Relaxed);
                     }
                 }
+                self.audit(m, k, n, &decisions[i], start.elapsed());
                 fmm_obs::trace::set_current_request(prev_tag);
             },
         );
+    }
+
+    /// Report one executed multiply to the process-wide decision audit
+    /// (`fmm_obs::audit`): predicted vs measured cost, attributed to the
+    /// shape's power-of-two class and this engine's dtype. The tuner's
+    /// `multiply_with_plan` measurement path deliberately skips this —
+    /// those runs execute candidates the router did not choose.
+    fn audit(&self, m: usize, k: usize, n: usize, decision: &Decision, elapsed: Duration) {
+        let class = ShapeClass::of(m, k, n);
+        let sample = AuditSample {
+            class_m: class.m as u64,
+            class_k: class.k as u64,
+            class_n: class.n as u64,
+            dtype: AuditDtype::from_name(T::NAME),
+            source: decision.source,
+            predicted_nanos: decision.predicted_nanos,
+            measured_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            flops: u64::try_from(2u128 * m as u128 * k as u128 * n as u128).unwrap_or(u64::MAX),
+        };
+        if fmm_obs::audit::record(&sample) {
+            self.counters.audit_samples.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.audit_drops.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// `C += A·B` with an explicit `(plan, variant)`, using the engine's
@@ -626,7 +693,7 @@ impl<T: GemmScalar> FmmEngine<T> {
     /// this, the first `multiply` of the shape is already on the warm path.
     pub fn prepare(&self, m: usize, k: usize, n: usize) {
         let decision = self.route(m, k, n);
-        if let Decision::Fmm { plan, variant, strategy } = decision {
+        if let Choice::Fmm { plan, variant, strategy } = decision.choice {
             let workers = self.effective_workers();
             let mut guard = self.checkout();
             let ctx = guard.ctx();
@@ -660,6 +727,17 @@ impl<T: GemmScalar> FmmEngine<T> {
             fmm_obs::trace::current_request(),
             span,
         );
+        // Cold side of the audit: label the shape's class with what the
+        // router just chose (one decision per class is representative —
+        // classes exist precisely because members route alike).
+        let class = ShapeClass::of(m, k, n);
+        fmm_obs::audit::note_decision(
+            class.m as u64,
+            class.k as u64,
+            class.n as u64,
+            AuditDtype::from_name(T::NAME),
+            &decision.describe(),
+        );
         self.decisions.lock().insert((m, k, n), decision.clone());
         decision
     }
@@ -667,17 +745,40 @@ impl<T: GemmScalar> FmmEngine<T> {
     fn compute_decision(&self, m: usize, k: usize, n: usize) -> Decision {
         let decision = match &self.config.routing {
             Routing::Pinned { dims, levels, variant } => match self.registry.get(*dims) {
-                Some(algo) => Decision::Fmm {
-                    plan: self.plan_for(&algo, *levels),
-                    variant: *variant,
-                    strategy: Strategy::Dfs,
-                },
+                Some(algo) => {
+                    let plan = self.plan_for(&algo, *levels);
+                    // Predict the pinned plan itself so the audit compares
+                    // reality against what the model believes about *this*
+                    // choice (workers == 1 + DFS reduces to the
+                    // sequential model).
+                    let predicted = predict_scheduled(
+                        Impl::from_variant(*variant),
+                        &plan,
+                        m,
+                        k,
+                        n,
+                        &self.arch,
+                        self.effective_workers(),
+                        Strategy::Dfs,
+                    );
+                    Decision {
+                        choice: Choice::Fmm { plan, variant: *variant, strategy: Strategy::Dfs },
+                        source: AuditSource::Pinned,
+                        predicted_nanos: predicted.total_nanos(),
+                    }
+                }
                 // No algorithm for the pinned dims: fall back to the GEMM
                 // decision (counted, cached like any other decision) rather
                 // than killing the process over a routing hint.
                 None => {
                     self.counters.pinned_fallbacks.fetch_add(1, Ordering::Relaxed);
-                    Decision::Gemm
+                    let predicted =
+                        predict_gemm_parallel(m, k, n, &self.arch, self.effective_workers());
+                    Decision {
+                        choice: Choice::Gemm,
+                        source: AuditSource::Fallback,
+                        predicted_nanos: predicted.total_nanos(),
+                    }
                 }
             },
             Routing::Tuned { store } => match self.tuned_decision(store, m, k, n) {
@@ -686,10 +787,12 @@ impl<T: GemmScalar> FmmEngine<T> {
                     decision
                 }
                 // Store miss (or a stale entry naming an algorithm this
-                // registry no longer has): fall back to model routing.
+                // registry no longer has): fall back to model routing,
+                // attributed as a fallback so the audit can separate
+                // store coverage from store quality.
                 None => {
                     self.counters.tuned_misses.fetch_add(1, Ordering::Relaxed);
-                    self.model_decision(m, k, n)
+                    Decision { source: AuditSource::Fallback, ..self.model_decision(m, k, n) }
                 }
             },
             Routing::Model => self.model_decision(m, k, n),
@@ -698,9 +801,14 @@ impl<T: GemmScalar> FmmEngine<T> {
         // takes effect on parallel engines; sequential execution is always
         // depth-first).
         match (decision, self.config.strategy) {
-            (Decision::Fmm { plan, variant, .. }, Some(strategy)) if self.config.parallel => {
-                Decision::Fmm { plan, variant, strategy }
-            }
+            (
+                Decision { choice: Choice::Fmm { plan, variant, .. }, source, predicted_nanos },
+                Some(strategy),
+            ) if self.config.parallel => Decision {
+                choice: Choice::Fmm { plan, variant, strategy },
+                source,
+                predicted_nanos,
+            },
             (decision, _) => decision,
         }
     }
@@ -723,20 +831,30 @@ impl<T: GemmScalar> FmmEngine<T> {
                 true,
             );
             let best = &ranked[0];
-            match (&best.plan, best.impl_.to_variant()) {
+            let choice = match (&best.plan, best.impl_.to_variant()) {
                 (Some(plan), Some(variant)) => {
-                    Decision::Fmm { plan: plan.clone(), variant, strategy: best.strategy }
+                    Choice::Fmm { plan: plan.clone(), variant, strategy: best.strategy }
                 }
-                _ => Decision::Gemm,
+                _ => Choice::Gemm,
+            };
+            Decision {
+                choice,
+                source: AuditSource::Model,
+                predicted_nanos: best.prediction.total_nanos(),
             }
         } else {
             let ranked = rank_candidates(m, k, n, &plans, &Impl::FMM_VARIANTS, &self.arch, true);
             let best = &ranked[0];
-            match (&best.plan, best.impl_.to_variant()) {
+            let choice = match (&best.plan, best.impl_.to_variant()) {
                 (Some(plan), Some(variant)) => {
-                    Decision::Fmm { plan: plan.clone(), variant, strategy: Strategy::Dfs }
+                    Choice::Fmm { plan: plan.clone(), variant, strategy: Strategy::Dfs }
                 }
-                _ => Decision::Gemm,
+                _ => Choice::Gemm,
+            };
+            Decision {
+                choice,
+                source: AuditSource::Model,
+                predicted_nanos: best.prediction.total_nanos(),
             }
         }
     }
@@ -749,8 +867,22 @@ impl<T: GemmScalar> FmmEngine<T> {
         let class = ShapeClass::of(m, k, n);
         let fingerprint = fmm_tune::kernel_fingerprint::<T>();
         let tuned = store.decision(class, T::NAME, self.effective_workers(), &fingerprint)?;
-        match &tuned.choice {
-            TunedChoice::Gemm => Some(Decision::Gemm),
+        // The store records the *measured* GFLOP/s of its winning choice;
+        // re-derive a per-multiply time prediction for this exact shape
+        // from it (flops / GFLOP/s ≡ nanoseconds). 0 = unknown.
+        let predicted_nanos = if tuned.gflops > 0.0 {
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            let nanos = flops / tuned.gflops;
+            if nanos.is_finite() && nanos >= 0.0 {
+                nanos as u64
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let choice = match &tuned.choice {
+            TunedChoice::Gemm => Choice::Gemm,
             TunedChoice::Fmm { dims, levels, variant, strategy } => {
                 // `levels == 0` would panic plan composition; a store
                 // built programmatically could hold it (the JSON load
@@ -762,13 +894,10 @@ impl<T: GemmScalar> FmmEngine<T> {
                 // Sequential engines always run depth-first; a strategy
                 // tuned on a parallel configuration is not replayed here.
                 let strategy = if self.config.parallel { *strategy } else { Strategy::Dfs };
-                Some(Decision::Fmm {
-                    plan: self.plan_for(&algo, *levels),
-                    variant: *variant,
-                    strategy,
-                })
+                Choice::Fmm { plan: self.plan_for(&algo, *levels), variant: *variant, strategy }
             }
-        }
+        };
+        Some(Decision { choice, source: AuditSource::Tuned, predicted_nanos })
     }
 
     /// The candidate plan set model routing ranks over: every registry
@@ -993,11 +1122,21 @@ mod tests {
                 + stats.batch_items
                 + stats.pinned_fallbacks
                 + stats.tuned_hits
-                + stats.tuned_misses,
+                + stats.tuned_misses
+                + stats.audit_samples
+                + stats.audit_drops,
         );
+        // Every field name is unique (duplicates would silently collide
+        // in the serve-side registry mirror).
+        let names: std::collections::BTreeSet<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), fields.len(), "duplicate field names in {fields:?}");
+        // An executed multiply must have produced an audit sample (or a
+        // counted drop if another test filled the process-wide table).
+        assert_eq!(stats.audit_samples + stats.audit_drops, 1, "multiply must audit");
         let rendered = stats.to_string();
         assert!(rendered.contains("executions=1"), "{rendered}");
         assert!(rendered.contains("rankings=1"), "{rendered}");
+        assert!(rendered.contains("audit_samples="), "{rendered}");
 
         engine.reset_stats();
         assert_eq!(engine.stats(), EngineStats::default());

@@ -37,7 +37,9 @@ pub mod terms;
 
 pub use arch::ArchParams;
 pub use fmm_core::tasks::Strategy;
-pub use parallel::{predict_parallel, predict_scheduled, rank_scheduled, ScheduledCandidate};
+pub use parallel::{
+    predict_gemm_parallel, predict_parallel, predict_scheduled, rank_scheduled, ScheduledCandidate,
+};
 pub use predict::{predict_fmm, predict_gemm, Prediction};
 pub use select::{rank_candidates, Candidate};
 

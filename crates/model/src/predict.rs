@@ -23,6 +23,20 @@ impl Prediction {
         let total = arithmetic + memory;
         Self { arithmetic, memory, total, effective_gflops: classical_flops(m, k, n) / total / 1e9 }
     }
+
+    /// Predicted total as integer nanoseconds, the currency of the
+    /// decision-audit layer (`fmm_obs::audit`). Saturates at `u64::MAX`
+    /// and clamps non-finite / negative predictions to 0.
+    pub fn total_nanos(&self) -> u64 {
+        let nanos = self.total * 1e9;
+        if nanos.is_nan() || nanos <= 0.0 {
+            0
+        } else if nanos >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            nanos as u64
+        }
+    }
 }
 
 /// Predict plain blocked GEMM (Figure 5's "gemm" column).
@@ -153,6 +167,26 @@ mod tests {
         let p = predict_fmm(Impl::Ab, &c, 4000, 2000, 3000, &arch());
         assert!((p.arithmetic + p.memory - p.total).abs() < 1e-15);
         assert!(p.arithmetic > 0.0 && p.memory > 0.0);
+    }
+
+    #[test]
+    fn total_nanos_converts_and_saturates() {
+        let p = predict_gemm(512, 512, 512, &arch());
+        let nanos = p.total_nanos();
+        assert!(nanos > 0);
+        assert!((nanos as f64 - p.total * 1e9).abs() <= 1.0, "within 1ns of the float total");
+
+        // Degenerate predictions must not wrap or panic.
+        let zero = Prediction { arithmetic: 0.0, memory: 0.0, total: 0.0, effective_gflops: 0.0 };
+        assert_eq!(zero.total_nanos(), 0);
+        let neg = Prediction { total: -1.0, ..zero };
+        assert_eq!(neg.total_nanos(), 0);
+        let inf = Prediction { total: f64::INFINITY, ..zero };
+        assert_eq!(inf.total_nanos(), u64::MAX);
+        let nan = Prediction { total: f64::NAN, ..zero };
+        assert_eq!(nan.total_nanos(), 0);
+        let huge = Prediction { total: 1e30, ..zero };
+        assert_eq!(huge.total_nanos(), u64::MAX);
     }
 
     #[test]

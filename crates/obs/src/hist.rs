@@ -61,6 +61,7 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -76,17 +77,20 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            // u64::MAX means "no sample yet"; any real sample replaces it.
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
 
-    /// Record one sample. Three relaxed RMWs plus a relaxed max.
+    /// Record one sample. Three relaxed RMWs plus a relaxed min/max.
     // fmm-check: contract(warm-alloc-free)
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -113,6 +117,9 @@ impl Histogram {
         }
         self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        // An empty `other` holds the u64::MAX sentinel, which fetch_min
+        // absorbs without disturbing our own minimum.
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
@@ -125,9 +132,12 @@ impl Histogram {
                 buckets.push((i, n));
             }
         }
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
         HistSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
             max: self.max.load(Ordering::Relaxed),
             buckets,
         }
@@ -140,6 +150,9 @@ impl Histogram {
 pub struct HistSnapshot {
     pub count: u64,
     pub sum: u64,
+    /// Exact smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Exact largest recorded sample (0 when empty).
     pub max: u64,
     buckets: Vec<(usize, u64)>,
 }
@@ -159,7 +172,10 @@ impl HistSnapshot {
             seen += n;
             if seen >= rank {
                 let (_, hi) = bucket_bounds(index);
-                return hi.min(self.max);
+                // Clamp to the exact extrema: the bucket upper bound can
+                // overshoot the true max, and (for the first bucket) sit
+                // below the true min.
+                return hi.min(self.max).max(self.min);
             }
         }
         self.max
@@ -230,7 +246,15 @@ mod tests {
                 "q={q}: exact={exact} approx={approx}"
             );
         }
+        assert_eq!(snap.min, *samples.first().unwrap());
         assert_eq!(snap.max, *samples.last().unwrap());
+        // The histogram's u64 sum can wrap on adversarial inputs; only
+        // check exactness when the true sum fits.
+        let true_sum = samples.iter().map(|&v| v as u128).sum::<u128>();
+        if true_sum <= u64::MAX as u128 {
+            let exact_mean = true_sum as f64 / samples.len() as f64;
+            assert!((snap.mean() - exact_mean).abs() < 1e-6, "mean must be exact, not bucketed");
+        }
     }
 
     #[test]
@@ -322,11 +346,23 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.quantile(0.5), 0);
         assert_eq!(snap.count, 1);
+        assert_eq!((snap.min, snap.max), (0, 0));
 
-        // Empty histogram reports zeros, not garbage.
+        // A lone mid-bucket sample: every quantile is that exact value,
+        // not the surrounding bucket's bounds.
+        let h = Histogram::new();
+        h.record(1_000_003);
+        let snap = h.snapshot();
+        assert_eq!((snap.min, snap.max), (1_000_003, 1_000_003));
+        for &q in &[0.01, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), 1_000_003);
+        }
+
+        // Empty histogram reports zeros, not garbage (min included).
         let empty = Histogram::new().snapshot();
         assert_eq!(empty.quantile(0.99), 0);
         assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min, 0);
     }
 
     #[test]
@@ -371,5 +407,23 @@ mod tests {
         assert_eq!(snap.sum, 5050);
         assert_eq!(snap.count, 100);
         assert!((snap.mean() - 50.5).abs() < 1e-9);
+        assert_eq!((snap.min, snap.max), (1, 100));
+    }
+
+    #[test]
+    fn merge_preserves_exact_extrema() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(500);
+        a.record(9_000_000);
+        b.record(77);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!((snap.min, snap.max, snap.count), (77, 9_000_000, 3));
+
+        // Merging an empty histogram must not disturb either extremum.
+        a.merge_from(&Histogram::new());
+        let snap = a.snapshot();
+        assert_eq!((snap.min, snap.max, snap.count), (77, 9_000_000, 3));
     }
 }

@@ -1,6 +1,6 @@
 //! Std-only observability core for the FMM serving stack.
 //!
-//! Three pieces, each usable on its own:
+//! Four pieces, each usable on its own:
 //!
 //! * [`hist`] — fixed-footprint log-bucketed histograms. Base-2 buckets
 //!   with 8 sub-buckets per octave (≤ 12.5% relative error), relaxed
@@ -17,6 +17,11 @@
 //!   single relaxed atomic load and a branch; the enabled warm path
 //!   performs no heap allocation (rings are preallocated at first use
 //!   and overwritten in place).
+//! * [`audit`] — decision audit: per-(shape-class, dtype) aggregates
+//!   of predicted-vs-measured multiply cost ([`audit::AuditSample`]),
+//!   model-error ratio histograms, best/worst observed GFLOP/s, and
+//!   routing-source attribution. The warm record path is lock-free and
+//!   allocation-free after the one-time table allocation.
 //!
 //! This crate depends on nothing but `std` so every layer of the stack
 //! — including the GEMM substrate at the bottom — can record into it
@@ -37,10 +42,12 @@
 //! comment proving the happens-before edge (see README § Static
 //! analysis).
 
+pub mod audit;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
+pub use audit::{AuditDtype, AuditEntry, AuditSample, AuditSource};
 pub use hist::{HistSnapshot, Histogram};
-pub use registry::{global, Counter, Gauge, Registry, Snapshot};
+pub use registry::{global, sanitize_metric_name, Counter, Gauge, Registry, Snapshot};
 pub use trace::{SpanEvent, SpanKind};

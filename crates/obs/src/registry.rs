@@ -166,6 +166,25 @@ impl Snapshot {
     }
 }
 
+/// Rewrite an arbitrary label (e.g. a shape-class key like
+/// `256x256x256/f32`) into a legal Prometheus metric-name fragment:
+/// `[a-zA-Z0-9_:]` survives, everything else becomes `_`, and a leading
+/// digit gains a `_` prefix so the result can also stand alone.
+pub fn sanitize_metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 1);
+    if raw.starts_with(|c: char| c.is_ascii_digit()) {
+        out.push('_');
+    }
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
 /// The process-global registry, for layers with no server object to
 /// hang metrics off (gemm pack/kernel split, sched task timings).
 pub fn global() -> &'static Registry {
@@ -223,6 +242,25 @@ mod tests {
         assert!(text.contains("fmm_latency_nanos_sum 600"));
         assert!(text.contains("fmm_latency_nanos_count 3"));
         assert!(text.contains("fmm_latency_nanos_max 300"));
+    }
+
+    #[test]
+    fn sanitize_covers_shape_class_names() {
+        // The per-shape-class audit keys are the motivating case.
+        assert_eq!(sanitize_metric_name("256x256x256/f32"), "_256x256x256_f32");
+        assert_eq!(sanitize_metric_name("1024x512x1024/f64"), "_1024x512x1024_f64");
+        // Already-legal names pass through untouched.
+        assert_eq!(sanitize_metric_name("fmm_audit_samples"), "fmm_audit_samples");
+        assert_eq!(sanitize_metric_name("ns:sub_total"), "ns:sub_total");
+        // Hostile input: spaces, unicode, quotes, empties.
+        assert_eq!(sanitize_metric_name("a b\"c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("µs"), "_s");
+        assert_eq!(sanitize_metric_name(""), "");
+        // Sanitized output is itself a fixed point.
+        for raw in ["256x256x256/f32", "a b\"c", "0/0/0"] {
+            let once = sanitize_metric_name(raw);
+            assert_eq!(sanitize_metric_name(&once), once);
+        }
     }
 
     #[test]

@@ -74,6 +74,23 @@ fn task_hist() -> &'static Arc<fmm_obs::Histogram> {
     H.get_or_init(|| fmm_obs::global().histogram("fmm_sched_task_nanos"))
 }
 
+/// Per-strategy execution counters in the process-global registry —
+/// the scheduler-level view the decision audit's per-source counts are
+/// checked against (e.g. "the audit says this class runs BFS; does the
+/// scheduler agree?").
+fn strategy_counter(strategy: Strategy) -> &'static Arc<fmm_obs::Counter> {
+    static DFS: OnceLock<Arc<fmm_obs::Counter>> = OnceLock::new();
+    static BFS: OnceLock<Arc<fmm_obs::Counter>> = OnceLock::new();
+    static HYBRID: OnceLock<Arc<fmm_obs::Counter>> = OnceLock::new();
+    match strategy {
+        Strategy::Dfs => DFS.get_or_init(|| fmm_obs::global().counter("fmm_sched_exec_dfs")),
+        Strategy::Bfs => BFS.get_or_init(|| fmm_obs::global().counter("fmm_sched_exec_bfs")),
+        Strategy::Hybrid => {
+            HYBRID.get_or_init(|| fmm_obs::global().counter("fmm_sched_exec_hybrid"))
+        }
+    }
+}
+
 /// Monotonic counters exposing the scheduler's behavior; snapshot via
 /// [`SchedContext::stats`] and difference to assert warm-path properties.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -349,6 +366,7 @@ pub fn execute<T: GemmScalar>(
     assert_eq!((c.rows(), c.cols()), (m, n), "C shape mismatch");
 
     if matches!(strategy, Strategy::Dfs) {
+        strategy_counter(Strategy::Dfs).inc();
         fmm_execute_parallel(c, a, b, plan, variant, &mut ctx.fmm);
         return 0;
     }
@@ -359,6 +377,8 @@ pub fn execute<T: GemmScalar>(
     } else {
         strategy
     };
+    // Counted after the downgrade: the counter reports what actually ran.
+    strategy_counter(strategy).inc();
 
     let workers = resolve_workers(workers);
     let peel = peeling::peel(m, k, n, plan.partition_dims());

@@ -6,6 +6,8 @@
 //!                 [--event-threads 2] [--trace]
 //! fmm_serve ping --addr HOST:PORT [--count 3]
 //! fmm_serve stats --addr HOST:PORT [--json | --prom]
+//! fmm_serve audit --addr HOST:PORT [--threshold 0.5]
+//! fmm_serve top --addr HOST:PORT [--interval-ms 1000] [--once]
 //! fmm_serve trace --addr HOST:PORT [--last N] [--chrome FILE]
 //! fmm_serve bench --addr HOST:PORT [--threads 4] [--requests 32]
 //!                 [--size 96] [--dtype f64|f32] [--pipeline 0] [--verify]
@@ -29,6 +31,16 @@
 //! phase spans from a server running with `--trace` (or `FMM_TRACE=1`) as
 //! a per-request timeline, or as a chrome://tracing JSON file with
 //! `--chrome FILE`.
+//!
+//! `audit` reads the decision-audit section of the stats snapshot and
+//! ranks shape classes by model error `|log2(predicted/measured)|`;
+//! classes above `--threshold` are flagged as retune candidates together
+//! with the `fmm_tune explore` invocation that would refresh them. `top`
+//! is the live terminal view: it polls the same snapshot every
+//! `--interval-ms`, showing request counters as rates, per-phase latency
+//! quantiles, and per-shape-class GFLOP/s computed from the flops and
+//! busy-nanos deltas between consecutive snapshots (`--once` prints a
+//! single frame for scripts and CI smokes).
 
 use fmm_dense::{fill, norms, Matrix};
 use fmm_serve::{retry_busy, BatchPolicy, Client, PipelinedClient, ServeConfig, Server};
@@ -38,7 +50,7 @@ use std::time::{Duration, Instant};
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
-        eprintln!("usage: fmm_serve <serve|ping|stats|trace|bench|shutdown> [options]");
+        eprintln!("usage: fmm_serve <serve|ping|stats|audit|top|trace|bench|shutdown> [options]");
         std::process::exit(2);
     };
     let opts = Options::parse(&argv[1..]);
@@ -46,11 +58,15 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "ping" => cmd_ping(&opts),
         "stats" => cmd_stats(&opts),
+        "audit" => cmd_audit(&opts),
+        "top" => cmd_top(&opts),
         "trace" => cmd_trace(&opts),
         "bench" => cmd_bench(&opts),
         "shutdown" => cmd_shutdown(&opts),
         other => {
-            eprintln!("unknown command {other:?} (serve|ping|stats|trace|bench|shutdown)");
+            eprintln!(
+                "unknown command {other:?} (serve|ping|stats|audit|top|trace|bench|shutdown)"
+            );
             std::process::exit(2);
         }
     }
@@ -79,6 +95,9 @@ struct Options {
     prom: bool,
     last: u64,
     chrome: Option<String>,
+    threshold: f64,
+    interval_ms: u64,
+    once: bool,
 }
 
 impl Options {
@@ -104,6 +123,9 @@ impl Options {
             prom: false,
             last: 0,
             chrome: None,
+            threshold: 0.5,
+            interval_ms: 1000,
+            once: false,
         };
         let mut i = 0;
         let value = |argv: &[String], i: usize, flag: &str| -> String {
@@ -191,6 +213,19 @@ impl Options {
                 "--chrome" => {
                     o.chrome = Some(value(argv, i, "--chrome"));
                     i += 2;
+                }
+                "--threshold" => {
+                    o.threshold = value(argv, i, "--threshold").parse().expect("--threshold: num");
+                    i += 2;
+                }
+                "--interval-ms" => {
+                    o.interval_ms =
+                        value(argv, i, "--interval-ms").parse().expect("--interval-ms: int");
+                    i += 2;
+                }
+                "--once" => {
+                    o.once = true;
+                    i += 1;
                 }
                 other => {
                     eprintln!("unknown flag {other}");
@@ -288,6 +323,291 @@ fn cmd_stats(o: &Options) {
             eprintln!("stats failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// One decoded row of the stats snapshot's `audit` section.
+struct AuditRow {
+    class: String,
+    dtype: String,
+    samples: u64,
+    predicted_nanos: u64,
+    measured_nanos: u64,
+    flops: u64,
+    error_log2: f64,
+    mean_gflops: f64,
+    best_gflops: f64,
+    worst_gflops: f64,
+    chosen: String,
+    top_source: String,
+    err_p50: u64,
+    err_p99: u64,
+}
+
+/// Fetch `stats --json` from the server and parse it, exiting with a
+/// diagnostic on connection or decode failure.
+fn fetch_stats_json(o: &Options) -> fmm_core::json::Value {
+    let mut client = connect(o);
+    let body = client.stats_json().unwrap_or_else(|e| {
+        eprintln!("stats failed: {e}");
+        std::process::exit(1);
+    });
+    fmm_core::json::parse(&body).unwrap_or_else(|e| {
+        eprintln!("stats reply is not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Numeric JSON field as f64 (`Int` and `Number` both accepted, 0.0 when
+/// absent) — the audit/top readers only need lossy numbers for display.
+fn json_num(obj: &std::collections::BTreeMap<String, fmm_core::json::Value>, key: &str) -> f64 {
+    use fmm_core::json::Value;
+    match obj.get(key) {
+        Some(Value::Int(v)) => *v as f64,
+        Some(Value::Number(v)) => *v,
+        _ => 0.0,
+    }
+}
+
+fn json_text(obj: &std::collections::BTreeMap<String, fmm_core::json::Value>, key: &str) -> String {
+    match obj.get(key) {
+        Some(fmm_core::json::Value::String(s)) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Decode the `audit` section into rows sorted worst-model-error first
+/// (the `fmm_serve audit` ranking; `top` reuses the same decode).
+fn decode_audit_rows(stats: &fmm_core::json::Value) -> Vec<AuditRow> {
+    use fmm_core::json::Value;
+    let Value::Object(root) = stats else { return Vec::new() };
+    let Some(Value::Object(audit)) = root.get("audit") else { return Vec::new() };
+    let mut rows: Vec<AuditRow> = audit
+        .values()
+        .filter_map(|entry| {
+            let Value::Object(e) = entry else { return None };
+            let (top_source, err_p50, err_p99) = match (e.get("sources"), e.get("err_permille")) {
+                (Some(Value::Object(sources)), Some(Value::Object(err))) => {
+                    let top = sources
+                        .iter()
+                        .max_by_key(|(_, v)| match v {
+                            Value::Int(n) => *n,
+                            _ => 0,
+                        })
+                        .map(|(name, _)| name.clone())
+                        .unwrap_or_default();
+                    (top, json_num(err, "p50_nanos") as u64, json_num(err, "p99_nanos") as u64)
+                }
+                _ => (String::new(), 0, 0),
+            };
+            Some(AuditRow {
+                class: json_text(e, "class"),
+                dtype: json_text(e, "dtype"),
+                samples: json_num(e, "samples") as u64,
+                predicted_nanos: json_num(e, "predicted_nanos") as u64,
+                measured_nanos: json_num(e, "measured_nanos") as u64,
+                flops: json_num(e, "flops") as u64,
+                error_log2: json_num(e, "error_log2"),
+                mean_gflops: json_num(e, "mean_gflops"),
+                best_gflops: json_num(e, "best_gflops"),
+                worst_gflops: json_num(e, "worst_gflops"),
+                chosen: json_text(e, "chosen"),
+                top_source,
+                err_p50,
+                err_p99,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.error_log2.partial_cmp(&a.error_log2).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Rank shape classes by predicted-vs-measured model error and flag
+/// retune candidates, bridging straight into `fmm_tune explore`.
+fn cmd_audit(o: &Options) {
+    let stats = fetch_stats_json(o);
+    let rows = decode_audit_rows(&stats);
+    if rows.is_empty() {
+        println!("no audit samples recorded yet (send some multiplies first)");
+        return;
+    }
+    let total_samples: u64 = rows.iter().map(|r| r.samples).sum();
+    println!(
+        "decision audit: {} shape classes, {} samples, ranked by |log2(predicted/measured)|",
+        rows.len(),
+        total_samples
+    );
+    println!(
+        "{:<18} {:>5} {:>8} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}  {:<8} chosen",
+        "class",
+        "dtype",
+        "samples",
+        "|log2err|",
+        "pred ms",
+        "meas ms",
+        "err p50",
+        "err p99",
+        "GF/s avg",
+        "GF/s best",
+        "source"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>5} {:>8} {:>10.3} {:>9.3} {:>9.3} {:>8} {:>8} {:>9.2} {:>9.2}  {:<8} {}",
+            r.class,
+            r.dtype,
+            r.samples,
+            r.error_log2,
+            r.predicted_nanos as f64 / 1e6,
+            r.measured_nanos as f64 / 1e6,
+            r.err_p50,
+            r.err_p99,
+            r.mean_gflops,
+            r.best_gflops,
+            r.top_source,
+            r.chosen
+        );
+    }
+    let flagged: Vec<&AuditRow> =
+        rows.iter().filter(|r| r.samples > 0 && r.error_log2 > o.threshold).collect();
+    if flagged.is_empty() {
+        println!("model error within threshold ({:.2} log2) for every class", o.threshold);
+        return;
+    }
+    println!("retune candidates (|log2 err| > {:.2}):", o.threshold);
+    for r in &flagged {
+        println!(
+            "  {}/{}: predicted {:.3} ms vs measured {:.3} ms ({} samples, worst {:.2} GFLOP/s)",
+            r.class,
+            r.dtype,
+            r.predicted_nanos as f64 / 1e6,
+            r.measured_nanos as f64 / 1e6,
+            r.samples,
+            r.worst_gflops
+        );
+    }
+    let classes: Vec<fmm_tune::ShapeClass> =
+        flagged.iter().filter_map(|r| fmm_tune::ShapeClass::from_label(&r.class)).collect();
+    if let Some(command) = fmm_tune::explore_command(&classes, 0) {
+        println!("refresh the tuned store with: {command}");
+    }
+}
+
+/// Per-class `(flops, measured_nanos)` cumulative totals from one `top`
+/// frame, keyed `class/dtype` — the baseline for the next frame's
+/// interval GFLOP/s.
+type ClassTotals = std::collections::BTreeMap<String, (u64, u64)>;
+
+/// Live terminal view: poll the stats snapshot every `--interval-ms`,
+/// rendering request rates, per-phase latency quantiles, and per-class
+/// GFLOP/s from flops/busy-nanos deltas between consecutive frames.
+fn cmd_top(o: &Options) {
+    use fmm_core::json::Value;
+    let interval = Duration::from_millis(o.interval_ms.max(1));
+    let mut prev: Option<(ClassTotals, f64, Instant)> = None;
+    loop {
+        let stats = fetch_stats_json(o);
+        let now = Instant::now();
+        let Value::Object(root) = &stats else {
+            eprintln!("stats reply is not a JSON object");
+            std::process::exit(1);
+        };
+        let empty = std::collections::BTreeMap::new();
+        let counters = match root.get("counters") {
+            Some(Value::Object(c)) => c,
+            _ => &empty,
+        };
+        let gauges = match root.get("gauges") {
+            Some(Value::Object(g)) => g,
+            _ => &empty,
+        };
+        let responses = json_num(counters, "fmm_serve_responses_total");
+        let elapsed =
+            prev.as_ref().map(|(_, _, t)| now.duration_since(*t).as_secs_f64()).unwrap_or(0.0);
+        let rate = match &prev {
+            Some((_, prev_responses, _)) if elapsed > 0.0 => {
+                (responses - prev_responses).max(0.0) / elapsed
+            }
+            _ => 0.0,
+        };
+        if !o.once {
+            // ANSI clear + home keeps the frame in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("fmm_serve top — {} (interval {} ms)", o.addr, o.interval_ms);
+        println!(
+            "requests {:>10}  responses {:>10}  {:>8.1} req/s  inflight {:>4}  conns {:>4}",
+            json_num(counters, "fmm_serve_requests_total") as u64,
+            responses as u64,
+            rate,
+            json_num(gauges, "fmm_serve_inflight") as i64,
+            json_num(gauges, "fmm_serve_connections") as i64,
+        );
+        println!(
+            "batches  {:>10}  items     {:>10}  occupancy max {:>3}  busy rejects {:>6}",
+            json_num(counters, "fmm_serve_batches_total") as u64,
+            json_num(counters, "fmm_serve_batched_items_total") as u64,
+            json_num(counters, "fmm_serve_batch_occupancy_max") as u64,
+            json_num(counters, "fmm_serve_rejects_busy_total") as u64,
+        );
+        println!("{:<28} {:>9} {:>9} {:>9} {:>9}", "phase", "count", "p50 ms", "p99 ms", "max ms");
+        if let Some(Value::Object(hists)) = root.get("histograms") {
+            for name in
+                ["fmm_serve_queue_wait_nanos", "fmm_serve_service_nanos", "fmm_serve_latency_nanos"]
+            {
+                if let Some(Value::Object(h)) = hists.get(name) {
+                    println!(
+                        "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3}",
+                        name.trim_start_matches("fmm_serve_").trim_end_matches("_nanos"),
+                        json_num(h, "count") as u64,
+                        json_num(h, "p50_nanos") / 1e6,
+                        json_num(h, "p99_nanos") / 1e6,
+                        json_num(h, "max_nanos") / 1e6,
+                    );
+                }
+            }
+        }
+        let rows = decode_audit_rows(&stats);
+        let mut totals = std::collections::BTreeMap::new();
+        if rows.is_empty() {
+            println!("audit: no samples yet");
+        } else {
+            println!(
+                "{:<18} {:>5} {:>8} {:>10} {:>11} {:>11}  {:<8}",
+                "class", "dtype", "samples", "|log2err|", "GF/s now", "GF/s avg", "source"
+            );
+            for r in &rows {
+                totals.insert(format!("{}/{}", r.class, r.dtype), (r.flops, r.measured_nanos));
+                // Interval GFLOP/s from the deltas between frames; the
+                // cumulative mean stands in until a second frame exists
+                // (and whenever the class was idle this interval).
+                let now_gflops = prev
+                    .as_ref()
+                    .and_then(|(prev_totals, _, _)| {
+                        let (pf, pn) = prev_totals.get(&format!("{}/{}", r.class, r.dtype))?;
+                        let dn = r.measured_nanos.saturating_sub(*pn);
+                        (dn > 0).then(|| r.flops.saturating_sub(*pf) as f64 / dn as f64)
+                    })
+                    .unwrap_or(r.mean_gflops);
+                println!(
+                    "{:<18} {:>5} {:>8} {:>10.3} {:>11.2} {:>11.2}  {:<8}",
+                    r.class,
+                    r.dtype,
+                    r.samples,
+                    r.error_log2,
+                    now_gflops,
+                    r.mean_gflops,
+                    r.top_source
+                );
+            }
+        }
+        if o.once {
+            return;
+        }
+        prev = Some((totals, responses, now));
+        std::thread::sleep(interval);
     }
 }
 

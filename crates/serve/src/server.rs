@@ -239,6 +239,13 @@ impl Shared {
     /// The full registry snapshot — this server's instruments merged with
     /// the process-global registry (gemm pack/kernel split, sched tasks) —
     /// as an `fmm_core::json` value. The `StatsJson` frame body.
+    ///
+    /// Decision-audit aggregates export twice: per-class model-error
+    /// histograms land in `histograms` under sanitized
+    /// `fmm_audit_error_permille_*` names (uniform with every other
+    /// histogram consumer), and the full per-class rows — GFLOP/s
+    /// extrema, routing-source attribution, the chosen plan — under the
+    /// dedicated `audit` key, indexed by raw `class/dtype`.
     fn stats_json(&self) -> json::Value {
         self.mirror_into_registry();
         let mut counters = std::collections::BTreeMap::new();
@@ -255,11 +262,28 @@ impl Shared {
                 histograms.insert(name, hist_json(&h));
             }
         }
+        let mut audit = std::collections::BTreeMap::new();
+        for entry in fmm_obs::audit::snapshot() {
+            let key = entry.key();
+            let hist_name =
+                fmm_obs::sanitize_metric_name(&format!("fmm_audit_error_permille_{key}"));
+            histograms.insert(hist_name, hist_json(&entry.err_permille));
+            audit.insert(key, audit_entry_json(&entry));
+        }
+        counters.insert(
+            "fmm_audit_samples_total".to_string(),
+            json::Value::Int(fmm_obs::audit::samples_recorded() as i64),
+        );
+        counters.insert(
+            "fmm_audit_dropped_total".to_string(),
+            json::Value::Int(fmm_obs::audit::samples_dropped() as i64),
+        );
         json::Value::Object(
             [
                 ("counters".to_string(), json::Value::Object(counters)),
                 ("gauges".to_string(), json::Value::Object(gauges)),
                 ("histograms".to_string(), json::Value::Object(histograms)),
+                ("audit".to_string(), json::Value::Object(audit)),
             ]
             .into_iter()
             .collect(),
@@ -267,13 +291,69 @@ impl Shared {
     }
 
     /// Prometheus-style plaintext exposition of the same merged registry
-    /// contents `stats_json` exports.
+    /// contents `stats_json` exports, audit aggregates included (as
+    /// sanitized per-class metric names — this exposition style carries
+    /// no labels).
     fn render_prometheus(&self) -> String {
         self.mirror_into_registry();
         let mut out = self.metrics.registry().render_prometheus();
         out.push_str(&fmm_obs::global().render_prometheus());
+        let mut counters = vec![
+            ("fmm_audit_samples_total".to_string(), fmm_obs::audit::samples_recorded()),
+            ("fmm_audit_dropped_total".to_string(), fmm_obs::audit::samples_dropped()),
+        ];
+        let mut histograms = Vec::new();
+        for entry in fmm_obs::audit::snapshot() {
+            let key = entry.key();
+            let name =
+                |stem: &str| fmm_obs::sanitize_metric_name(&format!("fmm_audit_{stem}_{key}"));
+            counters.push((name("samples"), entry.samples));
+            counters.push((name("predicted_nanos"), entry.predicted_nanos));
+            counters.push((name("measured_nanos"), entry.measured_nanos));
+            counters.push((name("best_gflops_milli"), entry.best_gflops_milli));
+            counters.push((name("worst_gflops_milli"), entry.worst_gflops_milli));
+            histograms.push((name("error_permille"), entry.err_permille));
+        }
+        let audit_snap = fmm_obs::Snapshot { counters, gauges: Vec::new(), histograms };
+        out.push_str(&audit_snap.render_prometheus());
         out
     }
+}
+
+/// One audit row (see `fmm_obs::audit::AuditEntry`) as JSON for the
+/// `audit` stats section — the `fmm_serve audit` report's input.
+fn audit_entry_json(entry: &fmm_obs::AuditEntry) -> json::Value {
+    let int = |v: u64| json::Value::Int(v as i64);
+    let sources = fmm_obs::audit::SOURCE_NAMES
+        .iter()
+        .zip(entry.by_source)
+        .map(|(name, v)| (name.to_string(), int(v)))
+        .collect();
+    json::Value::Object(
+        [
+            ("class".to_string(), json::Value::String(entry.class_label.clone())),
+            ("dtype".to_string(), json::Value::String(entry.dtype.to_string())),
+            ("samples".to_string(), int(entry.samples)),
+            ("predicted_nanos".to_string(), int(entry.predicted_nanos)),
+            ("measured_nanos".to_string(), int(entry.measured_nanos)),
+            ("flops".to_string(), int(entry.flops)),
+            ("error_log2".to_string(), json::Value::Number(entry.error_log2())),
+            ("mean_gflops".to_string(), json::Value::Number(entry.mean_gflops())),
+            (
+                "best_gflops".to_string(),
+                json::Value::Number(entry.best_gflops_milli as f64 / 1000.0),
+            ),
+            (
+                "worst_gflops".to_string(),
+                json::Value::Number(entry.worst_gflops_milli as f64 / 1000.0),
+            ),
+            ("chosen".to_string(), json::Value::String(entry.chosen.clone())),
+            ("sources".to_string(), json::Value::Object(sources)),
+            ("err_permille".to_string(), hist_json(&entry.err_permille)),
+        ]
+        .into_iter()
+        .collect(),
+    )
 }
 
 /// One histogram snapshot as JSON: lifetime totals, nearest-rank
@@ -287,6 +367,7 @@ fn hist_json(h: &fmm_obs::HistSnapshot) -> json::Value {
         [
             ("count".to_string(), int(h.count)),
             ("sum_nanos".to_string(), int(h.sum)),
+            ("min_nanos".to_string(), int(h.min)),
             ("max_nanos".to_string(), int(h.max)),
             ("mean_nanos".to_string(), json::Value::Number(h.mean())),
             ("p50_nanos".to_string(), int(h.p50())),

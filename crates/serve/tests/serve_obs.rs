@@ -157,6 +157,132 @@ fn plaintext_stats_byte_format_survives_on_both_protocol_versions() {
 }
 
 #[test]
+fn every_engine_stats_field_is_mirrored_into_stats_json() {
+    // `EngineStats::fields()` is the reflection surface the server uses
+    // to mirror engine counters into the registry; a field added to the
+    // struct but forgotten in `fields()` fails the engine's own test,
+    // and a mirrored name dropped by the server fails this one — for
+    // both dtypes, so the f32 engine can't silently lose coverage.
+    let handle = spawn_server(ServeConfig::default());
+    run_multiplies(handle.addr(), 2);
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let body = client.stats_json().expect("stats json");
+    let stats = json::parse(&body).expect("valid JSON body");
+    let Value::Object(root) = &stats else { panic!("stats body is not an object") };
+    let Some(Value::Object(counters)) = root.get("counters") else { panic!("no counters") };
+    for (name, _) in fmm_engine::EngineStats::default().fields() {
+        for prefix in ["fmm_engine_f64_", "fmm_engine_f32_"] {
+            let mirrored = format!("{prefix}{name}");
+            assert!(
+                matches!(counters.get(&mirrored), Some(Value::Int(n)) if *n >= 0),
+                "EngineStats field {name:?} not mirrored as {mirrored:?}"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn plaintext_stats_bytes_are_unchanged_by_audit_counters() {
+    // The v1/v2 plaintext `StatsRequest` body is a frozen byte format;
+    // the decision-audit subsystem exports through StatsJson and
+    // Prometheus only. Generate audit traffic, then prove the plaintext
+    // key set is exactly what it was before the load and carries no
+    // audit spill-over.
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let keys = |body: &str| -> Vec<String> {
+        body.lines().filter_map(|l| l.split(' ').next().map(str::to_string)).collect()
+    };
+    let before = keys(&client.stats().expect("v1 stats before load"));
+
+    run_multiplies(handle.addr(), 4); // populates the audit table
+    let after_body = client.stats().expect("v1 stats after load");
+    assert!(!after_body.contains("fmm_audit"), "audit leaked into plaintext:\n{after_body}");
+    assert_eq!(keys(&after_body), before, "plaintext key set changed under audit load");
+
+    // The raw v2 framing returns the same (audit-free) body.
+    let stream = TcpStream::connect(handle.addr()).expect("connect raw");
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = std::io::BufReader::new(stream);
+    protocol::write_frame_v(&mut writer, VERSION_V2, 11, FrameKind::StatsRequest, b"")
+        .expect("write v2 stats request");
+    writer.flush().expect("flush");
+    let reply = protocol::read_frame_any(&mut reader, 1 << 20).expect("v2 stats reply");
+    let v2_body = String::from_utf8(reply.payload).expect("utf-8 stats");
+    assert!(!v2_body.contains("fmm_audit"), "audit leaked into v2 plaintext:\n{v2_body}");
+    assert_eq!(keys(&v2_body), before, "v2 plaintext key set changed under audit load");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_json_exposes_per_class_audit_aggregates() {
+    // The acceptance path: under end-to-end load, `stats --json` must
+    // carry per-(shape-class, dtype) model-error histograms with nonzero
+    // counts plus the full audit rows, and the Prometheus exposition the
+    // same aggregates under sanitized names. The 48x40x44 workload
+    // buckets to the 64x32x32 class; the audit table is process-global,
+    // so assertions are lower bounds.
+    let handle = spawn_server(ServeConfig::default());
+    run_multiplies(handle.addr(), 8);
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let body = client.stats_json().expect("stats json");
+    let stats = json::parse(&body).expect("valid JSON body");
+
+    let h = histogram(&stats, "fmm_audit_error_permille_64x32x32_f64");
+    assert!(hist_field(h, "count") >= 8, "audit error histogram undercounted: {h:?}");
+    // The exact-extrema satellite: min is reported and brackets p50.
+    assert!(
+        hist_field(h, "min_nanos") <= hist_field(h, "p50_nanos"),
+        "exact min exceeds p50: {h:?}"
+    );
+
+    let Value::Object(root) = &stats else { unreachable!() };
+    let Some(Value::Object(counters)) = root.get("counters") else { panic!("no counters") };
+    assert!(
+        matches!(counters.get("fmm_audit_samples_total"), Some(Value::Int(n)) if *n >= 8),
+        "audit sample total missing or low: {:?}",
+        counters.get("fmm_audit_samples_total")
+    );
+    let Some(Value::Object(audit)) = root.get("audit") else { panic!("no audit section") };
+    let Some(Value::Object(entry)) = audit.get("64x32x32/f64") else {
+        panic!("no 64x32x32/f64 audit row; have {:?}", audit.keys())
+    };
+    assert!(
+        matches!(entry.get("samples"), Some(Value::Int(n)) if *n >= 8),
+        "audit row undercounted: {entry:?}"
+    );
+    assert!(
+        matches!(entry.get("measured_nanos"), Some(Value::Int(n)) if *n > 0),
+        "audit row lost measured time: {entry:?}"
+    );
+    // Model routing attributes every sample to the `model` source, and
+    // the representative decision string is recorded for the class.
+    let Some(Value::Object(sources)) = entry.get("sources") else { panic!("no sources") };
+    assert!(
+        matches!(sources.get("model"), Some(Value::Int(n)) if *n >= 8),
+        "model-routed samples missing: {sources:?}"
+    );
+    assert!(
+        matches!(entry.get("chosen"), Some(Value::String(s)) if !s.is_empty()),
+        "no representative decision recorded: {entry:?}"
+    );
+
+    let prom = client.stats_prometheus().expect("prometheus exposition");
+    for needle in [
+        "fmm_audit_samples_total ",
+        "fmm_audit_samples_64x32x32_f64 ",
+        "fmm_audit_error_permille_64x32x32_f64_count",
+        "fmm_audit_error_permille_64x32x32_f64{quantile=\"0.5\"}",
+    ] {
+        assert!(prom.contains(needle), "missing {needle:?} in exposition:\n{prom}");
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn unknown_frame_kind_gets_a_typed_error() {
     // A client ahead of the server (e.g. sending StatsJson to a pre-obs
     // daemon) must get a typed Malformed error, not a hang or a panic.

@@ -54,7 +54,7 @@ pub mod tuner;
 pub use fmm_model::ArchParams;
 pub use host::{calibrate_host, ensure_calibrated, host_arch, QUICK_SCALE};
 pub use store::{
-    kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, TunedDecision, MAX_DECISION_LEVELS,
-    SCHEMA_VERSION,
+    explore_command, kernel_fingerprint, ShapeClass, TuneStore, TunedChoice, TunedDecision,
+    MAX_DECISION_LEVELS, SCHEMA_VERSION,
 };
 pub use tuner::{CandidateTiming, ExploreOutcome, TunePolicy, Tuner};

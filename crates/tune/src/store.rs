@@ -81,6 +81,49 @@ impl ShapeClass {
     pub fn label(&self) -> String {
         format!("{}x{}x{}", self.m, self.k, self.n)
     }
+
+    /// Parse a [`ShapeClass::label`]-shaped string (`"512x512x512"`).
+    /// Returns `None` for anything malformed; dims are re-bucketed so a
+    /// hostile label still yields a canonical class. This is the inverse
+    /// the serve-side audit report uses to turn exported class keys back
+    /// into retune targets.
+    pub fn from_label(label: &str) -> Option<Self> {
+        let mut parts = label.split('x');
+        let m = parts.next()?.parse::<usize>().ok()?;
+        let k = parts.next()?.parse::<usize>().ok()?;
+        let n = parts.next()?.parse::<usize>().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Self::of(m, k, n))
+    }
+
+    /// The single size `fmm_tune explore --sizes` should revisit for this
+    /// class: explore tunes square problems, so the dominant dimension
+    /// stands in for the class.
+    pub fn explore_size(&self) -> usize {
+        self.m.max(self.k).max(self.n)
+    }
+}
+
+/// Render an `fmm_tune explore` invocation covering `classes` — the
+/// bridge from the serve-side decision audit (which ranks classes by
+/// model error) back into the tuner. Sizes are deduplicated, sorted,
+/// and degenerate zero dims are skipped; `None` when nothing remains.
+pub fn explore_command(classes: &[ShapeClass], workers: usize) -> Option<String> {
+    let mut sizes: Vec<usize> =
+        classes.iter().map(ShapeClass::explore_size).filter(|&s| s > 0).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    if sizes.is_empty() {
+        return None;
+    }
+    let list = sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+    if workers > 1 {
+        Some(format!("fmm_tune explore --sizes {list} --workers {workers}"))
+    } else {
+        Some(format!("fmm_tune explore --sizes {list}"))
+    }
 }
 
 /// Nearest power of two (in log space), 0 for degenerate zero dims.
@@ -404,6 +447,41 @@ mod tests {
         assert_eq!(ShapeClass::of(500, 300, 90), ShapeClass { m: 512, k: 256, n: 64 });
         assert_eq!(ShapeClass::of(1, 0, 3), ShapeClass { m: 1, k: 0, n: 4 });
         assert_eq!(ShapeClass::of(768, 768, 768).label(), "1024x1024x1024");
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for class in
+            [ShapeClass::of(512, 512, 512), ShapeClass::of(500, 300, 90), ShapeClass::of(1, 0, 3)]
+        {
+            assert_eq!(ShapeClass::from_label(&class.label()), Some(class));
+        }
+        // Non-canonical dims are re-bucketed, not trusted.
+        assert_eq!(ShapeClass::from_label("500x300x90"), Some(ShapeClass::of(500, 300, 90)));
+        // Malformed labels are misses, never panics.
+        for bad in ["", "512", "512x512", "512x512x512x512", "axbxc", "512x-1x512", "512x512x"] {
+            assert_eq!(ShapeClass::from_label(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn explore_command_dedups_and_sorts_sizes() {
+        let classes = [
+            ShapeClass::of(1024, 512, 1024),
+            ShapeClass::of(256, 256, 256),
+            ShapeClass::of(1000, 1000, 1000),
+        ];
+        assert_eq!(
+            explore_command(&classes, 1).as_deref(),
+            Some("fmm_tune explore --sizes 256,1024")
+        );
+        assert_eq!(
+            explore_command(&classes, 4).as_deref(),
+            Some("fmm_tune explore --sizes 256,1024 --workers 4")
+        );
+        // Degenerate classes contribute nothing.
+        assert_eq!(explore_command(&[ShapeClass::of(0, 0, 0)], 2), None);
+        assert_eq!(explore_command(&[], 1), None);
     }
 
     #[test]
