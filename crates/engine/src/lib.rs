@@ -772,6 +772,12 @@ impl<T: GemmScalar> FmmEngine<T> {
                 // than killing the process over a routing hint.
                 None => {
                     self.counters.pinned_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    fmm_obs::flight::record(fmm_obs::FlightEvent::EngineFallback {
+                        reason: fmm_obs::flight::FallbackReason::PinnedMiss,
+                        m: m as u64,
+                        k: k as u64,
+                        n: n as u64,
+                    });
                     let predicted =
                         predict_gemm_parallel(m, k, n, &self.arch, self.effective_workers());
                     Decision {
@@ -792,6 +798,12 @@ impl<T: GemmScalar> FmmEngine<T> {
                 // store coverage from store quality.
                 None => {
                     self.counters.tuned_misses.fetch_add(1, Ordering::Relaxed);
+                    fmm_obs::flight::record(fmm_obs::FlightEvent::EngineFallback {
+                        reason: fmm_obs::flight::FallbackReason::TunedMiss,
+                        m: m as u64,
+                        k: k as u64,
+                        n: n as u64,
+                    });
                     Decision { source: AuditSource::Fallback, ..self.model_decision(m, k, n) }
                 }
             },

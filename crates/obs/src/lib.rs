@@ -1,6 +1,6 @@
 //! Std-only observability core for the FMM serving stack.
 //!
-//! Four pieces, each usable on its own:
+//! Six pieces, each usable on its own:
 //!
 //! * [`hist`] — fixed-footprint log-bucketed histograms. Base-2 buckets
 //!   with 8 sub-buckets per octave (≤ 12.5% relative error), relaxed
@@ -22,6 +22,15 @@
 //!   model-error ratio histograms, best/worst observed GFLOP/s, and
 //!   routing-source attribution. The warm record path is lock-free and
 //!   allocation-free after the one-time table allocation.
+//! * [`flight`] — an always-on flight recorder: a fixed-capacity,
+//!   overwrite-oldest global ring of typed [`flight::FlightEvent`]s
+//!   (connection lifecycle, refusals, error frames, slow requests,
+//!   batch formation, engine fallbacks, watchdog verdicts) with
+//!   global sequence numbers, for post-mortem incident dumps.
+//! * [`watchdog`] — a liveness watchdog: serving threads publish
+//!   [`watchdog::Heartbeat`] atomics; one judging thread detects
+//!   stalled loops and wedged dispatchers, records escalating flight
+//!   events, and can dump-then-abort a hard-wedged process.
 //!
 //! This crate depends on nothing but `std` so every layer of the stack
 //! — including the GEMM substrate at the bottom — can record into it
@@ -43,11 +52,23 @@
 //! analysis).
 
 pub mod audit;
+pub mod flight;
 pub mod hist;
 pub mod registry;
 pub mod trace;
+pub mod watchdog;
 
 pub use audit::{AuditDtype, AuditEntry, AuditSample, AuditSource};
+pub use flight::{FlightEvent, FlightRecord, IncidentTrigger, RefusalReason, SlowPhase};
 pub use hist::{HistSnapshot, Histogram};
 pub use registry::{global, sanitize_metric_name, Counter, Gauge, Registry, Snapshot};
 pub use trace::{SpanEvent, SpanKind};
+pub use watchdog::{Heartbeat, WatchPolicy, Watchdog, WatchdogConfig, WatchdogHandle};
+
+/// Unit tests that touch the process-global flight ring serialize on
+/// this lock (cargo runs same-crate tests in parallel threads).
+#[cfg(test)]
+pub(crate) fn test_lock() -> &'static std::sync::Mutex<()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    &LOCK
+}

@@ -1,0 +1,401 @@
+//! Liveness watchdog: detects stalled loops and wedged dispatchers.
+//!
+//! Threads that are supposed to keep moving — event loops ticking
+//! their poll timeout, dispatchers draining a queue — each register a
+//! [`Heartbeat`] and update it from their own loop body. A single
+//! watchdog thread wakes every [`WatchdogConfig::interval`] and judges
+//! each component against its [`WatchPolicy`]:
+//!
+//! * [`WatchPolicy::Liveness`] — the component must *beat* (its loop
+//!   must iterate). Stalled when `now - last_beat > stall_after`.
+//!   Right for event loops, which tick on a bounded poll timeout even
+//!   when idle.
+//! * [`WatchPolicy::Progress`] — the component must make progress
+//!   *when there is work*. Stalled when the work probe (e.g. queue
+//!   depth) stays nonzero while the progress counter (e.g. batches
+//!   formed) does not move for `stall_after`. Right for dispatchers,
+//!   which legitimately block on a condvar when idle.
+//!
+//! Verdicts are recorded as escalating [`flight`] events — level 1 at
+//! `stall_after`, level 2 at `2×`, and so on, one event per escalation
+//! rather than one per tick — plus a monotone stall counter exported
+//! as `fmm_watchdog_stalls_total`. A component that resumes gets a
+//! recovery event. With [`WatchdogConfig::abort_after`] set, a stall
+//! that persists past the deadline triggers the `on_abort` callback
+//! (the server dumps an incident report there) and then aborts the
+//! process: a hard-wedged daemon that cannot serve is worth more dead
+//! with a dump than alive and silent.
+//!
+//! [`Heartbeat::beat`] and [`Heartbeat::progress`] are the only calls
+//! on serving threads; both are one or two relaxed stores and carry
+//! the `warm-alloc-free` contract. All judging state lives in the
+//! watchdog thread.
+
+use crate::flight::{self, FlightEvent, IncidentTrigger};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-component liveness signal, updated by the watched thread.
+#[derive(Debug)]
+pub struct Heartbeat {
+    /// Loop-iteration counter.
+    seq: AtomicU64,
+    /// Monotonic nanos of the most recent beat.
+    beat_nanos: AtomicU64,
+    /// Completed units of work (e.g. batches formed).
+    progress: AtomicU64,
+}
+
+impl Heartbeat {
+    fn new() -> Heartbeat {
+        Heartbeat {
+            seq: AtomicU64::new(0),
+            beat_nanos: AtomicU64::new(crate::trace::now_nanos()),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// The watched loop iterated. Two relaxed stores.
+    // fmm-check: contract(warm-alloc-free)
+    #[inline]
+    pub fn beat(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed);
+        self.beat_nanos.store(crate::trace::now_nanos(), Ordering::Relaxed);
+    }
+
+    /// The watched loop completed a unit of work. Also beats.
+    // fmm-check: contract(warm-alloc-free)
+    #[inline]
+    pub fn progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        self.beat();
+    }
+
+    pub fn beats(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    pub fn progress_count(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    fn last_beat_nanos(&self) -> u64 {
+        self.beat_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// How the watchdog judges a component (see module docs).
+pub enum WatchPolicy {
+    Liveness,
+    /// `work` probes the amount of pending work (0 = legitimately
+    /// idle); progress is read from the component's [`Heartbeat`].
+    Progress {
+        work: Box<dyn Fn() -> u64 + Send + Sync>,
+    },
+}
+
+/// Watchdog thresholds. All deadlines are judged at `interval`
+/// granularity.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Poll cadence of the watchdog thread.
+    pub interval: Duration,
+    /// A component is stalled after this long without a beat (or,
+    /// under `Progress`, without progress while work is pending).
+    pub stall_after: Duration,
+    /// Dump-then-abort the process when a stall persists this long.
+    /// `None` = never abort (the default).
+    pub abort_after: Option<Duration>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            interval: Duration::from_millis(100),
+            stall_after: Duration::from_secs(1),
+            abort_after: None,
+        }
+    }
+}
+
+struct Component {
+    name: String,
+    policy: WatchPolicy,
+    heartbeat: Arc<Heartbeat>,
+}
+
+/// Judging state, owned by the watchdog thread (per component).
+#[derive(Clone, Copy, Default)]
+struct JudgeState {
+    last_progress: u64,
+    /// Nanos when the progress baseline was last reset.
+    baseline_nanos: u64,
+    /// Escalation level already recorded for the current stall
+    /// episode (0 = healthy).
+    recorded_level: u64,
+    /// Stall duration at the last recorded verdict.
+    last_stalled_for: u64,
+}
+
+struct Inner {
+    config: WatchdogConfig,
+    components: Mutex<Vec<Component>>,
+    stalls: AtomicU64,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+/// The watchdog: a registry of components plus the judging thread.
+/// Clone-cheap (shared interior); register every component, then
+/// [`spawn`](Watchdog::spawn).
+#[derive(Clone)]
+pub struct Watchdog {
+    inner: Arc<Inner>,
+}
+
+/// Join guard for the watchdog thread.
+pub struct WatchdogHandle {
+    inner: Arc<Inner>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            inner: Arc::new(Inner {
+                config,
+                components: Mutex::new(Vec::new()),
+                stalls: AtomicU64::new(0),
+                stop: Mutex::new(false),
+                stop_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Register a component; the returned [`Heartbeat`] is what the
+    /// watched thread updates. The component's flight-event id is its
+    /// registration index (see [`component_names`](Self::component_names)).
+    pub fn register(&self, name: &str, policy: WatchPolicy) -> Arc<Heartbeat> {
+        let heartbeat = Arc::new(Heartbeat::new());
+        let mut components = self.inner.components.lock().unwrap();
+        components.push(Component {
+            name: name.to_string(),
+            policy,
+            heartbeat: Arc::clone(&heartbeat),
+        });
+        heartbeat
+    }
+
+    /// Component names in registration (= flight-event id) order.
+    pub fn component_names(&self) -> Vec<String> {
+        self.inner.components.lock().unwrap().iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Total stall verdicts recorded (exported as
+    /// `fmm_watchdog_stalls_total`).
+    pub fn stalls_total(&self) -> u64 {
+        self.inner.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Start the judging thread. `on_abort` runs (once) right before
+    /// the process is aborted for a stall that outlived
+    /// [`WatchdogConfig::abort_after`].
+    pub fn spawn(&self, on_abort: Box<dyn Fn() + Send>) -> WatchdogHandle {
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::Builder::new()
+            .name("fmm-watchdog".to_string())
+            .spawn(move || run(&inner, on_abort))
+            .expect("spawn watchdog thread");
+        WatchdogHandle { inner: Arc::clone(&self.inner), thread: Some(thread) }
+    }
+}
+
+impl WatchdogHandle {
+    /// Stop and join the judging thread.
+    pub fn stop(mut self) {
+        *self.inner.stop.lock().unwrap() = true;
+        self.inner.stop_cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run(inner: &Inner, on_abort: Box<dyn Fn() + Send>) {
+    let mut judge: Vec<JudgeState> = Vec::new();
+    loop {
+        {
+            let stop = inner.stop.lock().unwrap();
+            if *stop {
+                return;
+            }
+            let (stop, _) = inner.stop_cv.wait_timeout(stop, inner.config.interval).unwrap();
+            if *stop {
+                return;
+            }
+        }
+        tick(inner, &mut judge, &on_abort);
+    }
+}
+
+/// One judging pass over every component.
+fn tick(inner: &Inner, judge: &mut Vec<JudgeState>, on_abort: &dyn Fn()) {
+    let now = crate::trace::now_nanos();
+    let stall_after = inner.config.stall_after.as_nanos() as u64;
+    let abort_after = inner.config.abort_after.map(|d| d.as_nanos() as u64);
+    let components = inner.components.lock().unwrap();
+    while judge.len() < components.len() {
+        judge.push(JudgeState { baseline_nanos: now, ..JudgeState::default() });
+    }
+    for (id, component) in components.iter().enumerate() {
+        let state = &mut judge[id];
+        let stalled_for = match &component.policy {
+            WatchPolicy::Liveness => now.saturating_sub(component.heartbeat.last_beat_nanos()),
+            WatchPolicy::Progress { work } => {
+                let progress = component.heartbeat.progress_count();
+                if work() == 0 || progress != state.last_progress {
+                    state.last_progress = progress;
+                    state.baseline_nanos = now;
+                    0
+                } else {
+                    now.saturating_sub(state.baseline_nanos)
+                }
+            }
+        };
+        if stalled_for >= stall_after && stall_after > 0 {
+            let level = stalled_for / stall_after;
+            if level > state.recorded_level {
+                state.recorded_level = level;
+                state.last_stalled_for = stalled_for;
+                flight::record(FlightEvent::WatchdogStall {
+                    component: id as u64,
+                    stalled_nanos: stalled_for,
+                    level,
+                });
+                inner.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(abort_after) = abort_after {
+                if stalled_for >= abort_after {
+                    flight::record(FlightEvent::Incident {
+                        trigger: IncidentTrigger::WatchdogAbort,
+                    });
+                    on_abort();
+                    std::process::abort();
+                }
+            }
+        } else if state.recorded_level > 0 {
+            flight::record(FlightEvent::WatchdogRecovered {
+                component: id as u64,
+                stalled_nanos: state.last_stalled_for,
+            });
+            state.recorded_level = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestAtomic;
+
+    fn short_config() -> WatchdogConfig {
+        WatchdogConfig {
+            interval: Duration::from_millis(5),
+            stall_after: Duration::from_millis(40),
+            abort_after: None,
+        }
+    }
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < Duration::from_millis(deadline_ms) {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn watchdog_verdicts_end_to_end() {
+        // The flight ring is process-global; serialize with the other
+        // ring-touching test in this crate.
+        let _guard = crate::test_lock().lock().unwrap_or_else(|e| e.into_inner());
+
+        // -- Liveness: a silent component stalls, a beating one not --
+        let wd = Watchdog::new(short_config());
+        let silent = wd.register("silent-loop", WatchPolicy::Liveness);
+        let lively = wd.register("lively-loop", WatchPolicy::Liveness);
+        assert_eq!(wd.component_names(), ["silent-loop", "lively-loop"]);
+        let handle = wd.spawn(Box::new(|| {}));
+        assert!(
+            wait_until(2_000, || {
+                lively.beat();
+                wd.stalls_total() >= 1
+            }),
+            "silent component never judged stalled"
+        );
+        // The stall named the silent component, not the lively one.
+        let stalls: Vec<u64> = flight::snapshot()
+            .iter()
+            .filter_map(|r| match r.event {
+                FlightEvent::WatchdogStall { component, .. } => Some(component),
+                _ => None,
+            })
+            .collect();
+        assert!(stalls.contains(&0), "stall verdicts: {stalls:?}");
+        assert!(!stalls.contains(&1), "lively component must stay healthy: {stalls:?}");
+
+        // -- Recovery: resuming beats produces a recovery verdict ----
+        assert!(
+            wait_until(2_000, || {
+                silent.beat();
+                lively.beat();
+                flight::snapshot()
+                    .iter()
+                    .any(|r| matches!(r.event, FlightEvent::WatchdogRecovered { component: 0, .. }))
+            }),
+            "recovered component never acknowledged"
+        );
+        handle.stop();
+        assert!(silent.beats() > 0 && lively.beats() > 0);
+
+        // -- Progress: pending work without progress is a wedge ------
+        let wd = Watchdog::new(short_config());
+        let depth = Arc::new(TestAtomic::new(0));
+        let probe = Arc::clone(&depth);
+        let hb = wd.register(
+            "dispatch",
+            WatchPolicy::Progress { work: Box::new(move || probe.load(Ordering::Relaxed)) },
+        );
+        let handle = wd.spawn(Box::new(|| {}));
+        // Idle (work == 0): never stalls, even without beats.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(wd.stalls_total(), 0, "idle dispatcher must not be judged stalled");
+        // Work appears and progress keeps up: still healthy.
+        depth.store(3, Ordering::Relaxed);
+        for _ in 0..10 {
+            hb.progress();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(wd.stalls_total(), 0, "progressing dispatcher must stay healthy");
+        // Progress stops while work remains: wedged, with escalation.
+        assert!(
+            wait_until(2_000, || wd.stalls_total() >= 2),
+            "wedged dispatcher never escalated (stalls={})",
+            wd.stalls_total()
+        );
+        let wedge = flight::snapshot().into_iter().rev().find_map(|r| match r.event {
+            FlightEvent::WatchdogStall { component: 0, stalled_nanos, level } => {
+                Some((stalled_nanos, level))
+            }
+            _ => None,
+        });
+        let (stalled_nanos, level) = wedge.expect("wedge verdict recorded");
+        assert!(level >= 2, "escalation level grows: {level}");
+        assert!(stalled_nanos >= 40_000_000, "stall duration measured: {stalled_nanos}");
+        handle.stop();
+    }
+}

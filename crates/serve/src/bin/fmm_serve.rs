@@ -3,12 +3,15 @@
 //! ```sh
 //! fmm_serve serve [--addr 127.0.0.1:7117] [--window-us 2000] [--gap-us 200]
 //!                 [--max-batch 32] [--queue 256] [--workers 0] [--no-tuned]
-//!                 [--event-threads 2] [--trace]
+//!                 [--event-threads 2] [--trace] [--incident-dir DIR]
+//!                 [--no-watchdog] [--watchdog-stall-ms 1000]
+//!                 [--watchdog-abort-after MS] [--slow-ms 250]
 //! fmm_serve ping --addr HOST:PORT [--count 3]
 //! fmm_serve stats --addr HOST:PORT [--json | --prom]
 //! fmm_serve audit --addr HOST:PORT [--threshold 0.5]
 //! fmm_serve top --addr HOST:PORT [--interval-ms 1000] [--once]
 //! fmm_serve trace --addr HOST:PORT [--last N] [--chrome FILE]
+//! fmm_serve doctor INCIDENT.json
 //! fmm_serve bench --addr HOST:PORT [--threads 4] [--requests 32]
 //!                 [--size 96] [--dtype f64|f32] [--pipeline 0] [--verify]
 //! fmm_serve shutdown --addr HOST:PORT
@@ -32,6 +35,13 @@
 //! a per-request timeline, or as a chrome://tracing JSON file with
 //! `--chrome FILE`.
 //!
+//! `doctor` is the offline incident analyzer: given a dump written by a
+//! `--incident-dir` daemon (on SIGTERM/SIGINT, panic, or watchdog abort)
+//! or fetched over the wire, it validates the schema tag, reconstructs
+//! the flight-recorder timeline, names any stalled watchdog component,
+//! ranks slow requests by their dominant phase, summarizes error and
+//! refusal bursts, and closes with a one-line diagnosis.
+//!
 //! `audit` reads the decision-audit section of the stats snapshot and
 //! ranks shape classes by model error `|log2(predicted/measured)|`;
 //! classes above `--threshold` are flagged as retune candidates together
@@ -50,9 +60,20 @@ use std::time::{Duration, Instant};
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
-        eprintln!("usage: fmm_serve <serve|ping|stats|audit|top|trace|bench|shutdown> [options]");
+        eprintln!(
+            "usage: fmm_serve <serve|ping|stats|audit|top|trace|doctor|bench|shutdown> [options]"
+        );
         std::process::exit(2);
     };
+    if command == "doctor" {
+        // `doctor` takes a positional dump path, not the shared flag bag.
+        let Some(path) = argv.get(1) else {
+            eprintln!("usage: fmm_serve doctor INCIDENT.json");
+            std::process::exit(2);
+        };
+        cmd_doctor(path);
+        return;
+    }
     let opts = Options::parse(&argv[1..]);
     match command.as_str() {
         "serve" => cmd_serve(&opts),
@@ -65,7 +86,7 @@ fn main() {
         "shutdown" => cmd_shutdown(&opts),
         other => {
             eprintln!(
-                "unknown command {other:?} (serve|ping|stats|audit|top|trace|bench|shutdown)"
+                "unknown command {other:?} (serve|ping|stats|audit|top|trace|doctor|bench|shutdown)"
             );
             std::process::exit(2);
         }
@@ -98,6 +119,11 @@ struct Options {
     threshold: f64,
     interval_ms: u64,
     once: bool,
+    incident_dir: Option<String>,
+    watchdog: bool,
+    watchdog_stall_ms: u64,
+    watchdog_abort_after_ms: u64,
+    slow_ms: u64,
 }
 
 impl Options {
@@ -126,6 +152,11 @@ impl Options {
             threshold: 0.5,
             interval_ms: 1000,
             once: false,
+            incident_dir: None,
+            watchdog: true,
+            watchdog_stall_ms: 1000,
+            watchdog_abort_after_ms: 0,
+            slow_ms: 250,
         };
         let mut i = 0;
         let value = |argv: &[String], i: usize, flag: &str| -> String {
@@ -227,6 +258,30 @@ impl Options {
                     o.once = true;
                     i += 1;
                 }
+                "--incident-dir" => {
+                    o.incident_dir = Some(value(argv, i, "--incident-dir"));
+                    i += 2;
+                }
+                "--no-watchdog" => {
+                    o.watchdog = false;
+                    i += 1;
+                }
+                "--watchdog-stall-ms" => {
+                    o.watchdog_stall_ms = value(argv, i, "--watchdog-stall-ms")
+                        .parse()
+                        .expect("--watchdog-stall-ms: int");
+                    i += 2;
+                }
+                "--watchdog-abort-after" => {
+                    o.watchdog_abort_after_ms = value(argv, i, "--watchdog-abort-after")
+                        .parse()
+                        .expect("--watchdog-abort-after: int (ms)");
+                    i += 2;
+                }
+                "--slow-ms" => {
+                    o.slow_ms = value(argv, i, "--slow-ms").parse().expect("--slow-ms: int");
+                    i += 2;
+                }
                 other => {
                     eprintln!("unknown flag {other}");
                     std::process::exit(2);
@@ -249,6 +304,12 @@ fn cmd_serve(o: &Options) {
         workers: o.workers,
         tuned: o.tuned,
         event_threads: o.event_threads.max(1),
+        watchdog: o.watchdog,
+        watchdog_stall: Duration::from_millis(o.watchdog_stall_ms.max(1)),
+        watchdog_abort_after: (o.watchdog_abort_after_ms > 0)
+            .then(|| Duration::from_millis(o.watchdog_abort_after_ms)),
+        slow_threshold: Duration::from_millis(o.slow_ms.max(1)),
+        incident_dir: o.incident_dir.clone(),
         ..ServeConfig::default()
     };
     // `--trace` turns tracing on; its absence defers to the FMM_TRACE
@@ -264,6 +325,7 @@ fn cmd_serve(o: &Options) {
         }
     };
     println!("fmm_serve listening on {}", handle.addr());
+    println!("{}", fmm_serve::incident::build_info_line());
     println!(
         "micro-batching: window {:?}, max batch {max_batch}, queue capacity {}, tuned {}, \
          event threads {}",
@@ -272,6 +334,22 @@ fn cmd_serve(o: &Options) {
         o.tuned,
         o.event_threads.max(1)
     );
+    if o.watchdog {
+        println!(
+            "watchdog: stall after {} ms{}",
+            o.watchdog_stall_ms.max(1),
+            if o.watchdog_abort_after_ms > 0 {
+                format!(", abort after {} ms", o.watchdog_abort_after_ms)
+            } else {
+                String::new()
+            }
+        );
+    } else {
+        println!("watchdog: disabled");
+    }
+    if let Some(dir) = &o.incident_dir {
+        println!("incident dumps: {dir}");
+    }
     let metrics = handle.metrics_arc();
     handle.wait();
     print!("{}", metrics.snapshot().render());
@@ -378,10 +456,13 @@ fn json_text(obj: &std::collections::BTreeMap<String, fmm_core::json::Value>, ke
 
 /// Decode the `audit` section into rows sorted worst-model-error first
 /// (the `fmm_serve audit` ranking; `top` reuses the same decode).
-fn decode_audit_rows(stats: &fmm_core::json::Value) -> Vec<AuditRow> {
+/// Returns `None` when the snapshot carries no `audit` section at all —
+/// an older daemon speaking a pre-audit stats schema — so callers can
+/// degrade with a clear message instead of silently showing nothing.
+fn decode_audit_rows(stats: &fmm_core::json::Value) -> Option<Vec<AuditRow>> {
     use fmm_core::json::Value;
-    let Value::Object(root) = stats else { return Vec::new() };
-    let Some(Value::Object(audit)) = root.get("audit") else { return Vec::new() };
+    let Value::Object(root) = stats else { return None };
+    let Some(Value::Object(audit)) = root.get("audit") else { return None };
     let mut rows: Vec<AuditRow> = audit
         .values()
         .filter_map(|entry| {
@@ -421,14 +502,24 @@ fn decode_audit_rows(stats: &fmm_core::json::Value) -> Vec<AuditRow> {
     rows.sort_by(|a, b| {
         b.error_log2.partial_cmp(&a.error_log2).unwrap_or(std::cmp::Ordering::Equal)
     });
-    rows
+    Some(rows)
+}
+
+/// The one-line degradation message shared by `audit` and `top` when the
+/// daemon's stats schema predates the decision audit.
+fn audit_schema_missing(addr: &str) -> ! {
+    eprintln!(
+        "fmm_serve: {addr} reports a stats schema without an audit section \
+         (older daemon?) — upgrade the server or use `fmm_serve stats --json`"
+    );
+    std::process::exit(1);
 }
 
 /// Rank shape classes by predicted-vs-measured model error and flag
 /// retune candidates, bridging straight into `fmm_tune explore`.
 fn cmd_audit(o: &Options) {
     let stats = fetch_stats_json(o);
-    let rows = decode_audit_rows(&stats);
+    let Some(rows) = decode_audit_rows(&stats) else { audit_schema_missing(&o.addr) };
     if rows.is_empty() {
         println!("no audit samples recorded yet (send some multiplies first)");
         return;
@@ -537,6 +628,16 @@ fn cmd_top(o: &Options) {
             print!("\x1b[2J\x1b[H");
         }
         println!("fmm_serve top — {} (interval {} ms)", o.addr, o.interval_ms);
+        if let Some(Value::Object(build)) = root.get("build") {
+            println!(
+                "server {} git={} kernel_f64={} kernel_f32={} protocol={}",
+                json_text(build, "version"),
+                json_text(build, "git_hash"),
+                json_text(build, "kernel_f64"),
+                json_text(build, "kernel_f32"),
+                json_text(build, "protocol_versions"),
+            );
+        }
         println!(
             "requests {:>10}  responses {:>10}  {:>8.1} req/s  inflight {:>4}  conns {:>4}",
             json_num(counters, "fmm_serve_requests_total") as u64,
@@ -569,7 +670,7 @@ fn cmd_top(o: &Options) {
                 }
             }
         }
-        let rows = decode_audit_rows(&stats);
+        let Some(rows) = decode_audit_rows(&stats) else { audit_schema_missing(&o.addr) };
         let mut totals = std::collections::BTreeMap::new();
         if rows.is_empty() {
             println!("audit: no samples yet");
@@ -697,6 +798,275 @@ fn print_timelines(events: &[fmm_obs::SpanEvent]) {
                     e.thread
                 );
             }
+        }
+    }
+}
+
+/// Offline incident analyzer: read a dump produced by `--incident-dir`
+/// (or fetched over the wire), validate its schema tag, and turn the raw
+/// flight ring + watchdog roster + counters into a post-mortem story:
+/// what tripped the dump, which component (if any) was stalled, which
+/// connection was busiest, where the slowest requests spent their time,
+/// and whether errors or refusals were bursting. Exits nonzero on a
+/// missing/invalid/foreign-schema file so scripts can gate on it.
+fn cmd_doctor(path: &str) {
+    use fmm_core::json::Value;
+    use fmm_obs::FlightEvent;
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("fmm_serve doctor: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = fmm_core::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("fmm_serve doctor: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let Value::Object(root) = &doc else {
+        eprintln!("fmm_serve doctor: {path} is not a JSON object");
+        std::process::exit(1);
+    };
+    match root.get("schema") {
+        Some(Value::String(tag)) if tag == fmm_serve::incident::INCIDENT_SCHEMA => {}
+        Some(Value::String(tag)) => {
+            eprintln!(
+                "fmm_serve doctor: {path} carries schema {tag:?}, expected {:?} — \
+                 refusing to misread it",
+                fmm_serve::incident::INCIDENT_SCHEMA
+            );
+            std::process::exit(1);
+        }
+        _ => {
+            eprintln!("fmm_serve doctor: {path} has no schema tag — not an incident dump");
+            std::process::exit(1);
+        }
+    }
+    let text_of = |key: &str| match root.get(key) {
+        Some(Value::String(s)) => s.clone(),
+        _ => String::new(),
+    };
+    let trigger = text_of("trigger");
+    if let Some(Value::Object(build)) = root.get("build") {
+        println!(
+            "incident: {} — fmm_serve {} git={} kernel_f64={} kernel_f32={}",
+            if trigger.is_empty() { "unknown trigger" } else { &trigger },
+            json_text(build, "version"),
+            json_text(build, "git_hash"),
+            json_text(build, "kernel_f64"),
+            json_text(build, "kernel_f32"),
+        );
+    } else {
+        println!("incident: {}", if trigger.is_empty() { "unknown trigger" } else { &trigger });
+    }
+
+    // Watchdog roster: component ids in flight events index this list.
+    let mut components: Vec<String> = Vec::new();
+    let mut stalls_total = 0u64;
+    if let Some(Value::Object(wd)) = root.get("watchdog") {
+        if let Some(Value::Array(names)) = wd.get("components") {
+            components = names
+                .iter()
+                .map(|v| match v {
+                    Value::String(s) => s.clone(),
+                    _ => String::new(),
+                })
+                .collect();
+        }
+        stalls_total = json_num(wd, "stalls_total") as u64;
+        println!(
+            "watchdog: {} components [{}], stalls {}",
+            components.len(),
+            components.join(", "),
+            stalls_total
+        );
+    } else {
+        println!("watchdog: not running");
+    }
+    let component_name = |id: u64| -> String {
+        components.get(id as usize).cloned().unwrap_or_else(|| format!("component #{id}"))
+    };
+
+    // Re-decode the flight ring from the raw encoded fields; entries a
+    // newer binary wrote with kinds this one doesn't know keep their
+    // recorded detail string and are skipped by the typed passes.
+    struct Entry {
+        nanos: u64,
+        detail: String,
+        event: Option<FlightEvent>,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    if let Some(Value::Array(flight)) = root.get("flight") {
+        for item in flight {
+            let Value::Object(rec) = item else { continue };
+            let event = FlightEvent::decode(
+                json_num(rec, "kind_id") as u64,
+                json_num(rec, "a") as u64,
+                json_num(rec, "b") as u64,
+                json_num(rec, "c") as u64,
+                json_num(rec, "d") as u64,
+            );
+            entries.push(Entry {
+                nanos: json_num(rec, "nanos") as u64,
+                detail: json_text(rec, "detail"),
+                event,
+            });
+        }
+    }
+    if entries.is_empty() {
+        println!("flight recorder: empty (daemon recorded no events before the dump)");
+    }
+
+    // Stalled components: every watchdog-stall event, worst first.
+    let mut stalls: Vec<(u64, u64, u64)> = entries
+        .iter()
+        .filter_map(|e| match e.event {
+            Some(FlightEvent::WatchdogStall { component, stalled_nanos, level }) => {
+                Some((component, stalled_nanos, level))
+            }
+            _ => None,
+        })
+        .collect();
+    stalls.sort_by_key(|&(_, nanos, _)| std::cmp::Reverse(nanos));
+    if let Some(&(component, stalled_nanos, level)) = stalls.first() {
+        println!(
+            "stalled component: {} — no progress for {:.3} s (escalation level {level}, \
+             {} stall events recorded)",
+            component_name(component),
+            stalled_nanos as f64 / 1e9,
+            stalls.len()
+        );
+    }
+
+    // Busiest connection from conn-closed request tallies (the daemon
+    // closes every connection during drain, so a SIGTERM dump sees all).
+    let mut conns_accepted = 0u64;
+    let mut busiest: Option<(u64, u64)> = None;
+    for e in &entries {
+        match e.event {
+            Some(FlightEvent::ConnAccepted { .. }) => conns_accepted += 1,
+            Some(FlightEvent::ConnClosed { conn, requests })
+                if busiest.map(|(_, best)| requests > best).unwrap_or(true) =>
+            {
+                busiest = Some((conn, requests));
+            }
+            _ => {}
+        }
+    }
+    match busiest {
+        Some((conn, requests)) => println!(
+            "connections: {conns_accepted} accepted; busiest conn #{conn} ({requests} requests)"
+        ),
+        None if conns_accepted > 0 => {
+            println!("connections: {conns_accepted} accepted, none closed before the dump")
+        }
+        None => println!("connections: none recorded"),
+    }
+
+    // Slow requests, ranked by total latency, attributed to their
+    // dominant phase.
+    let mut slow: Vec<(u64, u64, fmm_obs::SlowPhase, u64)> = entries
+        .iter()
+        .filter_map(|e| match e.event {
+            Some(FlightEvent::SlowRequest { request_id, total_nanos, phase, phase_nanos }) => {
+                Some((request_id, total_nanos, phase, phase_nanos))
+            }
+            _ => None,
+        })
+        .collect();
+    slow.sort_by_key(|&(_, total, _, _)| std::cmp::Reverse(total));
+    if let Some(&(request_id, total_nanos, phase, phase_nanos)) = slow.first() {
+        println!(
+            "slow requests: {} over threshold; slowest request {request_id} took {:.3} s, \
+             dominated by {} ({:.3} s)",
+            slow.len(),
+            total_nanos as f64 / 1e9,
+            phase.name(),
+            phase_nanos as f64 / 1e9,
+        );
+    } else {
+        println!("slow requests: none over threshold");
+    }
+
+    // Error and refusal bursts from the flight ring (order-of-arrival
+    // detail lives in the timeline below; this is the tally).
+    let mut errors: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut refusals: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for e in &entries {
+        match e.event {
+            Some(FlightEvent::ErrorSent { code, .. }) => {
+                let name = match code {
+                    1 => "malformed",
+                    2 => "unsupported-version",
+                    3 => "oversized",
+                    4 => "busy",
+                    5 => "internal",
+                    6 => "shutting-down",
+                    _ => "unknown",
+                };
+                *errors.entry(name).or_default() += 1;
+            }
+            Some(FlightEvent::AdmissionRefused { reason, .. }) => {
+                *refusals.entry(reason.name()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    let tally = |map: &std::collections::BTreeMap<&'static str, u64>| -> String {
+        map.iter().map(|(k, v)| format!("{k} {v}")).collect::<Vec<_>>().join(", ")
+    };
+    if !errors.is_empty() {
+        println!("errors sent: {}", tally(&errors));
+    }
+    if !refusals.is_empty() {
+        println!("admission refusals: {}", tally(&refusals));
+    }
+
+    // Timeline: the tail of the ring, timestamps relative to the oldest
+    // retained event.
+    let epoch = entries.iter().map(|e| e.nanos).min().unwrap_or(0);
+    const TIMELINE_TAIL: usize = 20;
+    let start = entries.len().saturating_sub(TIMELINE_TAIL);
+    if !entries.is_empty() {
+        println!("timeline (last {} of {} events):", entries.len() - start, entries.len());
+        for e in &entries[start..] {
+            let at = e.nanos.saturating_sub(epoch) as f64 / 1e9;
+            let line = match &e.event {
+                Some(ev) => ev.describe(),
+                None if !e.detail.is_empty() => e.detail.clone(),
+                None => "unknown event".to_string(),
+            };
+            println!("  +{at:>9.3}s  {line}");
+        }
+    }
+
+    // The one-line verdict scripts grep for.
+    if let Some(&(component, stalled_nanos, _)) = stalls.first() {
+        println!(
+            "diagnosis: {} stalled ({:.3} s without progress) before the {} dump",
+            component_name(component),
+            stalled_nanos as f64 / 1e9,
+            if trigger.is_empty() { "incident" } else { &trigger }
+        );
+    } else if stalls_total > 0 {
+        println!(
+            "diagnosis: {stalls_total} watchdog stalls counted but none retained in the \
+             flight ring — raise FLIGHT_CAPACITY or dump sooner"
+        );
+    } else {
+        match trigger.as_str() {
+            "sigterm" | "sigint" => println!(
+                "diagnosis: clean exit — {} received, no watchdog stalls, in-flight work drained",
+                trigger.to_uppercase()
+            ),
+            "panic" => println!(
+                "diagnosis: panic with no prior watchdog stall — see the crashed process's \
+                 stderr for the panic message"
+            ),
+            "watchdog-abort" => println!(
+                "diagnosis: watchdog abort requested but no stall event retained — \
+                 inspect the timeline above"
+            ),
+            _ => println!("diagnosis: on-demand snapshot, no fault recorded"),
         }
     }
 }

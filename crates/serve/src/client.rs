@@ -211,6 +211,24 @@ impl Client {
         }
     }
 
+    /// Fetch a live incident dump — the same self-contained JSON
+    /// document a SIGTERM/panic dump writes to `--incident-dir` (build
+    /// fingerprint, config, watchdog roster, flight ring, full stats,
+    /// recent spans). Servers that predate the frame kind answer with a
+    /// typed `Malformed` error.
+    pub fn incident(&mut self) -> Result<String, ClientError> {
+        let reply = self.roundtrip(FrameKind::Incident, b"")?;
+        match reply.kind {
+            FrameKind::Incident => String::from_utf8(reply.payload)
+                .map_err(|_| ClientError::Protocol("incident body is not UTF-8".into())),
+            FrameKind::Error => {
+                let (code, message) = decode_error(&reply.payload);
+                Err(ClientError::Server { code, message })
+            }
+            other => Err(ClientError::Protocol(format!("unexpected {other:?} reply"))),
+        }
+    }
+
     /// Ask the daemon to shut down (acknowledged before it stops
     /// accepting; in-flight requests drain).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

@@ -84,6 +84,11 @@ pub enum InEvent {
         /// Frame metadata.
         head: FrameHead,
     },
+    /// A live incident-dump request.
+    Incident {
+        /// Frame metadata.
+        head: FrameHead,
+    },
     /// A decodable frame that cannot be served: answer with a typed error
     /// and — when `fatal` — stop trusting the stream and close after the
     /// flush.
@@ -394,6 +399,7 @@ fn small_frame_event(head: FrameHead, payload: Vec<u8>) -> InEvent {
             InEvent::Trace { head, last }
         }
         FrameKind::Shutdown => InEvent::Shutdown { head },
+        FrameKind::Incident => InEvent::Incident { head },
         FrameKind::Request => InEvent::Bad {
             version: head.version,
             request_id: head.request_id,

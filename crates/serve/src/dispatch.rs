@@ -22,9 +22,20 @@ use crate::buffers::{BufferPool, PooledBuf, WireBuf};
 use crate::metrics::Metrics;
 use fmm_engine::{BatchItem, FmmEngine};
 use fmm_gemm::GemmScalar;
+use fmm_obs::flight::{self, FlightEvent, SlowPhase};
+use fmm_obs::Heartbeat;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Test-only wedge hook: while `true`, every dispatcher in the process
+/// parks before popping its next job, so admitted work sits in the
+/// queue with no batch ever forming — exactly the failure mode the
+/// watchdog's progress policy exists to catch. Exposed (hidden) because
+/// integration tests cannot reach `#[cfg(test)]` items in the library.
+#[doc(hidden)]
+pub static WEDGE_DISPATCH: AtomicBool = AtomicBool::new(false);
 
 /// Cross-request coalescing policy.
 ///
@@ -241,6 +252,24 @@ impl<T> BatchQueue<T> {
     }
 }
 
+/// Observability sidecar for one dispatcher thread: the watchdog
+/// heartbeat it publishes, its flight-recorder component id, and the
+/// slow-request threshold. [`run_dispatcher`] runs with the default
+/// (no heartbeat, no slow threshold); the server passes a configured
+/// one through [`run_dispatcher_observed`].
+#[derive(Default)]
+pub struct DispatchObs {
+    /// Heartbeat the watchdog judges this dispatcher by (progress =
+    /// batches formed). `None` disables publishing.
+    pub heartbeat: Option<Arc<Heartbeat>>,
+    /// Flight-event `dispatcher` field for batches formed here.
+    pub dispatcher_id: u64,
+    /// Requests whose total latency reaches this record a
+    /// [`FlightEvent::SlowRequest`] with their dominant phase.
+    /// `None` disables slow-request flight events.
+    pub slow_threshold: Option<Duration>,
+}
+
 /// Drain `queue` until it closes: form micro-batches under `policy`,
 /// execute each through `engine.multiply_batch` over strided views of the
 /// pooled wire buffers (no transpose copy, no intermediate `Vec`), and
@@ -256,8 +285,28 @@ pub fn run_dispatcher<T: GemmScalar>(
 ) where
     WireBuf: From<PooledBuf<T>>,
 {
+    run_dispatcher_observed(queue, engine, pool, policy, metrics, &DispatchObs::default());
+}
+
+/// [`run_dispatcher`] with watchdog/flight-recorder instrumentation.
+pub fn run_dispatcher_observed<T: GemmScalar>(
+    queue: &BatchQueue<T>,
+    engine: &FmmEngine<T>,
+    pool: &BufferPool<T>,
+    policy: BatchPolicy,
+    metrics: &Arc<Metrics>,
+    obs: &DispatchObs,
+) where
+    WireBuf: From<PooledBuf<T>>,
+{
     let max_batch = policy.max_batch.max(1);
-    while let Some(first) = queue.pop_first() {
+    loop {
+        // Test-only wedge: park *before* popping, so wedged work stays
+        // visible in the queue for the watchdog's progress probe.
+        while WEDGE_DISPATCH.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let Some(first) = queue.pop_first() else { break };
         // Spans the whole coalescing window, from the job that opened the
         // batch to execution start; tagged with the opener's request id.
         let batch_open = fmm_obs::trace::start();
@@ -335,10 +384,39 @@ pub fn run_dispatcher<T: GemmScalar>(
             engine.multiply_batch(&mut items);
         }
         metrics.record_batch(jobs.len());
+        flight::record(FlightEvent::BatchFormed {
+            dispatcher: obs.dispatcher_id,
+            batch: jobs.len() as u64,
+            depth: queue.depth() as u64,
+        });
+        if let Some(hb) = &obs.heartbeat {
+            hb.beat();
+            hb.progress();
+        }
         let service = exec_start.elapsed();
         for (job, mut result) in jobs.into_iter().zip(results) {
             metrics.record_service(service);
-            metrics.record_latency(job.enqueued.elapsed());
+            let total = job.enqueued.elapsed();
+            metrics.record_latency(total);
+            if let Some(threshold) = obs.slow_threshold {
+                if total >= threshold {
+                    // The serve/flush phase happens after hand-off and is
+                    // not visible here, so the dominant phase is whichever
+                    // half of the dispatch latency was larger.
+                    let wait = total.saturating_sub(service);
+                    let (phase, phase_nanos) = if wait > service {
+                        (SlowPhase::QueueWait, wait.as_nanos())
+                    } else {
+                        (SlowPhase::Execute, service.as_nanos())
+                    };
+                    flight::record(FlightEvent::SlowRequest {
+                        request_id: job.reply.request_id,
+                        total_nanos: u64::try_from(total.as_nanos()).unwrap_or(u64::MAX),
+                        phase,
+                        phase_nanos: u64::try_from(phase_nanos).unwrap_or(u64::MAX),
+                    });
+                }
+            }
             result.host_to_wire();
             let Job { a, b, m, n, reply, .. } = job;
             // Operands must be back in the pool *before* the completion

@@ -85,6 +85,7 @@ pub mod buffers;
 pub mod client;
 pub mod conn;
 pub mod dispatch;
+pub mod incident;
 pub mod metrics;
 pub mod poller;
 pub mod protocol;
@@ -93,7 +94,8 @@ pub mod server;
 pub use buffers::{BufferPool, IngestPools, OperandStage, PoolStats, PooledBuf, WireBuf};
 pub use client::{retry_busy, Client, ClientError, PipelinedClient};
 pub use dispatch::{
-    BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr, Job, Refusal, ReplySink,
+    BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr, DispatchObs, Job, Refusal,
+    ReplySink,
 };
 pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
 pub use protocol::{Dtype, ErrorCode, Frame, FrameError, FrameKind, FrameV, WireScalar};

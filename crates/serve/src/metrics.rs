@@ -13,6 +13,7 @@
 //! the `latency_window_count` key — the "window" is now the whole
 //! process lifetime.
 
+use crate::protocol::ErrorCode;
 use fmm_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,6 +48,12 @@ pub struct Metrics {
     pub connections: Arc<Gauge>,
     /// Connections accepted since start.
     pub connections_total: Arc<Counter>,
+    /// Error frames sent, broken out per [`ErrorCode`] kind (indexed by
+    /// `code as u8 - 1`) so exports can distinguish backpressure
+    /// (`busy`, `shutting_down`) from protocol abuse (`malformed`,
+    /// `unsupported_version`, `oversized`) and server faults
+    /// (`internal`). The legacy aggregate counters above keep counting.
+    errors_by_kind: [Arc<Counter>; 6],
     latency: Arc<Histogram>,
     queue_wait: Arc<Histogram>,
     service: Arc<Histogram>,
@@ -68,6 +75,14 @@ impl Default for Metrics {
             inflight_per_conn_max: registry.counter("fmm_serve_inflight_per_conn_max"),
             connections: registry.gauge("fmm_serve_connections"),
             connections_total: registry.counter("fmm_serve_connections_total"),
+            errors_by_kind: [
+                registry.counter("fmm_serve_errors_total_malformed"),
+                registry.counter("fmm_serve_errors_total_unsupported_version"),
+                registry.counter("fmm_serve_errors_total_oversized"),
+                registry.counter("fmm_serve_errors_total_busy"),
+                registry.counter("fmm_serve_errors_total_internal"),
+                registry.counter("fmm_serve_errors_total_shutting_down"),
+            ],
             latency: registry.histogram("fmm_serve_latency_nanos"),
             queue_wait: registry.histogram("fmm_serve_queue_wait_nanos"),
             service: registry.histogram("fmm_serve_service_nanos"),
@@ -178,6 +193,16 @@ impl Metrics {
     /// the pipelining-depth high-water mark.
     pub fn record_conn_inflight(&self, depth: u64) {
         self.inflight_per_conn_max.record_max(depth);
+    }
+
+    /// Count one error frame sent with `code` into its per-kind counter
+    /// (`fmm_serve_errors_total_<kind>`). Registry-export only — the
+    /// frozen plaintext stats body is unchanged.
+    pub fn record_error(&self, code: ErrorCode) {
+        let idx = (code as u8 as usize) - 1;
+        if let Some(counter) = self.errors_by_kind.get(idx) {
+            counter.inc();
+        }
     }
 
     /// Snapshot every counter and compute derived values.
@@ -355,6 +380,31 @@ mod tests {
         assert!((snap.latency.mean_ms - exact.mean_ms).abs() / exact.mean_ms < 1e-3);
         assert_eq!(snap.queue_wait.count, 20_000);
         assert_eq!(snap.service.count, 20_000);
+    }
+
+    #[test]
+    fn per_kind_error_counters_register_and_count() {
+        let m = Metrics::default();
+        m.record_error(ErrorCode::Busy);
+        m.record_error(ErrorCode::Busy);
+        m.record_error(ErrorCode::Malformed);
+        m.record_error(ErrorCode::ShuttingDown);
+        let snap = m.registry().snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(get("fmm_serve_errors_total_busy"), 2);
+        assert_eq!(get("fmm_serve_errors_total_malformed"), 1);
+        assert_eq!(get("fmm_serve_errors_total_shutting_down"), 1);
+        assert_eq!(get("fmm_serve_errors_total_unsupported_version"), 0);
+        assert_eq!(get("fmm_serve_errors_total_oversized"), 0);
+        assert_eq!(get("fmm_serve_errors_total_internal"), 0);
+        // The frozen plaintext body must not grow new keys.
+        assert!(!m.snapshot().render().contains("errors_total"));
     }
 
     #[test]

@@ -131,6 +131,13 @@ pub enum FrameKind {
     /// ("last N events", 0/absent = all retained); server replies with
     /// recent tracing span events as UTF-8 JSON.
     Trace = 10,
+    /// Both directions: client sends an empty payload, server replies
+    /// with a self-contained incident dump (build/config fingerprint,
+    /// registry snapshot, audit table, recent spans, flight-recorder
+    /// ring) as UTF-8 JSON — the same document a SIGTERM/panic dump
+    /// writes to `--incident-dir`. Servers that predate this kind
+    /// reject it with a typed [`ErrorCode::Malformed`] error frame.
+    Incident = 11,
 }
 
 impl FrameKind {
@@ -147,6 +154,7 @@ impl FrameKind {
             8 => Some(Self::Shutdown),
             9 => Some(Self::StatsJson),
             10 => Some(Self::Trace),
+            11 => Some(Self::Incident),
             _ => None,
         }
     }

@@ -29,9 +29,10 @@
 use crate::buffers::IngestPools;
 use crate::conn::{DecodeStep, Decoder, InEvent, WriteQueue};
 use crate::dispatch::{
-    run_dispatcher, BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr, Job, Refusal,
-    ReplySink,
+    run_dispatcher_observed, BatchPolicy, BatchQueue, Completion, CompletionSink, ConnAddr,
+    DispatchObs, Job, Refusal, ReplySink,
 };
+use crate::incident;
 use crate::metrics::Metrics;
 use crate::poller::{Interest, Poller, SysFd, Waker, WAKE_TOKEN};
 use crate::protocol::{
@@ -40,11 +41,12 @@ use crate::protocol::{
 use fmm_core::json;
 use fmm_engine::{ArchSource, EngineConfig, EngineStats, FmmEngine, Routing};
 use fmm_gemm::BlockingParams;
-use fmm_obs::SpanKind;
+use fmm_obs::flight::{self, FlightEvent, IncidentTrigger, RefusalReason};
+use fmm_obs::{Heartbeat, SpanKind, WatchPolicy, Watchdog, WatchdogConfig, WatchdogHandle};
 use fmm_tune::TuneStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -107,6 +109,24 @@ pub struct ServeConfig {
     /// leaves the current state alone (so a tracing server and a plain
     /// one can coexist in one process, as the benchmarks do).
     pub trace: bool,
+    /// Run the liveness watchdog: event loops and dispatchers publish
+    /// heartbeats, one judging thread records stall/recovery flight
+    /// events and the `fmm_watchdog_stalls_total` counter.
+    pub watchdog: bool,
+    /// A component is judged stalled after this long without a beat
+    /// (event loops) or without progress while work is pending
+    /// (dispatchers).
+    pub watchdog_stall: Duration,
+    /// Dump an incident report and abort the process when a stall
+    /// persists this long. `None` = never abort.
+    pub watchdog_abort_after: Option<Duration>,
+    /// Requests whose dispatch latency reaches this threshold record a
+    /// `slow-request` flight event with their dominant phase.
+    pub slow_threshold: Duration,
+    /// Directory incident dumps are written to (atomic temp+rename) on
+    /// SIGTERM/SIGINT, panic, or watchdog abort. `None` disables
+    /// capture-to-disk; the `Incident` wire frame works regardless.
+    pub incident_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +148,11 @@ impl Default for ServeConfig {
             trace: std::env::var("FMM_TRACE")
                 .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
                 .unwrap_or(false),
+            watchdog: true,
+            watchdog_stall: Duration::from_secs(1),
+            watchdog_abort_after: None,
+            slow_threshold: Duration::from_millis(250),
+            incident_dir: None,
         }
     }
 }
@@ -165,6 +190,12 @@ struct Shared {
     stop: AtomicBool,
     loops: Vec<Arc<LoopShared>>,
     lifecycle: Lifecycle,
+    /// The stall watchdog, when enabled — its component names and stall
+    /// counter feed every export and incident dump.
+    watchdog: Option<Watchdog>,
+    /// Dumps already written this process (part of the dump filename, so
+    /// a SIGTERM dump never overwrites a panic dump).
+    incident_seq: AtomicU64,
 }
 
 impl Shared {
@@ -215,6 +246,10 @@ impl Shared {
     /// double-counting into two homes.
     fn mirror_into_registry(&self) {
         let registry = self.metrics.registry();
+        registry.gauge("fmm_build_info").set(1);
+        if let Some(wd) = &self.watchdog {
+            registry.set_counter("fmm_watchdog_stalls_total", wd.stalls_total());
+        }
         for (prefix, stats) in [
             ("fmm_engine_f64_", self.engine_f64.stats()),
             ("fmm_engine_f32_", self.engine_f32.stats()),
@@ -280,6 +315,7 @@ impl Shared {
         );
         json::Value::Object(
             [
+                ("build".to_string(), incident::build_info_json()),
                 ("counters".to_string(), json::Value::Object(counters)),
                 ("gauges".to_string(), json::Value::Object(gauges)),
                 ("histograms".to_string(), json::Value::Object(histograms)),
@@ -290,13 +326,117 @@ impl Shared {
         )
     }
 
+    /// The self-contained incident document: build/config fingerprint,
+    /// watchdog roster + verdict count, the flight-recorder ring, the
+    /// full stats export, and recent tracing spans. This is what the
+    /// `Incident` wire frame returns and what SIGTERM/SIGINT, panic, and
+    /// watchdog-abort dumps write to [`ServeConfig::incident_dir`].
+    fn incident_json(&self, trigger: &str) -> json::Value {
+        let mut watchdog = std::collections::BTreeMap::new();
+        if let Some(wd) = &self.watchdog {
+            watchdog.insert(
+                "components".to_string(),
+                json::Value::Array(
+                    wd.component_names().into_iter().map(json::Value::String).collect(),
+                ),
+            );
+            watchdog.insert("stalls_total".to_string(), json::Value::Int(wd.stalls_total() as i64));
+        }
+        let flight: Vec<json::Value> = flight::snapshot()
+            .iter()
+            .map(|record| {
+                let (kind, a, b, c, d) = record.event.encode();
+                let int = |v: u64| json::Value::Int(v as i64);
+                json::Value::Object(
+                    [
+                        ("seq".to_string(), int(record.seq)),
+                        ("nanos".to_string(), int(record.nanos)),
+                        ("kind".to_string(), json::Value::String(record.event.kind_name().into())),
+                        ("kind_id".to_string(), int(kind)),
+                        ("a".to_string(), int(a)),
+                        ("b".to_string(), int(b)),
+                        ("c".to_string(), int(c)),
+                        ("d".to_string(), int(d)),
+                        ("detail".to_string(), json::Value::String(record.event.describe())),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        json::Value::Object(
+            [
+                ("schema".to_string(), json::Value::String(incident::INCIDENT_SCHEMA.into())),
+                ("trigger".to_string(), json::Value::String(trigger.to_string())),
+                ("build".to_string(), incident::build_info_json()),
+                ("config".to_string(), self.config_json()),
+                ("watchdog".to_string(), json::Value::Object(watchdog)),
+                ("flight".to_string(), json::Value::Array(flight)),
+                ("stats".to_string(), self.stats_json()),
+                ("spans".to_string(), trace_json(256)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// The serving configuration as a JSON fingerprint for incident
+    /// dumps (throughput-relevant knobs only, no engine internals).
+    fn config_json(&self) -> json::Value {
+        let c = &self.config;
+        let int = |v: usize| json::Value::Int(v as i64);
+        json::Value::Object(
+            [
+                ("addr".to_string(), json::Value::String(c.addr.clone())),
+                ("event_threads".to_string(), int(c.event_threads)),
+                ("queue_capacity".to_string(), int(c.queue_capacity)),
+                ("max_inflight_per_conn".to_string(), int(c.max_inflight_per_conn)),
+                ("max_payload_bytes".to_string(), int(c.max_payload_bytes)),
+                ("max_conn_backlog_bytes".to_string(), int(c.max_conn_backlog_bytes)),
+                ("workers".to_string(), int(c.workers)),
+                ("tuned".to_string(), json::Value::Int(c.tuned as i64)),
+                ("batch_window_micros".to_string(), int(c.batch.window.as_micros() as usize)),
+                ("batch_max".to_string(), int(c.batch.max_batch)),
+                ("watchdog".to_string(), json::Value::Int(c.watchdog as i64)),
+                ("watchdog_stall_millis".to_string(), int(c.watchdog_stall.as_millis() as usize)),
+                ("slow_threshold_millis".to_string(), int(c.slow_threshold.as_millis() as usize)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// Write one incident dump to the configured directory (atomic
+    /// temp+rename). Returns the final path, or `None` when no
+    /// `incident_dir` is configured or the write failed — incident
+    /// capture must never take the daemon down with it.
+    fn write_incident(&self, trigger: &str) -> Option<std::path::PathBuf> {
+        let dir = self.config.incident_dir.as_ref()?;
+        let seq = self.incident_seq.fetch_add(1, Ordering::Relaxed);
+        let doc = self.incident_json(trigger);
+        match incident::write_incident_file(std::path::Path::new(dir), trigger, seq, &doc) {
+            Ok(path) => {
+                eprintln!("fmm_serve: incident dump written to {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("fmm_serve: failed to write incident dump: {e}");
+                None
+            }
+        }
+    }
+
     /// Prometheus-style plaintext exposition of the same merged registry
     /// contents `stats_json` exports, audit aggregates included (as
     /// sanitized per-class metric names — this exposition style carries
     /// no labels).
     fn render_prometheus(&self) -> String {
         self.mirror_into_registry();
-        let mut out = self.metrics.registry().render_prometheus();
+        // This exposition style carries no labels, so the build identity
+        // rides as a HELP-style comment next to the `fmm_build_info 1`
+        // gauge the registry renders.
+        let mut out = format!("# HELP fmm_build_info {}\n", incident::build_info_line());
+        out.push_str(&self.metrics.registry().render_prometheus());
         out.push_str(&fmm_obs::global().render_prometheus());
         let mut counters = vec![
             ("fmm_audit_samples_total".to_string(), fmm_obs::audit::samples_recorded()),
@@ -411,6 +551,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    watchdog_handle: Option<WatchdogHandle>,
 }
 
 /// Namespace for constructing the daemon.
@@ -471,6 +612,14 @@ impl Server {
             }));
         }
 
+        let watchdog = config.watchdog.then(|| {
+            Watchdog::new(WatchdogConfig {
+                stall_after: config.watchdog_stall,
+                abort_after: config.watchdog_abort_after,
+                ..WatchdogConfig::default()
+            })
+        });
+
         let shared = Arc::new(Shared {
             queue_f64: BatchQueue::new(config.queue_capacity),
             queue_f32: BatchQueue::new(config.queue_capacity),
@@ -481,57 +630,147 @@ impl Server {
             stop: AtomicBool::new(false),
             loops,
             lifecycle: Lifecycle { stopping: Mutex::new(false), stopped: Condvar::new() },
+            watchdog,
+            incident_seq: AtomicU64::new(0),
             config,
         });
 
         let mut threads = Vec::new();
         let mut listener = Some(listener);
         for (index, poller) in pollers.into_iter().enumerate() {
+            // Event loops tick their poll timeout even when idle, so plain
+            // liveness is the right judgment.
+            let heartbeat = shared
+                .watchdog
+                .as_ref()
+                .map(|wd| wd.register(&format!("loop-{index}"), WatchPolicy::Liveness));
             let shared = shared.clone();
             let listener = listener.take();
             threads.push(
                 thread::Builder::new()
                     .name(format!("fmm-serve-loop-{index}"))
-                    .spawn(move || event_loop(&shared, index, poller, listener))
+                    .spawn(move || event_loop(&shared, index, poller, listener, heartbeat))
                     .expect("spawn event loop"),
             );
         }
         {
+            // Dispatchers legitimately block when idle; they are judged on
+            // progress (batches formed) against pending work (queue depth).
+            let probe = shared.clone();
+            let obs = DispatchObs {
+                heartbeat: shared.watchdog.as_ref().map(|wd| {
+                    wd.register(
+                        "dispatch-f64",
+                        WatchPolicy::Progress {
+                            work: Box::new(move || probe.queue_f64.depth() as u64),
+                        },
+                    )
+                }),
+                dispatcher_id: 0,
+                slow_threshold: Some(shared.config.slow_threshold),
+            };
             let shared = shared.clone();
             threads.push(
                 thread::Builder::new()
                     .name("fmm-serve-dispatch-f64".into())
                     .spawn(move || {
-                        run_dispatcher(
+                        run_dispatcher_observed(
                             &shared.queue_f64,
                             &shared.engine_f64,
                             &shared.pools.f64,
                             shared.config.batch,
                             &shared.metrics,
+                            &obs,
                         )
                     })
                     .expect("spawn f64 dispatcher"),
             );
         }
         {
+            let probe = shared.clone();
+            let obs = DispatchObs {
+                heartbeat: shared.watchdog.as_ref().map(|wd| {
+                    wd.register(
+                        "dispatch-f32",
+                        WatchPolicy::Progress {
+                            work: Box::new(move || probe.queue_f32.depth() as u64),
+                        },
+                    )
+                }),
+                dispatcher_id: 1,
+                slow_threshold: Some(shared.config.slow_threshold),
+            };
             let shared = shared.clone();
             threads.push(
                 thread::Builder::new()
                     .name("fmm-serve-dispatch-f32".into())
                     .spawn(move || {
-                        run_dispatcher(
+                        run_dispatcher_observed(
                             &shared.queue_f32,
                             &shared.engine_f32,
                             &shared.pools.f32,
                             shared.config.batch,
                             &shared.metrics,
+                            &obs,
                         )
                     })
                     .expect("spawn f32 dispatcher"),
             );
         }
-        Ok(ServerHandle { addr, shared, threads })
+        let watchdog_handle = shared.watchdog.as_ref().map(|wd| {
+            let dump = shared.clone();
+            wd.spawn(Box::new(move || {
+                // The Incident{watchdog-abort} flight event is already in
+                // the ring (the watchdog records it before aborting).
+                dump.write_incident("watchdog-abort");
+            }))
+        });
+        if shared.config.incident_dir.is_some() {
+            install_incident_capture(&shared, &mut threads);
+        }
+        Ok(ServerHandle { addr, shared, threads, watchdog_handle })
     }
+}
+
+/// Wire up capture-to-disk incident paths: a panic hook (any daemon
+/// thread) and a SIGTERM/SIGINT monitor thread that dumps and then
+/// requests a clean stop, so `kill <pid>` on a loaded daemon leaves a
+/// post-mortem behind *and* exits 0 after draining.
+fn install_incident_capture(shared: &Arc<Shared>, threads: &mut Vec<JoinHandle<()>>) {
+    // The hook is process-global and outlives the server; hold the shared
+    // state weakly so a stopped server can actually be dropped.
+    let weak = Arc::downgrade(shared);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(shared) = weak.upgrade() {
+            flight::record(FlightEvent::Incident { trigger: IncidentTrigger::Panic });
+            shared.write_incident("panic");
+        }
+        previous(info);
+    }));
+
+    let signals = incident::install_signal_traps();
+    let shared = shared.clone();
+    threads.push(
+        thread::Builder::new()
+            .name("fmm-serve-incident".into())
+            .spawn(move || loop {
+                if let Some(trigger) = incident::pending_signal(signals) {
+                    flight::record(FlightEvent::Incident { trigger });
+                    shared.write_incident(trigger.name());
+                    // Dump first, then drain: the signal asks for
+                    // termination, and a clean stop is the best honor.
+                    shared.request_stop();
+                    return;
+                }
+                // ORDERING: pairs with the Release store in `request_stop`.
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(25));
+            })
+            .expect("spawn incident monitor"),
+    );
 }
 
 /// Build one dtype engine per the serve configuration. Engines are always
@@ -627,11 +866,36 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        if let Some(wd) = self.watchdog_handle {
+            wd.stop();
+        }
+    }
+
+    /// Total watchdog stall verdicts so far (0 when the watchdog is
+    /// disabled).
+    pub fn watchdog_stalls(&self) -> u64 {
+        self.shared.watchdog.as_ref().map_or(0, |wd| wd.stalls_total())
+    }
+
+    /// The incident document an `Incident` wire frame would return right
+    /// now — the seam tests use to inspect dumps without signals.
+    pub fn incident_json(&self) -> json::Value {
+        self.shared.incident_json("wire-request")
     }
 }
 
+/// Process-wide connection id sequence for flight events — connection
+/// lifecycles stay traceable across loops and across the whole dump.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
 /// One multiplexed connection's state on its owning event loop.
 struct Conn {
+    /// Process-unique id carried by this connection's flight events.
+    id: u64,
+    /// Requests admitted over this connection's lifetime (reported by
+    /// its `conn-closed` flight event — the doctor's busiest-connection
+    /// ranking input).
+    requests: u64,
     stream: TcpStream,
     decoder: Decoder,
     out: WriteQueue,
@@ -680,6 +944,7 @@ fn event_loop(
     index: usize,
     mut poller: Poller,
     mut listener: Option<TcpListener>,
+    heartbeat: Option<Arc<Heartbeat>>,
 ) {
     let me = shared.loops[index].clone();
     if let Some(l) = &listener {
@@ -698,12 +963,17 @@ fn event_loop(
     loop {
         let _ = poller.wait(&mut events, Some(Duration::from_millis(100)));
         me.waker.drain();
+        // The poll timeout bounds each iteration, so a beat per pass is
+        // exactly "this loop is still turning".
+        if let Some(hb) = &heartbeat {
+            hb.beat();
+        }
 
         // Adopt connections dealt over from the accept loop.
         let adopted: Vec<TcpStream> =
             std::mem::take(&mut *me.injected.lock().expect("injected queue poisoned"));
         for stream in adopted {
-            install_conn(shared, &mut poller, &mut slots, stream);
+            install_conn(shared, &mut poller, &mut slots, stream, index);
         }
 
         for event in events.drain(..) {
@@ -711,7 +981,7 @@ fn event_loop(
                 WAKE_TOKEN => {}
                 LISTENER_TOKEN => {
                     if let Some(l) = &listener {
-                        accept_ready(shared, l, &mut poller, &mut slots, &mut next_loop);
+                        accept_ready(shared, l, &mut poller, &mut slots, &mut next_loop, index);
                     }
                 }
                 token => {
@@ -769,6 +1039,7 @@ fn accept_ready(
     poller: &mut Poller,
     slots: &mut Vec<Slot>,
     next_loop: &mut usize,
+    index: usize,
 ) {
     loop {
         match listener.accept() {
@@ -776,7 +1047,7 @@ fn accept_ready(
                 let target = *next_loop % shared.loops.len();
                 *next_loop = next_loop.wrapping_add(1);
                 if target == 0 {
-                    install_conn(shared, poller, slots, stream);
+                    install_conn(shared, poller, slots, stream, index);
                 } else {
                     let mailbox = &shared.loops[target];
                     mailbox.injected.lock().expect("injected queue poisoned").push(stream);
@@ -790,7 +1061,13 @@ fn accept_ready(
 }
 
 /// Register a fresh connection in the lowest free slot of this loop.
-fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>, s: TcpStream) {
+fn install_conn(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    slots: &mut Vec<Slot>,
+    s: TcpStream,
+    loop_index: usize,
+) {
     if s.set_nonblocking(true).is_err() {
         return;
     }
@@ -805,7 +1082,10 @@ fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>
     if poller.register(sys_fd(&s), slot as u64, Interest::READ).is_err() {
         return;
     }
+    let id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
     slots[slot].conn = Some(Conn {
+        id,
+        requests: 0,
         stream: s,
         decoder: Decoder::new(shared.config.max_payload_bytes),
         out: WriteQueue::default(),
@@ -815,6 +1095,7 @@ fn install_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut Vec<Slot>
         closing: false,
         interest: Interest::READ,
     });
+    flight::record(FlightEvent::ConnAccepted { conn: id, loop_index: loop_index as u64 });
     shared.metrics.connections.add(1);
     shared.metrics.connections_total.inc();
 }
@@ -912,9 +1193,17 @@ fn handle_in_event(
             push_reply(conn, head.version, head.request_id, FrameKind::Pong, b"");
             conn.closing = true;
         }
+        InEvent::Incident { head } => {
+            flight::record(FlightEvent::Incident { trigger: IncidentTrigger::WireRequest });
+            let body = json::to_string_pretty(&shared.incident_json("wire-request"));
+            let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            push_reply(conn, head.version, head.request_id, FrameKind::Incident, body.as_bytes());
+        }
         InEvent::Bad { version, request_id, code, message, fatal } => {
             shared.metrics.rejects_malformed.inc();
+            shared.metrics.record_error(code);
             let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
+            flight::record(FlightEvent::ErrorSent { conn: conn.id, code: code as u64 });
             let payload = protocol::encode_error(code, &message);
             push_reply(conn, version, request_id, FrameKind::Error, &payload);
             if fatal {
@@ -942,6 +1231,11 @@ fn admit_request(
     let conn = slots[slot].conn.as_mut().expect("driven slot is occupied");
     if conn.in_flight >= shared.config.max_inflight_per_conn {
         shared.metrics.rejects_busy.inc();
+        shared.metrics.record_error(ErrorCode::Busy);
+        flight::record(FlightEvent::AdmissionRefused {
+            conn: conn.id,
+            reason: RefusalReason::InflightCap,
+        });
         let payload = protocol::encode_error(
             ErrorCode::Busy,
             &format!(
@@ -964,6 +1258,11 @@ fn admit_request(
     let outstanding = conn.pending_response_bytes + conn.out.backlog();
     if outstanding > 0 && outstanding + response_bytes > shared.config.max_conn_backlog_bytes {
         shared.metrics.rejects_busy.inc();
+        shared.metrics.record_error(ErrorCode::Busy);
+        flight::record(FlightEvent::AdmissionRefused {
+            conn: conn.id,
+            reason: RefusalReason::ByteBacklog,
+        });
         let payload = protocol::encode_error(
             ErrorCode::Busy,
             &format!(
@@ -1000,6 +1299,7 @@ fn admit_request(
             shared.metrics.requests.inc();
             shared.metrics.inflight.add(1);
             conn.in_flight += 1;
+            conn.requests += 1;
             conn.pending_response_bytes += response_bytes;
             shared.metrics.record_conn_inflight(conn.in_flight as u64);
             if version == VERSION {
@@ -1008,6 +1308,11 @@ fn admit_request(
         }
         Some(Refusal::Full) => {
             shared.metrics.rejects_busy.inc();
+            shared.metrics.record_error(ErrorCode::Busy);
+            flight::record(FlightEvent::AdmissionRefused {
+                conn: conn.id,
+                reason: RefusalReason::QueueFull,
+            });
             let capacity = shared.config.queue_capacity;
             let payload = protocol::encode_error(
                 ErrorCode::Busy,
@@ -1018,6 +1323,11 @@ fn admit_request(
         Some(Refusal::Closed) => {
             // Not Busy: nothing about this daemon will ever accept the
             // retry a Busy signal invites.
+            shared.metrics.record_error(ErrorCode::ShuttingDown);
+            flight::record(FlightEvent::AdmissionRefused {
+                conn: conn.id,
+                reason: RefusalReason::ShuttingDown,
+            });
             let payload = protocol::encode_error(
                 ErrorCode::ShuttingDown,
                 "daemon is shutting down and accepts no new work",
@@ -1130,7 +1440,8 @@ fn finish_conn_round(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Slo
 /// Deregister and drop a connection, bumping the slot generation so
 /// completions still in flight for it are recognized as stale.
 fn drop_conn(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Slot], slot: usize) {
-    if slots[slot].conn.take().is_some() {
+    if let Some(conn) = slots[slot].conn.take() {
+        flight::record(FlightEvent::ConnClosed { conn: conn.id, requests: conn.requests });
         let _ = poller.deregister(slot as u64);
         slots[slot].generation = slots[slot].generation.wrapping_add(1);
         shared.metrics.connections.sub(1);
